@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper using the *full*
+evaluation configuration (all five models, all four network conditions).  The
+scenario runner is session-scoped so the underlying partitioning work is done
+once and the individual benchmarks measure their own harness on top of it.
+
+Run with:  pytest benchmarks/ --benchmark-only
+Add ``-s`` to also print the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runners import ScenarioRunner
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    """The full evaluation matrix of the paper."""
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def paper_runner(paper_config) -> ScenarioRunner:
+    return ScenarioRunner(paper_config)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a harness with a single measured round.
+
+    The harnesses are deterministic and moderately expensive (they partition
+    every model under every network condition), so one round keeps the full
+    benchmark suite fast while still recording a wall-clock figure per
+    table/figure.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Ablation A2 — VSM tile grid vs overlap redundancy and latency.
+
+Finer grids expose more parallelism but enlarge the halo overlap between fused
+tile stacks, so the useful speedup saturates below the node count (the effect
+the paper describes for Fig. 12).
+"""
+
+from typing import Dict, Tuple
+
+from benchmarks.conftest import run_once
+from repro.core.d3 import D3Config, D3System
+from repro.experiments.reporting import format_table
+from repro.models.zoo import build_model
+
+GRIDS = ((1, 2), (2, 2), (3, 3))
+
+
+def _sweep_grids(model: str = "darknet53") -> Dict[Tuple[int, int], Dict[str, float]]:
+    graph = build_model(model)
+    results: Dict[Tuple[int, int], Dict[str, float]] = {}
+    baseline = D3System(
+        D3Config(network="wifi", num_edge_nodes=1, enable_vsm=False, use_regression=False,
+                 profiler_noise_std=0.0)
+    ).run(graph)
+    for grid in GRIDS:
+        nodes = grid[0] * grid[1]
+        result = D3System(
+            D3Config(network="wifi", num_edge_nodes=nodes, tile_grid=grid, use_regression=False,
+                     profiler_noise_std=0.0)
+        ).run(graph)
+        redundancy = 1.0
+        if result.vsm_plan is not None and result.vsm_plan.runs:
+            factors = [run.redundancy_factor() for run in result.vsm_plan.runs]
+            redundancy = sum(factors) / len(factors)
+        results[grid] = {
+            "latency_s": result.end_to_end_latency_s,
+            "speedup_vs_hpa": baseline.end_to_end_latency_s / result.end_to_end_latency_s,
+            "redundancy": redundancy,
+            "nodes": nodes,
+        }
+    return results
+
+
+def test_ablation_vsm_grid(benchmark):
+    results = run_once(benchmark, _sweep_grids)
+
+    # Finer grids increase the overlap redundancy monotonically...
+    redundancies = [results[g]["redundancy"] for g in GRIDS]
+    assert redundancies == sorted(redundancies)
+    # ...and the achieved speedup always stays below the node count.
+    for grid in GRIDS:
+        assert results[grid]["speedup_vs_hpa"] < results[grid]["nodes"]
+        assert results[grid]["speedup_vs_hpa"] >= 0.99
+    # More nodes still help overall (2x2 beats 1x2).
+    assert results[(2, 2)]["speedup_vs_hpa"] > results[(1, 2)]["speedup_vs_hpa"]
+
+    rows = [
+        (f"{g[0]}x{g[1]}", results[g]["nodes"], results[g]["latency_s"] * 1e3,
+         results[g]["speedup_vs_hpa"], results[g]["redundancy"])
+        for g in GRIDS
+    ]
+    print()
+    print(
+        format_table(
+            ["grid", "edge nodes", "latency (ms)", "speedup vs HPA", "tile redundancy"],
+            rows,
+            title="Ablation A2 — VSM tile grid (Darknet-53, Wi-Fi)",
+        )
+    )

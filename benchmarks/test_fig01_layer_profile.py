@@ -1,0 +1,20 @@
+"""Benchmark E1 — regenerate Fig. 1 (per-layer latency and output size)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig01_layer_profile
+
+
+def test_fig01_layer_profile(benchmark):
+    rows = run_once(benchmark, fig01_layer_profile.run_layer_profile)
+    summary = fig01_layer_profile.summarise(rows)
+
+    # Paper shape: convolutions dominate the latency of all three profiled
+    # networks on the device, and early layers produce multi-MB activations.
+    for model in ("vgg16", "resnet18", "darknet53"):
+        assert summary[model]["conv_latency_s"] / summary[model]["total_latency_s"] > 0.75
+        assert summary[model]["max_output_mb"] > 1.0
+    # VGG-16 is by far the slowest of the three on the device (Fig. 1a vs 1b).
+    assert summary["vgg16"]["total_latency_s"] > summary["resnet18"]["total_latency_s"] * 3
+
+    print()
+    print(fig01_layer_profile.format_layer_profile(rows))

@@ -1,0 +1,18 @@
+"""Benchmark E2 — regenerate Fig. 4 (actual vs predicted layer latency)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_regression
+
+
+def test_fig04_regression(benchmark):
+    results = run_once(benchmark, fig04_regression.run_regression_experiment)
+
+    # Paper shape: the regression model's per-layer predictions track the
+    # measured latencies on both the CPU (edge) and GPU (cloud) machines.
+    cpu, gpu = results
+    assert cpu.mape < 0.25
+    assert cpu.r_squared > 0.9
+    assert gpu.r_squared > 0.5
+
+    print()
+    print(fig04_regression.format_regression(results))

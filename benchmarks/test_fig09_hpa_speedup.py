@@ -1,0 +1,25 @@
+"""Benchmark E6 — regenerate Fig. 9 (HPA speedup over single-tier execution)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_hpa_speedup
+
+
+def test_fig09_hpa_speedup(benchmark, paper_config, paper_runner):
+    cells = run_once(
+        benchmark, fig09_hpa_speedup.run_hpa_speedup, paper_config, paper_runner
+    )
+    assert len(cells) == 20  # 5 models x 4 network conditions
+
+    # Paper shapes: HPA is never slower than any single-tier deployment, the
+    # largest gains are against device-only execution of the compute-heavy
+    # models, and the overall maximum speedup is an order of magnitude.
+    for cell in cells:
+        assert cell.speedups["hpa"] >= 0.99 * max(
+            1.0, cell.speedups["edge_only"] or 0.0, cell.speedups["cloud_only"] or 0.0
+        )
+    heavy = [c for c in cells if c.model in ("vgg16", "darknet53")]
+    assert all(c.speedups["hpa"] > 5.0 for c in heavy)
+    assert fig09_hpa_speedup.max_speedup(cells, "hpa") > 10.0
+
+    print()
+    print(fig09_hpa_speedup.format_hpa_speedup(cells))

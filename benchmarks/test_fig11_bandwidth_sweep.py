@@ -1,0 +1,28 @@
+"""Benchmark E8 — regenerate Fig. 11 (Inception-v4 speedup vs backbone rate)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_bandwidth_sweep
+
+
+def test_fig11_bandwidth_sweep(benchmark):
+    points = run_once(benchmark, fig11_bandwidth_sweep.run_bandwidth_sweep)
+    assert len(points) == 10  # 10 .. 100 Mbps
+
+    # Paper shapes: cloud-only improves monotonically (in trend) with the
+    # backbone bandwidth; HPA stays at or above every baseline across the whole
+    # sweep; device-only is flat.
+    cloud = [p.latency_s["cloud_only"] for p in points]
+    assert cloud[0] > cloud[-1]
+    device = [p.latency_s["device_only"] for p in points]
+    assert max(device) - min(device) < 1e-9
+    for point in points:
+        best_other = min(
+            point.latency_s["device_only"],
+            point.latency_s["edge_only"],
+            point.latency_s["cloud_only"],
+            point.latency_s["dads"],
+        )
+        assert point.latency_s["hpa"] <= best_other * 1.01
+
+    print()
+    print(fig11_bandwidth_sweep.format_bandwidth_sweep(points))

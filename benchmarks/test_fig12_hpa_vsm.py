@@ -1,0 +1,25 @@
+"""Benchmark E9 — regenerate Fig. 12 (HPA + VSM under Wi-Fi, four edge nodes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_hpa_vsm
+
+
+def test_fig12_hpa_vsm(benchmark, paper_config, paper_runner):
+    cells = run_once(benchmark, fig12_hpa_vsm.run_hpa_vsm, "wifi", paper_config, paper_runner)
+    assert len(cells) == 5
+
+    # Paper shapes: adding VSM never hurts, it helps most for the conv-heavy
+    # models, and the gain stays below the 4x node count because the fused tile
+    # stacks overlap (redundancy factor > 1).
+    for cell in cells:
+        assert cell.hpa_vsm_vs_hpa is not None and cell.hpa_vsm_vs_hpa >= 0.999
+        assert cell.hpa_vsm_vs_hpa < 4.0
+        if cell.vsm_redundancy_factor is not None:
+            # A 2x2 grid can at most quadruple the work (every tile covering the
+            # whole input); late, small feature maps push the average up.
+            assert 1.0 <= cell.vsm_redundancy_factor < 4.0
+    best_gain = max(c.hpa_vsm_vs_hpa for c in cells)
+    assert best_gain > 1.3
+
+    print()
+    print(fig12_hpa_vsm.format_hpa_vsm(cells))

@@ -1,0 +1,25 @@
+"""Benchmark E10 — regenerate Fig. 13 (per-image backbone traffic to the cloud)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_communication
+
+
+def test_fig13_communication(benchmark, paper_config, paper_runner):
+    cells = run_once(benchmark, fig13_communication.run_communication, paper_config, paper_runner)
+    assert len(cells) == 20
+
+    # Paper shapes: cloud-only always ships the full raw input (~4.8 Mb for a
+    # 3x224x224 float tensor); D3 never ships more than DADS, and DADS never
+    # more than cloud-only.
+    for cell in cells:
+        cloud_only = cell.megabits_to_cloud["cloud_only"]
+        dads = cell.megabits_to_cloud["dads"]
+        d3 = cell.megabits_to_cloud["hpa_vsm"]
+        assert cloud_only > 4.0
+        assert dads <= cloud_only + 1e-9
+        assert d3 <= dads + 1e-9
+        fraction = cell.d3_fraction_of("cloud_only")
+        assert fraction is not None and fraction <= 1.0
+
+    print()
+    print(fig13_communication.format_communication(cells))

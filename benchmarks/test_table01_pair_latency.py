@@ -1,0 +1,24 @@
+"""Benchmark E3 — regenerate Table I (pairwise placement latencies)."""
+
+from benchmarks.conftest import run_once
+from repro.core.placement import Tier
+from repro.experiments import table01_pair_latency
+
+
+def test_table01_pair_latency(benchmark):
+    rows = run_once(benchmark, table01_pair_latency.run_pair_latency)
+    assert len(rows) == 6
+
+    by_pair = {(r.tier_i, r.tier_j): r.total_latency_s for r in rows}
+    # Paper shape: crossing the backbone (anything involving the cloud) costs
+    # far more than staying inside the LAN for an early convolutional layer.
+    lan_best = min(
+        by_pair[(Tier.DEVICE, Tier.DEVICE)],
+        by_pair[(Tier.DEVICE, Tier.EDGE)],
+        by_pair[(Tier.EDGE, Tier.EDGE)],
+    )
+    assert by_pair[(Tier.CLOUD, Tier.CLOUD)] > lan_best
+    assert by_pair[(Tier.DEVICE, Tier.CLOUD)] > by_pair[(Tier.DEVICE, Tier.DEVICE)]
+
+    print()
+    print(table01_pair_latency.format_pair_latency(rows))

@@ -1,0 +1,23 @@
+"""Benchmark E4 — regenerate Table II (per-tier processing time after HPA)."""
+
+from benchmarks.conftest import run_once
+from repro.core.placement import Tier
+from repro.experiments import table02_tier_times
+
+
+def test_table02_tier_times(benchmark):
+    rows = run_once(benchmark, table02_tier_times.run_tier_times)
+    assert len(rows) == 5
+
+    # Paper shape: the edge node carries the largest per-image processing time
+    # of the three tiers for every model, which is what motivates VSM.
+    for row in rows:
+        assert row.bottleneck_tier == Tier.EDGE
+        assert row.edge_ms >= row.device_ms
+        assert row.edge_ms >= row.cloud_ms
+    # VGG-16 stresses the edge hardest (as in the paper: 46.7 ms vs 3.6-48 ms).
+    vgg = next(r for r in rows if r.model == "vgg16")
+    assert vgg.edge_ms == max(r.edge_ms for r in rows)
+
+    print()
+    print(table02_tier_times.format_tier_times(rows))

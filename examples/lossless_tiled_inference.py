@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Demonstrate that VSM's fused-tile parallelism is lossless.
+
+A small VGG-style convolutional prefix is placed on the edge tier, VSM splits
+it into 2x2 fused tile stacks, and the stacks are executed independently on
+real numpy tensors (exactly what the four edge nodes would each compute).  The
+merged result is compared element-by-element against untiled execution, and
+contrasted with a DeepThings-style naive tiling that mishandles padding and
+therefore *does* change the output.
+
+Run with:  python examples/lossless_tiled_inference.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.deepthings import FusedTilePartition
+from repro.core.placement import PlacementPlan, Tier
+from repro.core.vsm import VerticalSeparationModule
+from repro.graph.builder import GraphBuilder
+from repro.tensors.executor import GraphExecutor
+from repro.tensors.tiling import run_untiled, run_vsm_plan
+
+
+def build_edge_prefix():
+    """A convolutional prefix typical of what HPA assigns to the edge tier."""
+    builder = GraphBuilder("edge_prefix", input_shape=(3, 64, 64))
+    builder.conv("conv1", 16, kernel=3, stride=1, padding=1)
+    builder.relu("relu1")
+    builder.conv("conv2", 16, kernel=3, stride=1, padding=1)
+    builder.maxpool("pool1", kernel=2, stride=2)
+    builder.conv("conv3", 32, kernel=3, stride=2, padding=1)
+    return builder.build()
+
+
+def main() -> None:
+    graph = build_edge_prefix()
+    plan = PlacementPlan.single_tier(graph, Tier.EDGE)
+    vsm = VerticalSeparationModule(grid_rows=2, grid_cols=2)
+    runs = vsm.find_tileable_runs(graph, plan, Tier.EDGE)
+    run_plan = vsm.plan_run(graph, runs[0])
+    print(f"Fused run: {[v.name for v in run_plan.vertices]}")
+    print(f"Grid {run_plan.grid}, {run_plan.num_tiles} tiles, "
+          f"redundancy {run_plan.redundancy_factor():.3f}x")
+
+    rng = np.random.default_rng(7)
+    frame = rng.standard_normal(graph.input_shape)
+    executor = GraphExecutor(graph)
+
+    reference = run_untiled(executor, run_plan, frame)
+    tiled = run_vsm_plan(executor, run_plan, frame)
+    lossless = "LOSSLESS" if np.array_equal(reference, tiled) else "lossy"
+    print(f"\nVSM tiled vs untiled:      max |error| = {np.abs(reference - tiled).max():.3e}  ({lossless})")
+
+    naive = FusedTilePartition(2, 2)
+    stats = naive.compare_with_untiled(executor, run_plan, frame)
+    print(f"Naive (DeepThings-style):  max |error| = {stats.max_abs_error:.3e}  "
+          f"({'LOSSLESS' if stats.is_lossless else 'lossy'})")
+    print("\nThe naive scheme pads interior tile borders with zeros where the real "
+          "network sees neighbouring activations, which is exactly the accuracy "
+          "loss the paper's reverse tile calculation avoids.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: partition one DNN with D3 and inspect the result.
+
+Builds ResNet-18, runs the full D3 pipeline (profile -> regression -> HPA ->
+VSM -> simulated execution) under Wi-Fi with four edge nodes, and prints the
+placement, the end-to-end latency and the comparison against the three
+single-tier baselines.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.single_tier import SingleTierBaseline
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import Tier
+from repro.models.zoo import build_model
+
+
+def main() -> None:
+    graph = build_model("resnet18")
+    print(f"Model: {graph.name} — {len(graph)} layers, "
+          f"{graph.total_flops() / 1e9:.2f} GFLOPs, "
+          f"{graph.total_weights() / 1e6:.1f}M parameters")
+
+    system = D3System(D3Config(network="wifi", num_edge_nodes=4, tile_grid=(2, 2)))
+    result = system.run(graph)
+
+    print("\n=== D3 placement ===")
+    print(result.placement.describe())
+    counts = result.placement.tier_counts()
+    for tier in Tier:
+        names = [v.name for v in result.placement.vertices_on(tier)][:6]
+        suffix = " ..." if counts[tier] > 6 else ""
+        print(f"  {tier.value:>6}: {counts[tier]:3d} layers  {names}{suffix}")
+
+    if result.vsm_plan is not None and result.vsm_plan.runs:
+        run = result.vsm_plan.runs[0]
+        print(f"\n=== VSM === {result.vsm_plan.num_runs} fused run(s); first run: "
+              f"{run.num_layers} layers x {run.num_tiles} tiles, "
+              f"redundancy {run.redundancy_factor():.3f}x")
+
+    print("\n=== Simulated end-to-end latency ===")
+    print(result.report.summary())
+
+    print("\n=== Against the single-tier baselines ===")
+    baseline = SingleTierBaseline(result.profile, result.network)
+    for tier in Tier:
+        latency = baseline.latency_s(graph, tier)
+        speedup = latency / result.end_to_end_latency_s
+        print(f"  {tier.value:>6}-only: {latency * 1e3:8.1f} ms   (D3 is {speedup:4.1f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

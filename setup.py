@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to this legacy path (``--no-use-pep517``) when
+PEP 517 editable builds are unavailable offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,19 @@
+"""D3: Dynamic DNN Decomposition for Lossless Synergistic Inference.
+
+Reproduction of the ICDCS 2021 paper.  The public API re-exports the most
+commonly used entry points; see the subpackages for the full surface:
+
+* :mod:`repro.graph` — DNN DAG substrate
+* :mod:`repro.models` — AlexNet / VGG-16 / ResNet-18 / Darknet-53 / Inception-v4
+* :mod:`repro.profiling` — hardware specs, cost model, latency regression, profiler
+* :mod:`repro.network` — inter-tier links and the paper's network conditions
+* :mod:`repro.tensors` — functional numpy inference (losslessness verification)
+* :mod:`repro.core` — HPA, VSM, dynamic re-partitioning and the D3 facade
+* :mod:`repro.runtime` — simulated device/edge/cloud cluster and execution engine
+* :mod:`repro.baselines` — Neurosurgeon, DADS, single-tier, DeepThings-style FTP
+* :mod:`repro.experiments` — one harness per paper table/figure
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,102 @@
+"""Neurosurgeon baseline (Kang et al., ASPLOS 2017).
+
+Neurosurgeon partitions a *chain-topology* DNN at layer granularity between a
+mobile device and a cloud server: it evaluates every possible split point
+(device executes the prefix, the intermediate tensor crosses the network, the
+cloud executes the suffix) and picks the one minimising end-to-end latency.
+It cannot handle multi-branch DAGs, which is why the paper reports it only for
+AlexNet and VGG-16 (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.graph.dag import DnnGraph
+from repro.network.conditions import NetworkCondition
+from repro.profiling.profiler import LatencyProfile
+
+
+class ChainTopologyError(ValueError):
+    """Raised when Neurosurgeon is applied to a non-chain (DAG) network."""
+
+
+@dataclass
+class NeurosurgeonResult:
+    """Outcome of the Neurosurgeon split-point search."""
+
+    plan: PlacementPlan
+    metrics: PlanMetrics
+    split_index: int
+    """Index of the last vertex executed on the device (0 = device keeps only
+    the virtual input, i.e. full offload)."""
+
+    @property
+    def latency_s(self) -> float:
+        return self.metrics.end_to_end_latency_s
+
+
+class NeurosurgeonPartitioner:
+    """Optimal single split of a chain DNN between two tiers.
+
+    Parameters
+    ----------
+    profile, network:
+        The same latency and bandwidth inputs HPA uses, for a fair comparison.
+    front_tier, back_tier:
+        The tiers holding the prefix and the suffix; the original system is
+        device/cloud, which is the default.
+    """
+
+    def __init__(
+        self,
+        profile: LatencyProfile,
+        network: NetworkCondition,
+        front_tier: Tier = Tier.DEVICE,
+        back_tier: Tier = Tier.CLOUD,
+    ) -> None:
+        if front_tier == back_tier:
+            raise ValueError("front and back tiers must differ")
+        self.profile = profile
+        self.network = network
+        self.front_tier = front_tier
+        self.back_tier = back_tier
+
+    # ------------------------------------------------------------------ #
+    def supports(self, graph: DnnGraph) -> bool:
+        """True when the graph has the chain topology Neurosurgeon requires."""
+        return graph.is_chain()
+
+    def candidate_plans(self, graph: DnnGraph) -> List[Tuple[int, PlacementPlan]]:
+        """All split points: the prefix of length ``k`` runs on the front tier."""
+        if not self.supports(graph):
+            raise ChainTopologyError(
+                f"{graph.name} is not a chain; Neurosurgeon cannot partition it"
+            )
+        order = graph.topological_order()
+        plans: List[Tuple[int, PlacementPlan]] = []
+        for split_index in range(len(order)):
+            plan = PlacementPlan(graph)
+            for position, vertex in enumerate(order):
+                if position == 0:
+                    # The virtual input vertex always stays on the device.
+                    plan.assign(vertex.index, Tier.DEVICE)
+                elif position <= split_index:
+                    plan.assign(vertex.index, self.front_tier)
+                else:
+                    plan.assign(vertex.index, self.back_tier)
+            plans.append((split_index, plan))
+        return plans
+
+    def partition(self, graph: DnnGraph) -> NeurosurgeonResult:
+        """Pick the split point with the lowest end-to-end latency."""
+        evaluator = PlanEvaluator(self.profile, self.network)
+        best: Optional[NeurosurgeonResult] = None
+        for split_index, plan in self.candidate_plans(graph):
+            metrics = evaluator.metrics(plan)
+            if best is None or metrics.end_to_end_latency_s < best.latency_s:
+                best = NeurosurgeonResult(plan=plan, metrics=metrics, split_index=split_index)
+        assert best is not None  # a chain always has at least one candidate
+        return best

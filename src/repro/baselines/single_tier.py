@@ -1,0 +1,46 @@
+"""Single-tier execution baselines (device-only, edge-only, cloud-only).
+
+These are the first three comparison points of Fig. 9: the whole network runs
+on one computation node, with the device shipping the raw input to that node
+first (for edge-only and cloud-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.graph.dag import DnnGraph
+from repro.network.conditions import NetworkCondition
+from repro.profiling.profiler import LatencyProfile
+
+
+def single_tier_plan(graph: DnnGraph, tier: Tier) -> PlacementPlan:
+    """Placement plan that runs the entire network on ``tier``.
+
+    The virtual input vertex stays on the device (the device always collects
+    the raw data), so edge-only and cloud-only plans are charged the raw-input
+    upload exactly as in the paper.
+    """
+    return PlacementPlan.single_tier(graph, tier)
+
+
+@dataclass
+class SingleTierBaseline:
+    """Evaluate the three single-tier baselines under one scenario."""
+
+    profile: LatencyProfile
+    network: NetworkCondition
+
+    def metrics(self, graph: DnnGraph, tier: Tier) -> PlanMetrics:
+        """Plan metrics of running ``graph`` entirely on ``tier``."""
+        evaluator = PlanEvaluator(self.profile, self.network)
+        return evaluator.metrics(single_tier_plan(graph, tier))
+
+    def latency_s(self, graph: DnnGraph, tier: Tier) -> float:
+        """End-to-end latency of the ``tier``-only execution."""
+        return self.metrics(graph, tier).end_to_end_latency_s
+
+    def all_latencies_s(self, graph: DnnGraph) -> dict:
+        """Latency of all three single-tier baselines, keyed by tier."""
+        return {tier: self.latency_s(graph, tier) for tier in Tier}

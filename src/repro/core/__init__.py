@@ -1,0 +1,63 @@
+"""D3's core contribution: HPA, VSM, dynamic re-partitioning and the facade.
+
+* :mod:`repro.core.placement` — the tier model (``device ≻ edge ≻ cloud``),
+  placement plans and the latency/communication objective;
+* :mod:`repro.core.hpa` — the Horizontal Partition Algorithm (Algorithm 1);
+* :mod:`repro.core.vsm` — the Vertical Separation Module (Algorithm 2) with
+  the reverse tile calculation of Eqs. (3)–(5);
+* :mod:`repro.core.dynamic` — threshold-guarded local re-partitioning;
+* :mod:`repro.core.d3` — the end-to-end D3 system facade.
+"""
+
+from repro.core.placement import (
+    PlacementPlan,
+    PlanEvaluator,
+    PlanMetrics,
+    Tier,
+    TIER_ORDER,
+    tiers_at_or_after,
+)
+from repro.core.hpa import HorizontalPartitioner, HPAConfig
+from repro.core.vsm import (
+    FusedTileStack,
+    TileRegion,
+    VerticalSeparationModule,
+    VSMPlan,
+    reverse_tile_calculation,
+)
+from repro.core.dynamic import DynamicRepartitioner, RepartitionEvent
+
+# The D3 facade pulls in the runtime subpackage, which itself imports the tier
+# model from this package; loading it lazily keeps `import repro.runtime`
+# usable on its own without a circular import.
+_LAZY_EXPORTS = {"D3System", "D3Config", "D3Result"}
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        from repro.core import d3
+
+        return getattr(d3, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "D3Config",
+    "D3Result",
+    "D3System",
+    "DynamicRepartitioner",
+    "FusedTileStack",
+    "HPAConfig",
+    "HorizontalPartitioner",
+    "PlacementPlan",
+    "PlanEvaluator",
+    "PlanMetrics",
+    "RepartitionEvent",
+    "TIER_ORDER",
+    "Tier",
+    "TileRegion",
+    "VSMPlan",
+    "VerticalSeparationModule",
+    "reverse_tile_calculation",
+    "tiers_at_or_after",
+]

@@ -1,0 +1,183 @@
+"""The D3 system facade.
+
+Wires the full pipeline of Fig. 2 together:
+
+``profiler -> regression model -> HPA -> VSM -> online execution engine``
+
+so that examples, experiments and benchmarks can obtain an end-to-end result
+with a single call::
+
+    system = D3System(D3Config(network="wifi", num_edge_nodes=4))
+    result = system.run(build_model("vgg16"))
+    print(result.report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.hpa import HPAConfig, HorizontalPartitioner
+from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.core.vsm import VerticalSeparationModule, VSMPlan
+from repro.graph.dag import DnnGraph
+from repro.network.conditions import NetworkCondition, get_condition
+from repro.profiling.hardware import HardwareSpec
+from repro.profiling.profiler import LatencyProfile, Profiler
+from repro.profiling.regression import LatencyRegressionModel
+from repro.runtime.cluster import Cluster
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.simulator import ExecutionReport
+
+
+@dataclass
+class D3Config:
+    """Configuration of the D3 facade.
+
+    Attributes
+    ----------
+    network:
+        Network condition name (Table III) or an explicit condition object.
+    num_edge_nodes:
+        Edge nodes available for VSM parallelism (the paper uses 4).
+    tile_grid:
+        The ``A x B`` VSM separation decision (the paper uses 2 x 2).
+    enable_vsm:
+        Disable to obtain the "HPA only" configuration of Figs. 9-11.
+    use_regression:
+        Estimate per-layer latencies with the regression model (the paper's
+        approach); when ``False`` the profiler's direct measurements are used.
+    profiler_noise_std:
+        Measurement noise of the profiler.
+    profiler_repeats:
+        Number of repeated measurements averaged per layer.
+    seed:
+        Seed for the profiler's random generator.
+    hpa:
+        Heuristic switches of the horizontal partition algorithm.
+    calibration_models:
+        Extra graphs profiled to train the regression model; the target graph
+        is always included.
+    """
+
+    network: NetworkCondition | str = "wifi"
+    num_edge_nodes: int = 1
+    tile_grid: Tuple[int, int] = (2, 2)
+    enable_vsm: bool = True
+    use_regression: bool = True
+    profiler_noise_std: float = 0.03
+    profiler_repeats: int = 3
+    seed: int = 0
+    hpa: HPAConfig = field(default_factory=HPAConfig)
+    calibration_models: Sequence[DnnGraph] = ()
+
+    def resolve_network(self) -> NetworkCondition:
+        if isinstance(self.network, str):
+            return get_condition(self.network)
+        return self.network
+
+
+@dataclass
+class D3Result:
+    """Everything produced by one D3 run for one model."""
+
+    graph: DnnGraph
+    network: NetworkCondition
+    profile: LatencyProfile
+    placement: PlacementPlan
+    vsm_plan: Optional[VSMPlan]
+    metrics: PlanMetrics
+    report: ExecutionReport
+
+    @property
+    def end_to_end_latency_s(self) -> float:
+        """Simulated end-to-end inference latency (the headline metric)."""
+        return self.report.end_to_end_latency_s
+
+    @property
+    def bytes_to_cloud(self) -> int:
+        """Per-image backbone traffic to the cloud."""
+        return self.report.bytes_to_cloud
+
+    def tier_times_ms(self) -> Dict[Tier, float]:
+        """Per-tier busy time in milliseconds (the quantity of Table II)."""
+        return {tier: busy * 1e3 for tier, busy in self.report.tier_busy_seconds().items()}
+
+
+class D3System:
+    """End-to-end D3: profile, estimate, partition, separate, execute."""
+
+    def __init__(self, config: Optional[D3Config] = None) -> None:
+        self.config = config or D3Config()
+        self.network = self.config.resolve_network()
+        self.cluster = Cluster.build(
+            network=self.network, num_edge_nodes=self.config.num_edge_nodes
+        )
+        self.profiler = Profiler(
+            noise_std=self.config.profiler_noise_std, seed=self.config.seed
+        )
+        self._regression: Optional[LatencyRegressionModel] = None
+
+    # ------------------------------------------------------------------ #
+    # Offline phase
+    # ------------------------------------------------------------------ #
+    def build_profile(self, graph: DnnGraph) -> LatencyProfile:
+        """Produce the per-vertex, per-tier latency estimates for ``graph``."""
+        tier_hardware: Dict[str, HardwareSpec] = self.cluster.tier_hardware()
+        if not self.config.use_regression:
+            return self.profiler.build_profile_from_measurements(
+                graph, tier_hardware, repeats=self.config.profiler_repeats
+            )
+        regression = self.train_regression(graph)
+        return self.profiler.build_profile_from_regression(graph, tier_hardware, regression)
+
+    def train_regression(self, graph: DnnGraph) -> LatencyRegressionModel:
+        """Train (or reuse) the latency regression model."""
+        if self._regression is not None:
+            return self._regression
+        calibration = list(self.config.calibration_models) or []
+        graphs = [graph, *calibration]
+        samples = self.profiler.collect_training_samples(
+            graphs,
+            list(self.cluster.tier_hardware().values()),
+            repeats=self.config.profiler_repeats,
+        )
+        self._regression = LatencyRegressionModel().fit(samples)
+        return self._regression
+
+    # ------------------------------------------------------------------ #
+    # Partitioning and execution
+    # ------------------------------------------------------------------ #
+    def partition(self, graph: DnnGraph, profile: Optional[LatencyProfile] = None) -> PlacementPlan:
+        """Run HPA for ``graph`` under the configured conditions."""
+        profile = profile or self.build_profile(graph)
+        partitioner = HorizontalPartitioner(profile, self.network, self.config.hpa)
+        return partitioner.partition(graph)
+
+    def separate(self, graph: DnnGraph, placement: PlacementPlan) -> Optional[VSMPlan]:
+        """Run VSM over the edge-resident convolutional runs."""
+        if not self.config.enable_vsm or self.cluster.num_edge_nodes < 2:
+            return None
+        rows, cols = self.config.tile_grid
+        vsm = VerticalSeparationModule(grid_rows=rows, grid_cols=cols)
+        plan = vsm.plan(graph, placement, Tier.EDGE)
+        return plan if plan.runs else None
+
+    def run(self, graph: DnnGraph) -> D3Result:
+        """Full pipeline: profile, partition, separate, simulate one inference."""
+        profile = self.build_profile(graph)
+        placement = self.partition(graph, profile)
+        vsm_plan = self.separate(graph, placement)
+        evaluator = PlanEvaluator(profile, self.network)
+        metrics = evaluator.metrics(placement)
+        executor = DistributedExecutor(graph, placement, profile, self.cluster, vsm_plan)
+        report = executor.execute()
+        return D3Result(
+            graph=graph,
+            network=self.network,
+            profile=profile,
+            placement=placement,
+            vsm_plan=vsm_plan,
+            metrics=metrics,
+            report=report,
+        )

@@ -1,0 +1,253 @@
+"""Dynamic, local re-partitioning (section III-E, last paragraph).
+
+Resource and network fluctuations change the per-layer processing times and
+transfer delays, which can invalidate a placement.  Re-running HPA over the
+whole DAG on every fluctuation is wasteful, so D3:
+
+* guards re-partitioning with upper/lower *thresholds* — only when a monitored
+  quantity leaves the band ``[lower, upper]`` (relative to the value used for
+  the current plan) is anything recomputed, and
+* recomputes only *locally*: the vertices whose optimal tier may have changed,
+  their SIS vertices, their direct successors and the SIS vertices of those
+  successors.
+
+The :class:`DynamicRepartitioner` tracks how many vertices each adaptation
+re-evaluated, so the ablation benchmark can compare local updates against full
+re-partitioning both in plan quality (latency regret) and in work done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.hpa import HPAConfig, HorizontalPartitioner
+from repro.core.placement import PlacementPlan, PlanEvaluator, Tier
+from repro.graph.dag import DnnGraph, Vertex
+from repro.network.conditions import NetworkCondition
+from repro.profiling.profiler import LatencyProfile
+
+
+@dataclass(frozen=True)
+class RepartitionThresholds:
+    """Relative-change band outside which re-partitioning is triggered.
+
+    A monitored ratio ``new / reference`` inside ``[lower, upper]`` is ignored.
+    """
+
+    lower: float = 0.75
+    upper: float = 1.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lower <= 1.0:
+            raise ValueError("lower threshold must be in (0, 1]")
+        if self.upper < 1.0:
+            raise ValueError("upper threshold must be >= 1")
+
+    def exceeded(self, reference: float, new: float) -> bool:
+        """True when the relative change leaves the tolerated band."""
+        if reference <= 0:
+            return new > 0
+        ratio = new / reference
+        return ratio < self.lower or ratio > self.upper
+
+
+@dataclass
+class RepartitionEvent:
+    """Outcome of one adaptation step."""
+
+    triggered: bool
+    changed_vertices: List[int] = field(default_factory=list)
+    reevaluated_vertices: int = 0
+    plan: Optional[PlacementPlan] = None
+    latency_before_s: float = 0.0
+    latency_after_s: float = 0.0
+
+    @property
+    def improvement_s(self) -> float:
+        return self.latency_before_s - self.latency_after_s
+
+
+class DynamicRepartitioner:
+    """Maintain a placement plan under drifting latencies and bandwidths.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned DNN.
+    profile, network:
+        The conditions the initial plan was computed for (the references the
+        thresholds compare against).
+    thresholds:
+        The tolerated relative-change band.
+    config:
+        HPA heuristic configuration used for both the initial plan and the
+        local updates.
+    """
+
+    def __init__(
+        self,
+        graph: DnnGraph,
+        profile: LatencyProfile,
+        network: NetworkCondition,
+        thresholds: Optional[RepartitionThresholds] = None,
+        config: Optional[HPAConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.thresholds = thresholds or RepartitionThresholds()
+        self.config = config or HPAConfig()
+        self.reference_profile = profile
+        self.reference_network = network
+        self.current_profile = profile
+        self.current_network = network
+        partitioner = HorizontalPartitioner(profile, network, self.config)
+        self.plan = partitioner.partition(graph)
+
+    # ------------------------------------------------------------------ #
+    # Change detection
+    # ------------------------------------------------------------------ #
+    def _bandwidth_changed(self, network: NetworkCondition) -> bool:
+        pairs = (("device", "edge"), ("edge", "cloud"), ("device", "cloud"))
+        for src, dst in pairs:
+            if self.thresholds.exceeded(
+                self.reference_network.bandwidth_mbps(src, dst),
+                network.bandwidth_mbps(src, dst),
+            ):
+                return True
+        return False
+
+    def _drifted_vertices(self, profile: LatencyProfile) -> List[int]:
+        """Vertices whose latency on their assigned tier left the band."""
+        drifted = []
+        for vertex in self.graph:
+            tier = self.plan.tier_of(vertex.index)
+            reference = self.reference_profile.get(vertex.index, tier)
+            new = profile.get(vertex.index, tier)
+            if self.thresholds.exceeded(reference, new):
+                drifted.append(vertex.index)
+        return drifted
+
+    # ------------------------------------------------------------------ #
+    # Local update
+    # ------------------------------------------------------------------ #
+    def _local_scope(self, seeds: Sequence[int]) -> List[Vertex]:
+        """The vertices HPA re-evaluates for a set of changed vertices.
+
+        The paper's rule: the changed vertex itself, its SIS vertices, its
+        direct successors, and the SIS vertices of its direct successors.
+        """
+        scope: Set[int] = set()
+        for seed in seeds:
+            scope.add(seed)
+            for sibling in self.graph.sis_vertices(seed):
+                scope.add(sibling.index)
+            for successor in self.graph.successors(seed):
+                scope.add(successor.index)
+                for sibling in self.graph.sis_vertices(successor.index):
+                    scope.add(sibling.index)
+        ordered = [v for v in self.graph.topological_order() if v.index in scope]
+        return ordered
+
+    def _reassign_locally(
+        self,
+        scope: Sequence[Vertex],
+        partitioner: HorizontalPartitioner,
+    ) -> List[int]:
+        """Recompute the optimal tier of each vertex in ``scope`` in topo order."""
+        changed = []
+        for vertex in scope:
+            if not self.graph.predecessors(vertex.index):
+                continue  # the virtual input vertex stays on the device
+            new_tier = partitioner.optimal_tier(self.graph, self.plan, vertex)
+            if new_tier != self.plan.tier_of(vertex.index) and self._move_is_safe(vertex, new_tier):
+                self.plan.assign(vertex.index, new_tier)
+                changed.append(vertex.index)
+        return changed
+
+    def _move_is_safe(self, vertex: Vertex, new_tier: Tier) -> bool:
+        """Moving a vertex must not violate Proposition 1 for its successors."""
+        for successor in self.graph.successors(vertex.index):
+            if successor.index not in self.plan.assignments:
+                continue
+            if self.plan.tier_of(successor.index).position < new_tier.position:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        profile: Optional[LatencyProfile] = None,
+        network: Optional[NetworkCondition] = None,
+    ) -> RepartitionEvent:
+        """Feed new runtime conditions; adapt the plan locally if needed."""
+        profile = profile or self.current_profile
+        network = network or self.current_network
+        self.current_profile = profile
+        self.current_network = network
+
+        evaluator_before = PlanEvaluator(profile, network)
+        latency_before = evaluator_before.objective(self.plan)
+
+        drifted = self._drifted_vertices(profile)
+        bandwidth_drift = self._bandwidth_changed(network)
+        if not drifted and not bandwidth_drift:
+            return RepartitionEvent(
+                triggered=False,
+                plan=self.plan,
+                latency_before_s=latency_before,
+                latency_after_s=latency_before,
+            )
+
+        if bandwidth_drift:
+            # Bandwidth affects every cut edge: seed the scope with the
+            # endpoints of the current cut.
+            drifted = sorted(
+                set(drifted)
+                | {src.index for src, _ in self.plan.cut_edges()}
+                | {dst.index for _, dst in self.plan.cut_edges()}
+            )
+
+        partitioner = HorizontalPartitioner(profile, network, self.config)
+        scope = self._local_scope(drifted)
+        changed = self._reassign_locally(scope, partitioner)
+        self.plan.validate()
+
+        latency_after = PlanEvaluator(profile, network).objective(self.plan)
+        # Accept the new conditions as the reference going forward.
+        self.reference_profile = profile
+        self.reference_network = network
+        return RepartitionEvent(
+            triggered=True,
+            changed_vertices=changed,
+            reevaluated_vertices=len(scope),
+            plan=self.plan,
+            latency_before_s=latency_before,
+            latency_after_s=latency_after,
+        )
+
+    def full_repartition(self) -> RepartitionEvent:
+        """Re-run HPA from scratch under the current conditions (the baseline
+        the paper's local updates are compared against)."""
+        evaluator = PlanEvaluator(self.current_profile, self.current_network)
+        latency_before = evaluator.objective(self.plan)
+        partitioner = HorizontalPartitioner(self.current_profile, self.current_network, self.config)
+        old_assignments = dict(self.plan.assignments)
+        self.plan = partitioner.partition(self.graph)
+        changed = [
+            index
+            for index, tier in self.plan.assignments.items()
+            if old_assignments.get(index) != tier
+        ]
+        latency_after = evaluator.objective(self.plan)
+        self.reference_profile = self.current_profile
+        self.reference_network = self.current_network
+        return RepartitionEvent(
+            triggered=True,
+            changed_vertices=changed,
+            reevaluated_vertices=len(self.graph),
+            plan=self.plan,
+            latency_before_s=latency_before,
+            latency_after_s=latency_after,
+        )

@@ -1,0 +1,283 @@
+"""Tier model and placement plans.
+
+The paper orders the computing tiers ``device ≻ edge ≻ cloud`` (section III-C):
+data flows from the device, across the edge, to the cloud, and a vertex may
+never be placed on a tier *earlier* in that flow than the latest tier already
+holding one of its inputs (Proposition 1).
+
+A :class:`PlacementPlan` maps every vertex of a DNN DAG to a tier; the
+:class:`PlanEvaluator` computes the paper's objective
+
+``Θ = Σ_i t^{l_i}_i + Σ_{(i,j) ∈ L} t^{[l_i, l_j]}_{ij}``
+
+as well as the evaluation metrics: per-tier processing time (Table II),
+end-to-end latency (Figs. 9, 10, 12) and bytes shipped to the cloud over the
+backbone (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.dag import DnnGraph, Vertex
+from repro.network.conditions import NetworkCondition
+from repro.profiling.profiler import LatencyProfile
+
+
+class Tier(str, Enum):
+    """The three computing tiers of the edge-computing paradigm."""
+
+    DEVICE = "device"
+    EDGE = "edge"
+    CLOUD = "cloud"
+
+    @property
+    def position(self) -> int:
+        """Position along the data flow: device=0, edge=1, cloud=2."""
+        return TIER_ORDER.index(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Tiers in data-flow order (device first).  The paper's precedence order is
+#: ``device ≻ edge ≻ cloud``; "later in this list" == "lower precedence" ==
+#: "further along the inference pipeline".
+TIER_ORDER: Tuple[Tier, Tier, Tier] = (Tier.DEVICE, Tier.EDGE, Tier.CLOUD)
+
+
+def tiers_at_or_after(tier: Tier) -> List[Tier]:
+    """Tiers reachable from ``tier`` without moving data backwards.
+
+    This is ``get_loc_choice`` of Algorithm 1: if the latest predecessor tier
+    is ``edge`` the potential tiers are ``{edge, cloud}``.
+    """
+    return [t for t in TIER_ORDER if t.position >= tier.position]
+
+
+def latest_tier(tiers: Iterable[Tier]) -> Tier:
+    """The tier furthest along the pipeline (``max`` under ``d ≻ e ≻ c`` is the
+    *earliest*; this helper returns the opposite and is rarely what Prop. 1
+    needs — see :func:`earliest_tier`)."""
+    tier_list = list(tiers)
+    if not tier_list:
+        raise ValueError("need at least one tier")
+    return max(tier_list, key=lambda t: t.position)
+
+
+def earliest_tier(tiers: Iterable[Tier]) -> Tier:
+    """The tier earliest in the pipeline among ``tiers``.
+
+    Proposition 1 states ``max{l_h1, ..., l_hm} ⪰ l_i`` under the precedence
+    order ``d ≻ e ≻ c``; the maximum under that order is the tier with the
+    smallest pipeline position, i.e. the earliest tier, which then bounds how
+    early ``v_i`` may be placed.
+    """
+    tier_list = list(tiers)
+    if not tier_list:
+        raise ValueError("need at least one tier")
+    return min(tier_list, key=lambda t: t.position)
+
+
+class PlacementError(ValueError):
+    """Raised when a placement plan is structurally invalid."""
+
+
+@dataclass
+class PlacementPlan:
+    """Assignment of every DNN vertex to a computing tier."""
+
+    graph: DnnGraph
+    assignments: Dict[int, Tier] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def assign(self, vertex_index: int, tier: Tier) -> None:
+        self.assignments[vertex_index] = Tier(tier)
+
+    def tier_of(self, vertex_index: int) -> Tier:
+        if vertex_index not in self.assignments:
+            raise PlacementError(f"vertex {vertex_index} has no tier assignment")
+        return self.assignments[vertex_index]
+
+    def vertices_on(self, tier: Tier) -> List[Vertex]:
+        """All vertices placed on ``tier``, in topological order."""
+        tier = Tier(tier)
+        return [v for v in self.graph.topological_order() if self.assignments.get(v.index) == tier]
+
+    def tier_counts(self) -> Dict[Tier, int]:
+        """Number of vertices on each tier."""
+        counts = {tier: 0 for tier in TIER_ORDER}
+        for tier in self.assignments.values():
+            counts[tier] += 1
+        return counts
+
+    def is_complete(self) -> bool:
+        """True when every vertex of the graph has an assignment."""
+        return len(self.assignments) == len(self.graph)
+
+    def copy(self) -> "PlacementPlan":
+        return PlacementPlan(self.graph, dict(self.assignments))
+
+    # ------------------------------------------------------------------ #
+    def cut_edges(self) -> List[Tuple[Vertex, Vertex]]:
+        """Directed links whose endpoints sit on different tiers."""
+        return [
+            (src, dst)
+            for src, dst in self.graph.edges()
+            if self.tier_of(src.index) != self.tier_of(dst.index)
+        ]
+
+    def validate(self) -> None:
+        """Check completeness and Proposition 1.
+
+        Raises
+        ------
+        PlacementError
+            If a vertex is unassigned, or placed earlier in the pipeline than
+            the earliest tier of its predecessors (which would require sending
+            data backwards from a later tier).
+        """
+        if not self.is_complete():
+            missing = [v.name for v in self.graph if v.index not in self.assignments]
+            raise PlacementError(f"unassigned vertices: {missing}")
+        for vertex in self.graph:
+            preds = self.graph.predecessors(vertex.index)
+            if not preds:
+                continue
+            bound = earliest_tier(self.tier_of(p.index) for p in preds)
+            if self.tier_of(vertex.index).position < bound.position:
+                raise PlacementError(
+                    f"vertex {vertex.name!r} on {self.tier_of(vertex.index)} violates "
+                    f"Proposition 1 (earliest predecessor tier is {bound})"
+                )
+
+    def describe(self) -> str:
+        """Short human-readable description of the split."""
+        counts = self.tier_counts()
+        return (
+            f"{self.graph.name}: device={counts[Tier.DEVICE]} "
+            f"edge={counts[Tier.EDGE]} cloud={counts[Tier.CLOUD]} "
+            f"({len(self.cut_edges())} cut edges)"
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_tier(cls, graph: DnnGraph, tier: Tier) -> "PlacementPlan":
+        """Plan that places the entire network on one tier.
+
+        The virtual input vertex always stays on the device (the device
+        collects the raw input), which charges the raw-input transfer to the
+        executing tier exactly like the paper's device/edge/cloud-only
+        baselines.
+        """
+        plan = cls(graph)
+        tier = Tier(tier)
+        for vertex in graph:
+            if vertex.index == graph.input_vertex.index:
+                plan.assign(vertex.index, Tier.DEVICE)
+            else:
+                plan.assign(vertex.index, tier)
+        return plan
+
+    @classmethod
+    def from_mapping(cls, graph: DnnGraph, mapping: Mapping[int, Tier]) -> "PlacementPlan":
+        """Plan from an explicit ``vertex index -> tier`` mapping."""
+        plan = cls(graph)
+        for index, tier in mapping.items():
+            plan.assign(index, Tier(tier))
+        return plan
+
+
+@dataclass(frozen=True)
+class PlanMetrics:
+    """Evaluation metrics of one placement plan under one scenario."""
+
+    end_to_end_latency_s: float
+    compute_latency_s: Dict[Tier, float]
+    transfer_latency_s: float
+    bytes_to_cloud: int
+    bytes_device_to_edge: int
+    cut_edge_count: int
+
+    @property
+    def total_compute_latency_s(self) -> float:
+        return sum(self.compute_latency_s.values())
+
+    @property
+    def megabits_to_cloud(self) -> float:
+        """Backbone traffic in megabits (the unit of Fig. 13)."""
+        return self.bytes_to_cloud * 8.0 / 1e6
+
+
+class PlanEvaluator:
+    """Compute the paper's objective and evaluation metrics for a plan.
+
+    The evaluator charges every vertex its per-tier latency from the
+    :class:`~repro.profiling.profiler.LatencyProfile` and every cut edge the
+    transmission delay of the producing vertex's output over the corresponding
+    inter-tier link, exactly as in the objective ``Θ`` of section III-E.
+    """
+
+    def __init__(self, profile: LatencyProfile, network: NetworkCondition) -> None:
+        self.profile = profile
+        self.network = network
+
+    # ------------------------------------------------------------------ #
+    def vertex_latency(self, vertex: Vertex, tier: Tier) -> float:
+        """``t^{l_i}_i`` for one vertex."""
+        return self.profile.get(vertex.index, tier)
+
+    def edge_latency(self, src: Vertex, src_tier: Tier, dst_tier: Tier) -> float:
+        """``t^{[l_i, l_j]}_{ij}`` for one directed link."""
+        if src_tier == dst_tier:
+            return 0.0
+        return self.network.transfer_seconds(src.output_bytes, src_tier.value, dst_tier.value)
+
+    # ------------------------------------------------------------------ #
+    def objective(self, plan: PlacementPlan) -> float:
+        """The total latency ``Θ`` the paper minimises."""
+        graph = plan.graph
+        compute = sum(
+            self.vertex_latency(vertex, plan.tier_of(vertex.index)) for vertex in graph
+        )
+        transfer = sum(
+            self.edge_latency(src, plan.tier_of(src.index), plan.tier_of(dst.index))
+            for src, dst in graph.edges()
+        )
+        return compute + transfer
+
+    def metrics(self, plan: PlacementPlan) -> PlanMetrics:
+        """Full metric breakdown used by the experiment harnesses."""
+        graph = plan.graph
+        compute_by_tier: Dict[Tier, float] = {tier: 0.0 for tier in TIER_ORDER}
+        for vertex in graph:
+            tier = plan.tier_of(vertex.index)
+            compute_by_tier[tier] += self.vertex_latency(vertex, tier)
+
+        transfer = 0.0
+        bytes_to_cloud = 0
+        bytes_device_to_edge = 0
+        cut_edges = 0
+        for src, dst in graph.edges():
+            src_tier = plan.tier_of(src.index)
+            dst_tier = plan.tier_of(dst.index)
+            if src_tier == dst_tier:
+                continue
+            cut_edges += 1
+            transfer += self.edge_latency(src, src_tier, dst_tier)
+            if dst_tier == Tier.CLOUD and src_tier != Tier.CLOUD:
+                bytes_to_cloud += src.output_bytes
+            if src_tier == Tier.DEVICE and dst_tier == Tier.EDGE:
+                bytes_device_to_edge += src.output_bytes
+
+        end_to_end = sum(compute_by_tier.values()) + transfer
+        return PlanMetrics(
+            end_to_end_latency_s=end_to_end,
+            compute_latency_s=compute_by_tier,
+            transfer_latency_s=transfer,
+            bytes_to_cloud=bytes_to_cloud,
+            bytes_device_to_edge=bytes_device_to_edge,
+            cut_edge_count=cut_edges,
+        )

@@ -1,0 +1,438 @@
+"""Vertical Separation Module (VSM) — Algorithm 2 of the paper.
+
+When HPA assigns a run of convolutional layers to the (comparatively weak)
+edge tier, that run becomes the bottleneck of the synergistic pipeline
+(Table II).  VSM removes the bottleneck by *fused tile parallelism*: the output
+feature map of the run is cut into an ``A x B`` grid of non-overlapping tiles
+and every tile is traced *backwards* through the run with the reverse tile
+calculation (RTC, Equations 3-5), which accounts exactly for kernel size,
+stride and padding.  Each edge node then receives one fused tile stack — the
+input patch of layer ``c_1`` plus the layer parameters — and computes its
+output tile independently; concatenating the tiles reproduces the full output
+bit-exactly, hence "lossless".
+
+The geometry lives here; executing a plan on real numpy arrays (the
+losslessness proof) lives in :mod:`repro.tensors.tiling`, and charging its
+latency to simulated edge nodes lives in :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.placement import PlacementPlan, Tier
+from repro.graph.dag import DnnGraph, Vertex
+from repro.graph.layers import AvgPool2d, Conv2d, LayerSpec, MaxPool2d
+
+#: Layer kinds VSM can carry inside a fused run.  Convolutions and pooling
+#: change the tile geometry; the element-wise kinds are spatially pointwise and
+#: pass tiles through unchanged (the paper: batch-norm and activation layers
+#: "do not change the volume of input feature maps").
+GEOMETRIC_KINDS = ("conv", "maxpool", "avgpool")
+POINTWISE_KINDS = ("batchnorm", "relu", "leakyrelu", "dropout", "lrn")
+TILEABLE_KINDS = GEOMETRIC_KINDS + POINTWISE_KINDS
+
+
+class VSMError(ValueError):
+    """Raised when a fused run cannot be tiled."""
+
+
+@dataclass(frozen=True)
+class SpatialParams:
+    """Kernel/stride/padding of one layer as seen by the RTC."""
+
+    kernel: Tuple[int, int]
+    stride: Tuple[int, int]
+    padding: Tuple[int, int]
+
+    @classmethod
+    def identity(cls) -> "SpatialParams":
+        """Spatially pointwise layers behave like a 1x1/stride-1 convolution."""
+        return cls(kernel=(1, 1), stride=(1, 1), padding=(0, 0))
+
+    @classmethod
+    def from_spec(cls, spec: LayerSpec) -> "SpatialParams":
+        if isinstance(spec, (Conv2d, MaxPool2d, AvgPool2d)):
+            return cls(kernel=spec.kernel, stride=spec.stride, padding=spec.padding)
+        if spec.kind in POINTWISE_KINDS:
+            return cls.identity()
+        raise VSMError(f"layer kind {spec.kind!r} cannot be part of a fused tile run")
+
+
+@dataclass(frozen=True)
+class TileRegion:
+    """A rectangular tile of one layer's input feature maps.
+
+    ``row_start/row_end/col_start/col_end`` are half-open coordinates in the
+    *unpadded* input of the layer (the paper's ``τ``); the ``padded_*`` fields
+    are the corresponding half-open coordinates in the *padded* input (the
+    paper's ``τ̂``), whose origin is shifted by the layer padding
+    ``(layer_pad_h, layer_pad_w)``.  The difference between the two tells the
+    executor how many zero rows/columns it must add on each side of the tile —
+    which is non-zero only where the tile touches the original feature-map
+    border, keeping interior tiles halo-exact and the computation lossless.
+    """
+
+    row_start: int
+    row_end: int
+    col_start: int
+    col_end: int
+    padded_row_start: int
+    padded_row_end: int
+    padded_col_start: int
+    padded_col_end: int
+    layer_pad_h: int = 0
+    layer_pad_w: int = 0
+
+    @property
+    def height(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def width(self) -> int:
+        return self.col_end - self.col_start
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    @property
+    def pad_top(self) -> int:
+        """Zero rows to add above the tile before running the layer."""
+        return self.row_start + self.layer_pad_h - self.padded_row_start
+
+    @property
+    def pad_left(self) -> int:
+        return self.col_start + self.layer_pad_w - self.padded_col_start
+
+    @property
+    def pad_bottom(self) -> int:
+        return self.padded_row_end - (self.row_end + self.layer_pad_h)
+
+    @property
+    def pad_right(self) -> int:
+        return self.padded_col_end - (self.col_end + self.layer_pad_w)
+
+    def is_empty(self) -> bool:
+        return self.height <= 0 or self.width <= 0
+
+    @classmethod
+    def output_tile(cls, row_start: int, row_end: int, col_start: int, col_end: int) -> "TileRegion":
+        """A tile of an (un-padded) output feature map: padded == unpadded."""
+        return cls(
+            row_start,
+            row_end,
+            col_start,
+            col_end,
+            row_start,
+            row_end,
+            col_start,
+            col_end,
+        )
+
+
+def reverse_tile_calculation(
+    params: SpatialParams,
+    output_tile: TileRegion,
+    input_height: int,
+    input_width: int,
+) -> TileRegion:
+    """One RTC step: map an output tile back to the layer's input tile.
+
+    Implements Equation (4) — the padded coordinates ``τ̂`` of the input tile —
+    and Equation (5) — the removal of the padding, which clamps the coordinates
+    into the unpadded feature map.  The clamping uses ``min(W, ·)`` / ``min(H, ·)``
+    in addition to the paper's special case so that partially padded border
+    tiles are also handled exactly.
+    """
+    if output_tile.is_empty():
+        raise VSMError("cannot reverse an empty output tile")
+    kernel_h, kernel_w = params.kernel
+    stride_h, stride_w = params.stride
+    pad_h, pad_w = params.padding
+
+    # Equation (4): padded input coordinates of the tile.
+    padded_row_start = stride_h * output_tile.row_start
+    padded_col_start = stride_w * output_tile.col_start
+    padded_row_end = stride_h * (output_tile.row_end - 1) + kernel_h
+    padded_col_end = stride_w * (output_tile.col_end - 1) + kernel_w
+
+    # Equation (5): remove the padding, clamping to the unpadded feature map.
+    row_start = min(input_height, max(0, padded_row_start - pad_h))
+    col_start = min(input_width, max(0, padded_col_start - pad_w))
+    row_end = min(input_height, max(0, padded_row_end - pad_h))
+    col_end = min(input_width, max(0, padded_col_end - pad_w))
+
+    return TileRegion(
+        row_start=row_start,
+        row_end=row_end,
+        col_start=col_start,
+        col_end=col_end,
+        padded_row_start=padded_row_start,
+        padded_row_end=padded_row_end,
+        padded_col_start=padded_col_start,
+        padded_col_end=padded_col_end,
+        layer_pad_h=pad_h,
+        layer_pad_w=pad_w,
+    )
+
+
+@dataclass
+class FusedTileStack:
+    """The fused tile stack of one ``(a, b)`` grid cell.
+
+    ``regions[i]`` is the tile of the *input* feature maps of layer ``c_{i+1}``
+    (0-based), and ``regions[k]`` — one past the last layer — is the tile of the
+    run's output feature map, i.e. the non-overlapping cell this stack is
+    responsible for producing.
+    """
+
+    grid_position: Tuple[int, int]
+    regions: List[TileRegion]
+
+    @property
+    def input_region(self) -> TileRegion:
+        """Tile of the first layer's input feature maps."""
+        return self.regions[0]
+
+    @property
+    def output_region(self) -> TileRegion:
+        """Tile of the run's output feature maps."""
+        return self.regions[-1]
+
+    def work_fraction(self, layer_position: int, full_output_area: int) -> float:
+        """Fraction of layer ``c_{layer_position+1}``'s work done by this stack.
+
+        A layer's work is proportional to the number of output elements it
+        produces; for this stack that is the area of the tile at the *next*
+        layer's input.  Summing the fraction over all stacks of a grid exceeds
+        1 for interior layers — that excess is exactly the overlap-induced
+        computational redundancy the paper discusses for Fig. 12.
+        """
+        if full_output_area <= 0:
+            raise VSMError("full_output_area must be positive")
+        return self.regions[layer_position + 1].area / full_output_area
+
+
+@dataclass
+class FusedRunPlan:
+    """Tiling plan for one maximal run of tileable layers on the edge tier."""
+
+    vertices: List[Vertex]
+    spatial_params: List[SpatialParams]
+    input_shape: Tuple[int, int, int]
+    output_shape: Tuple[int, int, int]
+    grid: Tuple[int, int]
+    stacks: List[FusedTileStack]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.stacks)
+
+    def layer_output_area(self, layer_position: int) -> int:
+        """Spatial area of layer ``c_{layer_position+1}``'s output feature map."""
+        shape = self.vertices[layer_position].output_shape
+        return shape[1] * shape[2]
+
+    def redundancy_factor(self) -> float:
+        """Total tiled work divided by untiled work (≥ 1, ideally close to 1)."""
+        total = 0.0
+        baseline = 0.0
+        for position, vertex in enumerate(self.vertices):
+            area = self.layer_output_area(position)
+            baseline += area
+            for stack in self.stacks:
+                total += stack.work_fraction(position, area) * area
+        if baseline == 0:
+            return 1.0
+        return total / baseline
+
+    def validate_coverage(self) -> None:
+        """Check that output tiles partition the run's output exactly."""
+        _, height, width = self.output_shape
+        covered = [[0] * width for _ in range(height)]
+        for stack in self.stacks:
+            region = stack.output_region
+            for row in range(region.row_start, region.row_end):
+                for col in range(region.col_start, region.col_end):
+                    covered[row][col] += 1
+        flat = [value for row in covered for value in row]
+        if any(value != 1 for value in flat):
+            raise VSMError("output tiles do not partition the output feature map")
+
+
+@dataclass
+class VSMPlan:
+    """All fused-run tiling plans produced for one placement plan."""
+
+    grid: Tuple[int, int]
+    runs: List[FusedRunPlan] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    def covers_vertex(self, vertex_index: int) -> bool:
+        """True when the vertex is part of some fused run."""
+        return any(v.index == vertex_index for run in self.runs for v in run.vertices)
+
+    def run_for_vertex(self, vertex_index: int) -> Optional[FusedRunPlan]:
+        for run in self.runs:
+            if any(v.index == vertex_index for v in run.vertices):
+                return run
+        return None
+
+
+class VerticalSeparationModule:
+    """Build fused tile plans for the convolutional runs placed on the edge.
+
+    Parameters
+    ----------
+    grid_rows, grid_cols:
+        The ``A x B`` decision of separation.  The paper's evaluation uses a
+        2 x 2 grid feeding four edge nodes.
+    min_run_length:
+        Runs shorter than this are not worth parallelising (scatter/gather
+        bookkeeping would dominate); the paper implicitly uses 1.
+    """
+
+    def __init__(self, grid_rows: int = 2, grid_cols: int = 2, min_run_length: int = 1) -> None:
+        if grid_rows <= 0 or grid_cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if min_run_length <= 0:
+            raise ValueError("min_run_length must be positive")
+        self.grid_rows = grid_rows
+        self.grid_cols = grid_cols
+        self.min_run_length = min_run_length
+
+    # ------------------------------------------------------------------ #
+    # Run discovery
+    # ------------------------------------------------------------------ #
+    def find_tileable_runs(
+        self,
+        graph: DnnGraph,
+        plan: PlacementPlan,
+        tier: Tier = Tier.EDGE,
+    ) -> List[List[Vertex]]:
+        """Maximal chains of tileable layers assigned to ``tier``.
+
+        A vertex can extend the current run when it is placed on ``tier``, its
+        kind is tileable, it produces a feature map, it has exactly one
+        predecessor, and that predecessor is the previous vertex of the run
+        (which must not branch).  The run must contain at least one layer that
+        actually changes the tile geometry (a convolution or a pooling layer).
+        """
+        runs: List[List[Vertex]] = []
+        current: List[Vertex] = []
+
+        def flush() -> None:
+            nonlocal current
+            if (
+                len(current) >= self.min_run_length
+                and any(v.kind in GEOMETRIC_KINDS for v in current)
+            ):
+                runs.append(current)
+            current = []
+
+        for vertex in graph.topological_order():
+            preds = graph.predecessors(vertex.index)
+            eligible = (
+                plan.assignments.get(vertex.index) == tier
+                and vertex.kind in TILEABLE_KINDS
+                and len(vertex.output_shape) == 3
+                and len(preds) == 1
+            )
+            if not eligible:
+                flush()
+                continue
+            predecessor = preds[0]
+            if current and (
+                predecessor.index != current[-1].index
+                or len(graph.successors(current[-1].index)) != 1
+            ):
+                flush()
+            if not current and len(predecessor.output_shape) != 3:
+                # The run input must itself be a feature map to be sliceable.
+                continue
+            current.append(vertex)
+        flush()
+        return runs
+
+    # ------------------------------------------------------------------ #
+    # Tiling (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def _output_grid(self, height: int, width: int) -> List[TileRegion]:
+        rows = min(self.grid_rows, height)
+        cols = min(self.grid_cols, width)
+        row_bounds = [round(r * height / rows) for r in range(rows + 1)]
+        col_bounds = [round(c * width / cols) for c in range(cols + 1)]
+        tiles = []
+        for r in range(rows):
+            for c in range(cols):
+                tiles.append(
+                    TileRegion.output_tile(
+                        row_bounds[r], row_bounds[r + 1], col_bounds[c], col_bounds[c + 1]
+                    )
+                )
+        return tiles
+
+    def plan_run(self, graph: DnnGraph, run: Sequence[Vertex]) -> FusedRunPlan:
+        """Algorithm 2 for one run: RTC every output tile back to layer ``c_1``."""
+        if not run:
+            raise VSMError("cannot tile an empty run")
+        first = run[0]
+        preds = graph.predecessors(first.index)
+        if len(preds) != 1:
+            raise VSMError("the first layer of a fused run must have exactly one input")
+        input_shape = preds[0].output_shape
+        output_shape = run[-1].output_shape
+        if len(input_shape) != 3 or len(output_shape) != 3:
+            raise VSMError("fused runs must consume and produce feature maps")
+
+        spatial_params = [SpatialParams.from_spec(v.spec) for v in run]
+        # Input spatial size of each layer c_i (the shape its RTC clamps to).
+        layer_input_hw: List[Tuple[int, int]] = []
+        previous_shape = input_shape
+        for vertex in run:
+            layer_input_hw.append((previous_shape[1], previous_shape[2]))
+            previous_shape = vertex.output_shape
+
+        _, out_height, out_width = output_shape
+        output_tiles = self._output_grid(out_height, out_width)
+
+        stacks: List[FusedTileStack] = []
+        cols = min(self.grid_cols, out_width)
+        for tile_index, output_tile in enumerate(output_tiles):
+            regions: List[TileRegion] = [output_tile]
+            current = output_tile
+            for layer_position in range(len(run) - 1, -1, -1):
+                height, width = layer_input_hw[layer_position]
+                current = reverse_tile_calculation(
+                    spatial_params[layer_position], current, height, width
+                )
+                regions.insert(0, current)
+            grid_position = (tile_index // cols, tile_index % cols)
+            stacks.append(FusedTileStack(grid_position=grid_position, regions=regions))
+
+        plan = FusedRunPlan(
+            vertices=list(run),
+            spatial_params=spatial_params,
+            input_shape=input_shape,
+            output_shape=output_shape,
+            grid=(min(self.grid_rows, out_height), cols),
+            stacks=stacks,
+        )
+        plan.validate_coverage()
+        return plan
+
+    def plan(self, graph: DnnGraph, placement: PlacementPlan, tier: Tier = Tier.EDGE) -> VSMPlan:
+        """Build the full VSM plan for every tileable run on ``tier``."""
+        vsm_plan = VSMPlan(grid=(self.grid_rows, self.grid_cols))
+        for run in self.find_tileable_runs(graph, placement, tier):
+            vsm_plan.runs.append(self.plan_run(graph, run))
+        return vsm_plan

@@ -1,0 +1,53 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every harness exposes a ``run_*`` function returning plain dataclasses/dicts
+(so benchmarks and tests can assert on them) and a ``format_*`` helper that
+renders the same rows the paper reports.  The mapping to the paper:
+
+===================  =====================================================
+Module               Paper artefact
+===================  =====================================================
+``fig01_layer_profile``   Fig. 1 — per-layer latency and output size
+``fig04_regression``      Fig. 4 — actual vs predicted layer latency
+``table01_pair_latency``  Table I — pair placement latency enumeration
+``table02_tier_times``    Table II — per-tier time after HPA
+``fig09_hpa_speedup``     Fig. 9 — HPA vs device/edge/cloud-only
+``fig10_vs_baselines``    Fig. 10 — HPA vs Neurosurgeon and DADS
+``fig11_bandwidth_sweep`` Fig. 11 — Inception-v4 speedup vs backbone rate
+``fig12_hpa_vsm``         Fig. 12 — HPA+VSM vs everything (Wi-Fi, 4 nodes)
+``fig13_communication``   Fig. 13 — per-image traffic to the cloud
+===================  =====================================================
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_MODELS, PAPER_NETWORKS
+from repro.experiments.runners import ScenarioRunner, ScenarioResult
+from repro.experiments import (
+    fig01_layer_profile,
+    fig04_regression,
+    fig09_hpa_speedup,
+    fig10_vs_baselines,
+    fig11_bandwidth_sweep,
+    fig12_hpa_vsm,
+    fig13_communication,
+    table01_pair_latency,
+    table02_tier_times,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_MODELS",
+    "PAPER_NETWORKS",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "fig01_layer_profile",
+    "fig04_regression",
+    "fig09_hpa_speedup",
+    "fig10_vs_baselines",
+    "fig11_bandwidth_sweep",
+    "fig12_hpa_vsm",
+    "fig13_communication",
+    "format_table",
+    "table01_pair_latency",
+    "table02_tier_times",
+]

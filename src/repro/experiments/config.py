@@ -1,0 +1,43 @@
+"""Shared experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graph.dag import DnnGraph
+from repro.models.zoo import PAPER_MODELS as _PAPER_MODELS
+from repro.models.zoo import build_model
+
+#: Evaluation models, in the paper's order.
+PAPER_MODELS: List[str] = list(_PAPER_MODELS)
+
+#: Network conditions, in the order of the paper's sub-figures.
+PAPER_NETWORKS: List[str] = ["wifi", "4g", "5g", "optical"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by every experiment harness.
+
+    ``small`` trims the model list and the Inception depth so the full suite
+    runs in seconds — used by the unit tests; the benchmarks use the full
+    configuration.
+    """
+
+    models: List[str] = field(default_factory=lambda: list(PAPER_MODELS))
+    networks: List[str] = field(default_factory=lambda: list(PAPER_NETWORKS))
+    num_edge_nodes: int = 4
+    tile_grid: Tuple[int, int] = (2, 2)
+    profiler_noise_std: float = 0.0
+    seed: int = 0
+    input_shape: Tuple[int, int, int] = (3, 224, 224)
+
+    @classmethod
+    def small(cls) -> "ExperimentConfig":
+        """Reduced configuration for fast tests."""
+        return cls(models=["alexnet", "resnet18"], networks=["wifi", "4g"])
+
+    def build_graphs(self) -> Dict[str, DnnGraph]:
+        """Instantiate (and cache) the configured model graphs."""
+        return {name: build_model(name, input_shape=self.input_shape) for name in self.models}

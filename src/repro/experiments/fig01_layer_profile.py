@@ -1,0 +1,84 @@
+"""Fig. 1 — layer-wise inference latency and per-layer output size.
+
+The paper profiles VGG-16, ResNet-18 and Darknet-53 on a Raspberry Pi 4 with a
+3 x 224 x 224 input and observes that (a) convolutional layers dominate the
+latency and (b) early layers produce multi-megabyte activations.  Both
+observations motivate partitioning; this harness reproduces the two bar series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.models.zoo import build_model
+from repro.profiling.cost_model import AnalyticCostModel
+from repro.profiling.hardware import FIG1_DEVICE, HardwareSpec
+
+#: Models shown in Fig. 1 of the paper.
+FIG1_MODELS = ("vgg16", "resnet18", "darknet53")
+
+#: Layer kinds plotted by the paper (compute layers only).
+REPORTED_KINDS = ("conv", "maxpool", "avgpool", "globalavgpool", "linear")
+
+
+@dataclass
+class LayerProfileRow:
+    """One bar of Fig. 1: a layer's latency and output size."""
+
+    model: str
+    layer: str
+    kind: str
+    latency_s: float
+    output_mb: float
+
+
+def run_layer_profile(
+    models: Sequence[str] = FIG1_MODELS,
+    hardware: HardwareSpec = FIG1_DEVICE,
+    config: Optional[ExperimentConfig] = None,
+) -> List[LayerProfileRow]:
+    """Compute the Fig. 1 series for the requested models."""
+    config = config or ExperimentConfig()
+    rows: List[LayerProfileRow] = []
+    for model in models:
+        graph = build_model(model, input_shape=config.input_shape)
+        cost_model = AnalyticCostModel(hardware)
+        for vertex in graph:
+            if vertex.kind not in REPORTED_KINDS:
+                continue
+            rows.append(
+                LayerProfileRow(
+                    model=model,
+                    layer=vertex.name,
+                    kind=vertex.kind,
+                    latency_s=cost_model.layer_latency(graph, vertex),
+                    output_mb=vertex.output_bytes / 1e6,
+                )
+            )
+    return rows
+
+
+def summarise(rows: Sequence[LayerProfileRow]) -> Dict[str, Dict[str, float]]:
+    """Aggregate checks used by the tests: totals and conv share per model."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        entry = summary.setdefault(
+            row.model, {"total_latency_s": 0.0, "conv_latency_s": 0.0, "max_output_mb": 0.0}
+        )
+        entry["total_latency_s"] += row.latency_s
+        if row.kind == "conv":
+            entry["conv_latency_s"] += row.latency_s
+        entry["max_output_mb"] = max(entry["max_output_mb"], row.output_mb)
+    return summary
+
+
+def format_layer_profile(rows: Sequence[LayerProfileRow]) -> str:
+    """Render the Fig. 1 table."""
+    return format_table(
+        headers=["model", "layer", "kind", "latency (ms)", "output (MB)"],
+        rows=[(r.model, r.layer, r.kind, r.latency_s * 1e3, r.output_mb) for r in rows],
+        title="Fig. 1 — per-layer latency and output size (device-class hardware)",
+    )

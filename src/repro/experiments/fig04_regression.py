@@ -1,0 +1,86 @@
+"""Fig. 4 — actual vs. predicted per-layer processing time of AlexNet.
+
+The paper trains a regression model on computation resources and layer
+configurations, then shows that its per-layer predictions track the measured
+latencies of AlexNet on an i7-8700 CPU (Fig. 4a) and an RTX 2080 Ti GPU
+(Fig. 4b).  Here the regressor is trained on the *other* zoo models (so AlexNet
+layers are unseen) and evaluated against the simulated measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.models.zoo import build_model
+from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, HardwareSpec
+from repro.profiling.profiler import Profiler
+from repro.profiling.regression import LatencyRegressionModel, RegressionReport
+
+#: Models used to train the regressor (AlexNet itself is held out).
+CALIBRATION_MODELS = ("vgg16", "resnet18")
+
+#: Layer kinds reported in Fig. 4 (compute layers of AlexNet).
+REPORTED_KINDS = ("conv", "maxpool", "linear")
+
+
+@dataclass
+class RegressionExperimentResult:
+    """Fig. 4 result for one target machine."""
+
+    hardware_name: str
+    report: RegressionReport
+
+    @property
+    def mape(self) -> float:
+        return self.report.mean_absolute_percentage_error
+
+    @property
+    def r_squared(self) -> float:
+        return self.report.r_squared
+
+
+def run_regression_experiment(
+    target_model: str = "alexnet",
+    hardware_specs: Sequence[HardwareSpec] = (EDGE_DESKTOP, CLOUD_SERVER),
+    calibration_models: Sequence[str] = CALIBRATION_MODELS,
+    noise_std: float = 0.05,
+    seed: int = 0,
+    config: Optional[ExperimentConfig] = None,
+) -> List[RegressionExperimentResult]:
+    """Train on the calibration models, predict the target model's layers."""
+    config = config or ExperimentConfig()
+    profiler = Profiler(noise_std=noise_std, seed=seed)
+    calibration_graphs = [build_model(m, input_shape=config.input_shape) for m in calibration_models]
+    samples = profiler.collect_training_samples(calibration_graphs, list(hardware_specs), repeats=3)
+    regression = LatencyRegressionModel().fit(samples)
+
+    target = build_model(target_model, input_shape=config.input_shape)
+    results = []
+    for hardware in hardware_specs:
+        actual = profiler.measure_graph(target, hardware, repeats=3)
+        report = regression.report(target, hardware, actual, kinds=REPORTED_KINDS)
+        results.append(RegressionExperimentResult(hardware_name=hardware.name, report=report))
+    return results
+
+
+def format_regression(results: Sequence[RegressionExperimentResult]) -> str:
+    """Render the Fig. 4 per-layer actual/predicted tables."""
+    blocks = []
+    for result in results:
+        rows = [
+            (layer, actual * 1e3, predicted * 1e3)
+            for layer, actual, predicted in result.report.rows()
+        ]
+        rows.append(("MAPE", result.mape * 100.0, None))
+        blocks.append(
+            format_table(
+                headers=["layer", "actual (ms)", "predicted (ms)"],
+                rows=rows,
+                title=f"Fig. 4 — {result.hardware_name}",
+                precision=3,
+            )
+        )
+    return "\n\n".join(blocks)

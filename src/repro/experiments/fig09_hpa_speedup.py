@@ -1,0 +1,71 @@
+"""Fig. 9 — end-to-end latency speedup of HPA over single-tier execution.
+
+Four sub-figures (Wi-Fi, 4G, 5G, optical), five models each, four bars per
+model: device-only (the baseline, speedup 1), edge-only, cloud-only and HPA,
+all normalised to device-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runners import ScenarioRunner
+
+#: Methods shown in Fig. 9, in bar order.
+FIG9_METHODS = ("device_only", "edge_only", "cloud_only", "hpa")
+
+
+@dataclass
+class SpeedupCell:
+    """Speedups over device-only for one (network, model) cell."""
+
+    network: str
+    model: str
+    speedups: Dict[str, Optional[float]]
+
+
+def run_hpa_speedup(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ScenarioRunner] = None,
+) -> List[SpeedupCell]:
+    """Compute the Fig. 9 speedup matrix."""
+    config = config or ExperimentConfig()
+    runner = runner or ScenarioRunner(config)
+    cells: List[SpeedupCell] = []
+    for network in config.networks:
+        for model in config.models:
+            scenario = runner.run(model, network)
+            speedups = {
+                method: scenario.speedup_over("device_only", method) for method in FIG9_METHODS
+            }
+            cells.append(SpeedupCell(network=network, model=model, speedups=speedups))
+    return cells
+
+
+def max_speedup(cells: Sequence[SpeedupCell], method: str = "hpa") -> float:
+    """Largest speedup of ``method`` across the matrix (the paper quotes 28.2x)."""
+    values = [c.speedups.get(method) for c in cells if c.speedups.get(method) is not None]
+    return max(values) if values else 0.0
+
+
+def format_hpa_speedup(cells: Sequence[SpeedupCell]) -> str:
+    """Render Fig. 9 as one table per network condition."""
+    blocks = []
+    networks = sorted({c.network for c in cells}, key=lambda n: [c.network for c in cells].index(n))
+    for network in networks:
+        rows = [
+            (c.model, *[c.speedups.get(m) for m in FIG9_METHODS])
+            for c in cells
+            if c.network == network
+        ]
+        blocks.append(
+            format_table(
+                headers=["model", *FIG9_METHODS],
+                rows=rows,
+                title=f"Fig. 9 — latency speedup over device-only ({network})",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,102 @@
+"""Fig. 10 — end-to-end latency speedup of HPA over Neurosurgeon and DADS.
+
+Four sub-figures (one per network condition); Neurosurgeon is only applicable
+to the chain-topology networks (AlexNet, VGG-16), exactly as in the paper.
+Speedups are normalised to Neurosurgeon where available, otherwise to DADS, so
+the relative ordering of the three partitioning systems is directly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runners import ScenarioRunner
+
+FIG10_METHODS = ("neurosurgeon", "dads", "hpa")
+
+
+@dataclass
+class BaselineComparisonCell:
+    """Latencies and relative speedups for one (network, model) cell."""
+
+    network: str
+    model: str
+    latency_s: Dict[str, Optional[float]]
+
+    def hpa_speedup_over(self, method: str) -> Optional[float]:
+        base = self.latency_s.get(method)
+        hpa = self.latency_s.get("hpa")
+        if base is None or hpa is None or hpa == 0:
+            return None
+        return base / hpa
+
+
+def run_vs_baselines(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ScenarioRunner] = None,
+) -> List[BaselineComparisonCell]:
+    """Compute the Fig. 10 comparison matrix."""
+    config = config or ExperimentConfig()
+    runner = runner or ScenarioRunner(config)
+    cells: List[BaselineComparisonCell] = []
+    for network in config.networks:
+        for model in config.models:
+            scenario = runner.run(model, network)
+            cells.append(
+                BaselineComparisonCell(
+                    network=network,
+                    model=model,
+                    latency_s={m: scenario.latency_s.get(m) for m in FIG10_METHODS},
+                )
+            )
+    return cells
+
+
+def max_speedup_over(cells: Sequence[BaselineComparisonCell], method: str) -> float:
+    """Largest HPA speedup over ``method`` across the matrix."""
+    values = [c.hpa_speedup_over(method) for c in cells]
+    values = [v for v in values if v is not None]
+    return max(values) if values else 0.0
+
+
+def format_vs_baselines(cells: Sequence[BaselineComparisonCell]) -> str:
+    """Render Fig. 10 as one table per network condition."""
+    blocks = []
+    networks = []
+    for cell in cells:
+        if cell.network not in networks:
+            networks.append(cell.network)
+    for network in networks:
+        rows = []
+        for cell in cells:
+            if cell.network != network:
+                continue
+            rows.append(
+                (
+                    cell.model,
+                    *[
+                        None if cell.latency_s.get(m) is None else cell.latency_s[m] * 1e3
+                        for m in FIG10_METHODS
+                    ],
+                    cell.hpa_speedup_over("neurosurgeon"),
+                    cell.hpa_speedup_over("dads"),
+                )
+            )
+        blocks.append(
+            format_table(
+                headers=[
+                    "model",
+                    "neurosurgeon (ms)",
+                    "dads (ms)",
+                    "hpa (ms)",
+                    "hpa vs neurosurgeon",
+                    "hpa vs dads",
+                ],
+                rows=rows,
+                title=f"Fig. 10 — HPA vs Neurosurgeon and DADS ({network})",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,107 @@
+"""Fig. 11 — Inception-v4 latency speedup vs LAN-to-cloud bandwidth.
+
+The backbone bandwidth between the LAN and the cloud is swept from 10 to 100
+Mbps; the paper observes that cloud-only improves rapidly with bandwidth and
+that HPA offloads more layers to the cloud as the backbone gets faster, staying
+at or above every baseline throughout the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.dads import DadsPartitioner
+from repro.baselines.single_tier import SingleTierBaseline
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import PlanEvaluator, Tier
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.models.zoo import build_model
+from repro.network.conditions import get_condition
+from repro.profiling.profiler import Profiler
+from repro.runtime.cluster import Cluster
+
+#: Backbone rates swept by the paper (Mbps).
+DEFAULT_BANDWIDTHS = tuple(range(10, 101, 10))
+
+
+@dataclass
+class BandwidthSweepPoint:
+    """All methods evaluated at one backbone bandwidth."""
+
+    bandwidth_mbps: float
+    latency_s: Dict[str, float]
+    hpa_cloud_vertices: int
+    hpa_bytes_to_cloud: int
+
+    def speedup_over_device(self, method: str) -> Optional[float]:
+        base = self.latency_s.get("device_only")
+        value = self.latency_s.get(method)
+        if base is None or value is None or value == 0:
+            return None
+        return base / value
+
+
+def run_bandwidth_sweep(
+    model: str = "inception_v4",
+    bandwidths_mbps: Sequence[float] = DEFAULT_BANDWIDTHS,
+    config: Optional[ExperimentConfig] = None,
+) -> List[BandwidthSweepPoint]:
+    """Sweep the LAN-to-cloud bandwidth and evaluate every method."""
+    config = config or ExperimentConfig()
+    graph = build_model(model, input_shape=config.input_shape)
+    cluster = Cluster.build(network="wifi", num_edge_nodes=1)
+    profiler = Profiler(noise_std=config.profiler_noise_std, seed=config.seed)
+    profile = profiler.build_profile_from_measurements(graph, cluster.tier_hardware(), repeats=1)
+
+    points: List[BandwidthSweepPoint] = []
+    for bandwidth in bandwidths_mbps:
+        condition = get_condition("wifi").with_backbone_mbps(bandwidth)
+        latency: Dict[str, float] = {}
+        single = SingleTierBaseline(profile, condition)
+        latency["device_only"] = single.latency_s(graph, Tier.DEVICE)
+        latency["edge_only"] = single.latency_s(graph, Tier.EDGE)
+        latency["cloud_only"] = single.latency_s(graph, Tier.CLOUD)
+        latency["dads"] = DadsPartitioner(profile, condition).partition(graph).latency_s
+
+        system = D3System(
+            D3Config(
+                network=condition,
+                num_edge_nodes=1,
+                enable_vsm=False,
+                use_regression=False,
+                profiler_noise_std=config.profiler_noise_std,
+                seed=config.seed,
+            )
+        )
+        result = system.run(graph)
+        latency["hpa"] = result.end_to_end_latency_s
+        points.append(
+            BandwidthSweepPoint(
+                bandwidth_mbps=bandwidth,
+                latency_s=latency,
+                hpa_cloud_vertices=result.placement.tier_counts()[Tier.CLOUD],
+                hpa_bytes_to_cloud=result.bytes_to_cloud,
+            )
+        )
+    return points
+
+
+def format_bandwidth_sweep(points: Sequence[BandwidthSweepPoint]) -> str:
+    """Render the Fig. 11 series as a table."""
+    methods = ("device_only", "edge_only", "cloud_only", "dads", "hpa")
+    rows = [
+        (
+            p.bandwidth_mbps,
+            *[p.speedup_over_device(m) for m in methods],
+            p.hpa_cloud_vertices,
+            p.hpa_bytes_to_cloud * 8 / 1e6,
+        )
+        for p in points
+    ]
+    return format_table(
+        headers=["Mbps", *methods, "hpa cloud layers", "hpa to-cloud (Mb)"],
+        rows=rows,
+        title="Fig. 11 — Inception-v4 speedup vs LAN-to-cloud bandwidth",
+    )

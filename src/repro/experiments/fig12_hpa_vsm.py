@@ -1,0 +1,96 @@
+"""Fig. 12 — latency speedup when both HPA and VSM are applied.
+
+The full D3 system (HPA + VSM over four edge nodes, every node connected to the
+cloud via Wi-Fi) is compared against device-only, edge-only, cloud-only,
+Neurosurgeon and DADS.  The paper reports that the processing time of the
+edge-resident convolutional layers does not shrink by the full 4x because the
+fused tile stacks overlap — the harness exposes that redundancy factor too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.d3 import D3Config, D3System
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runners import ScenarioRunner
+from repro.models.zoo import build_model
+
+FIG12_METHODS = ("device_only", "edge_only", "cloud_only", "neurosurgeon", "dads", "hpa", "hpa_vsm")
+
+
+@dataclass
+class VsmSpeedupCell:
+    """Fig. 12 data for one model."""
+
+    model: str
+    speedups_over_device: Dict[str, Optional[float]]
+    vsm_redundancy_factor: Optional[float]
+
+    @property
+    def hpa_vsm_vs_hpa(self) -> Optional[float]:
+        hpa = self.speedups_over_device.get("hpa")
+        vsm = self.speedups_over_device.get("hpa_vsm")
+        if hpa is None or vsm is None or hpa == 0:
+            return None
+        return vsm / hpa
+
+
+def run_hpa_vsm(
+    network: str = "wifi",
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ScenarioRunner] = None,
+) -> List[VsmSpeedupCell]:
+    """Compute the Fig. 12 comparison for every model under Wi-Fi."""
+    config = config or ExperimentConfig()
+    runner = runner or ScenarioRunner(config)
+    cells: List[VsmSpeedupCell] = []
+    for model in config.models:
+        scenario = runner.run(model, network)
+        speedups = {m: scenario.speedup_over("device_only", m) for m in FIG12_METHODS}
+
+        # Recover the tiling redundancy of the D3 plan for this model.
+        graph = build_model(model, input_shape=config.input_shape)
+        system = D3System(
+            D3Config(
+                network=network,
+                num_edge_nodes=config.num_edge_nodes,
+                tile_grid=config.tile_grid,
+                use_regression=False,
+                profiler_noise_std=config.profiler_noise_std,
+                seed=config.seed,
+            )
+        )
+        result = system.run(graph)
+        redundancy = None
+        if result.vsm_plan is not None and result.vsm_plan.runs:
+            factors = [run.redundancy_factor() for run in result.vsm_plan.runs]
+            redundancy = sum(factors) / len(factors)
+        cells.append(
+            VsmSpeedupCell(
+                model=model,
+                speedups_over_device=speedups,
+                vsm_redundancy_factor=redundancy,
+            )
+        )
+    return cells
+
+
+def format_hpa_vsm(cells: Sequence[VsmSpeedupCell]) -> str:
+    """Render Fig. 12."""
+    rows = [
+        (
+            c.model,
+            *[c.speedups_over_device.get(m) for m in FIG12_METHODS],
+            c.hpa_vsm_vs_hpa,
+            c.vsm_redundancy_factor,
+        )
+        for c in cells
+    ]
+    return format_table(
+        headers=["model", *FIG12_METHODS, "vsm gain", "tile redundancy"],
+        rows=rows,
+        title="Fig. 12 — speedup over device-only with HPA+VSM (Wi-Fi, 4 edge nodes)",
+    )

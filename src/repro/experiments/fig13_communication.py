@@ -1,0 +1,83 @@
+"""Fig. 13 — per-image data transmission to the cloud over the backbone.
+
+Five sub-figures (one per model), each comparing cloud-only, DADS and D3 under
+the four network conditions.  The metric is megabits shipped from the LAN to
+the cloud per inference; lower is better because it relieves the Internet
+backbone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runners import ScenarioRunner
+
+FIG13_METHODS = ("cloud_only", "dads", "hpa_vsm")
+
+
+@dataclass
+class CommunicationCell:
+    """Backbone traffic (megabits per image) for one (model, network) cell."""
+
+    model: str
+    network: str
+    megabits_to_cloud: Dict[str, Optional[float]]
+
+    def d3_fraction_of(self, method: str) -> Optional[float]:
+        """D3's traffic as a fraction of ``method``'s traffic."""
+        base = self.megabits_to_cloud.get(method)
+        d3 = self.megabits_to_cloud.get("hpa_vsm")
+        if base is None or d3 is None or base == 0:
+            return None
+        return d3 / base
+
+
+def run_communication(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[ScenarioRunner] = None,
+) -> List[CommunicationCell]:
+    """Compute the Fig. 13 traffic matrix."""
+    config = config or ExperimentConfig()
+    runner = runner or ScenarioRunner(config)
+    cells: List[CommunicationCell] = []
+    for model in config.models:
+        for network in config.networks:
+            scenario = runner.run(model, network)
+            megabits = {}
+            for method in FIG13_METHODS:
+                value = scenario.bytes_to_cloud.get(method)
+                megabits[method] = None if value is None else value * 8.0 / 1e6
+            cells.append(
+                CommunicationCell(model=model, network=network, megabits_to_cloud=megabits)
+            )
+    return cells
+
+
+def format_communication(cells: Sequence[CommunicationCell]) -> str:
+    """Render Fig. 13 as one table per model."""
+    blocks = []
+    models = []
+    for cell in cells:
+        if cell.model not in models:
+            models.append(cell.model)
+    for model in models:
+        rows = [
+            (
+                c.network,
+                *[c.megabits_to_cloud.get(m) for m in FIG13_METHODS],
+                c.d3_fraction_of("cloud_only"),
+            )
+            for c in cells
+            if c.model == model
+        ]
+        blocks.append(
+            format_table(
+                headers=["network", "cloud-only (Mb)", "DADS (Mb)", "D3 (Mb)", "D3 / cloud-only"],
+                rows=rows,
+                title=f"Fig. 13 — per-image transmission to the cloud ({model})",
+            )
+        )
+    return "\n\n".join(blocks)

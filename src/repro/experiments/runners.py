@@ -1,0 +1,163 @@
+"""Shared scenario runner used by the figure/table harnesses.
+
+A *scenario* is one (model, network condition) cell of the evaluation matrix.
+The runner computes every method's latency and backbone traffic for the cell —
+D3 (HPA and HPA+VSM), the three single-tier baselines, Neurosurgeon and DADS —
+and caches the results so that the Fig. 9/10/12/13 harnesses do not repeat the
+same partitioning work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.dads import DadsPartitioner
+from repro.baselines.neurosurgeon import NeurosurgeonPartitioner
+from repro.baselines.single_tier import SingleTierBaseline
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import PlanEvaluator, Tier
+from repro.experiments.config import ExperimentConfig
+from repro.graph.dag import DnnGraph
+from repro.network.conditions import NetworkCondition, get_condition
+from repro.profiling.profiler import LatencyProfile, Profiler
+
+#: Method identifiers used in result dictionaries, in display order.
+METHODS = (
+    "device_only",
+    "edge_only",
+    "cloud_only",
+    "neurosurgeon",
+    "dads",
+    "hpa",
+    "hpa_vsm",
+)
+
+
+@dataclass
+class ScenarioResult:
+    """All methods evaluated for one (model, network) cell."""
+
+    model: str
+    network: str
+    latency_s: Dict[str, Optional[float]]
+    bytes_to_cloud: Dict[str, Optional[int]]
+    tier_counts: Dict[str, int]
+    tier_busy_s: Dict[str, float]
+
+    def speedup_over(self, baseline: str, method: str) -> Optional[float]:
+        """Latency speedup of ``method`` relative to ``baseline``."""
+        base = self.latency_s.get(baseline)
+        value = self.latency_s.get(method)
+        if base is None or value is None or value == 0:
+            return None
+        return base / value
+
+
+class ScenarioRunner:
+    """Compute and cache per-(model, network) results for every method."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._graphs: Dict[str, DnnGraph] = {}
+        self._profiles: Dict[str, LatencyProfile] = {}
+        self._results: Dict[Tuple[str, str], ScenarioResult] = {}
+        self._profiler = Profiler(noise_std=self.config.profiler_noise_std, seed=self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def graph(self, model: str) -> DnnGraph:
+        if model not in self._graphs:
+            from repro.models.zoo import build_model
+
+            self._graphs[model] = build_model(model, input_shape=self.config.input_shape)
+        return self._graphs[model]
+
+    def profile(self, model: str) -> LatencyProfile:
+        """Per-tier latency profile of a model (independent of the network)."""
+        if model not in self._profiles:
+            from repro.runtime.cluster import Cluster
+
+            cluster = Cluster.build(network="wifi", num_edge_nodes=self.config.num_edge_nodes)
+            self._profiles[model] = self._profiler.build_profile_from_measurements(
+                self.graph(model), cluster.tier_hardware(), repeats=1
+            )
+        return self._profiles[model]
+
+    # ------------------------------------------------------------------ #
+    def run(self, model: str, network: str | NetworkCondition) -> ScenarioResult:
+        """Evaluate every method for one (model, network) cell (cached)."""
+        condition = get_condition(network) if isinstance(network, str) else network
+        key = (model, condition.name)
+        if key in self._results:
+            return self._results[key]
+
+        graph = self.graph(model)
+        profile = self.profile(model)
+        evaluator = PlanEvaluator(profile, condition)
+        latency: Dict[str, Optional[float]] = {}
+        traffic: Dict[str, Optional[int]] = {}
+
+        # Single-tier baselines.
+        single = SingleTierBaseline(profile, condition)
+        for tier, name in ((Tier.DEVICE, "device_only"), (Tier.EDGE, "edge_only"), (Tier.CLOUD, "cloud_only")):
+            metrics = single.metrics(graph, tier)
+            latency[name] = metrics.end_to_end_latency_s
+            traffic[name] = metrics.bytes_to_cloud
+
+        # Neurosurgeon (chain topologies only).
+        if graph.is_chain():
+            neurosurgeon = NeurosurgeonPartitioner(profile, condition).partition(graph)
+            latency["neurosurgeon"] = neurosurgeon.latency_s
+            traffic["neurosurgeon"] = neurosurgeon.metrics.bytes_to_cloud
+        else:
+            latency["neurosurgeon"] = None
+            traffic["neurosurgeon"] = None
+
+        # DADS.
+        dads = DadsPartitioner(profile, condition).partition(graph)
+        latency["dads"] = dads.latency_s
+        traffic["dads"] = dads.metrics.bytes_to_cloud
+
+        # HPA only (one edge node, no VSM).
+        hpa_system = D3System(
+            D3Config(
+                network=condition,
+                num_edge_nodes=1,
+                enable_vsm=False,
+                use_regression=False,
+                profiler_noise_std=self.config.profiler_noise_std,
+                seed=self.config.seed,
+            )
+        )
+        hpa_result = hpa_system.run(graph)
+        latency["hpa"] = hpa_result.end_to_end_latency_s
+        traffic["hpa"] = hpa_result.bytes_to_cloud
+        tier_counts = {t.value: c for t, c in hpa_result.placement.tier_counts().items()}
+        tier_busy = {t.value: s for t, s in hpa_result.report.tier_busy_seconds().items()}
+
+        # Full D3: HPA + VSM over the configured edge nodes.
+        vsm_system = D3System(
+            D3Config(
+                network=condition,
+                num_edge_nodes=self.config.num_edge_nodes,
+                tile_grid=self.config.tile_grid,
+                enable_vsm=True,
+                use_regression=False,
+                profiler_noise_std=self.config.profiler_noise_std,
+                seed=self.config.seed,
+            )
+        )
+        vsm_result = vsm_system.run(graph)
+        latency["hpa_vsm"] = vsm_result.end_to_end_latency_s
+        traffic["hpa_vsm"] = vsm_result.bytes_to_cloud
+
+        result = ScenarioResult(
+            model=model,
+            network=condition.name,
+            latency_s=latency,
+            bytes_to_cloud=traffic,
+            tier_counts=tier_counts,
+            tier_busy_s=tier_busy,
+        )
+        self._results[key] = result
+        return result

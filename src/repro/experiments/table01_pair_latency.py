@@ -1,0 +1,96 @@
+"""Table I — total latency of processing two adjacent layers on tier pairs.
+
+The paper enumerates, for a vertex ``v_i`` whose inputs arrive from the device
+tier and its largest direct successor ``v_j``, the total latency of every
+admissible placement pair.  This harness computes the same six rows for any
+adjacent pair of vertices, and by default for the pair HPA's look-ahead cares
+about most in AlexNet (the first convolution and its successor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.placement import Tier
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.graph.dag import DnnGraph
+from repro.models.zoo import build_model
+from repro.network.conditions import NetworkCondition, get_condition
+from repro.profiling.profiler import LatencyProfile, Profiler
+from repro.runtime.cluster import Cluster
+
+#: The six placement combinations of Table I, in the paper's row order.
+TABLE_I_COMBINATIONS: List[Tuple[Tier, Tier]] = [
+    (Tier.DEVICE, Tier.DEVICE),
+    (Tier.DEVICE, Tier.EDGE),
+    (Tier.EDGE, Tier.EDGE),
+    (Tier.EDGE, Tier.CLOUD),
+    (Tier.CLOUD, Tier.CLOUD),
+    (Tier.DEVICE, Tier.CLOUD),
+]
+
+
+@dataclass
+class PairLatencyRow:
+    """One row of Table I."""
+
+    tier_i: Tier
+    tier_j: Tier
+    total_latency_s: float
+
+
+def pair_latencies(
+    graph: DnnGraph,
+    vertex_name: str,
+    successor_name: str,
+    profile: LatencyProfile,
+    network: NetworkCondition,
+) -> List[PairLatencyRow]:
+    """Compute Table I for one adjacent vertex pair.
+
+    ``v_i``'s inputs are assumed to reside on the device tier, exactly as in
+    the paper's table: placing ``v_i`` on a later tier therefore pays the
+    transfer of its input ``λ^in_i``, and placing ``v_j`` on a different tier
+    than ``v_i`` pays the transfer of ``λ^out_i``.
+    """
+    vertex = graph.vertex(vertex_name)
+    successor = graph.vertex(successor_name)
+    if vertex.index not in {p.index for p in graph.predecessors(successor.index)}:
+        raise ValueError(f"{successor_name!r} is not a direct successor of {vertex_name!r}")
+    input_bytes = sum(p.output_bytes for p in graph.predecessors(vertex.index))
+
+    rows = []
+    for tier_i, tier_j in TABLE_I_COMBINATIONS:
+        total = profile.get(vertex.index, tier_i) + profile.get(successor.index, tier_j)
+        total += network.transfer_seconds(input_bytes, Tier.DEVICE.value, tier_i.value)
+        total += network.transfer_seconds(vertex.output_bytes, tier_i.value, tier_j.value)
+        rows.append(PairLatencyRow(tier_i=tier_i, tier_j=tier_j, total_latency_s=total))
+    return rows
+
+
+def run_pair_latency(
+    model: str = "alexnet",
+    vertex_name: str = "conv1",
+    successor_name: str = "maxpool1",
+    network: str = "wifi",
+    config: Optional[ExperimentConfig] = None,
+) -> List[PairLatencyRow]:
+    """Table I for the default AlexNet pair under a named network condition."""
+    config = config or ExperimentConfig()
+    graph = build_model(model, input_shape=config.input_shape)
+    condition = get_condition(network)
+    cluster = Cluster.build(network=condition, num_edge_nodes=1)
+    profiler = Profiler(noise_std=config.profiler_noise_std, seed=config.seed)
+    profile = profiler.build_profile_from_measurements(graph, cluster.tier_hardware(), repeats=1)
+    return pair_latencies(graph, vertex_name, successor_name, profile, condition)
+
+
+def format_pair_latency(rows: List[PairLatencyRow]) -> str:
+    """Render Table I."""
+    return format_table(
+        headers=["location of v_i", "location of v_j", "total latency (ms)"],
+        rows=[(r.tier_i.value, r.tier_j.value, r.total_latency_s * 1e3) for r in rows],
+        title="Table I — total latencies of processing v_i and v_j",
+    )

@@ -1,0 +1,82 @@
+"""Table II — per-tier processing time of the synergistic inference after HPA.
+
+The paper's Table II lists, for each of the five DNNs, how many milliseconds of
+processing the device (Jetson Nano), edge (i7-8700) and cloud (RTX 2080 Ti)
+node each contribute after HPA has split the model; the edge being the largest
+of the three is what motivates VSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import Tier
+from repro.experiments.config import ExperimentConfig, PAPER_MODELS
+from repro.experiments.reporting import format_table
+from repro.models.zoo import build_model
+from repro.profiling.hardware import JETSON_NANO
+from repro.runtime.cluster import Cluster
+
+
+@dataclass
+class TierTimeRow:
+    """One row of Table II: the per-tier busy time for one model."""
+
+    model: str
+    device_ms: float
+    edge_ms: float
+    cloud_ms: float
+
+    @property
+    def bottleneck_tier(self) -> Tier:
+        values = {Tier.DEVICE: self.device_ms, Tier.EDGE: self.edge_ms, Tier.CLOUD: self.cloud_ms}
+        return max(values, key=values.get)
+
+
+def run_tier_times(
+    models: Optional[Sequence[str]] = None,
+    network: str = "wifi",
+    config: Optional[ExperimentConfig] = None,
+) -> List[TierTimeRow]:
+    """Run HPA on the Table II testbed (Jetson Nano device) for every model."""
+    config = config or ExperimentConfig()
+    models = list(models or PAPER_MODELS)
+    rows: List[TierTimeRow] = []
+    for model in models:
+        graph = build_model(model, input_shape=config.input_shape)
+        system = D3System(
+            D3Config(
+                network=network,
+                num_edge_nodes=1,
+                enable_vsm=False,
+                use_regression=False,
+                profiler_noise_std=config.profiler_noise_std,
+                seed=config.seed,
+            )
+        )
+        # Table II uses the Jetson Nano as the device node (section III-F).
+        system.cluster = Cluster.build(
+            network=system.network, num_edge_nodes=1, device_hardware=JETSON_NANO
+        )
+        result = system.run(graph)
+        times = result.tier_times_ms()
+        rows.append(
+            TierTimeRow(
+                model=model,
+                device_ms=times[Tier.DEVICE],
+                edge_ms=times[Tier.EDGE],
+                cloud_ms=times[Tier.CLOUD],
+            )
+        )
+    return rows
+
+
+def format_tier_times(rows: Sequence[TierTimeRow]) -> str:
+    """Render Table II."""
+    return format_table(
+        headers=["DNN", "device node (ms)", "edge node (ms)", "cloud node (ms)"],
+        rows=[(r.model, r.device_ms, r.edge_ms, r.cloud_ms) for r in rows],
+        title="Table II — synergistic inference time at the three nodes",
+    )

@@ -1,0 +1,61 @@
+"""DNN computation-graph substrate.
+
+This subpackage provides the directed-acyclic-graph (DAG) representation of a
+deep neural network used throughout the reproduction.  It mirrors the system
+model of the paper (section III-C): each DNN layer is a vertex, a directed link
+``(v_i, v_j)`` exists whenever the output of layer *i* feeds layer *j*, and a
+virtual input vertex ``v0`` marks the start of the network.
+
+The substrate is intentionally framework-free: the paper uses PyTorch/ONNX to
+obtain the graph, while here the model zoo (:mod:`repro.models`) constructs the
+same graphs directly from layer hyper-parameters.  Everything downstream (the
+profiler, HPA, VSM, the runtime simulator and the baselines) consumes only this
+representation.
+"""
+
+from repro.graph.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    InputLayer,
+    LayerSpec,
+    LeakyReLU,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.graph.shapes import Shape, element_count, tensor_bytes
+from repro.graph.dag import DnnGraph, Vertex
+from repro.graph.builder import GraphBuilder
+
+__all__ = [
+    "Add",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Concat",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "GraphBuilder",
+    "InputLayer",
+    "LayerSpec",
+    "LeakyReLU",
+    "Linear",
+    "LocalResponseNorm",
+    "MaxPool2d",
+    "DnnGraph",
+    "ReLU",
+    "Shape",
+    "Softmax",
+    "Vertex",
+    "element_count",
+    "tensor_bytes",
+]

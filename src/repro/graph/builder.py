@@ -1,0 +1,192 @@
+"""Fluent helper for constructing :class:`~repro.graph.dag.DnnGraph` objects.
+
+The model zoo uses this builder to express architectures concisely: the builder
+keeps track of the "current" vertex so sequential layers can be chained without
+repeating names, while branch points (Inception modules, residual blocks) are
+expressed with explicit input lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.graph.dag import DnnGraph, Vertex
+from repro.graph.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LayerSpec,
+    LeakyReLU,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.graph.shapes import Shape, same_padding
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    """Normalise an int-or-pair hyper-parameter to a pair."""
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class GraphBuilder:
+    """Incrementally build a DNN graph.
+
+    Example
+    -------
+    >>> builder = GraphBuilder("tiny", input_shape=(3, 32, 32))
+    >>> builder.conv("conv1", 16, kernel=3, padding=1).relu("relu1")
+    >>> builder.maxpool("pool1", kernel=2, stride=2)
+    >>> graph = builder.build()
+    """
+
+    def __init__(self, name: str, input_shape: Shape) -> None:
+        self.graph = DnnGraph(name)
+        self._current = self.graph.add_input(input_shape).name
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def current(self) -> str:
+        """Name of the most recently added vertex (the implicit input)."""
+        return self._current
+
+    def set_current(self, name: str) -> "GraphBuilder":
+        """Make ``name`` the implicit input of the next sequential layer."""
+        self.graph.vertex(name)  # raises if unknown
+        self._current = name
+        return self
+
+    def _inputs(self, inputs: Optional[Sequence[str]]) -> List[str]:
+        if inputs is None:
+            return [self._current]
+        return list(inputs)
+
+    def add(self, name: str, spec: LayerSpec, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add an arbitrary layer spec and return the new vertex name."""
+        self.graph.add_vertex(name, spec, self._inputs(inputs))
+        self._current = name
+        return name
+
+    def build(self) -> DnnGraph:
+        """Validate and return the constructed graph."""
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    # Layer shortcuts
+    # ------------------------------------------------------------------ #
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: IntPair,
+        stride: IntPair = 1,
+        padding: Optional[IntPair] = None,
+        groups: int = 1,
+        bias: bool = True,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a convolution.  ``padding=None`` means "same" padding."""
+        kernel_pair = _pair(kernel)
+        pad_pair = same_padding(kernel_pair) if padding is None else _pair(padding)
+        spec = Conv2d(
+            out_channels=out_channels,
+            kernel=kernel_pair,
+            stride=_pair(stride),
+            padding=pad_pair,
+            groups=groups,
+            bias=bias,
+        )
+        return self.add(name, spec, inputs)
+
+    def conv_bn_relu(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: IntPair,
+        stride: IntPair = 1,
+        padding: Optional[IntPair] = None,
+        leaky: bool = False,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Convenience block: convolution + batch norm + (Leaky)ReLU."""
+        self.conv(name, out_channels, kernel, stride, padding, bias=False, inputs=inputs)
+        self.add(f"{name}_bn", BatchNorm2d())
+        activation = LeakyReLU() if leaky else ReLU()
+        return self.add(f"{name}_act", activation)
+
+    def maxpool(
+        self,
+        name: str,
+        kernel: IntPair,
+        stride: Optional[IntPair] = None,
+        padding: IntPair = 0,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        stride_pair = _pair(stride) if stride is not None else _pair(kernel)
+        spec = MaxPool2d(kernel=_pair(kernel), stride=stride_pair, padding=_pair(padding))
+        return self.add(name, spec, inputs)
+
+    def avgpool(
+        self,
+        name: str,
+        kernel: IntPair,
+        stride: Optional[IntPair] = None,
+        padding: IntPair = 0,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        stride_pair = _pair(stride) if stride is not None else _pair(kernel)
+        spec = AvgPool2d(kernel=_pair(kernel), stride=stride_pair, padding=_pair(padding))
+        return self.add(name, spec, inputs)
+
+    def global_avgpool(self, name: str, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, GlobalAvgPool2d(), inputs)
+
+    def linear(
+        self,
+        name: str,
+        out_features: int,
+        bias: bool = True,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        return self.add(name, Linear(out_features=out_features, bias=bias), inputs)
+
+    def relu(self, name: str, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, ReLU(), inputs)
+
+    def leaky_relu(self, name: str, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, LeakyReLU(), inputs)
+
+    def batchnorm(self, name: str, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, BatchNorm2d(), inputs)
+
+    def lrn(self, name: str, size: int = 5, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, LocalResponseNorm(size=size), inputs)
+
+    def dropout(self, name: str, rate: float = 0.5, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, Dropout(rate=rate), inputs)
+
+    def flatten(self, name: str, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, Flatten(), inputs)
+
+    def softmax(self, name: str, inputs: Optional[Sequence[str]] = None) -> str:
+        return self.add(name, Softmax(), inputs)
+
+    def concat(self, name: str, inputs: Sequence[str]) -> str:
+        return self.add(name, Concat(), inputs)
+
+    def residual_add(self, name: str, inputs: Sequence[str]) -> str:
+        return self.add(name, Add(), inputs)

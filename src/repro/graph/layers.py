@@ -1,0 +1,410 @@
+"""Layer specifications.
+
+Every vertex of the DNN DAG (:class:`repro.graph.dag.DnnGraph`) carries a
+:class:`LayerSpec` describing the layer's type and hyper-parameters.  A spec
+knows how to
+
+* infer its output shape from the shapes of its inputs,
+* count the floating-point operations it performs (used by the analytic cost
+  model that plays the role of the paper's hardware testbed), and
+* count its weights (used for memory-footprint accounting and for the
+  regression features).
+
+The set of layer kinds covers everything needed by the paper's five evaluation
+networks (AlexNet, VGG-16, ResNet-18, Darknet-53 and Inception-v4): standard
+and grouped convolutions, max/avg pooling, global pooling, batch normalisation,
+ReLU / LeakyReLU, local response normalisation, dropout, flatten, fully
+connected layers, softmax, channel concatenation and element-wise addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.graph.shapes import Shape, conv_output_hw, element_count, validate_shape
+
+
+class ShapeError(ValueError):
+    """Raised when a layer receives inputs with incompatible shapes."""
+
+
+def _single_input(inputs: Sequence[Shape], layer: str) -> Shape:
+    if len(inputs) != 1:
+        raise ShapeError(f"{layer} expects exactly one input, got {len(inputs)}")
+    return inputs[0]
+
+
+def _feature_map_input(inputs: Sequence[Shape], layer: str) -> Shape:
+    shape = _single_input(inputs, layer)
+    if len(shape) != 3:
+        raise ShapeError(f"{layer} expects a (C, H, W) feature map, got {shape}")
+    return shape
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for all layer specifications.
+
+    Sub-classes are frozen dataclasses so they can be freely shared, hashed and
+    used as dictionary keys (e.g. by the regression feature extractor).
+    """
+
+    #: Human readable layer kind, overridden by subclasses.
+    kind: str = field(default="abstract", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        """Return the output shape given the input shapes."""
+        raise NotImplementedError
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        """Number of floating point operations performed by this layer.
+
+        Multiply-accumulate pairs are counted as two operations, matching the
+        convention used by common profilers.
+        """
+        raise NotImplementedError
+
+    def weight_count(self, inputs: Sequence[Shape], output: Shape) -> int:
+        """Number of learnable parameters held by this layer."""
+        return 0
+
+    @property
+    def is_convolutional(self) -> bool:
+        """True for layers that VSM can tile spatially (conv and pooling)."""
+        return False
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        """True for layers dominated by arithmetic (conv, linear)."""
+        return False
+
+
+@dataclass(frozen=True)
+class InputLayer(LayerSpec):
+    """The virtual input vertex ``v0`` of the paper.
+
+    It produces the raw input tensor collected by the device node and performs
+    no computation.
+    """
+
+    shape: Shape
+    kind: str = field(default="input", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", validate_shape(self.shape))
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        if inputs:
+            raise ShapeError("InputLayer takes no inputs")
+        return self.shape
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Conv2d(LayerSpec):
+    """2-D convolution with explicit kernel, stride, padding and groups."""
+
+    out_channels: int
+    kernel: Tuple[int, int]
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+    groups: int = 1
+    bias: bool = True
+    kind: str = field(default="conv", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ValueError("out_channels must be positive")
+        if self.groups <= 0:
+            raise ValueError("groups must be positive")
+        if self.out_channels % self.groups != 0:
+            raise ValueError("out_channels must be divisible by groups")
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        channels, height, width = _feature_map_input(inputs, "Conv2d")
+        if channels % self.groups != 0:
+            raise ShapeError(
+                f"input channels {channels} not divisible by groups {self.groups}"
+            )
+        out_h, out_w = conv_output_hw(height, width, self.kernel, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        in_channels = inputs[0][0]
+        out_channels, out_h, out_w = output
+        kernel_h, kernel_w = self.kernel
+        macs_per_output = (in_channels // self.groups) * kernel_h * kernel_w
+        macs = macs_per_output * out_channels * out_h * out_w
+        ops = 2 * macs
+        if self.bias:
+            ops += out_channels * out_h * out_w
+        return ops
+
+    def weight_count(self, inputs: Sequence[Shape], output: Shape) -> int:
+        in_channels = inputs[0][0]
+        kernel_h, kernel_w = self.kernel
+        weights = self.out_channels * (in_channels // self.groups) * kernel_h * kernel_w
+        if self.bias:
+            weights += self.out_channels
+        return weights
+
+    @property
+    def is_convolutional(self) -> bool:
+        return True
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class _Pool2d(LayerSpec):
+    """Shared implementation for max and average pooling."""
+
+    kernel: Tuple[int, int] = (2, 2)
+    stride: Tuple[int, int] = (2, 2)
+    padding: Tuple[int, int] = (0, 0)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        channels, height, width = _feature_map_input(inputs, type(self).__name__)
+        out_h, out_w = conv_output_hw(height, width, self.kernel, self.stride, self.padding)
+        return (channels, out_h, out_w)
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        kernel_h, kernel_w = self.kernel
+        return element_count(output) * kernel_h * kernel_w
+
+    @property
+    def is_convolutional(self) -> bool:
+        # Pooling layers are separated and fused by VSM in the same way as the
+        # convolutional layers (paper, end of section III-F).
+        return True
+
+
+@dataclass(frozen=True)
+class MaxPool2d(_Pool2d):
+    kind: str = field(default="maxpool", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class AvgPool2d(_Pool2d):
+    kind: str = field(default="avgpool", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool2d(LayerSpec):
+    """Global average pooling producing a ``(C,)`` vector."""
+
+    kind: str = field(default="globalavgpool", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        channels, _height, _width = _feature_map_input(inputs, "GlobalAvgPool2d")
+        return (channels,)
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return element_count(inputs[0])
+
+
+@dataclass(frozen=True)
+class Linear(LayerSpec):
+    """Fully connected layer."""
+
+    out_features: int
+    bias: bool = True
+    kind: str = field(default="linear", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError("out_features must be positive")
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        shape = _single_input(inputs, "Linear")
+        if len(shape) != 1:
+            raise ShapeError(f"Linear expects a flat (F,) input, got {shape}")
+        return (self.out_features,)
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        in_features = inputs[0][0]
+        ops = 2 * in_features * self.out_features
+        if self.bias:
+            ops += self.out_features
+        return ops
+
+    def weight_count(self, inputs: Sequence[Shape], output: Shape) -> int:
+        in_features = inputs[0][0]
+        weights = in_features * self.out_features
+        if self.bias:
+            weights += self.out_features
+        return weights
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ReLU(LayerSpec):
+    kind: str = field(default="relu", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        return _single_input(inputs, "ReLU")
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return element_count(output)
+
+
+@dataclass(frozen=True)
+class LeakyReLU(LayerSpec):
+    """Leaky ReLU as used by Darknet-53."""
+
+    negative_slope: float = 0.1
+    kind: str = field(default="leakyrelu", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        return _single_input(inputs, "LeakyReLU")
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 2 * element_count(output)
+
+
+@dataclass(frozen=True)
+class BatchNorm2d(LayerSpec):
+    """Inference-time batch normalisation (scale and shift per channel)."""
+
+    kind: str = field(default="batchnorm", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        return _feature_map_input(inputs, "BatchNorm2d")
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 2 * element_count(output)
+
+    def weight_count(self, inputs: Sequence[Shape], output: Shape) -> int:
+        channels = inputs[0][0]
+        return 4 * channels
+
+
+@dataclass(frozen=True)
+class LocalResponseNorm(LayerSpec):
+    """Local response normalisation, used by AlexNet."""
+
+    size: int = 5
+    kind: str = field(default="lrn", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        return _feature_map_input(inputs, "LocalResponseNorm")
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return (self.size + 3) * element_count(output)
+
+
+@dataclass(frozen=True)
+class Dropout(LayerSpec):
+    """Dropout — identity at inference time, kept for architectural fidelity."""
+
+    rate: float = 0.5
+    kind: str = field(default="dropout", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        return _single_input(inputs, "Dropout")
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Flatten(LayerSpec):
+    """Flatten a feature map into a vector before the classifier head."""
+
+    kind: str = field(default="flatten", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        shape = _single_input(inputs, "Flatten")
+        return (element_count(shape),)
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Softmax(LayerSpec):
+    kind: str = field(default="softmax", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        return _single_input(inputs, "Softmax")
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 3 * element_count(output)
+
+
+@dataclass(frozen=True)
+class Concat(LayerSpec):
+    """Channel-wise concatenation of several feature maps (Inception modules)."""
+
+    kind: str = field(default="concat", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        if len(inputs) < 2:
+            raise ShapeError("Concat expects at least two inputs")
+        first = inputs[0]
+        if len(first) != 3:
+            raise ShapeError("Concat expects (C, H, W) feature maps")
+        height, width = first[1], first[2]
+        channels = 0
+        for shape in inputs:
+            if len(shape) != 3 or shape[1] != height or shape[2] != width:
+                raise ShapeError(
+                    f"Concat inputs must share spatial dims, got {list(inputs)}"
+                )
+            channels += shape[0]
+        return (channels, height, width)
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Add(LayerSpec):
+    """Element-wise addition of residual branches (ResNet / Darknet)."""
+
+    kind: str = field(default="add", init=False, repr=False)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        if len(inputs) < 2:
+            raise ShapeError("Add expects at least two inputs")
+        first = inputs[0]
+        for shape in inputs[1:]:
+            if shape != first:
+                raise ShapeError(f"Add inputs must have identical shapes, got {list(inputs)}")
+        return first
+
+    def flops(self, inputs: Sequence[Shape], output: Shape) -> int:
+        return (len(inputs) - 1) * element_count(output)
+
+
+#: Layer kinds that carry learnable weights (useful for regression features).
+WEIGHTED_KINDS = ("conv", "linear", "batchnorm")
+
+
+def all_layer_kinds() -> List[str]:
+    """Return the list of layer kinds known to the substrate."""
+    return [
+        "input",
+        "conv",
+        "maxpool",
+        "avgpool",
+        "globalavgpool",
+        "linear",
+        "relu",
+        "leakyrelu",
+        "batchnorm",
+        "lrn",
+        "dropout",
+        "flatten",
+        "softmax",
+        "concat",
+        "add",
+    ]

@@ -1,0 +1,90 @@
+"""Tensor shape helpers shared by the graph substrate.
+
+Shapes are plain tuples of positive integers.  Convolutional feature maps use
+the channels-first convention ``(channels, height, width)`` used throughout the
+paper (inputs are ``3 x 224 x 224``); fully-connected activations use a single
+dimension ``(features,)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+Shape = Tuple[int, ...]
+
+#: Number of bytes used to store one activation element.  The paper ships
+#: single-precision float tensors between tiers, so 4 bytes per element.
+BYTES_PER_ELEMENT = 4
+
+
+def element_count(shape: Shape) -> int:
+    """Return the number of scalar elements in a tensor of ``shape``."""
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count
+
+
+def tensor_bytes(shape: Shape, bytes_per_element: int = BYTES_PER_ELEMENT) -> int:
+    """Return the serialized size in bytes of a tensor of ``shape``."""
+    return element_count(shape) * bytes_per_element
+
+
+def is_feature_map(shape: Shape) -> bool:
+    """True when ``shape`` is a channels-first 3-D feature map ``(C, H, W)``."""
+    return len(shape) == 3
+
+
+def is_vector(shape: Shape) -> bool:
+    """True when ``shape`` is a flat activation vector ``(F,)``."""
+    return len(shape) == 1
+
+
+def validate_shape(shape: Sequence[int]) -> Shape:
+    """Validate and normalise a user-supplied shape.
+
+    Raises
+    ------
+    ValueError
+        If the shape is empty or any dimension is not a positive integer.
+    """
+    if len(shape) == 0:
+        raise ValueError("shape must have at least one dimension")
+    normalised = []
+    for dim in shape:
+        if int(dim) != dim or int(dim) <= 0:
+            raise ValueError(f"shape dimensions must be positive integers, got {shape!r}")
+        normalised.append(int(dim))
+    return tuple(normalised)
+
+
+def conv_output_hw(
+    in_h: int,
+    in_w: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution / pooling window.
+
+    Implements Equation (3) of the paper:
+
+    ``W_i = (W_{i-1} - F^w_{i-1} + 2 P^w_{i-1}) / S^w_{i-1} + 1`` (and the same
+    for the height), using floor division as every deep-learning framework does.
+    """
+    kernel_h, kernel_w = kernel
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+    out_h = (in_h - kernel_h + 2 * pad_h) // stride_h + 1
+    out_w = (in_w - kernel_w + 2 * pad_w) // stride_w + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            "convolution window larger than padded input: "
+            f"input {in_h}x{in_w}, kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return out_h, out_w
+
+
+def same_padding(kernel: Tuple[int, int]) -> Tuple[int, int]:
+    """Padding that preserves the spatial size for stride-1 odd kernels."""
+    return kernel[0] // 2, kernel[1] // 2

@@ -1,0 +1,28 @@
+"""Model zoo: the five DNNs evaluated by the paper.
+
+Each constructor returns a fully annotated :class:`repro.graph.dag.DnnGraph`
+that is architecturally faithful (layer types, channel counts, kernel sizes,
+strides and paddings) to the published network.  Weights are irrelevant to the
+partitioning problem, so graphs carry only configurations; the functional
+numpy executor (:mod:`repro.tensors`) materialises random weights when actual
+activations are needed (e.g. to verify VSM losslessness).
+"""
+
+from repro.models.alexnet import build_alexnet
+from repro.models.vgg import build_vgg16
+from repro.models.resnet import build_resnet18
+from repro.models.darknet import build_darknet53
+from repro.models.inception import build_inception_v4
+from repro.models.zoo import MODEL_BUILDERS, PAPER_MODELS, build_model, list_models
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "PAPER_MODELS",
+    "build_alexnet",
+    "build_darknet53",
+    "build_inception_v4",
+    "build_model",
+    "build_resnet18",
+    "build_vgg16",
+    "list_models",
+]

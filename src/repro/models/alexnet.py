@@ -1,0 +1,72 @@
+"""AlexNet (Krizhevsky et al., 2012) — chain topology.
+
+The layer inventory matches the single-GPU variant used by modern frameworks
+(and by the paper's Fig. 4): five convolutions, three max-pooling layers and a
+three-layer classifier head.  AlexNet and VGG-16 are the two chain-topology
+networks of the evaluation, i.e. the only ones Neurosurgeon can partition.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import DnnGraph
+from repro.graph.shapes import Shape
+
+
+def build_alexnet(
+    input_shape: Shape = (3, 224, 224),
+    num_classes: int = 1000,
+    include_activations: bool = False,
+) -> DnnGraph:
+    """Build the AlexNet DAG.
+
+    Parameters
+    ----------
+    input_shape:
+        Channels-first input shape; the paper feeds ``3 x 224 x 224`` images.
+    num_classes:
+        Size of the classifier output (ImageNet: 1000).
+    include_activations:
+        When False, ReLU/LRN/Dropout vertices are omitted and only the compute
+        layers remain.  This compact view matches the per-layer bars shown in
+        the paper's figures and is handy for reporting; partitioning results
+        are unaffected because activation layers are cheap and in-place.
+    """
+    builder = GraphBuilder("alexnet", input_shape)
+
+    def act(name: str) -> None:
+        if include_activations:
+            builder.relu(name)
+
+    builder.conv("conv1", 64, kernel=11, stride=4, padding=2)
+    act("relu1")
+    if include_activations:
+        builder.lrn("lrn1")
+    builder.maxpool("maxpool1", kernel=3, stride=2)
+
+    builder.conv("conv2", 192, kernel=5, stride=1, padding=2)
+    act("relu2")
+    if include_activations:
+        builder.lrn("lrn2")
+    builder.maxpool("maxpool2", kernel=3, stride=2)
+
+    builder.conv("conv3", 384, kernel=3, stride=1, padding=1)
+    act("relu3")
+    builder.conv("conv4", 256, kernel=3, stride=1, padding=1)
+    act("relu4")
+    builder.conv("conv5", 256, kernel=3, stride=1, padding=1)
+    act("relu5")
+    builder.maxpool("maxpool3", kernel=3, stride=2)
+
+    builder.flatten("flatten")
+    if include_activations:
+        builder.dropout("drop1", 0.5)
+    builder.linear("fc1", 4096)
+    act("relu6")
+    if include_activations:
+        builder.dropout("drop2", 0.5)
+    builder.linear("fc2", 4096)
+    act("relu7")
+    builder.linear("fc3", num_classes)
+    builder.softmax("softmax")
+    return builder.build()

@@ -1,0 +1,75 @@
+"""Darknet-53 (Redmon & Farhadi, 2018) — the YOLOv3 backbone, DAG topology.
+
+Fifty-two convolutions plus the classifier: a 3x3 stem followed by five stages
+of stride-2 downsampling convolutions, each stage containing 1/2/8/8/4 residual
+units of (1x1 reduce, 3x3 expand, add).  Every convolution is followed by batch
+normalisation and LeakyReLU, matching the original architecture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import DnnGraph
+from repro.graph.shapes import Shape
+
+#: (stage index, downsampled output channels, number of residual units).
+DARKNET53_STAGES: List[Tuple[int, int, int]] = [
+    (1, 64, 1),
+    (2, 128, 2),
+    (3, 256, 8),
+    (4, 512, 8),
+    (5, 1024, 4),
+]
+
+
+def _residual_unit(
+    builder: GraphBuilder,
+    name: str,
+    channels: int,
+    include_activations: bool,
+) -> str:
+    """One Darknet residual unit: 1x1 reduce, 3x3 expand, element-wise add."""
+    block_input = builder.current
+    half = channels // 2
+    if include_activations:
+        builder.conv_bn_relu(f"{name}_conv1", half, kernel=1, stride=1, padding=0, leaky=True)
+        builder.conv_bn_relu(f"{name}_conv2", channels, kernel=3, stride=1, padding=1, leaky=True)
+    else:
+        builder.conv(f"{name}_conv1", half, kernel=1, stride=1, padding=0, bias=False)
+        builder.conv(f"{name}_conv2", channels, kernel=3, stride=1, padding=1, bias=False)
+    builder.residual_add(f"{name}_add", inputs=[builder.current, block_input])
+    return builder.current
+
+
+def build_darknet53(
+    input_shape: Shape = (3, 224, 224),
+    num_classes: int = 1000,
+    include_activations: bool = False,
+) -> DnnGraph:
+    """Build the Darknet-53 classification DAG."""
+    builder = GraphBuilder("darknet53", input_shape)
+
+    def conv_block(name: str, channels: int, kernel: int, stride: int, padding: int) -> None:
+        if include_activations:
+            builder.conv_bn_relu(name, channels, kernel=kernel, stride=stride, padding=padding, leaky=True)
+        else:
+            builder.conv(name, channels, kernel=kernel, stride=stride, padding=padding, bias=False)
+
+    conv_block("conv1", 32, kernel=3, stride=1, padding=1)
+
+    for stage_index, channels, residual_count in DARKNET53_STAGES:
+        conv_block(f"conv_down{stage_index}", channels, kernel=3, stride=2, padding=1)
+        for unit in range(1, residual_count + 1):
+            _residual_unit(
+                builder,
+                name=f"stage{stage_index}_res{unit}",
+                channels=channels,
+                include_activations=include_activations,
+            )
+
+    builder.global_avgpool("avgpool")
+    builder.linear("fc", num_classes)
+    builder.softmax("softmax")
+    return builder.build()

@@ -1,0 +1,187 @@
+"""Inception-v4 (Szegedy et al., 2017) — multi-branch DAG topology.
+
+The full architecture: stem, 4 x Inception-A, Reduction-A, 7 x Inception-B,
+Reduction-B, 3 x Inception-C, global average pooling and the classifier.  The
+Inception-C module is the "grid module" depicted in Fig. 3 of the paper, whose
+DAG representation motivates HPA's graph-layer construction.
+
+The paper feeds 3 x 224 x 224 inputs (the original network uses 299 x 299);
+all valid-padding stem layers keep positive spatial sizes for both, so the
+architecture is unchanged and only the feature-map resolutions differ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import DnnGraph
+from repro.graph.shapes import Shape
+
+
+class _InceptionBuilder:
+    """Thin wrapper adding Inception-style conv-bn-relu and branch helpers."""
+
+    def __init__(self, builder: GraphBuilder, include_activations: bool) -> None:
+        self.builder = builder
+        self.include_activations = include_activations
+
+    def conv(
+        self,
+        name: str,
+        channels: int,
+        kernel,
+        stride=1,
+        padding=None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Conv-BN-ReLU unit (the basic Inception building block)."""
+        if self.include_activations:
+            return self.builder.conv_bn_relu(
+                name, channels, kernel=kernel, stride=stride, padding=padding, inputs=inputs
+            )
+        return self.builder.conv(
+            name, channels, kernel=kernel, stride=stride, padding=padding, bias=False, inputs=inputs
+        )
+
+    def maxpool(self, name: str, kernel, stride, padding=0, inputs=None) -> str:
+        return self.builder.maxpool(name, kernel=kernel, stride=stride, padding=padding, inputs=inputs)
+
+    def avgpool_same(self, name: str, inputs=None) -> str:
+        """3x3 stride-1 average pooling with same padding (Inception pool branch)."""
+        return self.builder.avgpool(name, kernel=3, stride=1, padding=1, inputs=inputs)
+
+    def concat(self, name: str, inputs: Sequence[str]) -> str:
+        return self.builder.concat(name, inputs=inputs)
+
+
+def _stem(ib: _InceptionBuilder) -> str:
+    """Inception-v4 stem: three initial convs and three mixed blocks."""
+    ib.conv("stem_conv1", 32, kernel=3, stride=2, padding=0)
+    ib.conv("stem_conv2", 32, kernel=3, stride=1, padding=0)
+    ib.conv("stem_conv3", 64, kernel=3, stride=1, padding=1)
+    trunk = ib.builder.current
+
+    pool_branch = ib.maxpool("stem_mixed1_pool", kernel=3, stride=2, padding=0, inputs=[trunk])
+    conv_branch = ib.conv("stem_mixed1_conv", 96, kernel=3, stride=2, padding=0, inputs=[trunk])
+    mixed1 = ib.concat("stem_mixed1", [pool_branch, conv_branch])
+
+    left = ib.conv("stem_mixed2_l1", 64, kernel=1, padding=0, inputs=[mixed1])
+    left = ib.conv("stem_mixed2_l2", 96, kernel=3, padding=0)
+    right = ib.conv("stem_mixed2_r1", 64, kernel=1, padding=0, inputs=[mixed1])
+    right = ib.conv("stem_mixed2_r2", 64, kernel=(7, 1), padding=(3, 0))
+    right = ib.conv("stem_mixed2_r3", 64, kernel=(1, 7), padding=(0, 3))
+    right = ib.conv("stem_mixed2_r4", 96, kernel=3, padding=0)
+    mixed2 = ib.concat("stem_mixed2", [left, right])
+
+    conv_branch = ib.conv("stem_mixed3_conv", 192, kernel=3, stride=2, padding=0, inputs=[mixed2])
+    pool_branch = ib.maxpool("stem_mixed3_pool", kernel=3, stride=2, padding=0, inputs=[mixed2])
+    return ib.concat("stem_mixed3", [conv_branch, pool_branch])
+
+
+def _inception_a(ib: _InceptionBuilder, name: str, block_input: str) -> str:
+    """Inception-A module (35x35 grid in the original resolution)."""
+    pool = ib.avgpool_same(f"{name}_pool", inputs=[block_input])
+    branch0 = ib.conv(f"{name}_b0_conv", 96, kernel=1, padding=0, inputs=[pool])
+    branch1 = ib.conv(f"{name}_b1_conv", 96, kernel=1, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv1", 64, kernel=1, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv2", 96, kernel=3, padding=1)
+    branch3 = ib.conv(f"{name}_b3_conv1", 64, kernel=1, padding=0, inputs=[block_input])
+    branch3 = ib.conv(f"{name}_b3_conv2", 96, kernel=3, padding=1)
+    branch3 = ib.conv(f"{name}_b3_conv3", 96, kernel=3, padding=1)
+    return ib.concat(f"{name}_concat", [branch0, branch1, branch2, branch3])
+
+
+def _reduction_a(ib: _InceptionBuilder, name: str, block_input: str) -> str:
+    """Reduction-A module (35x35 -> 17x17)."""
+    pool = ib.maxpool(f"{name}_pool", kernel=3, stride=2, padding=0, inputs=[block_input])
+    branch1 = ib.conv(f"{name}_b1_conv", 384, kernel=3, stride=2, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv1", 192, kernel=1, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv2", 224, kernel=3, padding=1)
+    branch2 = ib.conv(f"{name}_b2_conv3", 256, kernel=3, stride=2, padding=0)
+    return ib.concat(f"{name}_concat", [pool, branch1, branch2])
+
+
+def _inception_b(ib: _InceptionBuilder, name: str, block_input: str) -> str:
+    """Inception-B module (17x17 grid)."""
+    pool = ib.avgpool_same(f"{name}_pool", inputs=[block_input])
+    branch0 = ib.conv(f"{name}_b0_conv", 128, kernel=1, padding=0, inputs=[pool])
+    branch1 = ib.conv(f"{name}_b1_conv", 384, kernel=1, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv1", 192, kernel=1, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv2", 224, kernel=(1, 7), padding=(0, 3))
+    branch2 = ib.conv(f"{name}_b2_conv3", 256, kernel=(7, 1), padding=(3, 0))
+    branch3 = ib.conv(f"{name}_b3_conv1", 192, kernel=1, padding=0, inputs=[block_input])
+    branch3 = ib.conv(f"{name}_b3_conv2", 192, kernel=(1, 7), padding=(0, 3))
+    branch3 = ib.conv(f"{name}_b3_conv3", 224, kernel=(7, 1), padding=(3, 0))
+    branch3 = ib.conv(f"{name}_b3_conv4", 224, kernel=(1, 7), padding=(0, 3))
+    branch3 = ib.conv(f"{name}_b3_conv5", 256, kernel=(7, 1), padding=(3, 0))
+    return ib.concat(f"{name}_concat", [branch0, branch1, branch2, branch3])
+
+
+def _reduction_b(ib: _InceptionBuilder, name: str, block_input: str) -> str:
+    """Reduction-B module (17x17 -> 8x8)."""
+    pool = ib.maxpool(f"{name}_pool", kernel=3, stride=2, padding=0, inputs=[block_input])
+    branch1 = ib.conv(f"{name}_b1_conv1", 192, kernel=1, padding=0, inputs=[block_input])
+    branch1 = ib.conv(f"{name}_b1_conv2", 192, kernel=3, stride=2, padding=0)
+    branch2 = ib.conv(f"{name}_b2_conv1", 256, kernel=1, padding=0, inputs=[block_input])
+    branch2 = ib.conv(f"{name}_b2_conv2", 256, kernel=(1, 7), padding=(0, 3))
+    branch2 = ib.conv(f"{name}_b2_conv3", 320, kernel=(7, 1), padding=(3, 0))
+    branch2 = ib.conv(f"{name}_b2_conv4", 320, kernel=3, stride=2, padding=0)
+    return ib.concat(f"{name}_concat", [pool, branch1, branch2])
+
+
+def _inception_c(ib: _InceptionBuilder, name: str, block_input: str) -> str:
+    """Inception-C module — the "grid module" shown in Fig. 3 of the paper."""
+    pool = ib.avgpool_same(f"{name}_pool", inputs=[block_input])
+    branch0 = ib.conv(f"{name}_b0_conv", 256, kernel=1, padding=0, inputs=[pool])
+    branch1 = ib.conv(f"{name}_b1_conv", 256, kernel=1, padding=0, inputs=[block_input])
+
+    branch2_stem = ib.conv(f"{name}_b2_conv1", 384, kernel=1, padding=0, inputs=[block_input])
+    branch2_left = ib.conv(f"{name}_b2_conv1x3", 256, kernel=(1, 3), padding=(0, 1), inputs=[branch2_stem])
+    branch2_right = ib.conv(f"{name}_b2_conv3x1", 256, kernel=(3, 1), padding=(1, 0), inputs=[branch2_stem])
+
+    branch3_stem = ib.conv(f"{name}_b3_conv1", 384, kernel=1, padding=0, inputs=[block_input])
+    branch3_stem = ib.conv(f"{name}_b3_conv1x3", 448, kernel=(1, 3), padding=(0, 1))
+    branch3_stem = ib.conv(f"{name}_b3_conv3x1", 512, kernel=(3, 1), padding=(1, 0))
+    branch3_left = ib.conv(f"{name}_b3_conv3x1b", 256, kernel=(3, 1), padding=(1, 0), inputs=[branch3_stem])
+    branch3_right = ib.conv(f"{name}_b3_conv1x3b", 256, kernel=(1, 3), padding=(0, 1), inputs=[branch3_stem])
+
+    return ib.concat(
+        f"{name}_concat",
+        [branch0, branch1, branch2_left, branch2_right, branch3_left, branch3_right],
+    )
+
+
+def build_inception_v4(
+    input_shape: Shape = (3, 224, 224),
+    num_classes: int = 1000,
+    include_activations: bool = False,
+    num_a: int = 4,
+    num_b: int = 7,
+    num_c: int = 3,
+) -> DnnGraph:
+    """Build the Inception-v4 DAG.
+
+    ``num_a``, ``num_b`` and ``num_c`` control the number of Inception-A/B/C
+    repetitions (4/7/3 in the published architecture); smaller values are handy
+    for fast unit tests.
+    """
+    builder = GraphBuilder("inception_v4", input_shape)
+    ib = _InceptionBuilder(builder, include_activations)
+
+    current = _stem(ib)
+    for i in range(1, num_a + 1):
+        current = _inception_a(ib, f"inception_a{i}", current)
+    current = _reduction_a(ib, "reduction_a", current)
+    for i in range(1, num_b + 1):
+        current = _inception_b(ib, f"inception_b{i}", current)
+    current = _reduction_b(ib, "reduction_b", current)
+    for i in range(1, num_c + 1):
+        current = _inception_c(ib, f"inception_c{i}", current)
+
+    builder.global_avgpool("avgpool", inputs=[current])
+    if include_activations:
+        builder.dropout("dropout", 0.2)
+    builder.linear("fc", num_classes)
+    builder.softmax("softmax")
+    return builder.build()

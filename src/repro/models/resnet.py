@@ -1,0 +1,90 @@
+"""ResNet-18 (He et al., 2016) — DAG topology via residual additions.
+
+Four stages of two basic blocks each (64, 128, 256, 512 channels); the first
+block of stages 2-4 downsamples with stride 2 and a 1x1 projection on the skip
+path.  The element-wise additions make the graph a genuine DAG, so ResNet-18 is
+one of the networks Neurosurgeon cannot partition but DADS and HPA can.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import DnnGraph
+from repro.graph.shapes import Shape
+
+
+def _basic_block(
+    builder: GraphBuilder,
+    name: str,
+    channels: int,
+    stride: int,
+    downsample: bool,
+    include_activations: bool,
+) -> str:
+    """Append one ResNet basic block and return the name of its output vertex."""
+    block_input = builder.current
+
+    builder.conv(f"{name}_conv1", channels, kernel=3, stride=stride, padding=1, bias=False)
+    if include_activations:
+        builder.batchnorm(f"{name}_bn1")
+        builder.relu(f"{name}_relu1")
+    builder.conv(f"{name}_conv2", channels, kernel=3, stride=1, padding=1, bias=False)
+    if include_activations:
+        builder.batchnorm(f"{name}_bn2")
+    main_branch = builder.current
+
+    if downsample:
+        builder.conv(
+            f"{name}_downsample",
+            channels,
+            kernel=1,
+            stride=stride,
+            padding=0,
+            bias=False,
+            inputs=[block_input],
+        )
+        if include_activations:
+            builder.batchnorm(f"{name}_downsample_bn")
+        skip_branch = builder.current
+    else:
+        skip_branch = block_input
+
+    builder.residual_add(f"{name}_add", inputs=[main_branch, skip_branch])
+    if include_activations:
+        builder.relu(f"{name}_relu2")
+    return builder.current
+
+
+def build_resnet18(
+    input_shape: Shape = (3, 224, 224),
+    num_classes: int = 1000,
+    include_activations: bool = False,
+) -> DnnGraph:
+    """Build the ResNet-18 DAG."""
+    builder = GraphBuilder("resnet18", input_shape)
+
+    builder.conv("conv1", 64, kernel=7, stride=2, padding=3, bias=False)
+    if include_activations:
+        builder.batchnorm("bn1")
+        builder.relu("relu1")
+    builder.maxpool("maxpool1", kernel=3, stride=2, padding=1)
+
+    stage_channels = [64, 128, 256, 512]
+    for stage_index, channels in enumerate(stage_channels, start=1):
+        for block_index in range(2):
+            first_block = block_index == 0
+            stride = 2 if (first_block and stage_index > 1) else 1
+            downsample = first_block and stage_index > 1
+            _basic_block(
+                builder,
+                name=f"layer{stage_index}_block{block_index + 1}",
+                channels=channels,
+                stride=stride,
+                downsample=downsample,
+                include_activations=include_activations,
+            )
+
+    builder.global_avgpool("avgpool")
+    builder.linear("fc", num_classes)
+    builder.softmax("softmax")
+    return builder.build()

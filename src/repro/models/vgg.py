@@ -1,0 +1,54 @@
+"""VGG-16 (Simonyan & Zisserman, 2014) — chain topology.
+
+Thirteen 3x3 convolutions in five blocks separated by 2x2 max-pooling, followed
+by the 4096-4096-1000 classifier head.  This is the most compute-hungry chain
+network of the evaluation: its conv layers dominate Fig. 1a and its fc1 layer
+dominates the inter-layer output sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import DnnGraph
+from repro.graph.shapes import Shape
+
+#: (block index, number of convolutions, output channels) for VGG-16.
+VGG16_BLOCKS: List[Tuple[int, int, int]] = [
+    (1, 2, 64),
+    (2, 2, 128),
+    (3, 3, 256),
+    (4, 3, 512),
+    (5, 3, 512),
+]
+
+
+def build_vgg16(
+    input_shape: Shape = (3, 224, 224),
+    num_classes: int = 1000,
+    include_activations: bool = False,
+) -> DnnGraph:
+    """Build the VGG-16 DAG (configuration "D" of the original paper)."""
+    builder = GraphBuilder("vgg16", input_shape)
+    conv_index = 0
+    for block, conv_count, channels in VGG16_BLOCKS:
+        for _ in range(conv_count):
+            conv_index += 1
+            builder.conv(f"conv{conv_index}", channels, kernel=3, stride=1, padding=1)
+            if include_activations:
+                builder.relu(f"relu{conv_index}")
+        builder.maxpool(f"maxpool{block}", kernel=2, stride=2)
+
+    builder.flatten("flatten")
+    builder.linear("fc1", 4096)
+    if include_activations:
+        builder.relu("relu_fc1")
+        builder.dropout("drop1", 0.5)
+    builder.linear("fc2", 4096)
+    if include_activations:
+        builder.relu("relu_fc2")
+        builder.dropout("drop2", 0.5)
+    builder.linear("fc3", num_classes)
+    builder.softmax("softmax")
+    return builder.build()

@@ -1,0 +1,86 @@
+"""Registry of the paper's evaluation models.
+
+``build_model("vgg16")`` is the single entry point used by the examples, the
+experiment harness and the benchmarks, so scenario code never needs to know
+which concrete builder to call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph.dag import DnnGraph
+from repro.graph.shapes import Shape
+from repro.models.alexnet import build_alexnet
+from repro.models.darknet import build_darknet53
+from repro.models.inception import build_inception_v4
+from repro.models.resnet import build_resnet18
+from repro.models.vgg import build_vgg16
+
+ModelBuilder = Callable[..., DnnGraph]
+
+#: Name -> builder mapping for every model the paper evaluates.
+MODEL_BUILDERS: Dict[str, ModelBuilder] = {
+    "alexnet": build_alexnet,
+    "vgg16": build_vgg16,
+    "resnet18": build_resnet18,
+    "darknet53": build_darknet53,
+    "inception_v4": build_inception_v4,
+}
+
+#: Evaluation order used by the paper's figures.
+PAPER_MODELS: List[str] = ["alexnet", "vgg16", "resnet18", "darknet53", "inception_v4"]
+
+#: Display names matching the paper's figures and tables.
+DISPLAY_NAMES: Dict[str, str] = {
+    "alexnet": "AlexNet",
+    "vgg16": "VGG-16",
+    "resnet18": "ResNet-18",
+    "darknet53": "Darknet-53",
+    "inception_v4": "Inception-v4",
+}
+
+
+def _normalise(name: str) -> str:
+    """Canonical lookup key: lower-case with separators removed."""
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+#: Normalised-name -> registry-key aliases ("ResNet-18" and "resnet18" both work).
+_ALIASES: Dict[str, str] = {_normalise(key): key for key in MODEL_BUILDERS}
+
+
+def list_models() -> List[str]:
+    """Return the names of all registered models."""
+    return list(MODEL_BUILDERS)
+
+
+def build_model(
+    name: str,
+    input_shape: Shape = (3, 224, 224),
+    num_classes: int = 1000,
+    include_activations: bool = False,
+    **kwargs,
+) -> DnnGraph:
+    """Build a registered model by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a registered model.
+    """
+    key = _normalise(name)
+    if key not in _ALIASES:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}")
+    return MODEL_BUILDERS[_ALIASES[key]](
+        input_shape=input_shape,
+        num_classes=num_classes,
+        include_activations=include_activations,
+        **kwargs,
+    )
+
+
+def display_name(name: str) -> str:
+    """Return the display name used in the paper's figures."""
+    key = _ALIASES.get(_normalise(name))
+    return DISPLAY_NAMES.get(key, name)

@@ -1,0 +1,29 @@
+"""Inter-tier communication substrate.
+
+Models the links of the edge-computing deployment of section IV: the device
+and the edge nodes share a LAN (5 GHz Wi-Fi), while both reach the cloud node
+through a backbone link whose technology (Wi-Fi, 4G, 5G, or optical fibre) is
+the experimental variable of the evaluation.  The average uplink rates come
+from Table III of the paper.
+"""
+
+from repro.network.link import NetworkLink, transfer_seconds
+from repro.network.conditions import (
+    BandwidthTrace,
+    NetworkCondition,
+    NETWORK_CONDITIONS,
+    TABLE_III_UPLINK_MBPS,
+    get_condition,
+    list_conditions,
+)
+
+__all__ = [
+    "BandwidthTrace",
+    "NETWORK_CONDITIONS",
+    "NetworkCondition",
+    "NetworkLink",
+    "TABLE_III_UPLINK_MBPS",
+    "get_condition",
+    "list_conditions",
+    "transfer_seconds",
+]

@@ -1,0 +1,184 @@
+"""Network operating points of the evaluation (Table III of the paper).
+
+The device and edge nodes always share a 5 GHz Wi-Fi LAN; the backbone link
+from the LAN to the cloud is the experimental variable (Wi-Fi, 4G, 5G or an
+optical network).  When the edge uses the optical network, the device still
+reaches the cloud over its Wi-Fi link.
+
+All rates are average uplink rates in Mbps, copied verbatim from Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.link import NetworkLink
+
+#: Table III of the paper: average uplink rate (Mbps) between two nodes.
+TABLE_III_UPLINK_MBPS: Dict[str, Dict[str, float]] = {
+    "wifi": {"device-edge": 84.95, "edge-cloud": 31.53, "device-cloud": 18.75},
+    "4g": {"device-edge": 84.95, "edge-cloud": 13.79, "device-cloud": 6.12},
+    "5g": {"device-edge": 84.95, "edge-cloud": 22.75, "device-cloud": 11.64},
+    "optical": {"device-edge": 84.95, "edge-cloud": 50.23, "device-cloud": 18.75},
+}
+
+#: Display names matching the paper's figure captions.
+CONDITION_DISPLAY_NAMES = {
+    "wifi": "Wi-Fi",
+    "4g": "4G",
+    "5g": "5G",
+    "optical": "Optical Network",
+}
+
+
+@dataclass(frozen=True)
+class NetworkCondition:
+    """One network scenario: the bandwidth of every tier pair.
+
+    The paper assumes symmetric two-way delays between tiers and negligible
+    delay within a tier, which is reflected by :meth:`bandwidth_mbps` being
+    symmetric and :meth:`transfer_seconds` returning zero for same-tier pairs.
+    """
+
+    name: str
+    device_edge_mbps: float
+    edge_cloud_mbps: float
+    device_cloud_mbps: float
+    intra_tier_mbps: float = 0.0  # 0 means "infinite" (negligible delay)
+
+    def __post_init__(self) -> None:
+        for value in (self.device_edge_mbps, self.edge_cloud_mbps, self.device_cloud_mbps):
+            if value <= 0:
+                raise ValueError("bandwidths must be positive")
+
+    # ------------------------------------------------------------------ #
+    def bandwidth_mbps(self, source, destination) -> float:
+        """Symmetric bandwidth between two tiers (``inf`` within a tier)."""
+        src = getattr(source, "value", source)
+        dst = getattr(destination, "value", destination)
+        if src == dst:
+            return float("inf")
+        pair = frozenset((src, dst))
+        if pair == frozenset(("device", "edge")):
+            return self.device_edge_mbps
+        if pair == frozenset(("edge", "cloud")):
+            return self.edge_cloud_mbps
+        if pair == frozenset(("device", "cloud")):
+            return self.device_cloud_mbps
+        raise KeyError(f"unknown tier pair ({src}, {dst})")
+
+    def transfer_seconds(self, payload_bytes: int, source, destination) -> float:
+        """Transmission delay of a payload between two tiers."""
+        src = getattr(source, "value", source)
+        dst = getattr(destination, "value", destination)
+        if src == dst:
+            if self.intra_tier_mbps > 0:
+                return payload_bytes / (self.intra_tier_mbps * 1e6 / 8.0)
+            return 0.0
+        return payload_bytes / (self.bandwidth_mbps(src, dst) * 1e6 / 8.0)
+
+    def links(self) -> List[NetworkLink]:
+        """The three inter-tier links of this condition."""
+        return [
+            NetworkLink("device", "edge", self.device_edge_mbps),
+            NetworkLink("edge", "cloud", self.edge_cloud_mbps),
+            NetworkLink("device", "cloud", self.device_cloud_mbps),
+        ]
+
+    # ------------------------------------------------------------------ #
+    def with_backbone_mbps(self, bandwidth_mbps: float) -> "NetworkCondition":
+        """Copy with the LAN-to-cloud bandwidth set to ``bandwidth_mbps``.
+
+        Used by the Fig. 11 sweep ("bandwidth between the LAN and the cloud
+        node"): both the edge-to-cloud and device-to-cloud rates are set to the
+        swept value while the LAN link is unchanged.
+        """
+        return NetworkCondition(
+            name=f"{self.name}@{bandwidth_mbps:g}Mbps",
+            device_edge_mbps=self.device_edge_mbps,
+            edge_cloud_mbps=bandwidth_mbps,
+            device_cloud_mbps=bandwidth_mbps,
+            intra_tier_mbps=self.intra_tier_mbps,
+        )
+
+    def scaled_backbone(self, factor: float) -> "NetworkCondition":
+        """Copy with the LAN-to-cloud rates multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return NetworkCondition(
+            name=f"{self.name}(x{factor:g})",
+            device_edge_mbps=self.device_edge_mbps,
+            edge_cloud_mbps=self.edge_cloud_mbps * factor,
+            device_cloud_mbps=self.device_cloud_mbps * factor,
+            intra_tier_mbps=self.intra_tier_mbps,
+        )
+
+    @property
+    def display_name(self) -> str:
+        return CONDITION_DISPLAY_NAMES.get(self.name, self.name)
+
+
+def _build_conditions() -> Dict[str, NetworkCondition]:
+    conditions = {}
+    for name, rates in TABLE_III_UPLINK_MBPS.items():
+        conditions[name] = NetworkCondition(
+            name=name,
+            device_edge_mbps=rates["device-edge"],
+            edge_cloud_mbps=rates["edge-cloud"],
+            device_cloud_mbps=rates["device-cloud"],
+        )
+    return conditions
+
+
+#: The four evaluation scenarios of the paper, keyed by short name.
+NETWORK_CONDITIONS: Dict[str, NetworkCondition] = _build_conditions()
+
+
+def list_conditions() -> List[str]:
+    """Names of the available network conditions, in the paper's order."""
+    return ["wifi", "4g", "5g", "optical"]
+
+
+def get_condition(name: str) -> NetworkCondition:
+    """Look up a named network condition (case-insensitive)."""
+    key = name.lower().replace(" ", "").replace("-", "")
+    aliases = {"wifi": "wifi", "4g": "4g", "5g": "5g", "optical": "optical", "opticalnetwork": "optical"}
+    if key not in aliases:
+        raise KeyError(f"unknown network condition {name!r}; available: {list_conditions()}")
+    return NETWORK_CONDITIONS[aliases[key]]
+
+
+@dataclass
+class BandwidthTrace:
+    """A piecewise-constant bandwidth trace for the dynamics experiments.
+
+    ``samples`` is a sequence of ``(start_time_s, multiplier)`` pairs applied to
+    a base :class:`NetworkCondition`'s backbone bandwidth.  The trace models
+    congestion episodes on the backbone; HPA's dynamic re-partitioner reacts
+    when the multiplier leaves the configured threshold band.
+    """
+
+    base: NetworkCondition
+    samples: Sequence[Tuple[float, float]] = field(default_factory=lambda: [(0.0, 1.0)])
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("trace needs at least one sample")
+        times = [t for t, _ in self.samples]
+        if times != sorted(times):
+            raise ValueError("trace samples must be ordered by time")
+
+    def multiplier_at(self, time_s: float) -> float:
+        """Backbone multiplier in effect at ``time_s``."""
+        current = self.samples[0][1]
+        for start, multiplier in self.samples:
+            if time_s >= start:
+                current = multiplier
+            else:
+                break
+        return current
+
+    def condition_at(self, time_s: float) -> NetworkCondition:
+        """The effective network condition at ``time_s``."""
+        return self.base.scaled_backbone(self.multiplier_at(time_s))

@@ -1,0 +1,74 @@
+"""Point-to-point network links between computing tiers.
+
+A :class:`NetworkLink` converts tensor sizes into transmission delays, which is
+how the paper computes the link weights ``T_{(v_i, v_j)}``: "the output data
+size of ``v_i`` divided by the network bandwidth between ``l_i`` and ``l_j``"
+(section III-D), plus an optional fixed propagation/round-trip component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MBPS_TO_BYTES_PER_SECOND = 1e6 / 8.0
+
+
+def transfer_seconds(payload_bytes: int, bandwidth_mbps: float, latency_s: float = 0.0) -> float:
+    """Time to ship ``payload_bytes`` over a link of ``bandwidth_mbps``.
+
+    Parameters
+    ----------
+    payload_bytes:
+        Size of the serialized tensor (or message) in bytes.
+    bandwidth_mbps:
+        Link uplink rate in megabits per second (the unit of Table III).
+    latency_s:
+        Fixed one-way propagation latency added to every transfer.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes cannot be negative")
+    if bandwidth_mbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if payload_bytes == 0:
+        return 0.0
+    return payload_bytes / (bandwidth_mbps * MBPS_TO_BYTES_PER_SECOND) + latency_s
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A directed link between two computing tiers.
+
+    Attributes
+    ----------
+    source, destination:
+        Tier names ("device", "edge", "cloud").
+    bandwidth_mbps:
+        Average uplink rate in Mbps.
+    latency_s:
+        Fixed propagation latency (defaults to zero; the paper folds it into
+        the measured rates).
+    """
+
+    source: str
+    destination: str
+    bandwidth_mbps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Transmission delay of ``payload_bytes`` over this link."""
+        return transfer_seconds(payload_bytes, self.bandwidth_mbps, self.latency_s)
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "NetworkLink":
+        """Copy of the link with a different bandwidth (for sweeps/dynamics)."""
+        return NetworkLink(self.source, self.destination, bandwidth_mbps, self.latency_s)
+
+    @property
+    def key(self) -> tuple:
+        """Unordered tier pair, matching the paper's symmetric-delay assumption."""
+        return tuple(sorted((self.source, self.destination)))

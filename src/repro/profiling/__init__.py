@@ -1,0 +1,46 @@
+"""Latency-estimation substrate.
+
+The paper's testbed (Raspberry Pi 4 / Jetson Nano device, Core i7-8700 edge
+machines, RTX 2080 Ti cloud server) is replaced by:
+
+* :mod:`repro.profiling.hardware` — calibrated hardware capability presets;
+* :mod:`repro.profiling.cost_model` — an analytic roofline-style per-layer
+  latency model that plays the role of "running the layer on the hardware"
+  (the simulated ground truth);
+* :mod:`repro.profiling.profiler` — the D3 profiler: it samples noisy layer
+  latencies on each tier and monitors the inter-tier bandwidth;
+* :mod:`repro.profiling.regression` — the paper's regression model: it learns
+  per-layer latency from layer configuration + hardware features and is what
+  HPA actually consumes.
+"""
+
+from repro.profiling.hardware import (
+    CLOUD_SERVER,
+    EDGE_DESKTOP,
+    HardwareSpec,
+    JETSON_NANO,
+    RASPBERRY_PI_4,
+    TIER_PRESETS,
+)
+from repro.profiling.cost_model import AnalyticCostModel, LayerCost
+from repro.profiling.features import LayerFeatureExtractor, FEATURE_NAMES
+from repro.profiling.regression import LatencyRegressionModel, RegressionReport
+from repro.profiling.profiler import LatencyProfile, Profiler, ProfiledMeasurement
+
+__all__ = [
+    "AnalyticCostModel",
+    "CLOUD_SERVER",
+    "EDGE_DESKTOP",
+    "FEATURE_NAMES",
+    "HardwareSpec",
+    "JETSON_NANO",
+    "LatencyProfile",
+    "LatencyRegressionModel",
+    "LayerCost",
+    "LayerFeatureExtractor",
+    "ProfiledMeasurement",
+    "Profiler",
+    "RASPBERRY_PI_4",
+    "RegressionReport",
+    "TIER_PRESETS",
+]

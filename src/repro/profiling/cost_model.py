@@ -1,0 +1,195 @@
+"""Analytic per-layer latency model (the simulated testbed).
+
+The paper measures per-layer latencies by running the networks on physical
+machines.  We replace the machines with a roofline-style analytic model:
+
+``latency = max(compute_time, memory_time) + overhead``
+
+* ``compute_time`` — the layer's FLOPs divided by the node's sustained
+  throughput, de-rated by a per-layer-kind *arithmetic efficiency* (small 1x1
+  convolutions and element-wise layers achieve a much lower fraction of peak
+  than large GEMM-like convolutions);
+* ``memory_time`` — the bytes the layer must stream (inputs + outputs +
+  weights) divided by the node's memory bandwidth;
+* ``overhead`` — a fixed per-kernel launch/framework overhead.
+
+This is the **ground truth** of the reproduction: the profiler samples noisy
+observations of it, the regression model learns to predict it, and the runtime
+simulator charges it when executing a partition.  The absolute values are not
+expected to match the paper's testbed, but the model preserves the properties
+the algorithms rely on: convolutions dominate latency, latency drops by orders
+of magnitude from device to cloud, and feature-map sizes shrink monotonically
+through the network while early layers stay cheap to ship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.graph.dag import DnnGraph, Vertex
+from repro.graph.shapes import tensor_bytes
+from repro.profiling.hardware import HardwareSpec
+
+#: Fraction of the node's sustained throughput each layer kind achieves on a
+#: CPU execution engine.
+CPU_EFFICIENCY: Dict[str, float] = {
+    "conv": 0.55,
+    "linear": 0.65,
+    "maxpool": 0.20,
+    "avgpool": 0.20,
+    "globalavgpool": 0.15,
+    "batchnorm": 0.12,
+    "relu": 0.10,
+    "leakyrelu": 0.10,
+    "lrn": 0.15,
+    "softmax": 0.10,
+    "add": 0.12,
+    "concat": 0.10,
+    "flatten": 0.10,
+    "dropout": 0.10,
+    "input": 1.0,
+}
+
+#: Fraction of the node's sustained throughput each layer kind achieves on a
+#: GPU execution engine.  GPUs are comparatively worse at tiny, bandwidth-bound
+#: layers, which is what keeps per-layer overheads visible in Fig. 4b.
+GPU_EFFICIENCY: Dict[str, float] = {
+    "conv": 0.50,
+    "linear": 0.35,
+    "maxpool": 0.15,
+    "avgpool": 0.15,
+    "globalavgpool": 0.10,
+    "batchnorm": 0.10,
+    "relu": 0.08,
+    "leakyrelu": 0.08,
+    "lrn": 0.10,
+    "softmax": 0.08,
+    "add": 0.10,
+    "concat": 0.08,
+    "flatten": 0.08,
+    "dropout": 0.08,
+    "input": 1.0,
+}
+
+_DEFAULT_EFFICIENCY = 0.10
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Latency breakdown for one layer on one hardware node."""
+
+    vertex_name: str
+    kind: str
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Roofline latency: compute and memory overlap, overhead does not."""
+        return max(self.compute_seconds, self.memory_seconds) + self.overhead_seconds
+
+
+class AnalyticCostModel:
+    """Roofline-style analytic latency model for one hardware node.
+
+    Parameters
+    ----------
+    hardware:
+        The node to model.
+    use_gpu:
+        Force CPU execution even on GPU nodes when ``False``; by default the
+        fastest available engine is used.
+    """
+
+    def __init__(self, hardware: HardwareSpec, use_gpu: Optional[bool] = None) -> None:
+        self.hardware = hardware
+        if use_gpu is None:
+            use_gpu = hardware.has_gpu
+        if use_gpu and not hardware.has_gpu:
+            raise ValueError(f"{hardware.name} has no GPU")
+        self.use_gpu = use_gpu
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _throughput_gflops(self) -> float:
+        return self.hardware.gpu_gflops if self.use_gpu else self.hardware.cpu_gflops
+
+    def _efficiency(self, kind: str) -> float:
+        table = GPU_EFFICIENCY if self.use_gpu else CPU_EFFICIENCY
+        return table.get(kind, _DEFAULT_EFFICIENCY)
+
+    # ------------------------------------------------------------------ #
+    def layer_cost(self, graph: DnnGraph, vertex: Vertex) -> LayerCost:
+        """Latency breakdown of one vertex of ``graph`` on this node."""
+        input_bytes = sum(p.output_bytes for p in graph.predecessors(vertex.index))
+        output_bytes = vertex.output_bytes
+        weight_bytes = vertex.weight_count * 4
+        moved_bytes = input_bytes + output_bytes + weight_bytes
+
+        throughput = self._throughput_gflops * 1e9 * self._efficiency(vertex.kind)
+        compute_seconds = vertex.flops / throughput if vertex.flops else 0.0
+        bandwidth = self.hardware.memory_bandwidth_gbps * 1e9
+        memory_seconds = moved_bytes / bandwidth if moved_bytes else 0.0
+        overhead = 0.0 if vertex.kind == "input" else self.hardware.per_layer_overhead_s
+        return LayerCost(
+            vertex_name=vertex.name,
+            kind=vertex.kind,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            overhead_seconds=overhead,
+        )
+
+    def layer_latency(self, graph: DnnGraph, vertex: Vertex) -> float:
+        """Total latency in seconds of one vertex on this node."""
+        return self.layer_cost(graph, vertex).total_seconds
+
+    def graph_latencies(self, graph: DnnGraph) -> Dict[int, float]:
+        """Per-vertex latency of the whole graph, keyed by vertex index."""
+        return {v.index: self.layer_latency(graph, v) for v in graph}
+
+    def total_latency(self, graph: DnnGraph) -> float:
+        """Latency of executing the whole graph sequentially on this node."""
+        return sum(self.graph_latencies(graph).values())
+
+    # ------------------------------------------------------------------ #
+    def tiled_conv_latency(
+        self,
+        graph: DnnGraph,
+        vertex: Vertex,
+        tile_input_elements: int,
+        full_input_elements: int,
+    ) -> float:
+        """Latency of running ``vertex`` on a spatial tile of its input.
+
+        Used by the VSM runtime model: a fused tile carries
+        ``tile_input_elements / full_input_elements`` of the work of the full
+        layer (including the overlap-induced redundancy, because the ratio is
+        computed from the *padded tile* the edge node actually processes).
+        """
+        if full_input_elements <= 0:
+            raise ValueError("full_input_elements must be positive")
+        fraction = tile_input_elements / full_input_elements
+        cost = self.layer_cost(graph, vertex)
+        scaled = max(cost.compute_seconds * fraction, cost.memory_seconds * fraction)
+        return scaled + cost.overhead_seconds
+
+
+def per_layer_table(
+    graph: DnnGraph,
+    hardware: HardwareSpec,
+    kinds: Optional[Sequence[str]] = None,
+) -> List[LayerCost]:
+    """Convenience helper returning the per-layer cost table of a graph.
+
+    ``kinds`` restricts the table to the given layer kinds (e.g. only conv and
+    fc layers, which is what the paper's Fig. 1 plots).
+    """
+    model = AnalyticCostModel(hardware)
+    rows = []
+    for vertex in graph:
+        if kinds is not None and vertex.kind not in kinds:
+            continue
+        rows.append(model.layer_cost(graph, vertex))
+    return rows

@@ -1,0 +1,100 @@
+"""Feature extraction for the latency regression model.
+
+The paper's regression model "takes computation resources and DNN layer
+configurations as input and estimates the processing time of DNN layers"
+(section III-D).  The features below encode exactly that:
+
+* layer configuration — kind, FLOPs, activation sizes, weight count, kernel
+  geometry;
+* computation resources — CPU/GPU throughput, memory bandwidth, memory size;
+* physically meaningful interaction terms (FLOPs normalised by throughput,
+  bytes normalised by bandwidth) so a *linear* model can capture the roofline
+  behaviour without being told the cost model's functional form.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.dag import DnnGraph, Vertex
+from repro.graph.layers import Conv2d, Linear, MaxPool2d, AvgPool2d
+from repro.profiling.hardware import HardwareSpec
+
+#: Ordered names of the features produced by :class:`LayerFeatureExtractor`.
+FEATURE_NAMES: List[str] = [
+    "bias",
+    "flops",
+    "flops_per_cpu_gflops",
+    "flops_per_effective_gflops",
+    "input_elements",
+    "output_elements",
+    "weight_count",
+    "moved_bytes",
+    "moved_bytes_per_bandwidth",
+    "kernel_area",
+    "stride_product",
+    "out_channels",
+    "cpu_gflops",
+    "gpu_gflops",
+    "memory_bandwidth_gbps",
+    "memory_gb",
+    "has_gpu",
+]
+
+
+class LayerFeatureExtractor:
+    """Turn (graph, vertex, hardware) triples into numeric feature vectors."""
+
+    @property
+    def num_features(self) -> int:
+        return len(FEATURE_NAMES)
+
+    def extract(self, graph: DnnGraph, vertex: Vertex, hardware: HardwareSpec) -> np.ndarray:
+        """Return the feature vector for one layer on one machine."""
+        spec = vertex.spec
+        input_elements = sum(p.output_elements for p in graph.predecessors(vertex.index))
+        output_elements = vertex.output_elements
+        weight_count = vertex.weight_count
+        moved_bytes = 4 * (input_elements + output_elements + weight_count)
+
+        kernel_area = 0.0
+        stride_product = 1.0
+        out_channels = 0.0
+        if isinstance(spec, (Conv2d, MaxPool2d, AvgPool2d)):
+            kernel_area = float(spec.kernel[0] * spec.kernel[1])
+            stride_product = float(spec.stride[0] * spec.stride[1])
+        if isinstance(spec, Conv2d):
+            out_channels = float(spec.out_channels)
+        elif isinstance(spec, Linear):
+            out_channels = float(spec.out_features)
+
+        effective = hardware.effective_gflops
+        features = np.array(
+            [
+                1.0,
+                float(vertex.flops),
+                vertex.flops / (hardware.cpu_gflops * 1e9),
+                vertex.flops / (effective * 1e9),
+                float(input_elements),
+                float(output_elements),
+                float(weight_count),
+                float(moved_bytes),
+                moved_bytes / (hardware.memory_bandwidth_gbps * 1e9),
+                kernel_area,
+                stride_product,
+                out_channels,
+                hardware.cpu_gflops,
+                hardware.gpu_gflops,
+                hardware.memory_bandwidth_gbps,
+                hardware.memory_gb,
+                1.0 if hardware.has_gpu else 0.0,
+            ],
+            dtype=np.float64,
+        )
+        return features
+
+    def extract_graph(self, graph: DnnGraph, hardware: HardwareSpec) -> np.ndarray:
+        """Feature matrix (``num_vertices x num_features``) for a whole graph."""
+        return np.vstack([self.extract(graph, v, hardware) for v in graph])

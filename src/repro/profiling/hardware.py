@@ -1,0 +1,147 @@
+"""Hardware capability descriptions for the three computing tiers.
+
+The paper's testbed consists of
+
+* **device tier** — Raspberry Pi 4 model B (Fig. 1 profiling) and an NVIDIA
+  Jetson Nano 2 GB (Table II / end-to-end experiments),
+* **edge tier** — Linux machines with an Intel Core i7-8700 CPU and 8 GB RAM,
+* **cloud tier** — a server with an NVIDIA GeForce RTX 2080 Ti GPU and 256 GB
+  RAM.
+
+We do not have that hardware, so each machine is summarised by the effective
+(sustained, not peak) arithmetic throughput and memory bandwidth it delivers on
+DNN kernels.  The numbers below are calibrated from public benchmark data so
+the analytic cost model reproduces the *ordering and rough magnitude* of the
+paper's measurements (device ≫ edge ≫ cloud per-layer latency), which is all
+the partitioning algorithms depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Effective compute capability of one computation node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable description of the machine.
+    cpu_gflops:
+        Sustained single-precision throughput of the CPU in GFLOP/s when
+        running convolution/GEMM kernels.
+    gpu_gflops:
+        Sustained single-precision GPU throughput in GFLOP/s; ``0`` when the
+        node has no usable GPU.
+    memory_bandwidth_gbps:
+        Sustained memory bandwidth in GB/s (DRAM for CPU nodes, device memory
+        for GPU nodes).
+    memory_gb:
+        Installed system memory in GB (used for feasibility checks and as a
+        regression feature).
+    per_layer_overhead_s:
+        Fixed framework/kernel-launch overhead added to every layer execution.
+    """
+
+    name: str
+    cpu_gflops: float
+    gpu_gflops: float
+    memory_bandwidth_gbps: float
+    memory_gb: float
+    per_layer_overhead_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.cpu_gflops <= 0:
+            raise ValueError("cpu_gflops must be positive")
+        if self.gpu_gflops < 0:
+            raise ValueError("gpu_gflops cannot be negative")
+        if self.memory_bandwidth_gbps <= 0:
+            raise ValueError("memory_bandwidth_gbps must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+
+    @property
+    def has_gpu(self) -> bool:
+        """True when the node has a usable GPU."""
+        return self.gpu_gflops > 0
+
+    @property
+    def effective_gflops(self) -> float:
+        """Throughput of the fastest execution engine on the node."""
+        return max(self.cpu_gflops, self.gpu_gflops)
+
+    def scaled(self, factor: float, name: str | None = None) -> "HardwareSpec":
+        """Return a copy whose compute throughput is scaled by ``factor``.
+
+        Used by the dynamic re-partitioning experiments to model load spikes
+        (``factor < 1``) or freed-up resources (``factor > 1``).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return HardwareSpec(
+            name=name or f"{self.name} (x{factor:g})",
+            cpu_gflops=self.cpu_gflops * factor,
+            gpu_gflops=self.gpu_gflops * factor,
+            memory_bandwidth_gbps=self.memory_bandwidth_gbps,
+            memory_gb=self.memory_gb,
+            per_layer_overhead_s=self.per_layer_overhead_s,
+        )
+
+
+#: Raspberry Pi 4 model B, 4x Cortex-A72 @ 1.5 GHz, 4 GB LPDDR4.
+RASPBERRY_PI_4 = HardwareSpec(
+    name="Raspberry Pi 4 Model B (4GB)",
+    cpu_gflops=12.0,
+    gpu_gflops=0.0,
+    memory_bandwidth_gbps=4.0,
+    memory_gb=4.0,
+    per_layer_overhead_s=150e-6,
+)
+
+#: NVIDIA Jetson Nano 2GB Developer Kit (128-core Maxwell GPU).  Peak fp32 is
+#: ~236 GFLOP/s but the 2 GB variant throttles and framework overhead on the
+#: tiny GPU keeps sustained single-image fp32 inference throughput far lower.
+JETSON_NANO = HardwareSpec(
+    name="NVIDIA Jetson Nano 2GB",
+    cpu_gflops=10.0,
+    gpu_gflops=40.0,
+    memory_bandwidth_gbps=25.6,
+    memory_gb=2.0,
+    per_layer_overhead_s=120e-6,
+)
+
+#: Edge machine: Intel Core i7-8700 (6C/12T, AVX2 FMA), 8 GB DDR4.  The peak
+#: fp32 throughput of the part is ~614 GFLOP/s; a well-optimised CPU inference
+#: engine (oneDNN/OpenVINO class) sustains roughly 60% of peak on convolution
+#: kernels, which is what the edge tier is assumed to run.
+EDGE_DESKTOP = HardwareSpec(
+    name="Intel Core i7-8700 (8GB)",
+    cpu_gflops=380.0,
+    gpu_gflops=0.0,
+    memory_bandwidth_gbps=35.0,
+    memory_gb=8.0,
+    per_layer_overhead_s=60e-6,
+)
+
+#: Cloud server: NVIDIA GeForce RTX 2080 Ti, 256 GB system memory.
+CLOUD_SERVER = HardwareSpec(
+    name="NVIDIA GeForce RTX 2080 Ti server (256GB)",
+    cpu_gflops=200.0,
+    gpu_gflops=9000.0,
+    memory_bandwidth_gbps=616.0,
+    memory_gb=256.0,
+    per_layer_overhead_s=30e-6,
+)
+
+#: Default hardware used for each computing tier in the end-to-end experiments
+#: (section IV of the paper: Jetson Nano device, i7-8700 edge, 2080 Ti cloud).
+TIER_PRESETS = {
+    "device": JETSON_NANO,
+    "edge": EDGE_DESKTOP,
+    "cloud": CLOUD_SERVER,
+}
+
+#: Hardware used for the layer-profiling study of Fig. 1 (Raspberry Pi 4).
+FIG1_DEVICE = RASPBERRY_PI_4

@@ -1,0 +1,217 @@
+"""The D3 profiler.
+
+The profiler has two jobs in the paper's architecture (Fig. 2):
+
+1. collect the operating conditions of the computation nodes — here, sample
+   per-layer latencies on a machine (noisy observations of the analytic cost
+   model that stands in for the physical testbed), and
+2. monitor the network status between tiers — here, sample the bandwidth of a
+   :class:`repro.network.link.NetworkLink` including its fluctuation.
+
+It also assembles the :class:`LatencyProfile` — the vertex weights
+``T_{v_i} = {t^d_i, t^e_i, t^c_i}`` consumed by HPA — either from direct
+measurements or from the regression model's predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.dag import DnnGraph, Vertex
+from repro.profiling.cost_model import AnalyticCostModel
+from repro.profiling.hardware import HardwareSpec
+from repro.profiling.regression import LatencyRegressionModel, TrainingSample
+
+#: Canonical tier names, ordered device ≻ edge ≻ cloud as in the paper.
+TIER_NAMES: Tuple[str, str, str] = ("device", "edge", "cloud")
+
+
+@dataclass(frozen=True)
+class ProfiledMeasurement:
+    """One latency observation of one layer on one machine."""
+
+    vertex_index: int
+    vertex_name: str
+    kind: str
+    hardware_name: str
+    latency_seconds: float
+
+
+@dataclass
+class LatencyProfile:
+    """Per-vertex, per-tier latency table (the HPA vertex weights).
+
+    ``profile[(vertex_index, "edge")]`` is ``t^e_i`` in the paper's notation.
+    """
+
+    model_name: str
+    latencies: Dict[Tuple[int, str], float] = field(default_factory=dict)
+
+    def set(self, vertex_index: int, tier: str, latency_seconds: float) -> None:
+        if latency_seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.latencies[(vertex_index, tier)] = latency_seconds
+
+    def get(self, vertex_index: int, tier) -> float:
+        """Latency of a vertex on a tier; accepts tier enums or names."""
+        tier_name = getattr(tier, "value", tier)
+        key = (vertex_index, tier_name)
+        if key not in self.latencies:
+            raise KeyError(f"no latency recorded for vertex {vertex_index} on tier {tier_name}")
+        return self.latencies[key]
+
+    def tiers_for(self, vertex_index: int) -> List[str]:
+        """Tiers that have a latency entry for the given vertex."""
+        return [tier for (index, tier) in self.latencies if index == vertex_index]
+
+    def tier_total(self, tier) -> float:
+        """Sum of all per-layer latencies on one tier (whole-model execution)."""
+        tier_name = getattr(tier, "value", tier)
+        return sum(v for (_, t), v in self.latencies.items() if t == tier_name)
+
+    def scaled(self, tier, factor: float) -> "LatencyProfile":
+        """Return a copy with all latencies of one tier multiplied by ``factor``.
+
+        Models runtime variation of a node's processing speed, which is what
+        triggers HPA's local re-partitioning.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        tier_name = getattr(tier, "value", tier)
+        scaled = dict(self.latencies)
+        for (index, name), value in self.latencies.items():
+            if name == tier_name:
+                scaled[(index, name)] = value * factor
+        return LatencyProfile(self.model_name, scaled)
+
+    def __len__(self) -> int:
+        return len(self.latencies)
+
+
+class Profiler:
+    """Samples layer latencies and network bandwidth.
+
+    Parameters
+    ----------
+    noise_std:
+        Standard deviation of the multiplicative log-normal measurement noise.
+        ``0`` gives exact cost-model values (useful in unit tests).
+    seed:
+        Seed of the profiler's private random generator, for reproducibility.
+    """
+
+    def __init__(self, noise_std: float = 0.05, seed: int = 0) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std cannot be negative")
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Latency measurements
+    # ------------------------------------------------------------------ #
+    def _noisy(self, value: float) -> float:
+        if self.noise_std == 0:
+            return value
+        return float(value * self._rng.lognormal(mean=0.0, sigma=self.noise_std))
+
+    def measure_layer(
+        self,
+        graph: DnnGraph,
+        vertex: Vertex,
+        hardware: HardwareSpec,
+        repeats: int = 1,
+    ) -> List[ProfiledMeasurement]:
+        """Measure one layer ``repeats`` times on ``hardware``."""
+        if repeats <= 0:
+            raise ValueError("repeats must be positive")
+        model = AnalyticCostModel(hardware)
+        true_latency = model.layer_latency(graph, vertex)
+        return [
+            ProfiledMeasurement(
+                vertex_index=vertex.index,
+                vertex_name=vertex.name,
+                kind=vertex.kind,
+                hardware_name=hardware.name,
+                latency_seconds=self._noisy(true_latency),
+            )
+            for _ in range(repeats)
+        ]
+
+    def measure_graph(
+        self,
+        graph: DnnGraph,
+        hardware: HardwareSpec,
+        repeats: int = 3,
+    ) -> Dict[int, float]:
+        """Mean measured latency of every layer of ``graph`` on ``hardware``."""
+        results: Dict[int, float] = {}
+        for vertex in graph:
+            samples = self.measure_layer(graph, vertex, hardware, repeats)
+            results[vertex.index] = float(np.mean([s.latency_seconds for s in samples]))
+        return results
+
+    def collect_training_samples(
+        self,
+        graphs: Sequence[DnnGraph],
+        hardware_specs: Sequence[HardwareSpec],
+        repeats: int = 3,
+    ) -> List[TrainingSample]:
+        """Profile several graphs on several machines to train the regressor."""
+        samples: List[TrainingSample] = []
+        for graph in graphs:
+            for hardware in hardware_specs:
+                for vertex in graph:
+                    measurements = self.measure_layer(graph, vertex, hardware, repeats)
+                    mean_latency = float(np.mean([m.latency_seconds for m in measurements]))
+                    samples.append(TrainingSample(graph, vertex, hardware, mean_latency))
+        return samples
+
+    # ------------------------------------------------------------------ #
+    # Bandwidth monitoring
+    # ------------------------------------------------------------------ #
+    def observe_bandwidth(self, nominal_mbps: float, jitter_std: float = 0.0) -> float:
+        """One bandwidth observation in Mbps with optional multiplicative jitter."""
+        if nominal_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if jitter_std == 0:
+            return nominal_mbps
+        return float(nominal_mbps * self._rng.lognormal(mean=0.0, sigma=jitter_std))
+
+    # ------------------------------------------------------------------ #
+    # Latency profile assembly
+    # ------------------------------------------------------------------ #
+    def build_profile_from_measurements(
+        self,
+        graph: DnnGraph,
+        tier_hardware: Mapping[str, HardwareSpec],
+        repeats: int = 3,
+    ) -> LatencyProfile:
+        """Build ``T_{v_i}`` by measuring every layer on every tier.
+
+        This is the brute-force approach the paper rejects as impractical on a
+        real deployment but is perfectly fine against the simulated testbed;
+        it serves as the reference for validating the regression-based profile.
+        """
+        profile = LatencyProfile(graph.name)
+        for tier, hardware in tier_hardware.items():
+            measured = self.measure_graph(graph, hardware, repeats)
+            for index, latency in measured.items():
+                profile.set(index, tier, latency)
+        return profile
+
+    def build_profile_from_regression(
+        self,
+        graph: DnnGraph,
+        tier_hardware: Mapping[str, HardwareSpec],
+        regression: LatencyRegressionModel,
+    ) -> LatencyProfile:
+        """Build ``T_{v_i}`` from the regression model (the paper's approach)."""
+        profile = LatencyProfile(graph.name)
+        for tier, hardware in tier_hardware.items():
+            predictions = regression.predict_graph(graph, hardware)
+            for index, latency in predictions.items():
+                profile.set(index, tier, latency)
+        return profile

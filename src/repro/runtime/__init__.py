@@ -1,0 +1,27 @@
+"""Online execution engine — a simulated device/edge/cloud substrate.
+
+The paper implements the online engine with gRPC processes on a physical
+testbed.  Here the engine is a discrete-event simulation: compute nodes with
+per-layer latencies (from the same profiles HPA uses), inter-tier links with
+the Table III bandwidths, explicit tensor-transfer messages, and a scheduler
+that executes a placement plan (optionally with VSM fused-tile parallelism on
+several edge nodes) while respecting data dependencies and node availability.
+
+The simulation produces the quantities the paper reports: end-to-end inference
+latency, per-tier processing time and per-image bytes shipped to the cloud.
+"""
+
+from repro.runtime.node import ComputeNode
+from repro.runtime.cluster import Cluster
+from repro.runtime.messages import TensorTransfer
+from repro.runtime.simulator import ExecutionReport, TimelineEvent
+from repro.runtime.executor import DistributedExecutor
+
+__all__ = [
+    "Cluster",
+    "ComputeNode",
+    "DistributedExecutor",
+    "ExecutionReport",
+    "TensorTransfer",
+    "TimelineEvent",
+]

@@ -1,0 +1,106 @@
+"""The simulated deployment: one device node, N edge nodes, one cloud node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.placement import Tier
+from repro.network.conditions import NetworkCondition, get_condition
+from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, HardwareSpec, RASPBERRY_PI_4
+from repro.runtime.node import ComputeNode
+
+
+@dataclass
+class Cluster:
+    """The device/edge/cloud deployment of section IV.
+
+    Attributes
+    ----------
+    device:
+        The single mobile device node that collects the input.
+    edge_nodes:
+        One or more edge nodes in the same LAN as the device; VSM spreads fused
+        tile stacks across all of them.
+    cloud:
+        The remote cloud server.
+    network:
+        The inter-tier bandwidths in effect.
+    """
+
+    device: ComputeNode
+    edge_nodes: List[ComputeNode]
+    cloud: ComputeNode
+    network: NetworkCondition
+
+    def __post_init__(self) -> None:
+        if not self.edge_nodes:
+            raise ValueError("a cluster needs at least one edge node")
+        if self.device.tier != Tier.DEVICE or self.cloud.tier != Tier.CLOUD:
+            raise ValueError("device/cloud nodes must carry the matching tier")
+        if any(node.tier != Tier.EDGE for node in self.edge_nodes):
+            raise ValueError("edge nodes must carry the edge tier")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        network: NetworkCondition | str = "wifi",
+        num_edge_nodes: int = 1,
+        device_hardware: HardwareSpec = RASPBERRY_PI_4,
+        edge_hardware: HardwareSpec = EDGE_DESKTOP,
+        cloud_hardware: HardwareSpec = CLOUD_SERVER,
+    ) -> "Cluster":
+        """Build the paper's testbed of section IV: a Raspberry Pi 4 device,
+        i7-8700 edge nodes and a 2080 Ti cloud server (Table II instead uses a
+        Jetson Nano device; pass ``device_hardware=JETSON_NANO`` for that)."""
+        if isinstance(network, str):
+            network = get_condition(network)
+        if num_edge_nodes <= 0:
+            raise ValueError("num_edge_nodes must be positive")
+        device = ComputeNode("device-0", Tier.DEVICE, device_hardware)
+        edge_nodes = [
+            ComputeNode(f"edge-{i}", Tier.EDGE, edge_hardware) for i in range(num_edge_nodes)
+        ]
+        cloud = ComputeNode("cloud-0", Tier.CLOUD, cloud_hardware)
+        return cls(device=device, edge_nodes=edge_nodes, cloud=cloud, network=network)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def all_nodes(self) -> List[ComputeNode]:
+        return [self.device, *self.edge_nodes, self.cloud]
+
+    @property
+    def num_edge_nodes(self) -> int:
+        return len(self.edge_nodes)
+
+    def tier_hardware(self) -> Dict[str, HardwareSpec]:
+        """Tier-name -> hardware mapping used by the profiler."""
+        return {
+            Tier.DEVICE.value: self.device.hardware,
+            Tier.EDGE.value: self.edge_nodes[0].hardware,
+            Tier.CLOUD.value: self.cloud.hardware,
+        }
+
+    def primary_node(self, tier: Tier) -> ComputeNode:
+        """The node that executes non-tiled work of a tier."""
+        if tier == Tier.DEVICE:
+            return self.device
+        if tier == Tier.CLOUD:
+            return self.cloud
+        return self.edge_nodes[0]
+
+    def reset(self) -> None:
+        """Reset the scheduling state of every node."""
+        for node in self.all_nodes:
+            node.reset()
+
+    def with_network(self, network: NetworkCondition) -> "Cluster":
+        """Same nodes under a different network condition (fresh node state)."""
+        return Cluster.build(
+            network=network,
+            num_edge_nodes=self.num_edge_nodes,
+            device_hardware=self.device.hardware,
+            edge_hardware=self.edge_nodes[0].hardware,
+            cloud_hardware=self.cloud.hardware,
+        )

@@ -1,0 +1,46 @@
+"""Simulated inter-node messages.
+
+The real system moves tensors between nodes with gRPC; the simulation records
+each transfer as a :class:`TensorTransfer` so experiments can account for the
+traffic on every link (in particular the backbone traffic to the cloud, the
+metric of Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.placement import Tier
+
+
+@dataclass(frozen=True)
+class TensorTransfer:
+    """One tensor shipped from one node to another."""
+
+    producer: str
+    consumer: str
+    source_tier: Tier
+    destination_tier: Tier
+    payload_bytes: int
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload cannot be negative")
+        if self.duration_s < 0:
+            raise ValueError("duration cannot be negative")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def crosses_backbone(self) -> bool:
+        """True for traffic entering the cloud from another tier."""
+        return self.destination_tier == Tier.CLOUD and self.source_tier != Tier.CLOUD
+
+    @property
+    def within_lan(self) -> bool:
+        """True for device <-> edge traffic (the local area network)."""
+        return {self.source_tier, self.destination_tier} == {Tier.DEVICE, Tier.EDGE}

@@ -1,0 +1,47 @@
+"""Simulated computation nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.placement import Tier
+from repro.profiling.hardware import HardwareSpec
+
+
+@dataclass
+class ComputeNode:
+    """One computation node of the device, edge or cloud tier.
+
+    The node keeps the single piece of state a list scheduler needs —
+    ``available_at``, the simulation time at which the node becomes free —
+    plus bookkeeping of how long it was busy (used for the utilisation and
+    bottleneck analyses).
+    """
+
+    name: str
+    tier: Tier
+    hardware: HardwareSpec
+    available_at: float = 0.0
+    busy_seconds: float = 0.0
+
+    def reset(self) -> None:
+        """Clear scheduling state before a new simulation run."""
+        self.available_at = 0.0
+        self.busy_seconds = 0.0
+
+    def schedule(self, ready_at: float, duration: float) -> tuple[float, float]:
+        """Reserve the node for ``duration`` seconds, no earlier than ``ready_at``.
+
+        Returns the (start, end) times of the reservation and advances the
+        node's availability.
+        """
+        if duration < 0:
+            raise ValueError("duration cannot be negative")
+        start = max(ready_at, self.available_at)
+        end = start + duration
+        self.available_at = end
+        self.busy_seconds += duration
+        return start, end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComputeNode({self.name!r}, {self.tier.value}, {self.hardware.name!r})"

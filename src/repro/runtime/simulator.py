@@ -1,0 +1,99 @@
+"""Timeline bookkeeping for the discrete-event execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.placement import Tier
+from repro.runtime.messages import TensorTransfer
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled activity on one node (a layer execution or a tile task)."""
+
+    node: str
+    tier: Tier
+    label: str
+    kind: str  # "compute" | "gather"
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ExecutionReport:
+    """Result of simulating one inference through a partitioned DNN."""
+
+    model_name: str
+    end_to_end_latency_s: float
+    events: List[TimelineEvent] = field(default_factory=list)
+    transfers: List[TensorTransfer] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def node_busy_seconds(self) -> Dict[str, float]:
+        """Total compute time charged to each node."""
+        busy: Dict[str, float] = {}
+        for event in self.events:
+            busy[event.node] = busy.get(event.node, 0.0) + event.duration_s
+        return busy
+
+    def tier_busy_seconds(self) -> Dict[Tier, float]:
+        """Total compute time charged to each tier (Table II's quantity)."""
+        busy: Dict[Tier, float] = {tier: 0.0 for tier in Tier}
+        for event in self.events:
+            busy[event.tier] += event.duration_s
+        return busy
+
+    def tier_makespan_seconds(self) -> Dict[Tier, float]:
+        """Wall-clock span of each tier's activity (accounts for parallelism)."""
+        spans: Dict[Tier, float] = {tier: 0.0 for tier in Tier}
+        by_tier: Dict[Tier, List[TimelineEvent]] = {tier: [] for tier in Tier}
+        for event in self.events:
+            by_tier[event.tier].append(event)
+        for tier, events in by_tier.items():
+            if events:
+                spans[tier] = max(e.end_s for e in events) - min(e.start_s for e in events)
+        return spans
+
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(t.duration_s for t in self.transfers)
+
+    @property
+    def bytes_to_cloud(self) -> int:
+        """Backbone traffic entering the cloud (Fig. 13's metric)."""
+        return sum(t.payload_bytes for t in self.transfers if t.crosses_backbone)
+
+    @property
+    def bytes_device_to_edge(self) -> int:
+        return sum(
+            t.payload_bytes
+            for t in self.transfers
+            if t.source_tier == Tier.DEVICE and t.destination_tier == Tier.EDGE
+        )
+
+    @property
+    def megabits_to_cloud(self) -> float:
+        return self.bytes_to_cloud * 8.0 / 1e6
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        busy = self.tier_busy_seconds()
+        lines = [
+            f"{self.model_name}: end-to-end {self.end_to_end_latency_s * 1e3:.2f} ms",
+            f"  device busy {busy[Tier.DEVICE] * 1e3:.2f} ms, "
+            f"edge busy {busy[Tier.EDGE] * 1e3:.2f} ms, "
+            f"cloud busy {busy[Tier.CLOUD] * 1e3:.2f} ms",
+            f"  transfers {self.transfer_seconds * 1e3:.2f} ms, "
+            f"to-cloud {self.megabits_to_cloud:.3f} Mb",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Functional numpy inference engine.
+
+The paper runs real PyTorch models; partitioning only needs layer metadata, but
+proving that VSM is *lossless* requires actually executing convolutions on
+tiles and comparing against the unpartitioned result.  This subpackage provides
+that capability:
+
+* :mod:`repro.tensors.ops` — reference numpy implementations of every layer
+  kind used by the model zoo (convolution, pooling, batch norm, ...);
+* :mod:`repro.tensors.executor` — run a whole :class:`repro.graph.dag.DnnGraph`
+  on a concrete input with deterministic random weights;
+* :mod:`repro.tensors.tiling` — execute a VSM fused-tile plan on real arrays
+  and merge the per-tile outputs.
+"""
+
+from repro.tensors.ops import (
+    add,
+    avg_pool2d,
+    batch_norm,
+    concat_channels,
+    conv2d,
+    leaky_relu,
+    linear,
+    local_response_norm,
+    max_pool2d,
+    relu,
+    softmax,
+)
+from repro.tensors.executor import GraphExecutor, WeightStore
+from repro.tensors.tiling import execute_fused_tile_stack, merge_tiles, run_vsm_plan
+
+__all__ = [
+    "GraphExecutor",
+    "WeightStore",
+    "add",
+    "avg_pool2d",
+    "batch_norm",
+    "concat_channels",
+    "conv2d",
+    "execute_fused_tile_stack",
+    "leaky_relu",
+    "linear",
+    "local_response_norm",
+    "max_pool2d",
+    "merge_tiles",
+    "relu",
+    "run_vsm_plan",
+    "softmax",
+]

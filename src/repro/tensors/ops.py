@@ -1,0 +1,251 @@
+"""Reference numpy implementations of the DNN operators.
+
+These implementations favour clarity and exactness over speed: they are used to
+*verify* algorithmic properties (in particular that VSM's fused-tile execution
+is bit-identical to whole-model execution), not to run production inference.
+All functions operate on channels-first arrays without a batch dimension:
+feature maps are ``(C, H, W)`` and vectors are ``(F,)``.
+
+Padding semantics match the conventions of mainstream frameworks:
+
+* convolutions zero-pad,
+* max pooling pads with ``-inf`` (padded entries never win the max),
+* average pooling zero-pads and divides by the full kernel area
+  (``count_include_pad=True``), which keeps the operator linear and therefore
+  exactly tileable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+Pair = Tuple[int, int]
+
+
+def _check_feature_map(x: np.ndarray, op: str) -> None:
+    if x.ndim != 3:
+        raise ValueError(f"{op} expects a (C, H, W) array, got shape {x.shape}")
+
+
+def pad2d(x: np.ndarray, padding: Pair, value: float = 0.0) -> np.ndarray:
+    """Pad the two spatial dimensions of a ``(C, H, W)`` array symmetrically."""
+    _check_feature_map(x, "pad2d")
+    pad_h, pad_w = padding
+    if pad_h < 0 or pad_w < 0:
+        raise ValueError("padding cannot be negative")
+    if pad_h == 0 and pad_w == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def pad2d_asymmetric(
+    x: np.ndarray,
+    top: int,
+    bottom: int,
+    left: int,
+    right: int,
+    value: float = 0.0,
+) -> np.ndarray:
+    """Pad the spatial dimensions with independent amounts per side.
+
+    Needed by the tiled executor: an interior tile already carries its halo
+    rows/columns and must only be padded on the sides that touch the original
+    input border.
+    """
+    _check_feature_map(x, "pad2d_asymmetric")
+    if min(top, bottom, left, right) < 0:
+        raise ValueError("padding cannot be negative")
+    if top == bottom == left == right == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (top, bottom), (left, right)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def _windows(x: np.ndarray, kernel: Pair, stride: Pair) -> np.ndarray:
+    """Return strided sliding windows of shape ``(C, OH, OW, KH, KW)``."""
+    kernel_h, kernel_w = kernel
+    stride_h, stride_w = stride
+    channels, height, width = x.shape
+    if height < kernel_h or width < kernel_w:
+        raise ValueError(
+            f"window {kernel} does not fit input of spatial size {(height, width)}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel_h, kernel_w), axis=(1, 2))
+    return windows[:, ::stride_h, ::stride_w, :, :]
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: Pair = (1, 1),
+    padding: Pair = (0, 0),
+) -> np.ndarray:
+    """2-D convolution (cross-correlation, as in every DL framework).
+
+    Parameters
+    ----------
+    x:
+        Input feature map ``(C_in, H, W)``.
+    weight:
+        Filters ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias ``(C_out,)``.
+    """
+    _check_feature_map(x, "conv2d")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d weight must be (O, C, KH, KW), got {weight.shape}")
+    if weight.shape[1] != x.shape[0]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[0]} channels, weight expects {weight.shape[1]}"
+        )
+    padded = pad2d(x, padding)
+    kernel = (weight.shape[2], weight.shape[3])
+    windows = _windows(padded, kernel, stride)  # (C, OH, OW, KH, KW)
+    # optimize=False keeps a fixed summation order regardless of operand
+    # shapes, which is what makes tiled execution *bit-identical* to full
+    # execution (BLAS-backed contractions reorder the reduction per shape).
+    out = np.einsum("cxykl,ockl->oxy", windows, weight, optimize=False)
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return out
+
+
+def max_pool2d(
+    x: np.ndarray,
+    kernel: Pair,
+    stride: Pair | None = None,
+    padding: Pair = (0, 0),
+) -> np.ndarray:
+    """Max pooling with ``-inf`` padding."""
+    _check_feature_map(x, "max_pool2d")
+    stride = stride or kernel
+    padded = pad2d(x, padding, value=-np.inf)
+    windows = _windows(padded, kernel, stride)
+    return windows.max(axis=(3, 4))
+
+
+def avg_pool2d(
+    x: np.ndarray,
+    kernel: Pair,
+    stride: Pair | None = None,
+    padding: Pair = (0, 0),
+) -> np.ndarray:
+    """Average pooling with zero padding, dividing by the full kernel area."""
+    _check_feature_map(x, "avg_pool2d")
+    stride = stride or kernel
+    padded = pad2d(x, padding, value=0.0)
+    windows = _windows(padded, kernel, stride)
+    return windows.sum(axis=(3, 4)) / float(kernel[0] * kernel[1])
+
+
+def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
+    """Global average pooling producing a ``(C,)`` vector."""
+    _check_feature_map(x, "global_avg_pool2d")
+    return x.mean(axis=(1, 2))
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully connected layer: ``weight @ x + bias`` with weight ``(O, I)``."""
+    if x.ndim != 1:
+        raise ValueError(f"linear expects a flat vector, got shape {x.shape}")
+    if weight.ndim != 2 or weight.shape[1] != x.shape[0]:
+        raise ValueError(f"weight {weight.shape} incompatible with input {x.shape}")
+    out = weight @ x
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.1) -> np.ndarray:
+    """Leaky rectified linear unit."""
+    return np.where(x >= 0, x, x * negative_slope)
+
+
+def batch_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Inference-time batch normalisation over the channel dimension."""
+    _check_feature_map(x, "batch_norm")
+    scale = gamma / np.sqrt(running_var + eps)
+    shift = beta - running_mean * scale
+    return x * scale[:, None, None] + shift[:, None, None]
+
+
+def local_response_norm(
+    x: np.ndarray,
+    size: int = 5,
+    alpha: float = 1e-4,
+    beta: float = 0.75,
+    k: float = 1.0,
+) -> np.ndarray:
+    """AlexNet-style local response normalisation across channels."""
+    _check_feature_map(x, "local_response_norm")
+    channels = x.shape[0]
+    squared = x**2
+    denom = np.empty_like(x)
+    half = size // 2
+    for c in range(channels):
+        lo, hi = max(0, c - half), min(channels, c + half + 1)
+        denom[c] = squared[lo:hi].sum(axis=0)
+    return x / (k + (alpha / size) * denom) ** beta
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over a flat vector."""
+    if x.ndim != 1:
+        raise ValueError(f"softmax expects a flat vector, got shape {x.shape}")
+    shifted = x - x.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def add(*tensors: np.ndarray) -> np.ndarray:
+    """Element-wise addition of residual branches."""
+    if len(tensors) < 2:
+        raise ValueError("add expects at least two tensors")
+    result = tensors[0].copy()
+    for tensor in tensors[1:]:
+        if tensor.shape != result.shape:
+            raise ValueError(f"shape mismatch in add: {result.shape} vs {tensor.shape}")
+        result = result + tensor
+    return result
+
+
+def concat_channels(*tensors: np.ndarray) -> np.ndarray:
+    """Concatenate ``(C, H, W)`` feature maps along the channel dimension."""
+    if len(tensors) < 2:
+        raise ValueError("concat expects at least two tensors")
+    for tensor in tensors:
+        _check_feature_map(tensor, "concat_channels")
+    spatial = tensors[0].shape[1:]
+    for tensor in tensors[1:]:
+        if tensor.shape[1:] != spatial:
+            raise ValueError("concat inputs must share spatial dimensions")
+    return np.concatenate(tensors, axis=0)
+
+
+def flatten(x: np.ndarray) -> np.ndarray:
+    """Flatten any tensor into a vector (C-order, matching the graph's Flatten)."""
+    return x.reshape(-1)

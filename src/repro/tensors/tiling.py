@@ -1,0 +1,136 @@
+"""Execute VSM fused-tile plans on real numpy arrays.
+
+This module is the "lossless" proof of the reproduction: it executes each
+fused tile stack independently — exactly what the parallel edge nodes do in the
+paper — and merges the per-tile outputs.  The result must be *identical* (up to
+floating point associativity, which these reference kernels avoid by using the
+same summation order) to running the unpartitioned run; the property-based
+tests in ``tests/core/test_vsm_lossless.py`` assert elementwise equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.vsm import FusedRunPlan, FusedTileStack, TileRegion
+from repro.graph.layers import AvgPool2d, Conv2d, MaxPool2d
+from repro.tensors import ops
+from repro.tensors.executor import GraphExecutor
+
+
+def extract_tile(feature_map: np.ndarray, region: TileRegion) -> np.ndarray:
+    """Slice the unpadded tile region out of a ``(C, H, W)`` feature map."""
+    if feature_map.ndim != 3:
+        raise ValueError(f"expected a (C, H, W) feature map, got shape {feature_map.shape}")
+    return feature_map[:, region.row_start : region.row_end, region.col_start : region.col_end]
+
+
+def merge_tiles(
+    tiles: Sequence[Tuple[TileRegion, np.ndarray]],
+    channels: int,
+    height: int,
+    width: int,
+) -> np.ndarray:
+    """Assemble per-tile outputs into the full output feature map.
+
+    The output tiles are non-overlapping by construction
+    (:meth:`repro.core.vsm.FusedRunPlan.validate_coverage`); overlapping or
+    out-of-bounds tiles raise ``ValueError`` to surface geometry bugs early.
+    """
+    output = np.full((channels, height, width), np.nan)
+    for region, tile in tiles:
+        if tile.shape != (channels, region.height, region.width):
+            raise ValueError(
+                f"tile shape {tile.shape} does not match region "
+                f"{(channels, region.height, region.width)}"
+            )
+        target = output[:, region.row_start : region.row_end, region.col_start : region.col_end]
+        if not np.all(np.isnan(target)):
+            raise ValueError("tiles overlap in the merged output")
+        output[:, region.row_start : region.row_end, region.col_start : region.col_end] = tile
+    if np.any(np.isnan(output)):
+        raise ValueError("tiles do not cover the full output feature map")
+    return output
+
+
+def _run_layer_on_tile(
+    executor: GraphExecutor,
+    vertex,
+    tile: np.ndarray,
+    region: TileRegion,
+) -> np.ndarray:
+    """Run one layer of a fused run on a tile, applying only the border padding."""
+    spec = vertex.spec
+    if isinstance(spec, (Conv2d, MaxPool2d, AvgPool2d)):
+        pad_value = -np.inf if isinstance(spec, MaxPool2d) else 0.0
+        padded = ops.pad2d_asymmetric(
+            tile,
+            top=region.pad_top,
+            bottom=region.pad_bottom,
+            left=region.pad_left,
+            right=region.pad_right,
+            value=pad_value,
+        )
+        if isinstance(spec, Conv2d):
+            params = executor.weights.conv_weights(vertex.name, spec, padded.shape[0])
+            return ops.conv2d(padded, params["weight"], params["bias"], spec.stride, (0, 0))
+        if isinstance(spec, MaxPool2d):
+            return ops.max_pool2d(padded, spec.kernel, spec.stride, (0, 0))
+        return ops.avg_pool2d(padded, spec.kernel, spec.stride, (0, 0))
+    # Spatially pointwise layers: run the normal implementation on the tile.
+    return executor.run_vertex(vertex, [tile], None)
+
+
+def execute_fused_tile_stack(
+    executor: GraphExecutor,
+    run_plan: FusedRunPlan,
+    stack: FusedTileStack,
+    run_input: np.ndarray,
+) -> np.ndarray:
+    """Compute the output tile of one fused tile stack.
+
+    This is what a single edge node does: it receives the layer ``c_1`` input
+    patch of its stack, owns the parameters of all layers of the run, and
+    produces its cell of the run's output feature map.
+    """
+    if run_input.ndim != 3:
+        raise ValueError("run input must be a (C, H, W) feature map")
+    tile = extract_tile(run_input, stack.input_region)
+    for position, vertex in enumerate(run_plan.vertices):
+        tile = _run_layer_on_tile(executor, vertex, tile, stack.regions[position])
+    expected = stack.output_region
+    if tile.shape[1] != expected.height or tile.shape[2] != expected.width:
+        raise ValueError(
+            f"tile produced shape {tile.shape[1:]} but the plan expected "
+            f"{(expected.height, expected.width)}"
+        )
+    return tile
+
+
+def run_vsm_plan(
+    executor: GraphExecutor,
+    run_plan: FusedRunPlan,
+    run_input: np.ndarray,
+) -> np.ndarray:
+    """Execute every stack of a fused run and merge the tiles.
+
+    Returns the run's full output feature map, which must equal the output of
+    executing the run without tiling.
+    """
+    tiles = [
+        (stack.output_region, execute_fused_tile_stack(executor, run_plan, stack, run_input))
+        for stack in run_plan.stacks
+    ]
+    channels = run_plan.output_shape[0]
+    _, height, width = run_plan.output_shape
+    return merge_tiles(tiles, channels, height, width)
+
+
+def run_untiled(executor: GraphExecutor, run_plan: FusedRunPlan, run_input: np.ndarray) -> np.ndarray:
+    """Execute the same run without tiling (the reference result)."""
+    activation = run_input
+    for vertex in run_plan.vertices:
+        activation = executor.run_vertex(vertex, [activation], None)
+    return activation

@@ -1,0 +1,99 @@
+"""Tests for the comparator systems (single-tier, Neurosurgeon, DADS)."""
+
+import pytest
+
+from repro.baselines.dads import DadsPartitioner
+from repro.baselines.neurosurgeon import ChainTopologyError, NeurosurgeonPartitioner
+from repro.baselines.single_tier import SingleTierBaseline, single_tier_plan
+from repro.core.placement import PlanEvaluator, Tier
+from repro.network.conditions import get_condition
+
+
+class TestSingleTier:
+    def test_all_latencies(self, alexnet, alexnet_profile, wifi):
+        baseline = SingleTierBaseline(alexnet_profile, wifi)
+        latencies = baseline.all_latencies_s(alexnet)
+        assert set(latencies) == set(Tier)
+        assert latencies[Tier.DEVICE] > latencies[Tier.EDGE]
+
+    def test_cloud_only_dominated_by_transfer_under_4g(self, alexnet, alexnet_profile):
+        baseline = SingleTierBaseline(alexnet_profile, get_condition("4g"))
+        metrics = baseline.metrics(alexnet, Tier.CLOUD)
+        assert metrics.transfer_latency_s > metrics.total_compute_latency_s
+
+    def test_plan_helper(self, alexnet):
+        plan = single_tier_plan(alexnet, Tier.EDGE)
+        plan.validate()
+
+
+class TestNeurosurgeon:
+    def test_rejects_dag_models(self, resnet18, resnet_profile, wifi):
+        partitioner = NeurosurgeonPartitioner(resnet_profile, wifi)
+        assert not partitioner.supports(resnet18)
+        with pytest.raises(ChainTopologyError):
+            partitioner.partition(resnet18)
+
+    def test_split_is_optimal_over_candidates(self, alexnet, alexnet_profile, wifi):
+        partitioner = NeurosurgeonPartitioner(alexnet_profile, wifi)
+        result = partitioner.partition(alexnet)
+        evaluator = PlanEvaluator(alexnet_profile, wifi)
+        for _, plan in partitioner.candidate_plans(alexnet):
+            assert result.latency_s <= evaluator.metrics(plan).end_to_end_latency_s + 1e-12
+
+    def test_plan_uses_only_device_and_cloud(self, alexnet, alexnet_profile, wifi):
+        result = NeurosurgeonPartitioner(alexnet_profile, wifi).partition(alexnet)
+        tiers = set(result.plan.assignments.values())
+        assert Tier.EDGE not in tiers
+
+    def test_not_better_than_best_single_tier_pair(self, alexnet, alexnet_profile, wifi):
+        """The split can only improve on running everything on either endpoint."""
+        result = NeurosurgeonPartitioner(alexnet_profile, wifi).partition(alexnet)
+        single = SingleTierBaseline(alexnet_profile, wifi)
+        assert result.latency_s <= single.latency_s(alexnet, Tier.DEVICE) + 1e-12
+        assert result.latency_s <= single.latency_s(alexnet, Tier.CLOUD) + 1e-12
+
+    def test_split_moves_with_bandwidth(self, alexnet, alexnet_profile):
+        """A faster backbone can only move the split earlier (more offloading)."""
+        slow = NeurosurgeonPartitioner(alexnet_profile, get_condition("4g")).partition(alexnet)
+        fast = NeurosurgeonPartitioner(alexnet_profile, get_condition("optical")).partition(alexnet)
+        assert fast.split_index <= slow.split_index
+
+    def test_same_tiers_rejected(self, alexnet_profile, wifi):
+        with pytest.raises(ValueError):
+            NeurosurgeonPartitioner(alexnet_profile, wifi, Tier.CLOUD, Tier.CLOUD)
+
+
+class TestDads:
+    def test_partition_is_valid_two_way_split(self, resnet18, resnet_profile, wifi):
+        result = DadsPartitioner(resnet_profile, wifi).partition(resnet18)
+        result.plan.validate()
+        assert Tier.DEVICE not in {
+            result.plan.tier_of(v.index) for v in resnet18 if v.index != 0
+        }
+
+    def test_handles_chain_and_dag(self, alexnet, alexnet_profile, resnet18, resnet_profile, wifi):
+        DadsPartitioner(alexnet_profile, wifi).partition(alexnet)
+        DadsPartitioner(resnet_profile, wifi).partition(resnet18)
+
+    def test_cut_value_positive(self, resnet18, resnet_profile, wifi):
+        result = DadsPartitioner(resnet_profile, wifi).partition(resnet18)
+        assert result.cut_value_s > 0
+
+    def test_not_worse_than_edge_or_cloud_only_by_much(self, resnet18, resnet_profile, wifi):
+        """The min-cut optimises processing + transfer; it should be at least as
+        good as either trivial two-way solution under its own cost model."""
+        result = DadsPartitioner(resnet_profile, wifi).partition(resnet18)
+        single = SingleTierBaseline(resnet_profile, wifi)
+        best_trivial = min(
+            single.latency_s(resnet18, Tier.EDGE), single.latency_s(resnet18, Tier.CLOUD)
+        )
+        assert result.latency_s <= best_trivial * 1.1
+
+    def test_slow_backbone_keeps_more_on_edge(self, small_inception, clean_profiler,
+                                              cluster_one_edge):
+        profile = clean_profiler.build_profile_from_measurements(
+            small_inception, cluster_one_edge.tier_hardware(), repeats=1
+        )
+        slow = DadsPartitioner(profile, get_condition("4g")).partition(small_inception)
+        fast = DadsPartitioner(profile, get_condition("optical")).partition(small_inception)
+        assert len(slow.cloud_vertices) <= len(fast.cloud_vertices) + len(small_inception) * 0.2

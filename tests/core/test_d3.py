@@ -1,0 +1,68 @@
+"""Tests for the D3 facade."""
+
+import pytest
+
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import Tier
+
+
+class TestD3Config:
+    def test_resolve_network_from_string(self):
+        assert D3Config(network="4g").resolve_network().name == "4g"
+
+    def test_resolve_network_passthrough(self, wifi):
+        assert D3Config(network=wifi).resolve_network() is wifi
+
+
+class TestD3System:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return D3System(D3Config(network="wifi", num_edge_nodes=4, profiler_noise_std=0.0))
+
+    @pytest.fixture(scope="class")
+    def result(self, system, resnet18):
+        return system.run(resnet18)
+
+    def test_result_contains_all_artifacts(self, result):
+        assert result.placement.is_complete()
+        assert result.profile is not None
+        assert result.report.end_to_end_latency_s > 0
+        assert result.metrics.end_to_end_latency_s > 0
+
+    def test_placement_valid(self, result):
+        result.placement.validate()
+
+    def test_vsm_plan_present_with_multiple_edge_nodes(self, result):
+        assert result.vsm_plan is not None
+        assert result.vsm_plan.num_runs >= 1
+
+    def test_vsm_disabled_with_single_edge_node(self, resnet18):
+        system = D3System(D3Config(network="wifi", num_edge_nodes=1, profiler_noise_std=0.0))
+        assert system.run(resnet18).vsm_plan is None
+
+    def test_vsm_speeds_up_edge_runs(self, resnet18):
+        hpa_only = D3System(
+            D3Config(network="wifi", num_edge_nodes=1, enable_vsm=False, profiler_noise_std=0.0)
+        ).run(resnet18)
+        with_vsm = D3System(
+            D3Config(network="wifi", num_edge_nodes=4, enable_vsm=True, profiler_noise_std=0.0)
+        ).run(resnet18)
+        assert with_vsm.end_to_end_latency_s < hpa_only.end_to_end_latency_s
+
+    def test_tier_times_keys(self, result):
+        times = result.tier_times_ms()
+        assert set(times) == {Tier.DEVICE, Tier.EDGE, Tier.CLOUD}
+
+    def test_regression_profile_used_by_default(self, system, resnet18):
+        profile = system.build_profile(resnet18)
+        assert len(profile) == 3 * len(resnet18)
+
+    def test_measurement_profile_without_regression(self, resnet18):
+        system = D3System(D3Config(use_regression=False, profiler_noise_std=0.0))
+        profile = system.build_profile(resnet18)
+        assert len(profile) == 3 * len(resnet18)
+
+    def test_deterministic_given_seed(self, resnet18):
+        a = D3System(D3Config(seed=5, profiler_noise_std=0.02)).run(resnet18)
+        b = D3System(D3Config(seed=5, profiler_noise_std=0.02)).run(resnet18)
+        assert a.end_to_end_latency_s == pytest.approx(b.end_to_end_latency_s)

@@ -1,0 +1,81 @@
+"""Tests for threshold-guarded dynamic re-partitioning."""
+
+import pytest
+
+from repro.core.dynamic import DynamicRepartitioner, RepartitionThresholds
+from repro.core.placement import Tier
+from repro.network.conditions import get_condition
+
+
+class TestThresholds:
+    def test_inside_band_not_exceeded(self):
+        thresholds = RepartitionThresholds(lower=0.8, upper=1.25)
+        assert not thresholds.exceeded(100.0, 110.0)
+        assert not thresholds.exceeded(100.0, 85.0)
+
+    def test_outside_band_exceeded(self):
+        thresholds = RepartitionThresholds(lower=0.8, upper=1.25)
+        assert thresholds.exceeded(100.0, 130.0)
+        assert thresholds.exceeded(100.0, 70.0)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            RepartitionThresholds(lower=0.0)
+        with pytest.raises(ValueError):
+            RepartitionThresholds(upper=0.9)
+
+
+class TestDynamicRepartitioner:
+    @pytest.fixture()
+    def repartitioner(self, alexnet, alexnet_profile, wifi):
+        return DynamicRepartitioner(alexnet, alexnet_profile, wifi)
+
+    def test_initial_plan_is_valid(self, repartitioner):
+        repartitioner.plan.validate()
+
+    def test_no_drift_no_trigger(self, repartitioner):
+        event = repartitioner.observe()
+        assert not event.triggered
+        assert event.changed_vertices == []
+        assert event.latency_before_s == pytest.approx(event.latency_after_s)
+
+    def test_small_drift_stays_quiet(self, repartitioner, alexnet_profile):
+        event = repartitioner.observe(profile=alexnet_profile.scaled(Tier.EDGE, 1.1))
+        assert not event.triggered
+
+    def test_large_latency_drift_triggers_local_update(self, repartitioner, alexnet_profile):
+        event = repartitioner.observe(profile=alexnet_profile.scaled(Tier.EDGE, 3.0))
+        assert event.triggered
+        assert 0 < event.reevaluated_vertices <= len(repartitioner.graph)
+        repartitioner.plan.validate()
+
+    def test_bandwidth_drift_triggers(self, repartitioner):
+        congested = get_condition("wifi").scaled_backbone(0.3)
+        event = repartitioner.observe(network=congested)
+        assert event.triggered
+        repartitioner.plan.validate()
+
+    def test_local_update_touches_fewer_vertices_than_full(self, resnet18, resnet_profile, wifi):
+        repartitioner = DynamicRepartitioner(resnet18, resnet_profile, wifi)
+        # Perturb only the device latencies: the scope should stay local.
+        event = repartitioner.observe(profile=resnet_profile.scaled(Tier.DEVICE, 5.0))
+        assert event.triggered
+        assert event.reevaluated_vertices < len(resnet18)
+
+    def test_full_repartition_reevaluates_everything(self, repartitioner):
+        event = repartitioner.full_repartition()
+        assert event.reevaluated_vertices == len(repartitioner.graph)
+        repartitioner.plan.validate()
+
+    def test_adaptation_never_hurts_much(self, repartitioner, alexnet_profile, wifi):
+        """After adapting, the plan is no worse than before under new conditions."""
+        slowed = alexnet_profile.scaled(Tier.EDGE, 4.0)
+        event = repartitioner.observe(profile=slowed)
+        assert event.latency_after_s <= event.latency_before_s * 1.01
+
+    def test_reference_updates_after_trigger(self, repartitioner, alexnet_profile):
+        slowed = alexnet_profile.scaled(Tier.EDGE, 3.0)
+        repartitioner.observe(profile=slowed)
+        # The same conditions observed again should no longer trigger.
+        event = repartitioner.observe(profile=slowed)
+        assert not event.triggered

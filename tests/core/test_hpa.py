@@ -1,0 +1,117 @@
+"""Tests for the Horizontal Partition Algorithm."""
+
+import pytest
+
+from repro.core.hpa import HPAConfig, HorizontalPartitioner
+from repro.core.placement import PlacementPlan, PlanEvaluator, Tier
+from repro.baselines.single_tier import SingleTierBaseline
+from repro.network.conditions import get_condition
+
+
+@pytest.fixture(scope="module")
+def partitioner(alexnet_profile, wifi):
+    return HorizontalPartitioner(alexnet_profile, wifi)
+
+
+class TestConfig:
+    def test_invalid_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            HPAConfig(lookahead="psychic")
+
+    def test_modes_accepted(self):
+        for mode in ("none", "successor", "cumulative"):
+            assert HPAConfig(lookahead=mode).lookahead == mode
+
+
+class TestWeightHelpers:
+    def test_transfer_zero_within_tier(self, partitioner):
+        assert partitioner.transfer_latency(10**6, Tier.EDGE, Tier.EDGE) == 0.0
+
+    def test_transfer_matches_condition(self, partitioner, wifi):
+        expected = wifi.transfer_seconds(10**6, "device", "edge")
+        assert partitioner.transfer_latency(10**6, Tier.DEVICE, Tier.EDGE) == pytest.approx(expected)
+
+    def test_vertex_latency_reads_profile(self, partitioner, alexnet, alexnet_profile):
+        vertex = alexnet.vertex("conv1")
+        assert partitioner.vertex_latency(vertex, Tier.CLOUD) == alexnet_profile.get(
+            vertex.index, Tier.CLOUD
+        )
+
+
+class TestProposition1:
+    def test_potential_tiers_follow_predecessors(self, partitioner, alexnet):
+        plan = PlacementPlan(alexnet)
+        plan.assign(0, Tier.DEVICE)
+        conv1 = alexnet.vertex("conv1")
+        assert partitioner.potential_tiers(alexnet, plan, conv1) == [
+            Tier.DEVICE,
+            Tier.EDGE,
+            Tier.CLOUD,
+        ]
+        plan.assign(0, Tier.EDGE)
+        assert partitioner.potential_tiers(alexnet, plan, conv1) == [Tier.EDGE, Tier.CLOUD]
+        plan.assign(0, Tier.CLOUD)
+        assert partitioner.potential_tiers(alexnet, plan, conv1) == [Tier.CLOUD]
+
+    @pytest.mark.parametrize("model_fixture", ["alexnet", "resnet18", "small_inception"])
+    def test_partition_respects_proposition1(self, model_fixture, request, clean_profiler,
+                                              cluster_one_edge, wifi):
+        graph = request.getfixturevalue(model_fixture)
+        profile = clean_profiler.build_profile_from_measurements(
+            graph, cluster_one_edge.tier_hardware(), repeats=1
+        )
+        plan = HorizontalPartitioner(profile, wifi).partition(graph)
+        plan.validate()  # raises on any Proposition-1 violation
+
+    def test_input_vertex_always_on_device(self, partitioner, alexnet):
+        plan = partitioner.partition(alexnet)
+        assert plan.tier_of(alexnet.input_vertex.index) == Tier.DEVICE
+
+
+class TestPartitionQuality:
+    @pytest.mark.parametrize("network", ["wifi", "4g", "5g", "optical"])
+    def test_hpa_not_worse_than_best_single_tier(self, alexnet, alexnet_profile, network):
+        condition = get_condition(network)
+        plan = HorizontalPartitioner(alexnet_profile, condition).partition(alexnet)
+        hpa_latency = PlanEvaluator(alexnet_profile, condition).objective(plan)
+        single = SingleTierBaseline(alexnet_profile, condition)
+        best_single = min(single.all_latencies_s(alexnet).values())
+        assert hpa_latency <= best_single * 1.01
+
+    def test_hpa_much_faster_than_device_only(self, resnet18, resnet_profile, wifi):
+        plan = HorizontalPartitioner(resnet_profile, wifi).partition(resnet18)
+        hpa_latency = PlanEvaluator(resnet_profile, wifi).objective(plan)
+        device_only = SingleTierBaseline(resnet_profile, wifi).latency_s(resnet18, Tier.DEVICE)
+        assert device_only / hpa_latency > 3.0
+
+    def test_lookahead_modes_produce_valid_plans(self, alexnet, alexnet_profile, wifi):
+        for mode in ("none", "successor", "cumulative"):
+            config = HPAConfig(lookahead=mode)
+            plan = HorizontalPartitioner(alexnet_profile, wifi, config).partition(alexnet)
+            plan.validate()
+
+    def test_cumulative_not_worse_than_pure_greedy(self, resnet18, resnet_profile, wifi):
+        evaluator = PlanEvaluator(resnet_profile, wifi)
+        greedy = HorizontalPartitioner(resnet_profile, wifi, HPAConfig(lookahead="none"))
+        cumulative = HorizontalPartitioner(resnet_profile, wifi, HPAConfig(lookahead="cumulative"))
+        assert evaluator.objective(cumulative.partition(resnet18)) <= evaluator.objective(
+            greedy.partition(resnet18)
+        ) * 1.01
+
+    def test_sis_update_counts_changes(self, small_inception, clean_profiler, cluster_one_edge, wifi):
+        profile = clean_profiler.build_profile_from_measurements(
+            small_inception, cluster_one_edge.tier_hardware(), repeats=1
+        )
+        partitioner = HorizontalPartitioner(profile, wifi)
+        plan = partitioner.partition(small_inception)
+        plan.validate()
+
+    def test_largest_direct_successor(self, partitioner, alexnet):
+        conv1 = alexnet.vertex("conv1")
+        successor = partitioner.largest_direct_successor(alexnet, conv1)
+        assert successor is not None
+        assert successor.index in {s.index for s in alexnet.successors(conv1.index)}
+
+    def test_no_successor_returns_none(self, partitioner, alexnet):
+        last = alexnet.output_vertices()[-1]
+        assert partitioner.largest_direct_successor(alexnet, last) is None

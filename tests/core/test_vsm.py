@@ -1,0 +1,157 @@
+"""Tests for the Vertical Separation Module geometry (RTC, fused runs)."""
+
+import pytest
+
+from repro.core.placement import PlacementPlan, Tier
+from repro.core.vsm import (
+    SpatialParams,
+    TileRegion,
+    VerticalSeparationModule,
+    VSMError,
+    reverse_tile_calculation,
+)
+from repro.graph.builder import GraphBuilder
+
+
+def make_run_graph():
+    builder = GraphBuilder("run", input_shape=(3, 16, 16))
+    builder.conv("conv1", 4, kernel=3, stride=1, padding=1)
+    builder.conv("conv2", 4, kernel=3, stride=2, padding=1)
+    builder.maxpool("pool", kernel=2, stride=2)
+    builder.flatten("flatten")
+    builder.linear("fc", 10)
+    return builder.build()
+
+
+class TestReverseTileCalculation:
+    def test_stride1_no_padding_adds_halo(self):
+        params = SpatialParams(kernel=(3, 3), stride=(1, 1), padding=(0, 0))
+        out_tile = TileRegion.output_tile(0, 2, 0, 2)
+        region = reverse_tile_calculation(params, out_tile, input_height=8, input_width=8)
+        assert (region.row_start, region.row_end) == (0, 4)
+        assert (region.col_start, region.col_end) == (0, 4)
+        assert region.pad_top == region.pad_left == 0
+
+    def test_same_padding_border_tile_needs_padding(self):
+        params = SpatialParams(kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        out_tile = TileRegion.output_tile(0, 4, 0, 4)
+        region = reverse_tile_calculation(params, out_tile, input_height=8, input_width=8)
+        assert region.row_start == 0 and region.col_start == 0
+        assert region.pad_top == 1 and region.pad_left == 1
+        assert region.pad_bottom == 0 and region.pad_right == 0
+
+    def test_interior_tile_needs_no_padding(self):
+        params = SpatialParams(kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        out_tile = TileRegion.output_tile(3, 5, 3, 5)
+        region = reverse_tile_calculation(params, out_tile, input_height=10, input_width=10)
+        assert region.pad_top == region.pad_bottom == region.pad_left == region.pad_right == 0
+        assert (region.row_start, region.row_end) == (2, 6)
+
+    def test_stride2_downsampling(self):
+        params = SpatialParams(kernel=(2, 2), stride=(2, 2), padding=(0, 0))
+        out_tile = TileRegion.output_tile(0, 2, 2, 4)
+        region = reverse_tile_calculation(params, out_tile, input_height=8, input_width=8)
+        assert (region.row_start, region.row_end) == (0, 4)
+        assert (region.col_start, region.col_end) == (4, 8)
+
+    def test_identity_params_for_pointwise_layers(self):
+        params = SpatialParams.identity()
+        out_tile = TileRegion.output_tile(1, 3, 2, 5)
+        region = reverse_tile_calculation(params, out_tile, input_height=8, input_width=8)
+        assert (region.row_start, region.row_end, region.col_start, region.col_end) == (1, 3, 2, 5)
+
+    def test_empty_tile_rejected(self):
+        params = SpatialParams.identity()
+        with pytest.raises(VSMError):
+            reverse_tile_calculation(params, TileRegion.output_tile(2, 2, 0, 1), 8, 8)
+
+    def test_unsupported_layer_kind_rejected(self):
+        from repro.graph.layers import Linear
+
+        with pytest.raises(VSMError):
+            SpatialParams.from_spec(Linear(10))
+
+
+class TestRunDiscovery:
+    def test_finds_conv_run_on_edge(self):
+        graph = make_run_graph()
+        plan = PlacementPlan.single_tier(graph, Tier.EDGE)
+        vsm = VerticalSeparationModule(2, 2)
+        runs = vsm.find_tileable_runs(graph, plan, Tier.EDGE)
+        assert len(runs) == 1
+        assert [v.name for v in runs[0]] == ["conv1", "conv2", "pool"]
+
+    def test_no_runs_on_other_tiers(self):
+        graph = make_run_graph()
+        plan = PlacementPlan.single_tier(graph, Tier.CLOUD)
+        vsm = VerticalSeparationModule(2, 2)
+        assert vsm.find_tileable_runs(graph, plan, Tier.EDGE) == []
+
+    def test_branching_breaks_runs(self, resnet18):
+        plan = PlacementPlan.single_tier(resnet18, Tier.EDGE)
+        vsm = VerticalSeparationModule(2, 2)
+        runs = vsm.find_tileable_runs(resnet18, plan, Tier.EDGE)
+        # Residual additions are not tileable, so runs never span a whole stage.
+        for run in runs:
+            assert all(v.kind != "add" for v in run)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            VerticalSeparationModule(0, 2)
+
+
+class TestRunPlanning:
+    def test_output_tiles_partition_output(self):
+        graph = make_run_graph()
+        plan = PlacementPlan.single_tier(graph, Tier.EDGE)
+        vsm = VerticalSeparationModule(2, 2)
+        run_plan = vsm.plan_run(graph, vsm.find_tileable_runs(graph, plan)[0])
+        run_plan.validate_coverage()
+        assert run_plan.num_tiles == 4
+        total_area = sum(stack.output_region.area for stack in run_plan.stacks)
+        assert total_area == run_plan.output_shape[1] * run_plan.output_shape[2]
+
+    def test_redundancy_factor_at_least_one(self):
+        graph = make_run_graph()
+        plan = PlacementPlan.single_tier(graph, Tier.EDGE)
+        vsm = VerticalSeparationModule(2, 2)
+        run_plan = vsm.plan_run(graph, vsm.find_tileable_runs(graph, plan)[0])
+        assert run_plan.redundancy_factor() >= 1.0
+        assert run_plan.redundancy_factor() < 2.0
+
+    def test_grid_clamped_to_small_outputs(self):
+        builder = GraphBuilder("small", input_shape=(3, 4, 4))
+        builder.conv("conv1", 4, kernel=3, stride=2, padding=1)  # 2x2 output
+        graph = builder.build()
+        plan = PlacementPlan.single_tier(graph, Tier.EDGE)
+        vsm = VerticalSeparationModule(3, 3)
+        run_plan = vsm.plan_run(graph, [graph.vertex("conv1")])
+        assert run_plan.num_tiles <= 4
+
+    def test_full_plan_for_model(self, resnet18, clean_profiler, cluster_four_edge, wifi):
+        profile = clean_profiler.build_profile_from_measurements(
+            resnet18, cluster_four_edge.tier_hardware(), repeats=1
+        )
+        from repro.core.hpa import HorizontalPartitioner
+
+        placement = HorizontalPartitioner(profile, wifi).partition(resnet18)
+        vsm_plan = VerticalSeparationModule(2, 2).plan(resnet18, placement, Tier.EDGE)
+        for run in vsm_plan.runs:
+            run.validate_coverage()
+            assert vsm_plan.covers_vertex(run.vertices[0].index)
+        assert vsm_plan.run_for_vertex(-1) is None
+
+    def test_work_fraction_sums_exceed_one_with_overlap(self):
+        graph = make_run_graph()
+        plan = PlacementPlan.single_tier(graph, Tier.EDGE)
+        vsm = VerticalSeparationModule(2, 2)
+        run_plan = vsm.plan_run(graph, vsm.find_tileable_runs(graph, plan)[0])
+        # First layer overlaps, so the per-tile fractions sum above 1.
+        area = run_plan.layer_output_area(0)
+        total_fraction = sum(s.work_fraction(0, area) for s in run_plan.stacks)
+        assert total_fraction >= 1.0
+
+    def test_empty_run_rejected(self):
+        graph = make_run_graph()
+        with pytest.raises(VSMError):
+            VerticalSeparationModule(2, 2).plan_run(graph, [])

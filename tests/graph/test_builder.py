@@ -1,0 +1,88 @@
+"""Unit tests for the fluent graph builder."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dag import GraphError
+
+
+class TestBuilder:
+    def test_sequential_chaining_uses_previous_vertex(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv("c1", 4, kernel=3, padding=1)
+        builder.relu("r1")
+        graph = builder.build()
+        assert [p.name for p in graph.predecessors("r1")] == ["c1"]
+
+    def test_explicit_inputs_create_branches(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv("c1", 4, kernel=3, padding=1)
+        builder.conv("a", 4, kernel=1, padding=0, inputs=["c1"])
+        builder.conv("b", 4, kernel=1, padding=0, inputs=["c1"])
+        builder.concat("cat", inputs=["a", "b"])
+        graph = builder.build()
+        assert {v.name for v in graph.successors("c1")} == {"a", "b"}
+
+    def test_same_padding_default(self):
+        builder = GraphBuilder("g", input_shape=(3, 9, 9))
+        builder.conv("c1", 4, kernel=3)  # padding defaults to "same"
+        assert builder.graph.vertex("c1").output_shape == (4, 9, 9)
+
+    def test_int_hyperparameters_normalised_to_pairs(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv("c1", 4, kernel=3, stride=2, padding=1)
+        assert builder.graph.vertex("c1").spec.kernel == (3, 3)
+        assert builder.graph.vertex("c1").spec.stride == (2, 2)
+
+    def test_maxpool_stride_defaults_to_kernel(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.maxpool("p1", kernel=2)
+        assert builder.graph.vertex("p1").output_shape == (3, 4, 4)
+
+    def test_conv_bn_relu_block(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv_bn_relu("c1", 4, kernel=3)
+        graph = builder.build()
+        assert "c1" in graph and "c1_bn" in graph and "c1_act" in graph
+        assert graph.vertex("c1").spec.bias is False
+
+    def test_conv_bn_relu_leaky(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv_bn_relu("c1", 4, kernel=3, leaky=True)
+        assert builder.graph.vertex("c1_act").kind == "leakyrelu"
+
+    def test_set_current(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv("c1", 4, kernel=3)
+        builder.conv("c2", 4, kernel=3)
+        builder.set_current("c1")
+        builder.conv("c3", 4, kernel=3)
+        graph = builder.graph
+        assert [p.name for p in graph.predecessors("c3")] == ["c1"]
+
+    def test_set_current_unknown_raises(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        with pytest.raises(GraphError):
+            builder.set_current("missing")
+
+    def test_residual_add(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv("c1", 3, kernel=3)
+        builder.residual_add("add", inputs=["c1", "input"])
+        graph = builder.build()
+        assert graph.vertex("add").output_shape == (3, 8, 8)
+
+    def test_classifier_head_helpers(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.global_avgpool("gap")
+        builder.dropout("drop")
+        builder.linear("fc", 10)
+        builder.softmax("sm")
+        graph = builder.build()
+        assert graph.vertex("sm").output_shape == (10,)
+
+    def test_build_validates(self):
+        builder = GraphBuilder("g", input_shape=(3, 8, 8))
+        builder.conv("c1", 4, kernel=3)
+        graph = builder.build()
+        assert graph.name == "g"

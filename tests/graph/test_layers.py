@@ -1,0 +1,175 @@
+"""Unit tests for layer specifications (shape inference, FLOPs, weights)."""
+
+import pytest
+
+from repro.graph.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    InputLayer,
+    LeakyReLU,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    ShapeError,
+    Softmax,
+    all_layer_kinds,
+)
+
+
+class TestInputLayer:
+    def test_output_shape(self):
+        assert InputLayer((3, 224, 224)).infer_shape([]) == (3, 224, 224)
+
+    def test_rejects_inputs(self):
+        with pytest.raises(ShapeError):
+            InputLayer((3, 4, 4)).infer_shape([(3, 4, 4)])
+
+    def test_zero_flops(self):
+        layer = InputLayer((3, 4, 4))
+        assert layer.flops([], (3, 4, 4)) == 0
+
+
+class TestConv2d:
+    def test_shape(self):
+        conv = Conv2d(out_channels=64, kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        assert conv.infer_shape([(3, 224, 224)]) == (64, 224, 224)
+
+    def test_strided_shape(self):
+        conv = Conv2d(out_channels=64, kernel=(7, 7), stride=(2, 2), padding=(3, 3))
+        assert conv.infer_shape([(3, 224, 224)]) == (64, 112, 112)
+
+    def test_flops_counts_macs_twice(self):
+        conv = Conv2d(out_channels=8, kernel=(3, 3), padding=(1, 1), bias=False)
+        out = conv.infer_shape([(4, 10, 10)])
+        # 2 * Cin * K * K * Cout * H * W
+        assert conv.flops([(4, 10, 10)], out) == 2 * 4 * 9 * 8 * 10 * 10
+
+    def test_bias_adds_flops_and_weights(self):
+        shape = [(4, 10, 10)]
+        with_bias = Conv2d(out_channels=8, kernel=(3, 3), padding=(1, 1), bias=True)
+        without = Conv2d(out_channels=8, kernel=(3, 3), padding=(1, 1), bias=False)
+        out = with_bias.infer_shape(shape)
+        assert with_bias.flops(shape, out) - without.flops(shape, out) == 8 * 10 * 10
+        assert with_bias.weight_count(shape, out) - without.weight_count(shape, out) == 8
+
+    def test_grouped_conv_weights(self):
+        conv = Conv2d(out_channels=8, kernel=(3, 3), groups=2, bias=False)
+        out = conv.infer_shape([(4, 10, 10)])
+        assert conv.weight_count([(4, 10, 10)], out) == 8 * 2 * 9
+
+    def test_rejects_channel_group_mismatch(self):
+        conv = Conv2d(out_channels=9, kernel=(3, 3), groups=3)
+        with pytest.raises(ShapeError):
+            conv.infer_shape([(4, 10, 10)])
+
+    def test_rejects_out_channels_not_divisible_by_groups(self):
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=8, kernel=(3, 3), groups=3)
+
+    def test_rejects_bad_out_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=0, kernel=(3, 3))
+
+    def test_is_convolutional_and_intensive(self):
+        conv = Conv2d(out_channels=8, kernel=(3, 3))
+        assert conv.is_convolutional
+        assert conv.is_compute_intensive
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ShapeError):
+            Conv2d(out_channels=8, kernel=(3, 3)).infer_shape([(100,)])
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        pool = MaxPool2d(kernel=(2, 2), stride=(2, 2))
+        assert pool.infer_shape([(64, 112, 112)]) == (64, 56, 56)
+
+    def test_avgpool_same_padding(self):
+        pool = AvgPool2d(kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        assert pool.infer_shape([(64, 17, 17)]) == (64, 17, 17)
+
+    def test_pool_is_convolutional_for_vsm(self):
+        assert MaxPool2d().is_convolutional
+        assert AvgPool2d().is_convolutional
+
+    def test_global_avgpool(self):
+        assert GlobalAvgPool2d().infer_shape([(512, 7, 7)]) == (512,)
+
+
+class TestLinear:
+    def test_shape(self):
+        assert Linear(out_features=1000).infer_shape([(4096,)]) == (1000,)
+
+    def test_weights(self):
+        fc = Linear(out_features=10, bias=True)
+        assert fc.weight_count([(20,)], (10,)) == 20 * 10 + 10
+
+    def test_flops(self):
+        fc = Linear(out_features=10, bias=False)
+        assert fc.flops([(20,)], (10,)) == 2 * 20 * 10
+
+    def test_rejects_feature_map_input(self):
+        with pytest.raises(ShapeError):
+            Linear(out_features=10).infer_shape([(3, 8, 8)])
+
+
+class TestElementwiseLayers:
+    def test_relu_preserves_shape(self):
+        assert ReLU().infer_shape([(64, 8, 8)]) == (64, 8, 8)
+
+    def test_leaky_relu_preserves_shape(self):
+        assert LeakyReLU().infer_shape([(64, 8, 8)]) == (64, 8, 8)
+
+    def test_batchnorm_weights(self):
+        bn = BatchNorm2d()
+        assert bn.weight_count([(64, 8, 8)], (64, 8, 8)) == 4 * 64
+
+    def test_dropout_zero_flops(self):
+        assert Dropout().flops([(100,)], (100,)) == 0
+
+    def test_lrn_shape(self):
+        assert LocalResponseNorm().infer_shape([(64, 8, 8)]) == (64, 8, 8)
+
+    def test_flatten(self):
+        assert Flatten().infer_shape([(256, 6, 6)]) == (256 * 36,)
+
+    def test_softmax_shape(self):
+        assert Softmax().infer_shape([(1000,)]) == (1000,)
+
+
+class TestMergeLayers:
+    def test_concat_channels(self):
+        concat = Concat()
+        assert concat.infer_shape([(96, 26, 26), (96, 26, 26), (64, 26, 26)]) == (256, 26, 26)
+
+    def test_concat_rejects_mismatched_spatial(self):
+        with pytest.raises(ShapeError):
+            Concat().infer_shape([(96, 26, 26), (96, 13, 13)])
+
+    def test_concat_needs_two_inputs(self):
+        with pytest.raises(ShapeError):
+            Concat().infer_shape([(96, 26, 26)])
+
+    def test_add_shape(self):
+        assert Add().infer_shape([(64, 56, 56), (64, 56, 56)]) == (64, 56, 56)
+
+    def test_add_rejects_mismatch(self):
+        with pytest.raises(ShapeError):
+            Add().infer_shape([(64, 56, 56), (32, 56, 56)])
+
+    def test_add_flops(self):
+        assert Add().flops([(4, 2, 2), (4, 2, 2)], (4, 2, 2)) == 16
+
+
+def test_all_layer_kinds_unique():
+    kinds = all_layer_kinds()
+    assert len(kinds) == len(set(kinds))
+    assert "conv" in kinds and "linear" in kinds

@@ -1,0 +1,95 @@
+"""Unit tests for shape helpers."""
+
+import pytest
+
+from repro.graph.shapes import (
+    conv_output_hw,
+    element_count,
+    is_feature_map,
+    is_vector,
+    same_padding,
+    tensor_bytes,
+    validate_shape,
+)
+
+
+class TestElementCount:
+    def test_feature_map(self):
+        assert element_count((3, 224, 224)) == 3 * 224 * 224
+
+    def test_vector(self):
+        assert element_count((4096,)) == 4096
+
+    def test_singleton(self):
+        assert element_count((1,)) == 1
+
+
+class TestTensorBytes:
+    def test_float32_default(self):
+        assert tensor_bytes((3, 224, 224)) == 3 * 224 * 224 * 4
+
+    def test_custom_element_size(self):
+        assert tensor_bytes((10,), bytes_per_element=2) == 20
+
+
+class TestValidateShape:
+    def test_accepts_valid(self):
+        assert validate_shape([3, 224, 224]) == (3, 224, 224)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_shape([])
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            validate_shape([3, 0, 224])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_shape([-1, 4])
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            validate_shape([3, 2.5])
+
+
+class TestConvOutputHw:
+    def test_same_padding_stride1(self):
+        assert conv_output_hw(224, 224, (3, 3), (1, 1), (1, 1)) == (224, 224)
+
+    def test_valid_padding(self):
+        assert conv_output_hw(224, 224, (3, 3), (1, 1), (0, 0)) == (222, 222)
+
+    def test_stride_two(self):
+        assert conv_output_hw(224, 224, (3, 3), (2, 2), (1, 1)) == (112, 112)
+
+    def test_alexnet_conv1(self):
+        # 11x11 kernel, stride 4, padding 2 on 224 -> 55.
+        assert conv_output_hw(224, 224, (11, 11), (4, 4), (2, 2)) == (55, 55)
+
+    def test_pooling_window(self):
+        assert conv_output_hw(55, 55, (3, 3), (2, 2), (0, 0)) == (27, 27)
+
+    def test_asymmetric_kernel(self):
+        assert conv_output_hw(17, 17, (1, 7), (1, 1), (0, 3)) == (17, 17)
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(2, 2, (5, 5), (1, 1), (0, 0))
+
+
+class TestPredicatesAndPadding:
+    def test_is_feature_map(self):
+        assert is_feature_map((3, 8, 8))
+        assert not is_feature_map((10,))
+
+    def test_is_vector(self):
+        assert is_vector((10,))
+        assert not is_vector((3, 8, 8))
+
+    def test_same_padding_odd_kernel(self):
+        assert same_padding((3, 3)) == (1, 1)
+        assert same_padding((5, 5)) == (2, 2)
+
+    def test_same_padding_asymmetric(self):
+        assert same_padding((1, 7)) == (0, 3)

@@ -1,0 +1,99 @@
+"""End-to-end integration tests across every model and network condition,
+plus hypothesis property tests on the partitioning invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.single_tier import SingleTierBaseline
+from repro.core.d3 import D3Config, D3System
+from repro.core.hpa import HPAConfig, HorizontalPartitioner
+from repro.core.placement import PlanEvaluator, Tier
+from repro.models.zoo import PAPER_MODELS, build_model
+from repro.network.conditions import get_condition, list_conditions
+from repro.profiling.profiler import Profiler
+from repro.runtime.cluster import Cluster
+
+
+@pytest.mark.parametrize("model", PAPER_MODELS)
+@pytest.mark.parametrize("network", ["wifi", "4g"])
+def test_d3_end_to_end_every_model(model, network):
+    """D3 runs end-to-end for every paper model and is never slower than the
+    best single-tier deployment under the same conditions."""
+    kwargs = {"num_a": 2, "num_b": 2, "num_c": 1} if model == "inception_v4" else {}
+    graph = build_model(model, **kwargs)
+    system = D3System(D3Config(network=network, num_edge_nodes=4, profiler_noise_std=0.0))
+    result = system.run(graph)
+    result.placement.validate()
+    assert result.end_to_end_latency_s > 0
+
+    single = SingleTierBaseline(result.profile, result.network)
+    best_single = min(single.all_latencies_s(graph).values())
+    assert result.end_to_end_latency_s <= best_single * 1.01
+
+
+@pytest.mark.parametrize("network", list_conditions())
+def test_hpa_across_all_network_conditions(network, resnet18, resnet_profile):
+    condition = get_condition(network)
+    plan = HorizontalPartitioner(resnet_profile, condition).partition(resnet18)
+    plan.validate()
+    latency = PlanEvaluator(resnet_profile, condition).objective(plan)
+    device_only = SingleTierBaseline(resnet_profile, condition).latency_s(resnet18, Tier.DEVICE)
+    assert latency < device_only
+
+
+# --------------------------------------------------------------------------- #
+# Property-based invariants
+# --------------------------------------------------------------------------- #
+_MODEL_STRATEGY = st.sampled_from(["alexnet", "resnet18"])
+_NETWORK_STRATEGY = st.sampled_from(["wifi", "4g", "5g", "optical"])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    model=_MODEL_STRATEGY,
+    network=_NETWORK_STRATEGY,
+    device_scale=st.floats(min_value=0.25, max_value=4.0),
+    edge_scale=st.floats(min_value=0.25, max_value=4.0),
+    lookahead=st.sampled_from(["none", "successor", "cumulative"]),
+    sis=st.booleans(),
+)
+def test_property_hpa_plans_always_valid_and_competitive(
+    model, network, device_scale, edge_scale, lookahead, sis
+):
+    """For any hardware drift, network condition and heuristic configuration,
+    HPA produces a Proposition-1-valid plan that never loses to the best
+    single-tier deployment by more than a rounding error."""
+    graph = build_model(model)
+    cluster = Cluster.build(network=network, num_edge_nodes=1)
+    profiler = Profiler(noise_std=0.0)
+    profile = profiler.build_profile_from_measurements(graph, cluster.tier_hardware(), repeats=1)
+    profile = profile.scaled(Tier.DEVICE, device_scale).scaled(Tier.EDGE, edge_scale)
+    condition = get_condition(network)
+
+    config = HPAConfig(lookahead=lookahead, enable_sis_update=sis)
+    plan = HorizontalPartitioner(profile, condition, config).partition(graph)
+    plan.validate()
+
+    if lookahead == "cumulative":
+        latency = PlanEvaluator(profile, condition).objective(plan)
+        best_single = min(SingleTierBaseline(profile, condition).all_latencies_s(graph).values())
+        assert latency <= best_single * 1.05
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    network=_NETWORK_STRATEGY,
+    backbone_scale=st.floats(min_value=0.2, max_value=5.0),
+)
+def test_property_backbone_traffic_never_exceeds_cloud_only(network, backbone_scale, alexnet):
+    """D3 never ships more bytes over the backbone than the cloud-only baseline,
+    under any backbone bandwidth."""
+    condition = get_condition(network).scaled_backbone(backbone_scale)
+    cluster = Cluster.build(network=condition, num_edge_nodes=1)
+    profiler = Profiler(noise_std=0.0)
+    profile = profiler.build_profile_from_measurements(alexnet, cluster.tier_hardware(), repeats=1)
+    plan = HorizontalPartitioner(profile, condition).partition(alexnet)
+    evaluator = PlanEvaluator(profile, condition)
+    hpa_bytes = evaluator.metrics(plan).bytes_to_cloud
+    cloud_only_bytes = alexnet.input_vertex.output_bytes
+    assert hpa_bytes <= cloud_only_bytes

@@ -1,0 +1,134 @@
+"""Tests for the model zoo: architecture fidelity of the five paper models."""
+
+import pytest
+
+from repro.models.zoo import PAPER_MODELS, build_model, display_name, list_models
+
+
+class TestRegistry:
+    def test_all_paper_models_registered(self):
+        for name in ["alexnet", "vgg16", "resnet18", "darknet53", "inception_v4"]:
+            assert name in list_models()
+
+    def test_paper_model_order(self):
+        assert PAPER_MODELS == ["alexnet", "vgg16", "resnet18", "darknet53", "inception_v4"]
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("lenet5")
+
+    def test_name_normalisation(self):
+        graph = build_model("ResNet-18")
+        assert graph.name == "resnet18"
+
+    def test_display_names(self):
+        assert display_name("vgg16") == "VGG-16"
+        assert display_name("inception_v4") == "Inception-v4"
+
+
+class TestParameterCounts:
+    """Parameter counts must match the published architectures (±2%)."""
+
+    @pytest.mark.parametrize(
+        "model, expected_million",
+        [
+            ("alexnet", 61.1),
+            ("vgg16", 138.4),
+            ("resnet18", 11.7),
+            ("darknet53", 41.6),
+            ("inception_v4", 42.7),
+        ],
+    )
+    def test_weight_counts(self, model, expected_million):
+        graph = build_model(model)
+        assert graph.total_weights() / 1e6 == pytest.approx(expected_million, rel=0.02)
+
+
+class TestTopology:
+    def test_chain_models(self):
+        assert build_model("alexnet").is_chain()
+        assert build_model("vgg16").is_chain()
+
+    def test_dag_models(self):
+        for name in ["resnet18", "darknet53", "inception_v4"]:
+            assert not build_model(name).is_chain()
+
+    def test_all_models_validate(self):
+        for name in PAPER_MODELS:
+            build_model(name).validate()
+
+    def test_classifier_output_is_1000_classes(self):
+        for name in PAPER_MODELS:
+            graph = build_model(name)
+            assert graph.output_vertices()[-1].output_shape == (1000,)
+
+    def test_custom_class_count(self):
+        graph = build_model("resnet18", num_classes=10)
+        assert graph.output_vertices()[-1].output_shape == (10,)
+
+
+class TestPerModelStructure:
+    def test_alexnet_layer_inventory(self):
+        graph = build_model("alexnet")
+        convs = [v for v in graph if v.kind == "conv"]
+        pools = [v for v in graph if v.kind == "maxpool"]
+        fcs = [v for v in graph if v.kind == "linear"]
+        assert len(convs) == 5 and len(pools) == 3 and len(fcs) == 3
+
+    def test_vgg16_has_13_convs(self):
+        graph = build_model("vgg16")
+        assert len([v for v in graph if v.kind == "conv"]) == 13
+
+    def test_vgg16_fc1_is_biggest_layer(self):
+        graph = build_model("vgg16")
+        fc1 = graph.vertex("fc1")
+        assert fc1.weight_count == 25088 * 4096 + 4096
+
+    def test_resnet18_has_8_residual_adds(self):
+        graph = build_model("resnet18")
+        assert len([v for v in graph if v.kind == "add"]) == 8
+
+    def test_resnet18_downsample_convs(self):
+        graph = build_model("resnet18")
+        downsamples = [v for v in graph if v.name.endswith("_downsample")]
+        assert len(downsamples) == 3  # stages 2, 3 and 4
+
+    def test_darknet53_conv_count(self):
+        # 52 convolutions in the backbone (the 53rd "layer" is the classifier).
+        graph = build_model("darknet53")
+        assert len([v for v in graph if v.kind == "conv"]) == 52
+
+    def test_darknet53_residual_counts(self):
+        graph = build_model("darknet53")
+        adds = [v for v in graph if v.kind == "add"]
+        assert len(adds) == 1 + 2 + 8 + 8 + 4
+
+    def test_inception_v4_concat_modules(self):
+        graph = build_model("inception_v4")
+        concats = [v for v in graph if v.kind == "concat"]
+        # 3 stem mixes + 4 A + reduction-A + 7 B + reduction-B + 3 C = 19.
+        assert len(concats) == 19
+
+    def test_inception_reduced_depth_for_tests(self):
+        graph = build_model("inception_v4", num_a=1, num_b=1, num_c=1)
+        assert len(graph) < len(build_model("inception_v4"))
+
+    def test_include_activations_adds_vertices(self):
+        compact = build_model("resnet18")
+        verbose = build_model("resnet18", include_activations=True)
+        assert len(verbose) > len(compact)
+        # The compute structure (conv count) is unchanged.
+        assert len([v for v in compact if v.kind == "conv"]) == len(
+            [v for v in verbose if v.kind == "conv"]
+        )
+
+    def test_feature_maps_shrink_through_vgg(self):
+        graph = build_model("vgg16")
+        first_conv = graph.vertex("conv1")
+        last_conv = graph.vertex("conv13")
+        assert last_conv.output_bytes < first_conv.output_bytes
+
+    def test_custom_input_shape_propagates(self):
+        graph = build_model("vgg16", input_shape=(3, 64, 64))
+        assert graph.input_shape == (3, 64, 64)
+        assert graph.vertex("conv1").output_shape == (64, 64, 64)

@@ -1,0 +1,120 @@
+"""Tests for network links and the Table III conditions."""
+
+import pytest
+
+from repro.network.conditions import (
+    BandwidthTrace,
+    NETWORK_CONDITIONS,
+    NetworkCondition,
+    TABLE_III_UPLINK_MBPS,
+    get_condition,
+    list_conditions,
+)
+from repro.network.link import NetworkLink, transfer_seconds
+
+
+class TestTransferSeconds:
+    def test_basic_conversion(self):
+        # 1 MB over 8 Mbps = 1 second.
+        assert transfer_seconds(1_000_000, 8.0) == pytest.approx(1.0)
+
+    def test_zero_payload(self):
+        assert transfer_seconds(0, 10.0) == 0.0
+
+    def test_latency_added(self):
+        assert transfer_seconds(1_000_000, 8.0, latency_s=0.05) == pytest.approx(1.05)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, 10.0)
+        with pytest.raises(ValueError):
+            transfer_seconds(1, 0.0)
+
+
+class TestNetworkLink:
+    def test_transfer(self):
+        link = NetworkLink("device", "edge", bandwidth_mbps=80.0)
+        assert link.transfer_seconds(10_000_000) == pytest.approx(1.0)
+
+    def test_with_bandwidth(self):
+        link = NetworkLink("edge", "cloud", 30.0).with_bandwidth(60.0)
+        assert link.bandwidth_mbps == 60.0
+
+    def test_key_is_symmetric(self):
+        assert NetworkLink("device", "edge", 1.0).key == NetworkLink("edge", "device", 1.0).key
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            NetworkLink("a", "b", 0.0)
+
+
+class TestTableIIIConditions:
+    def test_all_four_conditions_exist(self):
+        assert list_conditions() == ["wifi", "4g", "5g", "optical"]
+        assert set(NETWORK_CONDITIONS) == set(list_conditions())
+
+    @pytest.mark.parametrize("name", ["wifi", "4g", "5g", "optical"])
+    def test_rates_match_table_iii(self, name):
+        condition = get_condition(name)
+        rates = TABLE_III_UPLINK_MBPS[name]
+        assert condition.device_edge_mbps == rates["device-edge"]
+        assert condition.edge_cloud_mbps == rates["edge-cloud"]
+        assert condition.device_cloud_mbps == rates["device-cloud"]
+
+    def test_lan_faster_than_backbone(self):
+        for name in list_conditions():
+            condition = get_condition(name)
+            assert condition.device_edge_mbps > condition.edge_cloud_mbps
+            assert condition.edge_cloud_mbps >= condition.device_cloud_mbps
+
+    def test_bandwidth_lookup_symmetric(self):
+        condition = get_condition("wifi")
+        assert condition.bandwidth_mbps("device", "edge") == condition.bandwidth_mbps("edge", "device")
+
+    def test_same_tier_transfer_is_free(self):
+        condition = get_condition("wifi")
+        assert condition.bandwidth_mbps("edge", "edge") == float("inf")
+        assert condition.transfer_seconds(10**9, "edge", "edge") == 0.0
+
+    def test_unknown_condition_raises(self):
+        with pytest.raises(KeyError):
+            get_condition("carrier-pigeon")
+
+    def test_alias_lookup(self):
+        assert get_condition("Optical Network").name == "optical"
+
+    def test_with_backbone_mbps(self):
+        swept = get_condition("wifi").with_backbone_mbps(50.0)
+        assert swept.edge_cloud_mbps == 50.0
+        assert swept.device_cloud_mbps == 50.0
+        assert swept.device_edge_mbps == get_condition("wifi").device_edge_mbps
+
+    def test_scaled_backbone(self):
+        scaled = get_condition("wifi").scaled_backbone(0.5)
+        assert scaled.edge_cloud_mbps == pytest.approx(31.53 * 0.5)
+        with pytest.raises(ValueError):
+            get_condition("wifi").scaled_backbone(0)
+
+    def test_condition_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            NetworkCondition("bad", 0.0, 1.0, 1.0)
+
+
+class TestBandwidthTrace:
+    def test_piecewise_lookup(self):
+        trace = BandwidthTrace(get_condition("wifi"), [(0.0, 1.0), (10.0, 0.5), (20.0, 1.0)])
+        assert trace.multiplier_at(5.0) == 1.0
+        assert trace.multiplier_at(15.0) == 0.5
+        assert trace.multiplier_at(25.0) == 1.0
+
+    def test_condition_at(self):
+        trace = BandwidthTrace(get_condition("wifi"), [(0.0, 0.5)])
+        assert trace.condition_at(1.0).edge_cloud_mbps == pytest.approx(31.53 * 0.5)
+
+    def test_rejects_unordered_samples(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(get_condition("wifi"), [(10.0, 1.0), (0.0, 0.5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(get_condition("wifi"), [])

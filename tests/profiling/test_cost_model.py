@@ -1,0 +1,88 @@
+"""Tests for the analytic cost model (the simulated testbed)."""
+
+import pytest
+
+from repro.profiling.cost_model import AnalyticCostModel, per_layer_table
+from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, RASPBERRY_PI_4
+
+
+class TestLayerCost:
+    def test_total_is_roofline_plus_overhead(self, alexnet):
+        model = AnalyticCostModel(EDGE_DESKTOP)
+        cost = model.layer_cost(alexnet, alexnet.vertex("conv2"))
+        assert cost.total_seconds == pytest.approx(
+            max(cost.compute_seconds, cost.memory_seconds) + cost.overhead_seconds
+        )
+
+    def test_input_vertex_has_no_overhead(self, alexnet):
+        model = AnalyticCostModel(EDGE_DESKTOP)
+        cost = model.layer_cost(alexnet, alexnet.input_vertex)
+        assert cost.overhead_seconds == 0.0
+
+    def test_conv_is_compute_bound_on_slow_device(self, alexnet):
+        model = AnalyticCostModel(RASPBERRY_PI_4)
+        cost = model.layer_cost(alexnet, alexnet.vertex("conv3"))
+        assert cost.compute_seconds > cost.memory_seconds
+
+    def test_gpu_node_requires_gpu(self):
+        with pytest.raises(ValueError):
+            AnalyticCostModel(EDGE_DESKTOP, use_gpu=True)
+
+
+class TestOrderings:
+    """Properties the partitioning algorithms rely on."""
+
+    def test_device_slower_than_edge_slower_than_cloud(self, alexnet):
+        device = AnalyticCostModel(RASPBERRY_PI_4).total_latency(alexnet)
+        edge = AnalyticCostModel(EDGE_DESKTOP).total_latency(alexnet)
+        cloud = AnalyticCostModel(CLOUD_SERVER).total_latency(alexnet)
+        assert device > edge > cloud
+
+    def test_conv_layers_dominate_vgg_latency(self):
+        from repro.models.zoo import build_model
+
+        graph = build_model("vgg16")
+        rows = per_layer_table(graph, RASPBERRY_PI_4)
+        conv_latency = sum(r.total_seconds for r in rows if r.kind == "conv")
+        total_latency = sum(r.total_seconds for r in rows)
+        assert conv_latency / total_latency > 0.8
+
+    def test_latency_scales_inversely_with_throughput(self, alexnet):
+        fast = AnalyticCostModel(EDGE_DESKTOP.scaled(2.0))
+        slow = AnalyticCostModel(EDGE_DESKTOP)
+        vertex = alexnet.vertex("conv2")
+        assert fast.layer_latency(alexnet, vertex) < slow.layer_latency(alexnet, vertex)
+
+    def test_graph_latencies_cover_every_vertex(self, resnet18):
+        latencies = AnalyticCostModel(EDGE_DESKTOP).graph_latencies(resnet18)
+        assert set(latencies) == {v.index for v in resnet18}
+        assert all(value >= 0 for value in latencies.values())
+
+
+class TestTiledLatency:
+    def test_quarter_tile_is_cheaper_but_not_free(self, alexnet):
+        model = AnalyticCostModel(EDGE_DESKTOP)
+        vertex = alexnet.vertex("conv3")
+        full = model.layer_latency(alexnet, vertex)
+        tile = model.tiled_conv_latency(alexnet, vertex, tile_input_elements=25, full_input_elements=100)
+        assert tile < full
+        assert tile > 0
+
+    def test_full_fraction_matches_layer_latency(self, alexnet):
+        model = AnalyticCostModel(EDGE_DESKTOP)
+        vertex = alexnet.vertex("conv3")
+        assert model.tiled_conv_latency(alexnet, vertex, 100, 100) == pytest.approx(
+            model.layer_latency(alexnet, vertex)
+        )
+
+    def test_rejects_bad_fraction(self, alexnet):
+        model = AnalyticCostModel(EDGE_DESKTOP)
+        with pytest.raises(ValueError):
+            model.tiled_conv_latency(alexnet, alexnet.vertex("conv3"), 10, 0)
+
+
+class TestPerLayerTable:
+    def test_kind_filter(self, alexnet):
+        rows = per_layer_table(alexnet, RASPBERRY_PI_4, kinds=("conv",))
+        assert len(rows) == 5
+        assert all(r.kind == "conv" for r in rows)

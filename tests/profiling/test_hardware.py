@@ -1,0 +1,59 @@
+"""Tests for hardware capability presets."""
+
+import pytest
+
+from repro.profiling.hardware import (
+    CLOUD_SERVER,
+    EDGE_DESKTOP,
+    HardwareSpec,
+    JETSON_NANO,
+    RASPBERRY_PI_4,
+    TIER_PRESETS,
+)
+
+
+class TestHardwareSpec:
+    def test_effective_gflops_prefers_gpu(self):
+        assert CLOUD_SERVER.effective_gflops == CLOUD_SERVER.gpu_gflops
+
+    def test_effective_gflops_cpu_only(self):
+        assert EDGE_DESKTOP.effective_gflops == EDGE_DESKTOP.cpu_gflops
+
+    def test_has_gpu(self):
+        assert CLOUD_SERVER.has_gpu and JETSON_NANO.has_gpu
+        assert not RASPBERRY_PI_4.has_gpu and not EDGE_DESKTOP.has_gpu
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", cpu_gflops=0, gpu_gflops=0, memory_bandwidth_gbps=1, memory_gb=1)
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", cpu_gflops=1, gpu_gflops=-1, memory_bandwidth_gbps=1, memory_gb=1)
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", cpu_gflops=1, gpu_gflops=0, memory_bandwidth_gbps=0, memory_gb=1)
+
+    def test_scaled(self):
+        slower = EDGE_DESKTOP.scaled(0.5)
+        assert slower.cpu_gflops == pytest.approx(EDGE_DESKTOP.cpu_gflops * 0.5)
+        assert slower.memory_gb == EDGE_DESKTOP.memory_gb
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EDGE_DESKTOP.scaled(0)
+
+
+class TestTierOrdering:
+    """Compute capability must increase device -> edge -> cloud (section III-A)."""
+
+    def test_capability_increases_across_tiers(self):
+        assert (
+            TIER_PRESETS["device"].effective_gflops
+            < TIER_PRESETS["edge"].effective_gflops
+            < TIER_PRESETS["cloud"].effective_gflops
+        )
+
+    def test_presets_cover_all_tiers(self):
+        assert set(TIER_PRESETS) == {"device", "edge", "cloud"}
+
+    def test_device_is_most_memory_constrained(self):
+        assert TIER_PRESETS["device"].memory_gb <= TIER_PRESETS["edge"].memory_gb
+        assert TIER_PRESETS["edge"].memory_gb <= TIER_PRESETS["cloud"].memory_gb

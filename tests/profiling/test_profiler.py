@@ -1,0 +1,104 @@
+"""Tests for the profiler and latency profiles."""
+
+import pytest
+
+from repro.core.placement import Tier
+from repro.profiling.cost_model import AnalyticCostModel
+from repro.profiling.hardware import EDGE_DESKTOP
+from repro.profiling.profiler import LatencyProfile, Profiler
+
+
+class TestProfilerMeasurements:
+    def test_zero_noise_matches_cost_model(self, alexnet):
+        profiler = Profiler(noise_std=0.0)
+        model = AnalyticCostModel(EDGE_DESKTOP)
+        vertex = alexnet.vertex("conv2")
+        samples = profiler.measure_layer(alexnet, vertex, EDGE_DESKTOP, repeats=3)
+        for sample in samples:
+            assert sample.latency_seconds == pytest.approx(model.layer_latency(alexnet, vertex))
+
+    def test_noise_is_reproducible_with_seed(self, alexnet):
+        a = Profiler(noise_std=0.1, seed=7).measure_graph(alexnet, EDGE_DESKTOP, repeats=2)
+        b = Profiler(noise_std=0.1, seed=7).measure_graph(alexnet, EDGE_DESKTOP, repeats=2)
+        assert a == b
+
+    def test_noise_changes_with_seed(self, alexnet):
+        a = Profiler(noise_std=0.1, seed=1).measure_graph(alexnet, EDGE_DESKTOP, repeats=1)
+        b = Profiler(noise_std=0.1, seed=2).measure_graph(alexnet, EDGE_DESKTOP, repeats=1)
+        assert a != b
+
+    def test_invalid_arguments(self, alexnet):
+        with pytest.raises(ValueError):
+            Profiler(noise_std=-1)
+        with pytest.raises(ValueError):
+            Profiler().measure_layer(alexnet, alexnet.vertex("conv1"), EDGE_DESKTOP, repeats=0)
+
+    def test_bandwidth_observation(self):
+        profiler = Profiler(seed=0)
+        assert profiler.observe_bandwidth(100.0) == 100.0
+        assert profiler.observe_bandwidth(100.0, jitter_std=0.1) != 100.0
+        with pytest.raises(ValueError):
+            profiler.observe_bandwidth(0.0)
+
+
+class TestLatencyProfile:
+    def test_profile_from_measurements_covers_all_tiers(self, alexnet, cluster_one_edge):
+        profiler = Profiler(noise_std=0.0)
+        profile = profiler.build_profile_from_measurements(
+            alexnet, cluster_one_edge.tier_hardware(), repeats=1
+        )
+        assert len(profile) == 3 * len(alexnet)
+        for vertex in alexnet:
+            assert set(profile.tiers_for(vertex.index)) == {"device", "edge", "cloud"}
+
+    def test_device_latencies_dominate(self, alexnet_profile, alexnet):
+        for vertex in alexnet:
+            if vertex.kind != "conv":
+                continue
+            assert alexnet_profile.get(vertex.index, Tier.DEVICE) > alexnet_profile.get(
+                vertex.index, Tier.CLOUD
+            )
+
+    def test_get_accepts_enum_and_string(self, alexnet_profile):
+        assert alexnet_profile.get(1, Tier.EDGE) == alexnet_profile.get(1, "edge")
+
+    def test_get_unknown_raises(self, alexnet_profile):
+        with pytest.raises(KeyError):
+            alexnet_profile.get(10_000, "edge")
+
+    def test_set_rejects_negative(self):
+        profile = LatencyProfile("m")
+        with pytest.raises(ValueError):
+            profile.set(0, "edge", -1.0)
+
+    def test_tier_total(self, alexnet_profile, alexnet):
+        total = alexnet_profile.tier_total(Tier.EDGE)
+        manual = sum(alexnet_profile.get(v.index, Tier.EDGE) for v in alexnet)
+        assert total == pytest.approx(manual)
+
+    def test_scaled_only_affects_target_tier(self, alexnet_profile):
+        scaled = alexnet_profile.scaled(Tier.EDGE, 2.0)
+        assert scaled.get(1, Tier.EDGE) == pytest.approx(2 * alexnet_profile.get(1, Tier.EDGE))
+        assert scaled.get(1, Tier.CLOUD) == pytest.approx(alexnet_profile.get(1, Tier.CLOUD))
+
+    def test_scaled_rejects_nonpositive(self, alexnet_profile):
+        with pytest.raises(ValueError):
+            alexnet_profile.scaled(Tier.EDGE, 0.0)
+
+    def test_regression_profile_close_to_measured(self, alexnet, cluster_one_edge):
+        profiler = Profiler(noise_std=0.0, seed=0)
+        samples = profiler.collect_training_samples(
+            [alexnet], list(cluster_one_edge.tier_hardware().values()), repeats=1
+        )
+        from repro.profiling.regression import LatencyRegressionModel
+
+        regression = LatencyRegressionModel().fit(samples)
+        measured = profiler.build_profile_from_measurements(
+            alexnet, cluster_one_edge.tier_hardware(), repeats=1
+        )
+        predicted = profiler.build_profile_from_regression(
+            alexnet, cluster_one_edge.tier_hardware(), regression
+        )
+        # Whole-model totals must agree well when trained on the same model.
+        for tier in ("device", "edge", "cloud"):
+            assert predicted.tier_total(tier) == pytest.approx(measured.tier_total(tier), rel=0.2)

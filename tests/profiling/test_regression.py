@@ -1,0 +1,77 @@
+"""Tests for the latency regression model and feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import build_model
+from repro.profiling.features import FEATURE_NAMES, LayerFeatureExtractor
+from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP
+from repro.profiling.profiler import Profiler
+from repro.profiling.regression import LatencyRegressionModel, RegressionReport
+
+
+class TestFeatureExtraction:
+    def test_feature_vector_length(self, alexnet):
+        extractor = LayerFeatureExtractor()
+        features = extractor.extract(alexnet, alexnet.vertex("conv1"), EDGE_DESKTOP)
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_features_finite_for_all_layers(self, resnet18):
+        extractor = LayerFeatureExtractor()
+        matrix = extractor.extract_graph(resnet18, CLOUD_SERVER)
+        assert matrix.shape == (len(resnet18), len(FEATURE_NAMES))
+        assert np.all(np.isfinite(matrix))
+
+    def test_hardware_features_differ(self, alexnet):
+        extractor = LayerFeatureExtractor()
+        edge = extractor.extract(alexnet, alexnet.vertex("conv1"), EDGE_DESKTOP)
+        cloud = extractor.extract(alexnet, alexnet.vertex("conv1"), CLOUD_SERVER)
+        assert not np.array_equal(edge, cloud)
+
+
+class TestRegressionModel:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        profiler = Profiler(noise_std=0.02, seed=1)
+        graphs = [build_model("vgg16"), build_model("resnet18")]
+        samples = profiler.collect_training_samples(graphs, [EDGE_DESKTOP, CLOUD_SERVER], repeats=2)
+        return LatencyRegressionModel().fit(samples)
+
+    def test_unfitted_model_raises(self, alexnet):
+        with pytest.raises(RuntimeError):
+            LatencyRegressionModel().predict_layer(alexnet, alexnet.vertex("conv1"), EDGE_DESKTOP)
+
+    def test_fit_requires_samples(self):
+        with pytest.raises(ValueError):
+            LatencyRegressionModel().fit([])
+
+    def test_predictions_nonnegative(self, fitted, alexnet):
+        for vertex in alexnet:
+            assert fitted.predict_layer(alexnet, vertex, EDGE_DESKTOP) >= 0.0
+
+    def test_cpu_predictions_track_measurements(self, fitted, alexnet):
+        """Fig. 4a: predicted per-layer latencies track the actual ones."""
+        profiler = Profiler(noise_std=0.0, seed=0)
+        actual = profiler.measure_graph(alexnet, EDGE_DESKTOP, repeats=1)
+        report = fitted.report(alexnet, EDGE_DESKTOP, actual, kinds=("conv", "linear", "maxpool"))
+        assert report.mean_absolute_percentage_error < 0.25
+        assert report.r_squared > 0.9
+
+    def test_predict_graph_covers_all_vertices(self, fitted, alexnet):
+        predictions = fitted.predict_graph(alexnet, CLOUD_SERVER)
+        assert set(predictions) == {v.index for v in alexnet}
+
+
+class TestRegressionReport:
+    def test_perfect_fit_metrics(self):
+        report = RegressionReport(["a", "b"], [1.0, 2.0], [1.0, 2.0])
+        assert report.mean_absolute_error == 0.0
+        assert report.r_squared == pytest.approx(1.0)
+
+    def test_mape(self):
+        report = RegressionReport(["a"], [2.0], [1.0])
+        assert report.mean_absolute_percentage_error == pytest.approx(0.5)
+
+    def test_rows(self):
+        report = RegressionReport(["a"], [1.0], [1.5])
+        assert report.rows() == [("a", 1.0, 1.5)]

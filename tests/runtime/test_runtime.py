@@ -1,0 +1,139 @@
+"""Tests for the simulated cluster and the discrete-event executor."""
+
+import pytest
+
+from repro.core.hpa import HorizontalPartitioner
+from repro.core.placement import PlacementPlan, PlanEvaluator, Tier
+from repro.core.vsm import VerticalSeparationModule
+from repro.profiling.hardware import EDGE_DESKTOP, JETSON_NANO
+from repro.runtime.cluster import Cluster
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.messages import TensorTransfer
+from repro.runtime.node import ComputeNode
+
+
+class TestComputeNode:
+    def test_schedule_advances_availability(self):
+        node = ComputeNode("n", Tier.EDGE, EDGE_DESKTOP)
+        start, end = node.schedule(ready_at=1.0, duration=0.5)
+        assert (start, end) == (1.0, 1.5)
+        start, end = node.schedule(ready_at=0.0, duration=0.25)
+        assert start == 1.5  # the node was still busy
+        assert node.busy_seconds == pytest.approx(0.75)
+
+    def test_reset(self):
+        node = ComputeNode("n", Tier.EDGE, EDGE_DESKTOP)
+        node.schedule(0.0, 1.0)
+        node.reset()
+        assert node.available_at == 0.0 and node.busy_seconds == 0.0
+
+    def test_negative_duration_rejected(self):
+        node = ComputeNode("n", Tier.EDGE, EDGE_DESKTOP)
+        with pytest.raises(ValueError):
+            node.schedule(0.0, -1.0)
+
+
+class TestCluster:
+    def test_build_default_testbed(self):
+        cluster = Cluster.build(network="wifi", num_edge_nodes=4)
+        assert cluster.num_edge_nodes == 4
+        assert cluster.device.tier == Tier.DEVICE
+        assert cluster.cloud.tier == Tier.CLOUD
+        assert len(cluster.all_nodes) == 6
+
+    def test_tier_hardware_mapping(self, cluster_one_edge):
+        hardware = cluster_one_edge.tier_hardware()
+        assert set(hardware) == {"device", "edge", "cloud"}
+
+    def test_primary_nodes(self, cluster_four_edge):
+        assert cluster_four_edge.primary_node(Tier.EDGE).name == "edge-0"
+        assert cluster_four_edge.primary_node(Tier.CLOUD) is cluster_four_edge.cloud
+
+    def test_invalid_edge_count(self):
+        with pytest.raises(ValueError):
+            Cluster.build(num_edge_nodes=0)
+
+    def test_custom_device_hardware(self):
+        cluster = Cluster.build(device_hardware=JETSON_NANO)
+        assert cluster.device.hardware is JETSON_NANO
+
+    def test_with_network(self, cluster_one_edge):
+        from repro.network.conditions import get_condition
+
+        clone = cluster_one_edge.with_network(get_condition("4g"))
+        assert clone.network.name == "4g"
+        assert clone.num_edge_nodes == cluster_one_edge.num_edge_nodes
+
+
+class TestTensorTransfer:
+    def test_backbone_detection(self):
+        transfer = TensorTransfer("a", "b", Tier.EDGE, Tier.CLOUD, 100, 0.0, 0.1)
+        assert transfer.crosses_backbone and not transfer.within_lan
+
+    def test_lan_detection(self):
+        transfer = TensorTransfer("a", "b", Tier.DEVICE, Tier.EDGE, 100, 0.0, 0.1)
+        assert transfer.within_lan and not transfer.crosses_backbone
+
+    def test_invalid_payload(self):
+        with pytest.raises(ValueError):
+            TensorTransfer("a", "b", Tier.DEVICE, Tier.EDGE, -1, 0.0, 0.1)
+
+
+class TestDistributedExecutor:
+    def test_single_tier_latency_matches_evaluator(self, alexnet, alexnet_profile, cluster_one_edge):
+        """For a chain on one tier the simulation equals the analytic objective."""
+        plan = PlacementPlan.single_tier(alexnet, Tier.EDGE)
+        report = DistributedExecutor(alexnet, plan, alexnet_profile, cluster_one_edge).execute()
+        expected = PlanEvaluator(alexnet_profile, cluster_one_edge.network).objective(plan)
+        assert report.end_to_end_latency_s == pytest.approx(expected, rel=1e-6)
+
+    def test_dag_simulation_not_slower_than_objective(self, resnet18, resnet_profile, cluster_one_edge):
+        """Branches may overlap across tiers, so the DES can only be faster."""
+        plan = HorizontalPartitioner(resnet_profile, cluster_one_edge.network).partition(resnet18)
+        report = DistributedExecutor(resnet18, plan, resnet_profile, cluster_one_edge).execute()
+        objective = PlanEvaluator(resnet_profile, cluster_one_edge.network).objective(plan)
+        assert report.end_to_end_latency_s <= objective * 1.0001
+
+    def test_transfers_recorded_for_cut_edges(self, alexnet, alexnet_profile, cluster_one_edge):
+        plan = PlacementPlan.single_tier(alexnet, Tier.CLOUD)
+        report = DistributedExecutor(alexnet, plan, alexnet_profile, cluster_one_edge).execute()
+        assert len(report.transfers) == 1
+        assert report.bytes_to_cloud == alexnet.input_vertex.output_bytes
+
+    def test_events_cover_all_vertices_without_vsm(self, alexnet, alexnet_profile, cluster_one_edge):
+        plan = PlacementPlan.single_tier(alexnet, Tier.EDGE)
+        report = DistributedExecutor(alexnet, plan, alexnet_profile, cluster_one_edge).execute()
+        assert len(report.events) == len(alexnet)
+
+    def test_vsm_uses_all_edge_nodes(self, resnet18, resnet_profile, cluster_four_edge):
+        partitioner = HorizontalPartitioner(resnet_profile, cluster_four_edge.network)
+        plan = partitioner.partition(resnet18)
+        vsm_plan = VerticalSeparationModule(2, 2).plan(resnet18, plan, Tier.EDGE)
+        report = DistributedExecutor(
+            resnet18, plan, resnet_profile, cluster_four_edge, vsm_plan
+        ).execute()
+        busy_nodes = {e.node for e in report.events if e.tier == Tier.EDGE}
+        assert len(busy_nodes) == 4
+
+    def test_vsm_reduces_latency(self, resnet18, resnet_profile, cluster_four_edge):
+        partitioner = HorizontalPartitioner(resnet_profile, cluster_four_edge.network)
+        plan = partitioner.partition(resnet18)
+        vsm_plan = VerticalSeparationModule(2, 2).plan(resnet18, plan, Tier.EDGE)
+        without = DistributedExecutor(resnet18, plan, resnet_profile, cluster_four_edge).execute()
+        with_vsm = DistributedExecutor(
+            resnet18, plan, resnet_profile, cluster_four_edge, vsm_plan
+        ).execute()
+        assert with_vsm.end_to_end_latency_s < without.end_to_end_latency_s
+
+    def test_report_accessors(self, alexnet, alexnet_profile, cluster_one_edge):
+        plan = PlacementPlan.single_tier(alexnet, Tier.EDGE)
+        report = DistributedExecutor(alexnet, plan, alexnet_profile, cluster_one_edge).execute()
+        assert report.tier_busy_seconds()[Tier.EDGE] > 0
+        assert report.node_busy_seconds()["edge-0"] > 0
+        assert report.tier_makespan_seconds()[Tier.EDGE] > 0
+        assert "end-to-end" in report.summary()
+
+    def test_wrong_graph_rejected(self, alexnet, resnet18, resnet_profile, cluster_one_edge):
+        plan = PlacementPlan.single_tier(resnet18, Tier.EDGE)
+        with pytest.raises(ValueError):
+            DistributedExecutor(alexnet, plan, resnet_profile, cluster_one_edge)

@@ -1,0 +1,88 @@
+"""Tests for the numpy graph executor and weight store."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import build_model
+from repro.tensors.executor import GraphExecutor, WeightStore
+
+
+class TestWeightStore:
+    def test_deterministic_across_instances(self, tiny_conv_graph):
+        spec = tiny_conv_graph.vertex("conv1").spec
+        a = WeightStore(seed=0).conv_weights("conv1", spec, 3)
+        b = WeightStore(seed=0).conv_weights("conv1", spec, 3)
+        assert np.array_equal(a["weight"], b["weight"])
+
+    def test_different_layers_get_different_weights(self, tiny_conv_graph):
+        store = WeightStore(seed=0)
+        spec = tiny_conv_graph.vertex("conv1").spec
+        a = store.conv_weights("conv1", spec, 3)
+        b = store.conv_weights("other_layer", spec, 3)
+        assert not np.array_equal(a["weight"], b["weight"])
+
+    def test_seed_changes_weights(self, tiny_conv_graph):
+        spec = tiny_conv_graph.vertex("conv1").spec
+        a = WeightStore(seed=0).conv_weights("conv1", spec, 3)
+        b = WeightStore(seed=1).conv_weights("conv1", spec, 3)
+        assert not np.array_equal(a["weight"], b["weight"])
+
+
+class TestGraphExecutor:
+    def test_runs_tiny_graph_end_to_end(self, tiny_conv_graph, rng):
+        executor = GraphExecutor(tiny_conv_graph)
+        output = executor.output(rng.standard_normal((3, 32, 32)))
+        assert output.shape == (10,)
+        assert output.sum() == pytest.approx(1.0)  # softmax
+
+    def test_activation_shapes_match_graph_annotations(self, tiny_conv_graph, rng):
+        executor = GraphExecutor(tiny_conv_graph)
+        activations = executor.run(rng.standard_normal((3, 32, 32)))
+        for vertex in tiny_conv_graph:
+            assert activations[vertex.index].shape == tuple(vertex.output_shape)
+
+    def test_rejects_wrong_input_shape(self, tiny_conv_graph, rng):
+        executor = GraphExecutor(tiny_conv_graph)
+        with pytest.raises(ValueError):
+            executor.run(rng.standard_normal((3, 16, 16)))
+
+    def test_deterministic_given_seed(self, tiny_conv_graph, rng):
+        frame = rng.standard_normal((3, 32, 32))
+        out1 = GraphExecutor(tiny_conv_graph, WeightStore(seed=3)).output(frame)
+        out2 = GraphExecutor(tiny_conv_graph, WeightStore(seed=3)).output(frame)
+        assert np.array_equal(out1, out2)
+
+    def test_dag_model_executes(self, rng):
+        graph = build_model("resnet18", input_shape=(3, 32, 32), num_classes=7)
+        executor = GraphExecutor(graph)
+        output = executor.output(rng.standard_normal((3, 32, 32)))
+        assert output.shape == (7,)
+
+    def test_subgraph_execution_matches_full_run(self, tiny_conv_graph, rng):
+        """Executing a partition separately reproduces the same activations."""
+        frame = rng.standard_normal((3, 32, 32))
+        store = WeightStore(seed=0)
+        full = GraphExecutor(tiny_conv_graph, store).run(frame)
+
+        split = 4  # first vertices run "on the device", the rest "on the edge"
+        front = [v.index for v in tiny_conv_graph if v.index <= split]
+        back = [v.index for v in tiny_conv_graph if v.index > split]
+        executor = GraphExecutor(tiny_conv_graph, WeightStore(seed=0))
+        front_acts = executor.run_subgraph(front, {0: frame})
+        # Hand over only the boundary activations, as the runtime would.
+        boundary = {i: front_acts[i] for i in front}
+        back_acts = executor.run_subgraph(back, boundary)
+        final_index = tiny_conv_graph.output_vertices()[-1].index
+        assert np.array_equal(back_acts[final_index], full[final_index])
+
+    def test_subgraph_missing_boundary_raises(self, tiny_conv_graph, rng):
+        executor = GraphExecutor(tiny_conv_graph)
+        with pytest.raises(KeyError):
+            executor.run_subgraph([3], {})
+
+    def test_inception_style_branches_execute(self, rng):
+        graph = build_model("inception_v4", input_shape=(3, 96, 96), num_classes=5,
+                            num_a=1, num_b=1, num_c=1)
+        executor = GraphExecutor(graph)
+        output = executor.output(rng.standard_normal((3, 96, 96)))
+        assert output.shape == (5,)

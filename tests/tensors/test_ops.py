@@ -1,0 +1,158 @@
+"""Tests for the reference numpy operators."""
+
+import numpy as np
+import pytest
+
+from repro.tensors import ops
+
+
+class TestConv2d:
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((2, 5, 5))
+        weight = np.zeros((2, 2, 1, 1))
+        weight[0, 0, 0, 0] = 1.0
+        weight[1, 1, 0, 0] = 1.0
+        out = ops.conv2d(x, weight)
+        assert np.allclose(out, x)
+
+    def test_known_sum_kernel(self):
+        x = np.ones((1, 4, 4))
+        weight = np.ones((1, 1, 3, 3))
+        out = ops.conv2d(x, weight, stride=(1, 1), padding=(0, 0))
+        assert out.shape == (1, 2, 2)
+        assert np.allclose(out, 9.0)
+
+    def test_padding_effect_on_border(self):
+        x = np.ones((1, 3, 3))
+        weight = np.ones((1, 1, 3, 3))
+        out = ops.conv2d(x, weight, padding=(1, 1))
+        assert out.shape == (1, 3, 3)
+        assert out[0, 1, 1] == pytest.approx(9.0)
+        assert out[0, 0, 0] == pytest.approx(4.0)  # corner sees only 4 real values
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((3, 8, 8))
+        weight = rng.standard_normal((4, 3, 3, 3))
+        out = ops.conv2d(x, weight, stride=(2, 2), padding=(1, 1))
+        assert out.shape == (4, 4, 4)
+
+    def test_bias(self):
+        x = np.zeros((1, 3, 3))
+        weight = np.zeros((2, 1, 1, 1))
+        out = ops.conv2d(x, weight, bias=np.array([1.0, -2.0]))
+        assert np.allclose(out[0], 1.0) and np.allclose(out[1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ops.conv2d(rng.standard_normal((3, 4, 4)), rng.standard_normal((2, 4, 1, 1)))
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ValueError):
+            ops.conv2d(rng.standard_normal((4, 4)), rng.standard_normal((1, 1, 1, 1)))
+
+
+class TestPooling:
+    def test_max_pool_basic(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = ops.max_pool2d(x, kernel=(2, 2))
+        assert out.shape == (1, 2, 2)
+        assert np.array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_max_pool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 2, 2))
+        out = ops.max_pool2d(x, kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        # Padded entries must never win the max.
+        assert out.max() == pytest.approx(-1.0)
+
+    def test_avg_pool_counts_padding(self):
+        x = np.ones((1, 2, 2))
+        out = ops.avg_pool2d(x, kernel=(2, 2), stride=(2, 2), padding=(1, 1))
+        # Each window holds one real value and three zeros.
+        assert np.allclose(out, 0.25)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((8, 5, 5))
+        out = ops.global_avg_pool2d(x)
+        assert out.shape == (8,)
+        assert out[3] == pytest.approx(x[3].mean())
+
+
+class TestDenseAndActivations:
+    def test_linear(self):
+        weight = np.array([[1.0, 2.0], [0.0, -1.0]])
+        out = ops.linear(np.array([3.0, 4.0]), weight, bias=np.array([1.0, 0.0]))
+        assert np.allclose(out, [12.0, -4.0])
+
+    def test_linear_shape_checks(self):
+        with pytest.raises(ValueError):
+            ops.linear(np.ones((2, 2)), np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            ops.linear(np.ones(3), np.ones((2, 4)))
+
+    def test_relu(self):
+        assert np.array_equal(ops.relu(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_leaky_relu(self):
+        assert np.allclose(ops.leaky_relu(np.array([-10.0, 5.0]), 0.1), [-1.0, 5.0])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = ops.softmax(rng.standard_normal(10))
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out > 0)
+
+    def test_softmax_numerical_stability(self):
+        out = ops.softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(out, 0.5)
+
+    def test_batch_norm_normalises(self, rng):
+        x = rng.standard_normal((4, 6, 6))
+        gamma = np.ones(4)
+        beta = np.zeros(4)
+        mean = x.mean(axis=(1, 2))
+        var = x.var(axis=(1, 2))
+        out = ops.batch_norm(x, gamma, beta, mean, var)
+        assert out.mean(axis=(1, 2)) == pytest.approx(np.zeros(4), abs=1e-6)
+
+    def test_local_response_norm_shrinks_magnitudes(self, rng):
+        x = np.abs(rng.standard_normal((8, 4, 4))) + 1.0
+        out = ops.local_response_norm(x)
+        assert out.shape == x.shape
+        assert np.all(np.abs(out) <= np.abs(x))
+
+
+class TestMergeOps:
+    def test_add(self, rng):
+        a = rng.standard_normal((2, 3, 3))
+        b = rng.standard_normal((2, 3, 3))
+        assert np.allclose(ops.add(a, b), a + b)
+
+    def test_add_requires_matching_shapes(self, rng):
+        with pytest.raises(ValueError):
+            ops.add(rng.standard_normal((2, 3, 3)), rng.standard_normal((2, 4, 4)))
+
+    def test_concat_channels(self, rng):
+        a = rng.standard_normal((2, 3, 3))
+        b = rng.standard_normal((5, 3, 3))
+        out = ops.concat_channels(a, b)
+        assert out.shape == (7, 3, 3)
+        assert np.array_equal(out[:2], a)
+
+    def test_concat_requires_matching_spatial(self, rng):
+        with pytest.raises(ValueError):
+            ops.concat_channels(rng.standard_normal((2, 3, 3)), rng.standard_normal((2, 4, 4)))
+
+    def test_flatten(self, rng):
+        x = rng.standard_normal((2, 3, 4))
+        assert ops.flatten(x).shape == (24,)
+
+
+class TestPadding:
+    def test_pad2d_asymmetric(self):
+        x = np.ones((1, 2, 2))
+        out = ops.pad2d_asymmetric(x, top=1, bottom=0, left=2, right=0, value=7.0)
+        assert out.shape == (1, 3, 4)
+        assert out[0, 0, 0] == 7.0 and out[0, 1, 2] == 1.0
+
+    def test_pad2d_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ops.pad2d(np.ones((1, 2, 2)), (-1, 0))
