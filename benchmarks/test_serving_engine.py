@@ -1,0 +1,66 @@
+"""Benchmarks for the serving engine and the memoized cost model.
+
+Two wall-clock figures: (1) serving a 100-request Poisson stream of VGG-16
+through the discrete-event engine (the acceptance scenario), and (2) repeated
+whole-graph latency evaluation, which the cost-model memoization turns from
+O(runs x vertices) roofline arithmetic into dictionary lookups.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.d3 import D3Config, D3System
+from repro.experiments.serving import (
+    ServingScenario,
+    format_serving_report,
+    run_serving_scenario,
+)
+from repro.models.zoo import build_model
+from repro.profiling.cost_model import AnalyticCostModel
+from repro.profiling.hardware import EDGE_DESKTOP
+from repro.runtime.workload import Workload
+
+
+def test_serving_100_requests_vgg16(benchmark):
+    """The acceptance scenario: 100 Poisson arrivals of VGG-16 over Wi-Fi."""
+    scenario = ServingScenario(
+        models=("vgg16",), network="wifi", num_edge_nodes=4, rate_rps=5.0, num_requests=100
+    )
+    report = run_once(benchmark, run_serving_scenario, scenario)
+
+    assert report.num_requests == 100
+    assert report.plans_computed == 1  # one HPA+VSM partitioning, 99 cache hits
+    assert report.cache_hits == 99
+    queueing = report.mean_queueing_delay_s()
+    assert queueing is not None and queueing > 0
+
+    print()
+    print(format_serving_report(report))
+
+
+def test_serving_mixed_models(benchmark):
+    """A two-model mix exercises per-model plan-cache entries under load."""
+    system = D3System(
+        D3Config(network="wifi", num_edge_nodes=4, use_regression=False, profiler_noise_std=0.0)
+    )
+    workload = Workload.poisson(
+        ["alexnet", "resnet18"], num_requests=60, rate_rps=6.0, seed=0
+    )
+    report = run_once(benchmark, system.serve, workload)
+
+    assert report.num_requests == 60
+    assert report.plans_computed == 2  # one partitioning per model
+    assert report.cache_hits == 58
+
+
+def test_cost_model_memoized_graph_latencies(benchmark):
+    """Repeated plan evaluation hits the memoized per-vertex cost table."""
+    graph = build_model("vgg16")
+    model = AnalyticCostModel(EDGE_DESKTOP)
+    model.graph_latencies(graph)  # warm the cache
+
+    def evaluate_200_times():
+        for _ in range(200):
+            model.graph_latencies(graph)
+        return model.total_latency(graph)
+
+    total = run_once(benchmark, evaluate_200_times)
+    assert total > 0

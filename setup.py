@@ -1,11 +1,34 @@
-"""Setup shim for environments without the `wheel` package.
+"""Packaging for the D3 reproduction.
 
-`pip install -e .` falls back to this legacy path (``--no-use-pep517``) when
-PEP 517 editable builds are unavailable offline; all metadata lives in
-``pyproject.toml``.
+The container images this repo targets do not ship `wheel`/PEP 517 editable
+builds, so all metadata lives here in classic ``setup()`` form; ``pip install
+-e . --no-use-pep517`` and plain ``PYTHONPATH=src`` usage both work offline.
 """
 
-from setuptools import setup
+import os
+
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    version_path = os.path.join(os.path.dirname(__file__), "src", "repro", "version.py")
+    namespace = {}
+    with open(version_path, encoding="utf-8") as handle:
+        exec(handle.read(), namespace)
+    return namespace["__version__"]
+
 
 if __name__ == "__main__":
-    setup()
+    setup(
+        name="d3-repro",
+        version=_read_version(),
+        description=(
+            "Reproduction of D3: dynamic DNN decomposition for synergistic "
+            "device/edge/cloud inference, with a multi-request serving engine"
+        ),
+        package_dir={"": "src"},
+        packages=find_packages("src"),
+        python_requires=">=3.9",
+        install_requires=["numpy", "networkx"],
+        entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    )

@@ -1,0 +1,191 @@
+"""Command-line entry point (``python -m repro`` / the ``repro`` console script).
+
+Three subcommands cover the repository's entry points:
+
+``repro run``
+    One-shot D3 inference of a model under a network condition (the paper's
+    pipeline of Fig. 2) — prints the placement and the execution report.
+
+``repro serve``
+    Multi-request serving: builds a deterministic or Poisson workload, drives
+    it through :meth:`repro.core.d3.D3System.serve` and prints the serving
+    report (percentile latency, throughput, queueing delay, plan-cache stats).
+
+``repro scenario``
+    Regenerate a named paper artefact (``fig09``, ``table02``, ...) or the
+    serving rate sweep, printing the same tables the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.version import __version__
+
+#: Named paper scenarios: name -> (run callable, format callable), resolved
+#: lazily so ``repro --help`` stays fast.
+SCENARIO_NAMES = (
+    "fig01",
+    "fig04",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table01",
+    "table02",
+    "serving",
+)
+
+
+def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
+    from repro.experiments import (
+        fig01_layer_profile,
+        fig04_regression,
+        fig09_hpa_speedup,
+        fig10_vs_baselines,
+        fig11_bandwidth_sweep,
+        fig12_hpa_vsm,
+        fig13_communication,
+        table01_pair_latency,
+        table02_tier_times,
+    )
+    from repro.experiments import serving as serving_harness
+
+    return {
+        "fig01": (fig01_layer_profile.run_layer_profile, fig01_layer_profile.format_layer_profile),
+        "fig04": (fig04_regression.run_regression_experiment, fig04_regression.format_regression),
+        "fig09": (fig09_hpa_speedup.run_hpa_speedup, fig09_hpa_speedup.format_hpa_speedup),
+        "fig10": (fig10_vs_baselines.run_vs_baselines, fig10_vs_baselines.format_vs_baselines),
+        "fig11": (fig11_bandwidth_sweep.run_bandwidth_sweep, fig11_bandwidth_sweep.format_bandwidth_sweep),
+        "fig12": (fig12_hpa_vsm.run_hpa_vsm, fig12_hpa_vsm.format_hpa_vsm),
+        "fig13": (fig13_communication.run_communication, fig13_communication.format_communication),
+        "table01": (table01_pair_latency.run_pair_latency, table01_pair_latency.format_pair_latency),
+        "table02": (table02_tier_times.run_tier_times, table02_tier_times.format_tier_times),
+        "serving": (
+            lambda: serving_harness.run_rate_sweep([0.5, 1.0, 2.0, 4.0, 8.0]),
+            serving_harness.format_rate_sweep,
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D3 reproduction: distributed DNN inference across device, edge and cloud.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run = subparsers.add_parser("run", help="one-shot D3 inference of a model")
+    _add_system_arguments(run)
+    run.add_argument("--no-vsm", action="store_true", help="disable VSM tile parallelism")
+
+    serve = subparsers.add_parser("serve", help="serve a multi-request workload")
+    _add_system_arguments(serve)
+    serve.add_argument("--requests", type=int, default=100, help="number of requests")
+    serve.add_argument("--rate", type=float, default=2.0, help="arrival rate (req/s)")
+    serve.add_argument(
+        "--arrival",
+        choices=("poisson", "constant"),
+        default="poisson",
+        help="arrival process",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--uncontended-links",
+        action="store_true",
+        help="disable link contention (the paper's one-shot assumption)",
+    )
+
+    scenario = subparsers.add_parser("scenario", help="regenerate a named paper artefact")
+    scenario.add_argument("name", choices=SCENARIO_NAMES, help="scenario to run")
+    return parser
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="vgg16", help="model name (see repro.models.zoo)")
+    parser.add_argument(
+        "--network",
+        default="wifi",
+        choices=("wifi", "4g", "5g", "optical"),
+        help="network condition (Table III)",
+    )
+    parser.add_argument("--edge-nodes", type=int, default=4, help="number of edge nodes")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _build_system(args, enable_vsm: bool = True):
+    from repro.core.d3 import D3Config, D3System
+
+    return D3System(
+        D3Config(
+            network=args.network,
+            num_edge_nodes=args.edge_nodes,
+            enable_vsm=enable_vsm,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+def _command_run(args) -> int:
+    from repro.models.zoo import build_model
+
+    system = _build_system(args, enable_vsm=not args.no_vsm)
+    result = system.run(build_model(args.model))
+    print(result.placement.describe())
+    print(result.report.summary())
+    return 0
+
+
+def _command_serve(args) -> int:
+    from repro.runtime.workload import Workload
+
+    if args.rate <= 0:
+        raise ValueError("rate must be positive")
+    system = _build_system(args)
+    if args.arrival == "constant":
+        workload = Workload.constant_rate(
+            args.model, num_requests=args.requests, interval_s=1.0 / args.rate
+        )
+    else:
+        workload = Workload.poisson(
+            args.model, num_requests=args.requests, rate_rps=args.rate, seed=args.seed
+        )
+    contention = "none" if args.uncontended_links else "fifo"
+    report = system.serve(workload, link_contention=contention)
+    print(report.summary())
+    return 0
+
+
+def _command_scenario(args) -> int:
+    run_fn, format_fn = _scenario_registry()[args.name]
+    print(format_fn(run_fn()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handlers = {"run": _command_run, "serve": _command_serve, "scenario": _command_scenario}
+    try:
+        return handlers[args.command](args)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

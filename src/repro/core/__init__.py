@@ -25,7 +25,8 @@ from repro.core.vsm import (
     VSMPlan,
     reverse_tile_calculation,
 )
-from repro.core.dynamic import DynamicRepartitioner, RepartitionEvent
+from repro.core.dynamic import DynamicRepartitioner, RepartitionEvent, RepartitionThresholds
+from repro.core.plan_cache import CachedPlan, PlanCache, PlanKey
 
 # The D3 facade pulls in the runtime subpackage, which itself imports the tier
 # model from this package; loading it lazily keeps `import repro.runtime`
@@ -42,10 +43,14 @@ def __getattr__(name):
 
 
 __all__ = [
+    "CachedPlan",
     "D3Config",
     "D3Result",
     "D3System",
     "DynamicRepartitioner",
+    "PlanCache",
+    "PlanKey",
+    "RepartitionThresholds",
     "FusedTileStack",
     "HPAConfig",
     "HorizontalPartitioner",

@@ -19,7 +19,7 @@ re-partitioning both in plan quality (latency regret) and in work done.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.hpa import HPAConfig, HorizontalPartitioner
 from repro.core.placement import PlacementPlan, PlanEvaluator, Tier
@@ -102,6 +102,31 @@ class DynamicRepartitioner:
         self.current_network = network
         partitioner = HorizontalPartitioner(profile, network, self.config)
         self.plan = partitioner.partition(graph)
+        self._listeners: List[Callable[[RepartitionEvent], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Invalidation hooks
+    # ------------------------------------------------------------------ #
+    def add_listener(self, callback: Callable[[RepartitionEvent], None]) -> None:
+        """Register a callback fired whenever a re-partitioning triggers.
+
+        This is how downstream caches (the serving layer's plan cache) learn
+        that the plan they hold has been invalidated by drifting conditions.
+        """
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[RepartitionEvent], None]) -> None:
+        """Deregister a callback (no-op when it was never registered)."""
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self, event: RepartitionEvent) -> None:
+        # Iterate a copy: a listener may deregister itself (the plan cache's
+        # invalidator does) without disturbing the delivery of this event.
+        for callback in list(self._listeners):
+            callback(event)
 
     # ------------------------------------------------------------------ #
     # Change detection
@@ -218,7 +243,7 @@ class DynamicRepartitioner:
         # Accept the new conditions as the reference going forward.
         self.reference_profile = profile
         self.reference_network = network
-        return RepartitionEvent(
+        event = RepartitionEvent(
             triggered=True,
             changed_vertices=changed,
             reevaluated_vertices=len(scope),
@@ -226,6 +251,8 @@ class DynamicRepartitioner:
             latency_before_s=latency_before,
             latency_after_s=latency_after,
         )
+        self._notify(event)
+        return event
 
     def full_repartition(self) -> RepartitionEvent:
         """Re-run HPA from scratch under the current conditions (the baseline
@@ -243,7 +270,7 @@ class DynamicRepartitioner:
         latency_after = evaluator.objective(self.plan)
         self.reference_profile = self.current_profile
         self.reference_network = self.current_network
-        return RepartitionEvent(
+        event = RepartitionEvent(
             triggered=True,
             changed_vertices=changed,
             reevaluated_vertices=len(self.graph),
@@ -251,3 +278,5 @@ class DynamicRepartitioner:
             latency_before_s=latency_before,
             latency_after_s=latency_after,
         )
+        self._notify(event)
+        return event

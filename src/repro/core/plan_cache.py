@@ -1,0 +1,205 @@
+"""Plan cache for the serving layer.
+
+HPA + VSM partitioning is the expensive part of D3's control path; under a
+request stream it would be madness to recompute it per request when the model
+and the network conditions haven't changed.  The :class:`PlanCache` memoizes
+complete partitioning decisions keyed by ``(model, network condition, system
+configuration)`` and exposes the statistics the serving report surfaces
+(hits, misses, repartitions, invalidations).
+
+Drift handling is wired to :mod:`repro.core.dynamic`: every cached entry owns
+the :class:`~repro.core.dynamic.DynamicRepartitioner` that produced (or last
+adapted) its plan, and the cache registers itself as a listener on it.  When
+the serving loop observes a network condition outside the entry's threshold
+band, the repartitioner performs the paper's *local* re-partitioning, fires
+the listener — which invalidates the stale entry — and the adapted plan is
+re-inserted under the new condition's key.  Conditions *inside* the band reuse
+the cached plan unchanged (a hit), exactly mirroring the threshold guard of
+section III-E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.dynamic import DynamicRepartitioner, RepartitionEvent, RepartitionThresholds
+from repro.core.placement import PlacementPlan
+from repro.core.vsm import VSMPlan
+from repro.graph.dag import DnnGraph
+from repro.network.conditions import NetworkCondition
+from repro.profiling.profiler import LatencyProfile
+
+
+def network_key(condition: NetworkCondition) -> Tuple[float, float, float]:
+    """Hashable signature of a network condition (the three link rates)."""
+    return (
+        round(condition.device_edge_mbps, 6),
+        round(condition.edge_cloud_mbps, 6),
+        round(condition.device_cloud_mbps, 6),
+    )
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Cache key: which model, under which conditions, for which system."""
+
+    model: str
+    network: Tuple[float, float, float]
+    config: Tuple
+
+    @classmethod
+    def build(cls, model: str, condition: NetworkCondition, config_key: Tuple) -> "PlanKey":
+        return cls(model=model, network=network_key(condition), config=config_key)
+
+
+@dataclass
+class CachedPlan:
+    """One complete, ready-to-execute partitioning decision."""
+
+    key: PlanKey
+    graph: DnnGraph
+    profile: LatencyProfile
+    placement: PlacementPlan
+    vsm_plan: Optional[VSMPlan]
+    condition: NetworkCondition
+    #: Latency of this plan on an idle cluster (the one-shot reference the
+    #: serving report computes queueing delays against).
+    ideal_latency_s: float
+    #: The adaptive re-partitioner that owns ``placement``; reused to perform
+    #: local updates when the network drifts out of the threshold band.
+    repartitioner: Optional[DynamicRepartitioner] = None
+    valid: bool = True
+    #: The invalidation callback this entry registered on its repartitioner
+    #: (deregistered again when the entry is invalidated, so long-lived
+    #: repartitioners don't accumulate listeners for dead entries).
+    invalidator: Optional[object] = field(default=None, repr=False)
+
+
+class PlanCache:
+    """Memoize partitioning plans across a request stream.
+
+    Parameters
+    ----------
+    thresholds:
+        The relative-change band of section III-E; conditions within the band
+        of a cached entry reuse its plan, conditions outside it trigger a
+        local re-partitioning (and an invalidation of the stale entry).
+    """
+
+    def __init__(self, thresholds: Optional[RepartitionThresholds] = None) -> None:
+        self.thresholds = thresholds or RepartitionThresholds()
+        self._entries: Dict[PlanKey, CachedPlan] = {}
+        #: Latest entry per (model, config), the seed for drift adaptation.
+        self._latest: Dict[Tuple[str, Tuple], CachedPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.repartitions = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def plans_computed(self) -> int:
+        """Full partitionings plus drift adaptations performed so far."""
+        return self.misses + self.repartitions
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "repartitions": self.repartitions,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }
+
+    # ------------------------------------------------------------------ #
+    def set_thresholds(self, thresholds: RepartitionThresholds) -> None:
+        """Change the drift band, keeping live repartitioners in agreement.
+
+        Every cached entry's repartitioner must judge drift with the same
+        band as :meth:`within_band`, otherwise the cache could count an
+        adaptation the repartitioner refused to perform.
+        """
+        self.thresholds = thresholds
+        for entry in self._latest.values():
+            if entry.repartitioner is not None:
+                entry.repartitioner.thresholds = thresholds
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: PlanKey) -> Optional[CachedPlan]:
+        """Exact lookup; counts a hit when present."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.valid:
+            self.hits += 1
+            return entry
+        return None
+
+    def latest_for(self, model: str, config_key: Tuple) -> Optional[CachedPlan]:
+        """Most recently stored entry for a (model, config), drifted or not."""
+        return self._latest.get((model, config_key))
+
+    def within_band(self, entry: CachedPlan, condition: NetworkCondition) -> bool:
+        """True when ``condition`` is inside the entry's tolerated drift band."""
+        pairs = (("device", "edge"), ("edge", "cloud"), ("device", "cloud"))
+        for src, dst in pairs:
+            if self.thresholds.exceeded(
+                entry.condition.bandwidth_mbps(src, dst),
+                condition.bandwidth_mbps(src, dst),
+            ):
+                return False
+        return True
+
+    def store(self, entry: CachedPlan, *, repartitioned: bool = False) -> CachedPlan:
+        """Insert a fresh entry; counts as a miss or a drift repartition."""
+        self._entries[entry.key] = entry
+        self._latest[(entry.key.model, entry.key.config)] = entry
+        if repartitioned:
+            self.repartitions += 1
+        else:
+            self.misses += 1
+        if entry.repartitioner is not None:
+            # Wire the invalidation hook: the moment the repartitioner adapts
+            # this plan to new conditions, the cached copy is stale.
+            entry.invalidator = self._make_invalidator(entry)
+            entry.repartitioner.add_listener(entry.invalidator)
+        return entry
+
+    def record_alias(self, key: PlanKey, entry: CachedPlan) -> None:
+        """Map an in-band condition key onto an existing entry (counts a hit).
+
+        This is the threshold guard paying off: the condition changed, but not
+        enough to leave the band, so the cached plan is reused as-is and the
+        next exact lookup under ``key`` is a plain hit.
+        """
+        self._entries[key] = entry
+        self.hits += 1
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self, key: PlanKey) -> bool:
+        """Drop an entry (and every alias key mapped to it)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        entry.valid = False
+        aliases = [k for k, v in self._entries.items() if v is entry]
+        for alias in aliases:
+            del self._entries[alias]
+        if entry.repartitioner is not None and entry.invalidator is not None:
+            entry.repartitioner.remove_listener(entry.invalidator)
+            entry.invalidator = None
+        self.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._latest.clear()
+
+    def _make_invalidator(self, entry: CachedPlan):
+        def _on_repartition(event: RepartitionEvent) -> None:
+            if event.triggered and entry.valid:
+                self.invalidate(entry.key)
+
+        return _on_repartition

@@ -132,6 +132,35 @@ class TileRegion:
         )
 
 
+def _reverse_axis(
+    out_start: int,
+    out_end: int,
+    stride: int,
+    kernel: int,
+    pad: int,
+    limit: int,
+) -> Tuple[int, int, int, int]:
+    """RTC along one spatial axis: ``(start, end, padded_start, padded_end)``.
+
+    An *empty* output extent (possible when an upstream clamp left a border
+    tile with no real input data — its values come entirely from padding)
+    consumes nothing: it maps to a zero-extent input interval whose padded
+    coordinates coincide with it, so no padding is charged either.
+    """
+    if out_end <= out_start:
+        anchor = min(limit, max(0, stride * out_start - pad))
+        padded = anchor + pad
+        return anchor, anchor, padded, padded
+
+    # Equation (4): padded input coordinates of the tile.
+    padded_start = stride * out_start
+    padded_end = stride * (out_end - 1) + kernel
+    # Equation (5): remove the padding, clamping to the unpadded feature map.
+    start = min(limit, max(0, padded_start - pad))
+    end = min(limit, max(0, padded_end - pad))
+    return start, end, padded_start, padded_end
+
+
 def reverse_tile_calculation(
     params: SpatialParams,
     output_tile: TileRegion,
@@ -144,25 +173,21 @@ def reverse_tile_calculation(
     and Equation (5) — the removal of the padding, which clamps the coordinates
     into the unpadded feature map.  The clamping uses ``min(W, ·)`` / ``min(H, ·)``
     in addition to the paper's special case so that partially padded border
-    tiles are also handled exactly.
+    tiles are also handled exactly.  A tile that is empty along an axis (its
+    data lies entirely in the padding of a downstream layer) stays empty with
+    zero residual padding, so fused runs with aggressive stride/padding
+    combinations remain tileable.
     """
-    if output_tile.is_empty():
-        raise VSMError("cannot reverse an empty output tile")
     kernel_h, kernel_w = params.kernel
     stride_h, stride_w = params.stride
     pad_h, pad_w = params.padding
 
-    # Equation (4): padded input coordinates of the tile.
-    padded_row_start = stride_h * output_tile.row_start
-    padded_col_start = stride_w * output_tile.col_start
-    padded_row_end = stride_h * (output_tile.row_end - 1) + kernel_h
-    padded_col_end = stride_w * (output_tile.col_end - 1) + kernel_w
-
-    # Equation (5): remove the padding, clamping to the unpadded feature map.
-    row_start = min(input_height, max(0, padded_row_start - pad_h))
-    col_start = min(input_width, max(0, padded_col_start - pad_w))
-    row_end = min(input_height, max(0, padded_row_end - pad_h))
-    col_end = min(input_width, max(0, padded_col_end - pad_w))
+    row_start, row_end, padded_row_start, padded_row_end = _reverse_axis(
+        output_tile.row_start, output_tile.row_end, stride_h, kernel_h, pad_h, input_height
+    )
+    col_start, col_end, padded_col_start, padded_col_end = _reverse_axis(
+        output_tile.col_start, output_tile.col_end, stride_w, kernel_w, pad_w, input_width
+    )
 
     return TileRegion(
         row_start=row_start,

@@ -17,6 +17,10 @@ Module               Paper artefact
 ``fig12_hpa_vsm``         Fig. 12 — HPA+VSM vs everything (Wi-Fi, 4 nodes)
 ``fig13_communication``   Fig. 13 — per-image traffic to the cloud
 ===================  =====================================================
+
+Beyond the paper, ``serving`` drives multi-request workloads through the
+discrete-event serving engine (percentile latency, throughput, queueing delay
+and plan-cache effectiveness under load).
 """
 
 from repro.experiments.config import ExperimentConfig, PAPER_MODELS, PAPER_NETWORKS
@@ -29,10 +33,11 @@ from repro.experiments import (
     fig11_bandwidth_sweep,
     fig12_hpa_vsm,
     fig13_communication,
+    serving,
     table01_pair_latency,
     table02_tier_times,
 )
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, latency_percentiles, percentile
 
 __all__ = [
     "ExperimentConfig",
@@ -48,6 +53,9 @@ __all__ = [
     "fig12_hpa_vsm",
     "fig13_communication",
     "format_table",
+    "latency_percentiles",
+    "percentile",
+    "serving",
     "table01_pair_latency",
     "table02_tier_times",
 ]

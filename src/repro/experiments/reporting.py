@@ -1,8 +1,51 @@
-"""Plain-text table rendering for the experiment harnesses."""
+"""Plain-text table rendering and summary statistics for the harnesses."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+# --------------------------------------------------------------------------- #
+# Percentile math (used by the serving reports)
+# --------------------------------------------------------------------------- #
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` with linear interpolation.
+
+    Matches numpy's default (``method="linear"``): the percentile rank is
+    mapped onto the fractional index ``(n - 1) * q / 100`` of the sorted
+    sample and neighbouring order statistics are interpolated.  Implemented
+    here without numpy so the reporting layer stays dependency-free and the
+    arithmetic is easy to audit in tests.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = rank - lower
+    return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+
+def latency_percentiles(
+    values: Sequence[float], quantiles: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """Named percentile summary (``{"p50": ..., "p95": ..., "p99": ...}``)."""
+    return {f"p{q:g}": percentile(values, q) for q in quantiles}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input, like :func:`percentile`)."""
+    if not values:
+        raise ValueError("cannot take the mean of an empty sequence")
+    return float(sum(values) / len(values))
 
 
 def _format_cell(value, precision: int) -> str:

@@ -1,0 +1,174 @@
+"""Serving-under-load scenario harness.
+
+The paper's figures are one-shot: a single inference on an idle testbed.  This
+harness is the multi-request counterpart — it drives a request stream through
+:meth:`repro.core.d3.D3System.serve` and reports the quantities a serving
+system is judged on: percentile latency (p50/p95/p99), throughput, queueing
+delay relative to the idle one-shot latency, per-node utilisation, backbone
+traffic, and plan-cache effectiveness.
+
+``run_rate_sweep`` sweeps the arrival rate over one scenario, which is the
+serving analogue of the paper's bandwidth sweep (Fig. 11): it locates the load
+level at which queueing delay departs from zero, i.e. where the partitioned
+deployment saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.d3 import D3Config, D3System
+from repro.core.dynamic import RepartitionThresholds
+from repro.experiments.reporting import format_table
+from repro.network.conditions import BandwidthTrace
+from repro.runtime.serving import ServingReport
+from repro.runtime.workload import Workload
+
+#: Supported arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "constant")
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """One serving experiment: a workload shape over a deployed system."""
+
+    models: Tuple[str, ...] = ("vgg16",)
+    network: str = "wifi"
+    num_edge_nodes: int = 4
+    tile_grid: Tuple[int, int] = (2, 2)
+    arrival: str = "poisson"
+    rate_rps: float = 2.0
+    num_requests: int = 100
+    seed: int = 0
+    use_regression: bool = False
+    profiler_noise_std: float = 0.0
+    link_contention: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_PROCESSES}, got {self.arrival!r}"
+            )
+        if self.rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+
+    # ------------------------------------------------------------------ #
+    def build_system(self) -> D3System:
+        return D3System(
+            D3Config(
+                network=self.network,
+                num_edge_nodes=self.num_edge_nodes,
+                tile_grid=self.tile_grid,
+                use_regression=self.use_regression,
+                profiler_noise_std=self.profiler_noise_std,
+                seed=self.seed,
+            )
+        )
+
+    def build_workload(self) -> Workload:
+        models = list(self.models)
+        if self.arrival == "constant":
+            return Workload.constant_rate(
+                models, num_requests=self.num_requests, interval_s=1.0 / self.rate_rps
+            )
+        return Workload.poisson(
+            models, num_requests=self.num_requests, rate_rps=self.rate_rps, seed=self.seed
+        )
+
+
+def run_serving_scenario(
+    scenario: Optional[ServingScenario] = None,
+    system: Optional[D3System] = None,
+    trace: Optional[BandwidthTrace] = None,
+    thresholds: Optional[RepartitionThresholds] = None,
+) -> ServingReport:
+    """Serve one scenario's workload and return the aggregate report.
+
+    Passing an existing ``system`` reuses its plan cache across scenarios
+    (the realistic deployment: one resident system, many workload episodes).
+    """
+    scenario = scenario or ServingScenario()
+    system = system or scenario.build_system()
+    return system.serve(
+        scenario.build_workload(),
+        trace=trace,
+        thresholds=thresholds,
+        link_contention=scenario.link_contention,
+    )
+
+
+def run_rate_sweep(
+    rates_rps: Sequence[float],
+    scenario: Optional[ServingScenario] = None,
+) -> List[Tuple[float, ServingReport]]:
+    """Serve the same scenario at several arrival rates (shared plan cache)."""
+    if not rates_rps:
+        raise ValueError("need at least one rate")
+    scenario = scenario or ServingScenario()
+    system = scenario.build_system()
+    results: List[Tuple[float, ServingReport]] = []
+    for rate in rates_rps:
+        episode = replace(scenario, rate_rps=rate)
+        results.append((rate, run_serving_scenario(episode, system=system)))
+    return results
+
+
+def format_serving_report(report: ServingReport) -> str:
+    """Render one serving report as an aligned table plus the summary lines."""
+    pct = report.latency_percentiles()
+    queueing = report.mean_queueing_delay_s()
+    rows = [
+        (
+            report.workload_name,
+            report.num_requests,
+            report.throughput_rps,
+            pct["p50"] * 1e3,
+            pct["p95"] * 1e3,
+            pct["p99"] * 1e3,
+            (queueing or 0.0) * 1e3,
+            report.plans_computed,
+        )
+    ]
+    return format_table(
+        headers=(
+            "workload",
+            "requests",
+            "req/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "queue ms",
+            "plans",
+        ),
+        rows=rows,
+        title="Serving under load",
+    )
+
+
+def format_rate_sweep(results: Sequence[Tuple[float, ServingReport]]) -> str:
+    """Render a rate sweep: one row per arrival rate."""
+    rows = []
+    for rate, report in results:
+        pct = report.latency_percentiles()
+        queueing = report.mean_queueing_delay_s()
+        utilisation = report.node_utilisation()
+        busiest = max(utilisation.values()) if utilisation else 0.0
+        rows.append(
+            (
+                rate,
+                report.throughput_rps,
+                pct["p50"] * 1e3,
+                pct["p95"] * 1e3,
+                pct["p99"] * 1e3,
+                (queueing or 0.0) * 1e3,
+                busiest,
+            )
+        )
+    return format_table(
+        headers=("rate", "req/s", "p50 ms", "p95 ms", "p99 ms", "queue ms", "max util"),
+        rows=rows,
+        title="Arrival-rate sweep",
+    )

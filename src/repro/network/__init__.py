@@ -7,7 +7,7 @@ the experimental variable of the evaluation.  The average uplink rates come
 from Table III of the paper.
 """
 
-from repro.network.link import NetworkLink, transfer_seconds
+from repro.network.link import NetworkLink, SharedLink, transfer_seconds
 from repro.network.conditions import (
     BandwidthTrace,
     NetworkCondition,
@@ -22,6 +22,7 @@ __all__ = [
     "NETWORK_CONDITIONS",
     "NetworkCondition",
     "NetworkLink",
+    "SharedLink",
     "TABLE_III_UPLINK_MBPS",
     "get_condition",
     "list_conditions",

@@ -34,6 +34,75 @@ def transfer_seconds(payload_bytes: int, bandwidth_mbps: float, latency_s: float
     return payload_bytes / (bandwidth_mbps * MBPS_TO_BYTES_PER_SECOND) + latency_s
 
 
+@dataclass
+class SharedLink:
+    """Stateful capacity of one inter-tier link under concurrent load.
+
+    The stateless :class:`NetworkLink` converts a payload into a transmission
+    delay assuming the link is idle — correct for the paper's one-shot
+    evaluation.  Under a multi-request workload several in-flight inferences
+    contend for the same physical link, so the serving engine routes every
+    transfer through a :class:`SharedLink`, which serializes transmissions in
+    FIFO order: a transfer asked to start at ``ready_s`` while an earlier one
+    is still on the wire is delayed until the link frees.  (FIFO serialization
+    and fair sharing finish a backlog at the same time; FIFO additionally
+    keeps per-transfer completion times deterministic and easy to reason
+    about, which the event-queue invariant tests rely on.)
+
+    Attributes
+    ----------
+    source, destination:
+        Tier names of the unordered pair this link connects.
+    available_at:
+        Simulation time at which the wire is next free.
+    busy_seconds:
+        Total time the wire spent transmitting (utilisation bookkeeping).
+    bytes_carried:
+        Total payload shipped over the link, both directions.
+    """
+
+    source: str
+    destination: str
+    available_at: float = 0.0
+    busy_seconds: float = 0.0
+    bytes_carried: int = 0
+    transfer_count: int = 0
+
+    @property
+    def key(self) -> tuple:
+        """Unordered tier pair, matching :attr:`NetworkLink.key`."""
+        return tuple(sorted((self.source, self.destination)))
+
+    def reset(self) -> None:
+        """Clear contention state before a new simulation run."""
+        self.available_at = 0.0
+        self.busy_seconds = 0.0
+        self.bytes_carried = 0
+        self.transfer_count = 0
+
+    def reserve(self, ready_s: float, duration_s: float, payload_bytes: int = 0) -> tuple[float, float]:
+        """Reserve the wire for one transfer; returns its (start, end) times.
+
+        The transfer starts no earlier than ``ready_s`` and no earlier than
+        the end of the previous reservation (FIFO serialization).
+        """
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        start = max(ready_s, self.available_at)
+        end = start + duration_s
+        self.available_at = end
+        self.busy_seconds += duration_s
+        self.bytes_carried += payload_bytes
+        self.transfer_count += 1
+        return start, end
+
+    def record(self, duration_s: float, payload_bytes: int = 0) -> None:
+        """Account a transfer without serializing it (uncontended bookkeeping)."""
+        self.busy_seconds += duration_s
+        self.bytes_carried += payload_bytes
+        self.transfer_count += 1
+
+
 @dataclass(frozen=True)
 class NetworkLink:
     """A directed link between two computing tiers.

@@ -24,12 +24,24 @@ through the network while early layers stay cheap to ship.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.dag import DnnGraph, Vertex
 from repro.graph.shapes import tensor_bytes
 from repro.profiling.hardware import HardwareSpec
+
+#: Memoized per-vertex costs, keyed by graph (weakly, so retired graphs don't
+#: pin their cost tables) then by ``(hardware, engine, vertex index)``.  Graphs
+#: are immutable once built ("a static, fully annotated artefact"), hardware
+#: specs are frozen dataclasses, and the model below is deterministic, so a
+#: cached entry can never go stale.  This is what lets repeated plan
+#: evaluations — HPA sweeps, the profiler's repeated measurements, and the
+#: serving loop — stop recomputing identical roofline latencies.
+_COST_CACHE: "weakref.WeakKeyDictionary[DnnGraph, Dict[Tuple[HardwareSpec, bool, int], LayerCost]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 #: Fraction of the node's sustained throughput each layer kind achieves on a
 #: CPU execution engine.
@@ -122,7 +134,19 @@ class AnalyticCostModel:
 
     # ------------------------------------------------------------------ #
     def layer_cost(self, graph: DnnGraph, vertex: Vertex) -> LayerCost:
-        """Latency breakdown of one vertex of ``graph`` on this node."""
+        """Latency breakdown of one vertex of ``graph`` on this node (memoized)."""
+        per_graph = _COST_CACHE.get(graph)
+        if per_graph is None:
+            per_graph = _COST_CACHE.setdefault(graph, {})
+        key = (self.hardware, self.use_gpu, vertex.index)
+        cached = per_graph.get(key)
+        if cached is not None:
+            return cached
+        cost = self._compute_layer_cost(graph, vertex)
+        per_graph[key] = cost
+        return cost
+
+    def _compute_layer_cost(self, graph: DnnGraph, vertex: Vertex) -> LayerCost:
         input_bytes = sum(p.output_bytes for p in graph.predecessors(vertex.index))
         output_bytes = vertex.output_bytes
         weight_bytes = vertex.weight_count * 4

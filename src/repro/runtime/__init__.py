@@ -16,12 +16,25 @@ from repro.runtime.cluster import Cluster
 from repro.runtime.messages import TensorTransfer
 from repro.runtime.simulator import ExecutionReport, TimelineEvent
 from repro.runtime.executor import DistributedExecutor
+from repro.runtime.serving import (
+    RequestRecord,
+    ServingReport,
+    ServingRequest,
+    ServingSimulator,
+)
+from repro.runtime.workload import Request, Workload
 
 __all__ = [
     "Cluster",
     "ComputeNode",
     "DistributedExecutor",
     "ExecutionReport",
+    "Request",
+    "RequestRecord",
+    "ServingReport",
+    "ServingRequest",
+    "ServingSimulator",
     "TensorTransfer",
     "TimelineEvent",
+    "Workload",
 ]

@@ -7,8 +7,16 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.core.placement import Tier
 from repro.network.conditions import NetworkCondition, get_condition
+from repro.network.link import SharedLink
 from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, HardwareSpec, RASPBERRY_PI_4
 from repro.runtime.node import ComputeNode
+
+#: The three inter-tier wires of the deployment, as unordered tier pairs.
+LINK_PAIRS = (
+    ("device", "edge"),
+    ("edge", "cloud"),
+    ("device", "cloud"),
+)
 
 
 @dataclass
@@ -32,6 +40,7 @@ class Cluster:
     edge_nodes: List[ComputeNode]
     cloud: ComputeNode
     network: NetworkCondition
+    shared_links: Dict[frozenset, SharedLink] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.edge_nodes:
@@ -40,6 +49,11 @@ class Cluster:
             raise ValueError("device/cloud nodes must carry the matching tier")
         if any(node.tier != Tier.EDGE for node in self.edge_nodes):
             raise ValueError("edge nodes must carry the edge tier")
+        if not self.shared_links:
+            self.shared_links = {
+                frozenset(pair): SharedLink(source=pair[0], destination=pair[1])
+                for pair in LINK_PAIRS
+            }
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -90,10 +104,21 @@ class Cluster:
             return self.cloud
         return self.edge_nodes[0]
 
+    def shared_link(self, source, destination) -> SharedLink:
+        """The stateful contention wire between two (distinct) tiers."""
+        src = getattr(source, "value", source)
+        dst = getattr(destination, "value", destination)
+        key = frozenset((src, dst))
+        if key not in self.shared_links:
+            raise KeyError(f"no shared link between {src!r} and {dst!r}")
+        return self.shared_links[key]
+
     def reset(self) -> None:
-        """Reset the scheduling state of every node."""
+        """Reset the scheduling state of every node and link."""
         for node in self.all_nodes:
             node.reset()
+        for link in self.shared_links.values():
+            link.reset()
 
     def with_network(self, network: NetworkCondition) -> "Cluster":
         """Same nodes under a different network condition (fresh node state)."""

@@ -1,11 +1,15 @@
-"""Discrete-event execution of a placement plan on a simulated cluster.
+"""One-shot execution of a placement plan — the degenerate serving case.
 
 The :class:`DistributedExecutor` is the reproduction's stand-in for the paper's
-online execution engine: it walks the DNN DAG in dependency order, schedules
-each vertex on the node of its assigned tier, charges inter-tier transfers for
-every cut edge, and — when a VSM plan covers a run of edge layers — fans the
-run's fused tile stacks out over all available edge nodes and gathers the
-results, reproducing the parallel edge inference of Fig. 8.
+online execution engine: it simulates a *single* inference of a partitioned
+DNN on a cluster.  Since the runtime grew a multi-request discrete-event
+engine (:mod:`repro.runtime.serving`), the one-shot path is expressed as the
+degenerate single-request workload on that engine: one request, arrival time
+zero, uncontended links (``link_contention="none"``, the paper's one-shot
+assumption).  With a single request the event-driven schedule coincides with
+the original list schedule — every vertex starts as soon as its inputs are
+present and its node is free — so the reports (and the paper figures computed
+from them) are unchanged.
 
 The latency of a vertex on a tier comes from the same
 :class:`~repro.profiling.profiler.LatencyProfile` that HPA used, so the
@@ -16,25 +20,15 @@ by the dynamics experiments).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-from repro.core.placement import PlacementPlan, Tier
-from repro.core.vsm import FusedRunPlan, VSMPlan
-from repro.graph.dag import DnnGraph, Vertex
+from repro.core.placement import PlacementPlan
+from repro.core.vsm import VSMPlan
+from repro.graph.dag import DnnGraph
 from repro.profiling.profiler import LatencyProfile
 from repro.runtime.cluster import Cluster
-from repro.runtime.messages import TensorTransfer
-from repro.runtime.node import ComputeNode
-from repro.runtime.simulator import ExecutionReport, TimelineEvent
-
-
-@dataclass
-class _VertexCompletion:
-    """Where and when a vertex's output became available."""
-
-    tier: Tier
-    finish_s: float
+from repro.runtime.serving import ServingRequest, ServingSimulator
+from repro.runtime.simulator import ExecutionReport
 
 
 class DistributedExecutor:
@@ -58,154 +52,20 @@ class DistributedExecutor:
         self.vsm_plan = vsm_plan
 
     # ------------------------------------------------------------------ #
-    # Helpers
-    # ------------------------------------------------------------------ #
-    def _latency(self, vertex: Vertex, tier: Tier) -> float:
-        return self.profile.get(vertex.index, tier)
-
-    def _transfer(
-        self,
-        producer: Vertex,
-        src_tier: Tier,
-        dst_tier: Tier,
-        ready_s: float,
-        consumer_name: str,
-        report: ExecutionReport,
-    ) -> float:
-        """Charge a tensor transfer and return the time the data is available."""
-        if src_tier == dst_tier:
-            return ready_s
-        duration = self.cluster.network.transfer_seconds(
-            producer.output_bytes, src_tier.value, dst_tier.value
-        )
-        report.transfers.append(
-            TensorTransfer(
-                producer=producer.name,
-                consumer=consumer_name,
-                source_tier=src_tier,
-                destination_tier=dst_tier,
-                payload_bytes=producer.output_bytes,
-                start_s=ready_s,
-                duration_s=duration,
-            )
-        )
-        return ready_s + duration
-
-    # ------------------------------------------------------------------ #
-    # VSM run execution
-    # ------------------------------------------------------------------ #
-    def _run_fused(
-        self,
-        run: FusedRunPlan,
-        inputs_ready_s: float,
-        report: ExecutionReport,
-    ) -> float:
-        """Execute a fused run across all edge nodes; return its finish time.
-
-        Each tile stack is charged the sum of its layers' edge latencies scaled
-        by the stack's work fraction (which includes the overlap redundancy);
-        stacks are assigned to edge nodes round-robin, and the run finishes when
-        the slowest node finishes (the gather inside the LAN is negligible, per
-        the paper's intra-tier assumption).
-        """
-        edge_nodes = self.cluster.edge_nodes
-        finish_times: List[float] = []
-        for stack_index, stack in enumerate(run.stacks):
-            node = edge_nodes[stack_index % len(edge_nodes)]
-            duration = 0.0
-            for position, vertex in enumerate(run.vertices):
-                fraction = stack.work_fraction(position, run.layer_output_area(position))
-                duration += self._latency(vertex, Tier.EDGE) * fraction
-            start, end = node.schedule(inputs_ready_s, duration)
-            report.events.append(
-                TimelineEvent(
-                    node=node.name,
-                    tier=Tier.EDGE,
-                    label=f"tile{stack.grid_position}:{run.vertices[0].name}..{run.vertices[-1].name}",
-                    kind="compute",
-                    start_s=start,
-                    end_s=end,
-                )
-            )
-            finish_times.append(end)
-        finish = max(finish_times)
-        gather_node = self.cluster.primary_node(Tier.EDGE)
-        report.events.append(
-            TimelineEvent(
-                node=gather_node.name,
-                tier=Tier.EDGE,
-                label=f"gather:{run.vertices[-1].name}",
-                kind="gather",
-                start_s=finish,
-                end_s=finish,
-            )
-        )
-        return finish
-
-    # ------------------------------------------------------------------ #
-    # Main simulation
-    # ------------------------------------------------------------------ #
     def execute(self) -> ExecutionReport:
         """Simulate one inference; returns the full execution report."""
-        self.cluster.reset()
-        report = ExecutionReport(model_name=self.graph.name, end_to_end_latency_s=0.0)
-        completions: Dict[int, _VertexCompletion] = {}
-        fused_member: Dict[int, FusedRunPlan] = {}
-        if self.vsm_plan is not None:
-            for run in self.vsm_plan.runs:
-                for vertex in run.vertices:
-                    fused_member[vertex.index] = run
-        executed_runs: set = set()
-
-        for vertex in self.graph.topological_order():
-            tier = self.plan.tier_of(vertex.index)
-
-            # Fused runs are executed as a whole when their first vertex is hit.
-            run = fused_member.get(vertex.index)
-            if run is not None:
-                run_id = id(run)
-                if run_id in executed_runs:
-                    continue
-                executed_runs.add(run_id)
-                first = run.vertices[0]
-                ready = self._inputs_ready(first, Tier.EDGE, report, completions)
-                finish = self._run_fused(run, ready, report)
-                for member in run.vertices:
-                    completions[member.index] = _VertexCompletion(Tier.EDGE, finish)
-                continue
-
-            node = self.cluster.primary_node(tier)
-            ready = self._inputs_ready(vertex, tier, report, completions)
-            duration = self._latency(vertex, tier)
-            start, end = node.schedule(ready, duration)
-            report.events.append(
-                TimelineEvent(
-                    node=node.name,
-                    tier=tier,
-                    label=vertex.name,
-                    kind="compute",
-                    start_s=start,
-                    end_s=end,
-                )
-            )
-            completions[vertex.index] = _VertexCompletion(tier, end)
-
-        report.end_to_end_latency_s = max(c.finish_s for c in completions.values())
+        simulator = ServingSimulator(self.cluster, link_contention="none")
+        request = ServingRequest(
+            index=0,
+            request_id=None,
+            graph=self.graph,
+            plan=self.plan,
+            profile=self.profile,
+            condition=self.cluster.network,
+            arrival_s=0.0,
+            vsm_plan=self.vsm_plan,
+        )
+        records = simulator.run([request])
+        report = records[0].report
+        report.request_id = None
         return report
-
-    def _inputs_ready(
-        self,
-        vertex: Vertex,
-        tier: Tier,
-        report: ExecutionReport,
-        completions: Dict[int, _VertexCompletion],
-    ) -> float:
-        """Time at which all of ``vertex``'s inputs are present on ``tier``."""
-        ready = 0.0
-        for pred in self.graph.predecessors(vertex.index):
-            completion = completions[pred.index]
-            arrival = self._transfer(
-                pred, completion.tier, tier, completion.finish_s, vertex.name, report
-            )
-            ready = max(ready, arrival)
-        return ready

@@ -24,6 +24,8 @@ class TensorTransfer:
     payload_bytes: int
     start_s: float
     duration_s: float
+    #: Request the transfer belongs to; ``None`` for one-shot simulations.
+    request_id: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

@@ -1,0 +1,537 @@
+"""Discrete-event serving engine: many in-flight inferences on one cluster.
+
+The one-shot :class:`~repro.runtime.executor.DistributedExecutor` walks a
+single DNN DAG against idle nodes and uncontended links.  This module
+generalises it into a true discrete-event simulator: a global event queue over
+the cluster in which any number of partitioned inferences are in flight at
+once, contending for
+
+* **per-node compute** — every :class:`~repro.runtime.node.ComputeNode` runs
+  one task at a time and keeps a FIFO ready-queue (ties broken by request
+  arrival order, then DAG topological order, so the schedule is deterministic
+  and the single-request case reproduces the one-shot timeline exactly), and
+* **per-link bandwidth** — every inter-tier transfer occupies the shared
+  :class:`~repro.network.link.SharedLink` for its transmission time; with
+  ``link_contention="fifo"`` concurrent transfers serialize, with ``"none"``
+  the link has infinite capacity (the paper's one-shot assumption, used by the
+  degenerate single-request path so the seed figures are bit-identical).
+
+The engine consumes :class:`ServingRequest`s — a request plus its placement
+plan, latency profile, optional VSM plan and the network condition its
+transfers are charged under — and produces per-request
+:class:`~repro.runtime.simulator.ExecutionReport`s plus the aggregate
+:class:`ServingReport` (percentile latencies, throughput, utilisation,
+backbone traffic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.placement import PlacementPlan, Tier
+from repro.core.vsm import FusedRunPlan, VSMPlan
+from repro.graph.dag import DnnGraph, Vertex
+from repro.network.conditions import NetworkCondition
+from repro.profiling.profiler import LatencyProfile
+from repro.runtime.cluster import Cluster
+from repro.runtime.messages import TensorTransfer
+from repro.runtime.node import ComputeNode
+from repro.runtime.simulator import ExecutionReport, TimelineEvent
+
+#: Link contention models understood by the engine.
+LINK_CONTENTION_MODES = ("fifo", "none")
+
+
+# --------------------------------------------------------------------------- #
+# Inputs and outputs
+# --------------------------------------------------------------------------- #
+@dataclass
+class ServingRequest:
+    """One inference request, fully planned and ready to simulate."""
+
+    index: int
+    request_id: Optional[str]
+    graph: DnnGraph
+    plan: PlacementPlan
+    profile: LatencyProfile
+    condition: NetworkCondition
+    arrival_s: float = 0.0
+    vsm_plan: Optional[VSMPlan] = None
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one request under the serving engine."""
+
+    request_id: Optional[str]
+    model: str
+    arrival_s: float
+    completion_s: float
+    report: ExecutionReport
+    #: Latency of the same plan on an idle cluster (filled by the serving
+    #: layer from the plan cache); ``None`` when unknown.
+    ideal_latency_s: Optional[float] = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+    @property
+    def queueing_delay_s(self) -> Optional[float]:
+        """Extra latency caused by contention, relative to an idle cluster."""
+        if self.ideal_latency_s is None:
+            return None
+        return self.latency_s - self.ideal_latency_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregate result of serving a workload on one cluster."""
+
+    workload_name: str
+    records: List[RequestRecord] = field(default_factory=list)
+    makespan_s: float = 0.0
+    node_busy_s: Dict[str, float] = field(default_factory=dict)
+    link_busy_s: Dict[str, float] = field(default_factory=dict)
+    #: Plan-cache statistics, filled by :meth:`repro.core.d3.D3System.serve`.
+    plans_computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    repartitions: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def latencies_s(self) -> List[float]:
+        return [record.latency_s for record in self.records]
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated wall-clock."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_s
+
+    @property
+    def bytes_to_cloud(self) -> int:
+        """Total backbone traffic entering the cloud across all requests."""
+        return sum(record.report.bytes_to_cloud for record in self.records)
+
+    def latency_percentiles(self, quantiles: Tuple[float, ...] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
+        """Latency percentiles (``{"p50": ..., "p95": ..., "p99": ...}``)."""
+        from repro.experiments.reporting import latency_percentiles
+
+        return latency_percentiles(self.latencies_s, quantiles)
+
+    @property
+    def mean_latency_s(self) -> float:
+        from repro.experiments.reporting import mean
+
+        values = self.latencies_s
+        return mean(values) if values else 0.0
+
+    def mean_queueing_delay_s(self) -> Optional[float]:
+        from repro.experiments.reporting import mean
+
+        delays = [r.queueing_delay_s for r in self.records if r.queueing_delay_s is not None]
+        return mean(delays) if delays else None
+
+    def node_utilisation(self) -> Dict[str, float]:
+        """Busy fraction of every node over the workload's makespan."""
+        if self.makespan_s <= 0:
+            return {name: 0.0 for name in self.node_busy_s}
+        return {name: min(1.0, busy / self.makespan_s) for name, busy in self.node_busy_s.items()}
+
+    def summary(self) -> str:
+        """Multi-line human-readable serving report."""
+        lines = [
+            f"{self.workload_name}: {self.num_requests} requests in "
+            f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s)"
+        ]
+        if self.records:
+            pct = self.latency_percentiles()
+            lines.append(
+                "  latency p50 {p50:.1f} ms, p95 {p95:.1f} ms, p99 {p99:.1f} ms, "
+                "mean {mean:.1f} ms".format(
+                    p50=pct["p50"] * 1e3,
+                    p95=pct["p95"] * 1e3,
+                    p99=pct["p99"] * 1e3,
+                    mean=self.mean_latency_s * 1e3,
+                )
+            )
+            queueing = self.mean_queueing_delay_s()
+            if queueing is not None:
+                # Clamp the float-epsilon negatives an idle stream produces.
+                lines.append(f"  mean queueing delay {max(0.0, queueing) * 1e3:.1f} ms")
+        utilisation = self.node_utilisation()
+        if utilisation:
+            busiest = sorted(utilisation.items(), key=lambda kv: kv[1], reverse=True)
+            lines.append(
+                "  utilisation " + ", ".join(f"{name} {value:.0%}" for name, value in busiest)
+            )
+        lines.append(f"  backbone to cloud {self.bytes_to_cloud * 8.0 / 1e6:.3f} Mb")
+        lines.append(
+            f"  plans computed {self.plans_computed} "
+            f"(cache hits {self.cache_hits}, misses {self.cache_misses}, "
+            f"repartitions {self.repartitions})"
+        )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Internal simulation state
+# --------------------------------------------------------------------------- #
+class _Unit:
+    """One schedulable stage of a request: a vertex or a whole fused run."""
+
+    __slots__ = ("state", "tier", "vertices", "run", "waiting", "remaining_tasks", "topo_key")
+
+    def __init__(
+        self,
+        state: "_RequestState",
+        tier: Tier,
+        vertices: List[Vertex],
+        run: Optional[FusedRunPlan] = None,
+    ) -> None:
+        self.state = state
+        self.tier = tier
+        self.vertices = vertices
+        self.run = run
+        self.waiting = 0  # incoming cross-unit edges not yet arrived
+        self.remaining_tasks = 0  # compute tasks in flight once started
+        self.topo_key = 0  # topological rank of the first member vertex
+
+
+class _RequestState:
+    """Everything the engine tracks for one in-flight request."""
+
+    __slots__ = ("request", "report", "units", "unit_list", "remaining_units", "completion_s")
+
+    def __init__(self, request: ServingRequest) -> None:
+        self.request = request
+        self.report = ExecutionReport(
+            model_name=request.graph.name,
+            end_to_end_latency_s=0.0,
+            request_id=request.request_id,
+        )
+        self.units: Dict[int, _Unit] = {}
+        self.unit_list: List[_Unit] = []
+        self.remaining_units = 0
+        self.completion_s = 0.0
+
+
+@dataclass
+class _Task:
+    """One reservation-sized piece of work bound for a specific node."""
+
+    unit: _Unit
+    node: ComputeNode
+    duration_s: float
+    label: str
+
+
+class _NodeState:
+    """FIFO ready-queue and busy flag of one node."""
+
+    __slots__ = ("node", "queue", "busy")
+
+    def __init__(self, node: ComputeNode) -> None:
+        self.node = node
+        self.queue: List[Tuple[Tuple[int, int, int], _Task]] = []
+        self.busy = False
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+class ServingSimulator:
+    """Simulate a stream of partitioned inferences on a shared cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The deployment all requests run on.  Its node and link state is reset
+        at the start of every :meth:`run`.
+    link_contention:
+        ``"fifo"`` serializes concurrent transfers on each inter-tier link
+        (the serving default); ``"none"`` gives links infinite capacity,
+        reproducing the one-shot semantics of the original executor.
+    """
+
+    def __init__(self, cluster: Cluster, link_contention: str = "fifo") -> None:
+        if link_contention not in LINK_CONTENTION_MODES:
+            raise ValueError(
+                f"unknown link contention mode {link_contention!r}; "
+                f"expected one of {LINK_CONTENTION_MODES}"
+            )
+        self.cluster = cluster
+        self.link_contention = link_contention
+        self._events: List[Tuple[float, int, str, object]] = []
+        self._sequence = itertools.count()
+        self._nodes: Dict[str, _NodeState] = {}
+        self._states: List[_RequestState] = []
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, requests: List[ServingRequest]) -> List[RequestRecord]:
+        """Simulate all ``requests``; returns one record per request.
+
+        Records come back in arrival order.  Event/transfer timestamps in the
+        per-request reports are absolute simulation times; each report's
+        ``end_to_end_latency_s`` is relative to its request's arrival.
+        """
+        self.cluster.reset()
+        self._events = []
+        self._sequence = itertools.count()
+        self._nodes = {node.name: _NodeState(node) for node in self.cluster.all_nodes}
+        self._states = []
+
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.index))
+        for request in ordered:
+            self._push(request.arrival_s, "arrival", request)
+
+        while self._events:
+            time_s, _, kind, payload = heapq.heappop(self._events)
+            if kind == "arrival":
+                self._handle_arrival(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "task_end":
+                self._handle_task_end(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "transfer_end":
+                self._handle_transfer_end(time_s, payload)  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+
+        records = []
+        for state in sorted(self._states, key=lambda s: s.request.index):
+            if state.remaining_units:
+                raise RuntimeError(
+                    f"request {state.request.request_id} finished the event loop "
+                    f"with {state.remaining_units} unexecuted stages (dependency deadlock)"
+                )
+            state.report.end_to_end_latency_s = state.completion_s - state.request.arrival_s
+            records.append(
+                RequestRecord(
+                    request_id=state.request.request_id,
+                    model=state.request.graph.name,
+                    arrival_s=state.request.arrival_s,
+                    completion_s=state.completion_s,
+                    report=state.report,
+                )
+            )
+        return records
+
+    def build_report(self, workload_name: str, records: List[RequestRecord]) -> ServingReport:
+        """Aggregate records plus the cluster's utilisation bookkeeping."""
+        makespan = 0.0
+        if records:
+            start = min(record.arrival_s for record in records)
+            end = max(record.completion_s for record in records)
+            makespan = end - start
+        return ServingReport(
+            workload_name=workload_name,
+            records=records,
+            makespan_s=makespan,
+            node_busy_s={node.name: node.busy_seconds for node in self.cluster.all_nodes},
+            link_busy_s={
+                "-".join(link.key): link.busy_seconds
+                for link in self.cluster.shared_links.values()
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+    def _push(self, time_s: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time_s, next(self._sequence), kind, payload))
+
+    # ------------------------------------------------------------------ #
+    # Request admission
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(self, time_s: float, request: ServingRequest) -> None:
+        state = _RequestState(request)
+        self._states.append(state)
+        self._build_units(state)
+        # Stages with no cross-unit inputs (the virtual input vertex) are
+        # ready the moment the request arrives.
+        for unit in state.unit_list:
+            if unit.waiting == 0:
+                self._start_unit(state, unit, time_s)
+
+    def _build_units(self, state: _RequestState) -> None:
+        request = state.request
+        graph = request.graph
+        topo_rank = {v.index: rank for rank, v in enumerate(graph.topological_order())}
+
+        fused_member: Dict[int, FusedRunPlan] = {}
+        if request.vsm_plan is not None:
+            for run in request.vsm_plan.runs:
+                for vertex in run.vertices:
+                    fused_member[vertex.index] = run
+
+        run_units: Dict[int, _Unit] = {}
+        for vertex in graph.topological_order():
+            run = fused_member.get(vertex.index)
+            if run is not None:
+                unit = run_units.get(id(run))
+                if unit is None:
+                    unit = _Unit(state, Tier.EDGE, list(run.vertices), run)
+                    unit.topo_key = topo_rank[run.vertices[0].index]
+                    run_units[id(run)] = unit
+                    state.unit_list.append(unit)
+            else:
+                tier = request.plan.tier_of(vertex.index)
+                unit = _Unit(state, tier, [vertex])
+                unit.topo_key = topo_rank[vertex.index]
+                state.unit_list.append(unit)
+            state.units[vertex.index] = unit
+
+        for vertex in graph.topological_order():
+            unit = state.units[vertex.index]
+            for pred in graph.predecessors(vertex.index):
+                if state.units[pred.index] is not unit:
+                    unit.waiting += 1
+        state.remaining_units = len(state.unit_list)
+
+    # ------------------------------------------------------------------ #
+    # Stage execution
+    # ------------------------------------------------------------------ #
+    def _start_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
+        request = state.request
+        if unit.run is None:
+            vertex = unit.vertices[0]
+            duration = request.profile.get(vertex.index, unit.tier)
+            node = self.cluster.primary_node(unit.tier)
+            unit.remaining_tasks = 1
+            self._enqueue_task(time_s, _Task(unit, node, duration, vertex.name))
+            return
+
+        # A fused run fans its tile stacks out over all edge nodes, exactly
+        # like the one-shot executor (round-robin assignment, same per-stack
+        # work fractions).
+        run = unit.run
+        edge_nodes = self.cluster.edge_nodes
+        unit.remaining_tasks = len(run.stacks)
+        for stack_index, stack in enumerate(run.stacks):
+            node = edge_nodes[stack_index % len(edge_nodes)]
+            duration = 0.0
+            for position, vertex in enumerate(run.vertices):
+                fraction = stack.work_fraction(position, run.layer_output_area(position))
+                duration += request.profile.get(vertex.index, Tier.EDGE) * fraction
+            label = f"tile{stack.grid_position}:{run.vertices[0].name}..{run.vertices[-1].name}"
+            self._enqueue_task(time_s, _Task(unit, node, duration, label))
+
+    def _enqueue_task(self, time_s: float, task: _Task) -> None:
+        node_state = self._nodes[task.node.name]
+        priority = (task.unit.state.request.index, task.unit.topo_key, next(self._sequence))
+        heapq.heappush(node_state.queue, (priority, task))
+        self._dispatch(node_state, time_s)
+
+    def _dispatch(self, node_state: _NodeState, time_s: float) -> None:
+        """Start the next queued task if the node is idle (work-conserving)."""
+        if node_state.busy or not node_state.queue:
+            return
+        _, task = heapq.heappop(node_state.queue)
+        start, end = node_state.node.schedule(time_s, task.duration_s)
+        node_state.busy = True
+        state = task.unit.state
+        state.report.events.append(
+            TimelineEvent(
+                node=node_state.node.name,
+                tier=task.unit.tier,
+                label=task.label,
+                kind="compute",
+                start_s=start,
+                end_s=end,
+                request_id=state.request.request_id,
+            )
+        )
+        self._push(end, "task_end", (node_state, task))
+
+    def _handle_task_end(self, time_s: float, payload: Tuple[_NodeState, _Task]) -> None:
+        node_state, task = payload
+        node_state.busy = False
+        unit = task.unit
+        unit.remaining_tasks -= 1
+        if unit.remaining_tasks == 0:
+            self._complete_unit(unit.state, unit, time_s)
+        self._dispatch(node_state, time_s)
+
+    def _complete_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
+        state.remaining_units -= 1
+        state.completion_s = max(state.completion_s, time_s)
+        if unit.run is not None:
+            gather_node = self.cluster.primary_node(Tier.EDGE)
+            state.report.events.append(
+                TimelineEvent(
+                    node=gather_node.name,
+                    tier=Tier.EDGE,
+                    label=f"gather:{unit.vertices[-1].name}",
+                    kind="gather",
+                    start_s=time_s,
+                    end_s=time_s,
+                    request_id=state.request.request_id,
+                )
+            )
+        graph = state.request.graph
+        for vertex in unit.vertices:
+            for successor in graph.successors(vertex.index):
+                successor_unit = state.units[successor.index]
+                if successor_unit is unit:
+                    continue
+                self._deliver_edge(state, vertex, unit, successor, successor_unit, time_s)
+
+    # ------------------------------------------------------------------ #
+    # Data movement
+    # ------------------------------------------------------------------ #
+    def _deliver_edge(
+        self,
+        state: _RequestState,
+        producer: Vertex,
+        src_unit: _Unit,
+        consumer: Vertex,
+        dst_unit: _Unit,
+        time_s: float,
+    ) -> None:
+        src_tier, dst_tier = src_unit.tier, dst_unit.tier
+        if src_tier == dst_tier:
+            # Intra-tier movement is free (the paper's assumption).
+            self._arrive(dst_unit, time_s)
+            return
+        request = state.request
+        duration = request.condition.transfer_seconds(
+            producer.output_bytes, src_tier.value, dst_tier.value
+        )
+        link = self.cluster.shared_link(src_tier, dst_tier)
+        if self.link_contention == "fifo":
+            start, end = link.reserve(time_s, duration, producer.output_bytes)
+        else:
+            start, end = time_s, time_s + duration
+            link.record(duration, producer.output_bytes)
+        state.report.transfers.append(
+            TensorTransfer(
+                producer=producer.name,
+                consumer=consumer.name,
+                source_tier=src_tier,
+                destination_tier=dst_tier,
+                payload_bytes=producer.output_bytes,
+                start_s=start,
+                duration_s=duration,
+                request_id=request.request_id,
+            )
+        )
+        self._push(end, "transfer_end", dst_unit)
+
+    def _handle_transfer_end(self, time_s: float, unit: _Unit) -> None:
+        self._arrive(unit, time_s)
+
+    def _arrive(self, unit: _Unit, time_s: float) -> None:
+        unit.waiting -= 1
+        if unit.waiting == 0:
+            self._start_unit(unit.state, unit, time_s)

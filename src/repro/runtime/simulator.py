@@ -19,6 +19,8 @@ class TimelineEvent:
     kind: str  # "compute" | "gather"
     start_s: float
     end_s: float
+    #: Request the event belongs to; ``None`` for one-shot simulations.
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.end_s < self.start_s:
@@ -37,6 +39,11 @@ class ExecutionReport:
     end_to_end_latency_s: float
     events: List[TimelineEvent] = field(default_factory=list)
     transfers: List[TensorTransfer] = field(default_factory=list)
+    #: Request this report belongs to; ``None`` for one-shot simulations.
+    #: Under the serving engine event/transfer timestamps are absolute
+    #: simulation times while ``end_to_end_latency_s`` stays relative to the
+    #: request's arrival.
+    request_id: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     def node_busy_seconds(self) -> Dict[str, float]:

@@ -1,0 +1,216 @@
+"""Request streams for the multi-request serving engine.
+
+A :class:`Workload` is an ordered stream of :class:`Request`s — each naming a
+model (or carrying an explicit graph) and an arrival time.  The two arrival
+processes of interest are *deterministic* (fixed inter-arrival gap, the
+closed-loop load generator) and *Poisson* (exponential inter-arrival gaps, the
+open-loop load generator of virtually every serving paper).  Both are seeded so
+that a workload is a reproducible artefact: the same seed yields the same
+arrival times and the same model choices, which keeps serving experiments and
+their regression tests deterministic.
+
+The degenerate single-request workload (:meth:`Workload.single`) is how the
+original one-shot pipeline is expressed on top of the serving engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.dag import DnnGraph
+
+#: A model reference: a zoo name ("vgg16") or an already-built graph.
+ModelRef = Union[str, DnnGraph]
+
+
+def _model_name(model: ModelRef) -> str:
+    return model.name if isinstance(model, DnnGraph) else model
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of a workload.
+
+    Attributes
+    ----------
+    index:
+        Position of the request in the workload (also its arrival order).
+    model:
+        Name of the requested model (a zoo name unless ``graph`` is given).
+    arrival_s:
+        Time at which the request enters the system, in seconds from the
+        start of the workload.
+    graph:
+        Optional explicit DNN graph; when ``None`` the serving layer resolves
+        ``model`` through :func:`repro.models.zoo.build_model`.
+    """
+
+    index: int
+    model: str
+    arrival_s: float
+    graph: Optional[DnnGraph] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+    @property
+    def request_id(self) -> str:
+        return f"req-{self.index}"
+
+
+@dataclass
+class Workload:
+    """An ordered stream of inference requests over one or several models."""
+
+    requests: List[Request]
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        arrivals = [r.arrival_s for r in self.requests]
+        if arrivals != sorted(arrivals):
+            raise ValueError("workload requests must be ordered by arrival time")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def models(self) -> List[str]:
+        """Distinct model names, in first-appearance order."""
+        seen: List[str] = []
+        for request in self.requests:
+            if request.model not in seen:
+                seen.append(request.model)
+        return seen
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival."""
+        return self.requests[-1].arrival_s if self.requests else 0.0
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Average arrival rate over the workload's span."""
+        if len(self.requests) < 2 or self.duration_s == 0:
+            return 0.0
+        return (len(self.requests) - 1) / self.duration_s
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single(cls, model: ModelRef, at_s: float = 0.0) -> "Workload":
+        """The degenerate one-request workload (the original one-shot path)."""
+        graph = model if isinstance(model, DnnGraph) else None
+        request = Request(index=0, model=_model_name(model), arrival_s=at_s, graph=graph)
+        return cls(requests=[request], name=f"single:{request.model}")
+
+    @classmethod
+    def constant_rate(
+        cls,
+        models: Union[ModelRef, Sequence[ModelRef]],
+        num_requests: int,
+        interval_s: float,
+        start_s: float = 0.0,
+    ) -> "Workload":
+        """Deterministic arrivals every ``interval_s`` seconds.
+
+        With several models the stream cycles through them round-robin, so the
+        mix is exact rather than merely expected.
+        """
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if interval_s < 0:
+            raise ValueError("interval cannot be negative")
+        choices = _as_model_list(models)
+        requests = [
+            Request(
+                index=i,
+                model=_model_name(choices[i % len(choices)]),
+                arrival_s=start_s + i * interval_s,
+                graph=choices[i % len(choices)] if isinstance(choices[i % len(choices)], DnnGraph) else None,
+            )
+            for i in range(num_requests)
+        ]
+        names = "+".join(_model_name(c) for c in choices)
+        return cls(requests=requests, name=f"constant:{names}@{interval_s:g}s")
+
+    @classmethod
+    def poisson(
+        cls,
+        models: Union[ModelRef, Sequence[ModelRef]],
+        num_requests: int,
+        rate_rps: float,
+        seed: int = 0,
+        start_s: float = 0.0,
+        weights: Optional[Sequence[float]] = None,
+    ) -> "Workload":
+        """Poisson arrivals at ``rate_rps`` requests per second.
+
+        Inter-arrival gaps are exponential with mean ``1 / rate_rps``; with
+        several models each request samples its model from ``weights``
+        (uniform when omitted).  Fully determined by ``seed``.
+        """
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        choices = _as_model_list(models)
+        if weights is not None and len(weights) != len(choices):
+            raise ValueError("weights must match the number of models")
+        probabilities = None
+        if weights is not None:
+            total = float(sum(weights))
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            probabilities = [w / total for w in weights]
+
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(scale=1.0 / rate_rps, size=num_requests)
+        picks = rng.choice(len(choices), size=num_requests, p=probabilities)
+        arrival = start_s
+        requests: List[Request] = []
+        for i in range(num_requests):
+            if i > 0:
+                arrival += float(gaps[i])
+            choice = choices[int(picks[i])]
+            requests.append(
+                Request(
+                    index=i,
+                    model=_model_name(choice),
+                    arrival_s=arrival,
+                    graph=choice if isinstance(choice, DnnGraph) else None,
+                )
+            )
+        names = "+".join(_model_name(c) for c in choices)
+        return cls(requests=requests, name=f"poisson:{names}@{rate_rps:g}rps")
+
+    @classmethod
+    def merge(cls, *workloads: "Workload") -> "Workload":
+        """Superpose several workloads into one stream (re-indexed by arrival)."""
+        merged = sorted(
+            (request for workload in workloads for request in workload),
+            key=lambda r: (r.arrival_s, r.index),
+        )
+        requests = [
+            Request(index=i, model=r.model, arrival_s=r.arrival_s, graph=r.graph)
+            for i, r in enumerate(merged)
+        ]
+        name = "|".join(w.name for w in workloads)
+        return cls(requests=requests, name=name)
+
+
+def _as_model_list(models: Union[ModelRef, Sequence[ModelRef]]) -> List[ModelRef]:
+    if isinstance(models, (str, DnnGraph)):
+        return [models]
+    choices = list(models)
+    if not choices:
+        raise ValueError("need at least one model")
+    return choices

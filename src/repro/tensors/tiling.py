@@ -99,6 +99,13 @@ def execute_fused_tile_stack(
         raise ValueError("run input must be a (C, H, W) feature map")
     tile = extract_tile(run_input, stack.input_region)
     for position, vertex in enumerate(run_plan.vertices):
+        produced = stack.regions[position + 1]
+        if produced.is_empty():
+            # The layer's output tile lies entirely in a downstream layer's
+            # padding: nothing real to compute, emit the empty tile directly.
+            channels = vertex.output_shape[0]
+            tile = np.zeros((channels, produced.height, produced.width), dtype=tile.dtype)
+            continue
         tile = _run_layer_on_tile(executor, vertex, tile, stack.regions[position])
     expected = stack.output_region
     if tile.shape[1] != expected.height or tile.shape[2] != expected.width:

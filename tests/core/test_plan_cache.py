@@ -1,0 +1,190 @@
+"""Tests for the plan cache: hit/miss accounting and invalidation-on-drift."""
+
+import pytest
+
+from repro.core.d3 import D3Config, D3System
+from repro.core.dynamic import DynamicRepartitioner, RepartitionThresholds
+from repro.core.plan_cache import PlanCache, PlanKey, network_key
+from repro.network.conditions import BandwidthTrace, get_condition
+from repro.runtime.workload import Workload
+
+
+@pytest.fixture()
+def system():
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=2,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+class TestPlanKey:
+    def test_network_key_distinguishes_conditions(self):
+        assert network_key(get_condition("wifi")) != network_key(get_condition("4g"))
+
+    def test_same_condition_same_key(self):
+        config_key = ("anything",)
+        first = PlanKey.build("vgg16", get_condition("wifi"), config_key)
+        second = PlanKey.build("vgg16", get_condition("wifi"), config_key)
+        assert first == second and hash(first) == hash(second)
+
+
+class TestCacheAccounting:
+    def test_static_stream_partitions_once(self, system):
+        workload = Workload.constant_rate("alexnet", num_requests=10, interval_s=0.05)
+        report = system.serve(workload)
+        assert report.cache_misses == 1
+        assert report.cache_hits == 9
+        assert report.repartitions == 0
+        assert report.plans_computed == 1
+
+    def test_cache_survives_across_serve_calls(self, system):
+        system.serve(Workload.single("alexnet"))
+        report = system.serve(Workload.constant_rate("alexnet", 5, interval_s=1.0))
+        assert report.cache_misses == 0
+        assert report.cache_hits == 5
+
+    def test_distinct_models_partition_separately(self, system):
+        workload = Workload.constant_rate(["alexnet", "resnet18"], 6, interval_s=0.5)
+        report = system.serve(workload)
+        assert report.cache_misses == 2
+        assert report.cache_hits == 4
+
+    def test_in_band_drift_is_a_hit(self, system):
+        """A condition inside the threshold band reuses the cached plan."""
+        trace = BandwidthTrace(
+            base=get_condition("wifi"), samples=[(0.0, 1.0), (0.9, 1.1)]
+        )
+        workload = Workload.constant_rate("alexnet", num_requests=4, interval_s=0.6)
+        report = system.serve(workload, trace=trace)
+        assert report.cache_misses == 1
+        assert report.repartitions == 0
+        assert report.cache_hits == 3
+
+    def test_out_of_band_drift_repartitions_once(self, system):
+        """A drift beyond the band triggers exactly one local re-partitioning."""
+        trace = BandwidthTrace(
+            base=get_condition("wifi"), samples=[(0.0, 1.0), (0.9, 0.2)]
+        )
+        workload = Workload.constant_rate("alexnet", num_requests=6, interval_s=0.6)
+        report = system.serve(workload, trace=trace)
+        assert report.cache_misses == 1
+        assert report.repartitions == 1
+        assert report.cache_hits == 4
+        assert system.plan_cache.invalidations == 1
+
+
+class TestInvalidationHook:
+    def test_repartitioner_listener_invalidates_entry(self, system, alexnet):
+        """The cache entry dies the moment its repartitioner adapts the plan."""
+        cache = system.plan_cache
+        condition = get_condition("wifi")
+        entry = system._plan_for(alexnet, condition)
+        key = entry.key
+        assert cache.get(key) is entry  # a hit while valid
+
+        congested = condition.scaled_backbone(0.1)
+        entry.repartitioner.observe(network=congested)
+        assert not entry.valid
+        assert cache.get(key) is None
+        assert cache.invalidations == 1
+
+    def test_direct_listener_api(self, alexnet, alexnet_profile):
+        events = []
+        repartitioner = DynamicRepartitioner(
+            alexnet, alexnet_profile, get_condition("wifi")
+        )
+        repartitioner.add_listener(events.append)
+        repartitioner.observe(network=get_condition("wifi").scaled_backbone(0.1))
+        assert len(events) == 1 and events[0].triggered
+
+    def test_within_band_observation_does_not_fire(self, alexnet, alexnet_profile):
+        events = []
+        repartitioner = DynamicRepartitioner(
+            alexnet, alexnet_profile, get_condition("wifi")
+        )
+        repartitioner.add_listener(events.append)
+        repartitioner.observe(network=get_condition("wifi").scaled_backbone(1.05))
+        assert events == []
+
+
+class TestRegressions:
+    def test_same_named_graphs_do_not_collide(self, system):
+        """Two structurally different graphs sharing a name get separate plans."""
+        from repro.graph.builder import GraphBuilder
+        from repro.runtime.workload import Request, Workload
+
+        def tiny(num_convs):
+            builder = GraphBuilder("dnn", input_shape=(3, 32, 32))
+            for i in range(num_convs):
+                builder.conv(f"c{i}", 8, kernel=3, padding=1)
+            builder.flatten("flat")
+            builder.linear("fc", 10)
+            return builder.build()
+
+        workload = Workload(
+            requests=[
+                Request(0, "dnn", 0.0, graph=tiny(2)),
+                Request(1, "dnn", 0.1, graph=tiny(7)),
+            ]
+        )
+        report = system.serve(workload)  # used to raise PlacementError
+        assert report.cache_misses == 2
+        assert report.num_requests == 2
+
+    def test_thresholds_propagate_to_live_repartitioners(self, system):
+        """Tightening the band mid-life must reach existing repartitioners,
+        so every counted repartition is a real adaptation (matching
+        invalidation), never a phantom one."""
+        system.serve(Workload.single("alexnet"))
+        trace = BandwidthTrace(base=get_condition("wifi"), samples=[(0.0, 0.85)])
+        report = system.serve(
+            Workload.single("alexnet"),
+            trace=trace,
+            thresholds=RepartitionThresholds(lower=0.9, upper=1.1),
+        )
+        cache = system.plan_cache
+        assert report.repartitions == cache.invalidations
+        entry = cache.latest_for(*list(cache._latest)[0])
+        assert entry.repartitioner.thresholds == cache.thresholds
+
+    def test_listeners_do_not_accumulate_across_drifts(self, system, alexnet):
+        """Repeated drift adaptations must not grow the repartitioner's
+        listener list or leave invalid alias entries behind."""
+        condition = get_condition("wifi")
+        entry = system._plan_for(alexnet, condition)
+        repartitioner = entry.repartitioner
+        for step in range(1, 6):
+            factor = 0.3 if step % 2 else 1.0
+            entry = system._plan_for(alexnet, condition.scaled_backbone(factor))
+        assert len(repartitioner._listeners) == 1  # only the live entry's hook
+        cache = system.plan_cache
+        assert all(e.valid for e in cache._entries.values())
+
+
+class TestCacheUnit:
+    def test_invalidate_and_clear(self, system, alexnet):
+        cache = system.plan_cache
+        entry = system._plan_for(alexnet, get_condition("wifi"))
+        assert len(cache) == 1
+        assert cache.invalidate(entry.key)
+        assert not cache.invalidate(entry.key)  # already gone
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_within_band_uses_thresholds(self, system, alexnet):
+        cache = system.plan_cache
+        cache.thresholds = RepartitionThresholds(lower=0.5, upper=2.0)
+        entry = system._plan_for(alexnet, get_condition("wifi"))
+        assert cache.within_band(entry, get_condition("wifi").scaled_backbone(0.6))
+        assert not cache.within_band(entry, get_condition("wifi").scaled_backbone(0.3))
+
+    def test_cached_plan_is_a_frozen_snapshot(self, system, alexnet):
+        """Adapting to drift must not mutate plans already handed out."""
+        entry = system._plan_for(alexnet, get_condition("wifi"))
+        before = dict(entry.placement.assignments)
+        entry.repartitioner.observe(network=get_condition("wifi").scaled_backbone(0.05))
+        assert entry.placement.assignments == before

@@ -60,10 +60,21 @@ class TestReverseTileCalculation:
         region = reverse_tile_calculation(params, out_tile, input_height=8, input_width=8)
         assert (region.row_start, region.row_end, region.col_start, region.col_end) == (1, 3, 2, 5)
 
-    def test_empty_tile_rejected(self):
-        params = SpatialParams.identity()
-        with pytest.raises(VSMError):
-            reverse_tile_calculation(params, TileRegion.output_tile(2, 2, 0, 1), 8, 8)
+    def test_empty_tile_stays_empty_with_zero_padding(self):
+        """An empty output extent consumes no input and charges no padding.
+
+        Border tiles can legitimately become empty mid-run when a downstream
+        layer's clamp left them entirely inside the padding (e.g. kernel 1,
+        stride 2, padding 1); the RTC must propagate them as empty instead of
+        failing the whole plan.
+        """
+        params = SpatialParams(kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+        region = reverse_tile_calculation(params, TileRegion.output_tile(2, 2, 0, 1), 8, 8)
+        assert region.height == 0
+        assert region.pad_top == 0 and region.pad_bottom == 0
+        # The non-empty column axis still follows Equations (4)-(5).
+        assert (region.col_start, region.col_end) == (0, 2)
+        assert region.width > 0
 
     def test_unsupported_layer_kind_rejected(self):
         from repro.graph.layers import Linear

@@ -1,0 +1,63 @@
+"""Tests for the reporting helpers (percentile math, serving tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import latency_percentiles, mean, percentile
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_median_interpolates_even_sample(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95.0) == 7.0
+
+    def test_linear_interpolation_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(size=101).tolist()
+        for q in (10.0, 50.0, 90.0, 95.0, 99.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_unsorted_input_handled(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+
+class TestLatencyPercentiles:
+    def test_default_keys(self):
+        summary = latency_percentiles(list(range(1, 101)))
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_custom_quantiles(self):
+        summary = latency_percentiles([1.0, 2.0], quantiles=(25.0,))
+        assert set(summary) == {"p25"}
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,71 @@
+"""End-to-end serving acceptance: 100 Poisson requests of VGG-16 over Wi-Fi.
+
+The headline claim of the serving engine: a 100-request stream runs through
+``D3System.serve`` with exactly one HPA+VSM partitioning (99 plan-cache hits),
+reports percentile latency and throughput, shows queueing delay at high
+arrival rates and collapses to the one-shot latency at low rates.
+"""
+
+import pytest
+
+from repro.core.d3 import D3Config, D3System
+from repro.runtime.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=4,
+            tile_grid=(2, 2),
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def high_rate_report(system):
+    workload = Workload.poisson("vgg16", num_requests=100, rate_rps=8.0, seed=0)
+    return system.serve(workload)
+
+
+class TestServingAcceptance:
+    def test_all_requests_served_with_percentiles(self, high_rate_report):
+        assert high_rate_report.num_requests == 100
+        pct = high_rate_report.latency_percentiles()
+        assert set(pct) == {"p50", "p95", "p99"}
+        assert 0 < pct["p50"] <= pct["p95"] <= pct["p99"]
+        assert high_rate_report.throughput_rps > 0
+
+    def test_exactly_one_partitioning(self, high_rate_report):
+        assert high_rate_report.plans_computed == 1
+        assert high_rate_report.cache_misses == 1
+        assert high_rate_report.cache_hits == 99
+        assert high_rate_report.repartitions == 0
+
+    def test_high_rate_shows_queueing(self, high_rate_report):
+        queueing = high_rate_report.mean_queueing_delay_s()
+        assert queueing is not None and queueing > 0
+        ideal = high_rate_report.records[0].ideal_latency_s
+        assert high_rate_report.latency_percentiles()["p95"] > ideal
+
+    def test_low_rate_matches_one_shot(self, system):
+        workload = Workload.poisson("vgg16", num_requests=20, rate_rps=0.05, seed=1)
+        report = system.serve(workload)
+        ideal = report.records[0].ideal_latency_s
+        assert report.latency_percentiles()["p50"] == pytest.approx(ideal, rel=0.02)
+        queueing = report.mean_queueing_delay_s()
+        assert queueing == pytest.approx(0.0, abs=ideal * 0.05)
+
+    def test_vsm_parallelism_active_under_serving(self, high_rate_report):
+        from repro.core.placement import Tier
+
+        record = high_rate_report.records[0]
+        edge_nodes = {
+            event.node
+            for event in record.report.events
+            if event.tier == Tier.EDGE and event.kind == "compute"
+        }
+        assert len(edge_nodes) == 4

@@ -1,0 +1,184 @@
+"""Tests for the discrete-event serving engine.
+
+The load-bearing properties: the event queue never double-books a compute
+node, transfers never overlap beyond a link's capacity (FIFO serialization),
+the degenerate single-request case coincides with the one-shot executor, and
+queueing delay appears exactly when arrivals outpace service.
+"""
+
+import pytest
+
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import PlacementPlan, PlanEvaluator, Tier
+from repro.runtime.serving import ServingRequest, ServingSimulator
+from repro.runtime.workload import Workload
+
+
+def _assert_disjoint(intervals, context):
+    """Intervals (start, end) must not overlap (closed-open semantics)."""
+    ordered = sorted(intervals)
+    for (start1, end1), (start2, end2) in zip(ordered, ordered[1:]):
+        assert start2 >= end1 - 1e-12, (
+            f"{context}: interval ({start2:.6f}, {end2:.6f}) overlaps "
+            f"({start1:.6f}, {end1:.6f})"
+        )
+
+
+@pytest.fixture(scope="module")
+def serving_system():
+    """A fast deterministic D3 deployment for serving tests."""
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=4,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def loaded_report(serving_system):
+    """A saturating 40-request Poisson episode (computed once, asserted often)."""
+    workload = Workload.poisson("alexnet", num_requests=40, rate_rps=40.0, seed=3)
+    return serving_system.serve(workload)
+
+
+class TestSingleRequestEquivalence:
+    def test_matches_one_shot_executor(self, alexnet, alexnet_profile, cluster_one_edge):
+        """One request on the serving engine == the one-shot list schedule."""
+        plan = PlacementPlan.single_tier(alexnet, Tier.EDGE)
+        request = ServingRequest(
+            index=0,
+            request_id="req-0",
+            graph=alexnet,
+            plan=plan,
+            profile=alexnet_profile,
+            condition=cluster_one_edge.network,
+        )
+        records = ServingSimulator(cluster_one_edge, link_contention="none").run([request])
+        expected = PlanEvaluator(alexnet_profile, cluster_one_edge.network).objective(plan)
+        assert records[0].latency_s == pytest.approx(expected, rel=1e-6)
+
+    def test_serve_single_equals_run(self, serving_system, alexnet):
+        result = serving_system.run(alexnet)
+        report = serving_system.serve(Workload.single(alexnet))
+        assert report.num_requests == 1
+        assert report.records[0].latency_s == pytest.approx(
+            result.end_to_end_latency_s, rel=1e-6
+        )
+
+    def test_arrival_offset_shifts_absolute_times(self, alexnet, alexnet_profile, cluster_one_edge):
+        plan = PlacementPlan.single_tier(alexnet, Tier.EDGE)
+        request = ServingRequest(
+            index=0,
+            request_id="req-0",
+            graph=alexnet,
+            plan=plan,
+            profile=alexnet_profile,
+            condition=cluster_one_edge.network,
+            arrival_s=5.0,
+        )
+        records = ServingSimulator(cluster_one_edge).run([request])
+        assert min(e.start_s for e in records[0].report.events) >= 5.0
+        assert records[0].latency_s == pytest.approx(
+            records[0].completion_s - 5.0, rel=1e-12
+        )
+
+
+class TestEventQueueInvariants:
+    def test_no_node_runs_two_events_at_once(self, loaded_report):
+        by_node = {}
+        for record in loaded_report.records:
+            for event in record.report.events:
+                if event.kind == "compute" and event.duration_s > 0:
+                    by_node.setdefault(event.node, []).append((event.start_s, event.end_s))
+        assert by_node, "expected compute events"
+        for node, intervals in by_node.items():
+            _assert_disjoint(intervals, f"node {node}")
+
+    def test_transfers_never_exceed_link_capacity(self, loaded_report):
+        by_link = {}
+        for record in loaded_report.records:
+            for transfer in record.report.transfers:
+                if transfer.duration_s > 0:
+                    key = frozenset((transfer.source_tier, transfer.destination_tier))
+                    by_link.setdefault(key, []).append((transfer.start_s, transfer.end_s))
+        assert by_link, "expected inter-tier transfers"
+        for link, intervals in by_link.items():
+            _assert_disjoint(intervals, f"link {sorted(t.value for t in link)}")
+
+    def test_events_follow_arrival(self, loaded_report):
+        for record in loaded_report.records:
+            for event in record.report.events:
+                assert event.start_s >= record.arrival_s - 1e-12
+            assert record.completion_s >= record.arrival_s
+
+    def test_every_request_completes(self, loaded_report):
+        assert loaded_report.num_requests == 40
+        gathered = {record.request_id for record in loaded_report.records}
+        assert gathered == {f"req-{i}" for i in range(40)}
+
+    def test_determinism(self, serving_system):
+        workload = Workload.poisson("alexnet", num_requests=15, rate_rps=25.0, seed=9)
+        first = serving_system.serve(workload)
+        second = serving_system.serve(workload)
+        assert first.latencies_s == second.latencies_s
+
+
+class TestContention:
+    def test_queueing_appears_under_load(self, loaded_report):
+        """At 40 req/s the stream far outpaces service: queueing must show."""
+        queueing = loaded_report.mean_queueing_delay_s()
+        assert queueing is not None and queueing > 0
+        p50 = loaded_report.latency_percentiles()["p50"]
+        ideal = loaded_report.records[0].ideal_latency_s
+        assert p50 > ideal * 1.05
+
+    def test_low_rate_matches_one_shot(self, serving_system):
+        """Sparse arrivals see an idle cluster: latency == one-shot latency."""
+        workload = Workload.constant_rate("alexnet", num_requests=5, interval_s=30.0)
+        report = serving_system.serve(workload)
+        for record in report.records:
+            assert record.latency_s == pytest.approx(record.ideal_latency_s, rel=1e-6)
+            assert record.queueing_delay_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_fifo_links_not_faster_than_uncontended(self, serving_system):
+        workload = Workload.poisson("alexnet", num_requests=10, rate_rps=50.0, seed=1)
+        contended = serving_system.serve(workload, link_contention="fifo")
+        free = serving_system.serve(workload, link_contention="none")
+        assert contended.mean_latency_s >= free.mean_latency_s - 1e-12
+
+    def test_unknown_contention_mode_rejected(self, cluster_one_edge):
+        with pytest.raises(ValueError):
+            ServingSimulator(cluster_one_edge, link_contention="magic")
+
+
+class TestServingReport:
+    def test_throughput_and_makespan(self, loaded_report):
+        assert loaded_report.makespan_s > 0
+        assert loaded_report.throughput_rps == pytest.approx(
+            loaded_report.num_requests / loaded_report.makespan_s
+        )
+
+    def test_percentiles_ordered(self, loaded_report):
+        pct = loaded_report.latency_percentiles()
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    def test_node_utilisation_bounded(self, loaded_report):
+        utilisation = loaded_report.node_utilisation()
+        assert utilisation
+        for value in utilisation.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_summary_mentions_key_quantities(self, loaded_report):
+        text = loaded_report.summary()
+        assert "p50" in text and "req/s" in text and "plans computed" in text
+
+    def test_vsm_requests_fan_out_over_edge_nodes(self, serving_system):
+        report = serving_system.serve(Workload.single("vgg16"))
+        record = report.records[0]
+        edge_nodes = {
+            e.node for e in record.report.events if e.tier == Tier.EDGE and e.kind == "compute"
+        }
+        assert len(edge_nodes) == 4

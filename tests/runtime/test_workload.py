@@ -1,0 +1,98 @@
+"""Tests for the workload abstraction (arrival processes, determinism)."""
+
+import pytest
+
+from repro.runtime.workload import Request, Workload
+
+
+class TestRequest:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(index=0, model="vgg16", arrival_s=-1.0)
+
+    def test_request_id(self):
+        assert Request(index=3, model="vgg16", arrival_s=0.0).request_id == "req-3"
+
+
+class TestSingle:
+    def test_degenerate_workload(self):
+        workload = Workload.single("vgg16")
+        assert len(workload) == 1
+        assert workload.requests[0].arrival_s == 0.0
+        assert workload.models == ["vgg16"]
+
+    def test_graph_instance_carried(self, alexnet):
+        workload = Workload.single(alexnet)
+        assert workload.requests[0].graph is alexnet
+        assert workload.requests[0].model == alexnet.name
+
+
+class TestConstantRate:
+    def test_arrival_spacing(self):
+        workload = Workload.constant_rate("vgg16", num_requests=5, interval_s=0.5)
+        arrivals = [r.arrival_s for r in workload]
+        assert arrivals == [0.0, 0.5, 1.0, 1.5, 2.0]
+        assert workload.mean_rate_rps == pytest.approx(2.0)
+
+    def test_round_robin_over_models(self):
+        workload = Workload.constant_rate(["a", "b"], num_requests=4, interval_s=1.0)
+        assert [r.model for r in workload] == ["a", "b", "a", "b"]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Workload.constant_rate("vgg16", num_requests=0, interval_s=1.0)
+        with pytest.raises(ValueError):
+            Workload.constant_rate("vgg16", num_requests=2, interval_s=-1.0)
+        with pytest.raises(ValueError):
+            Workload.constant_rate([], num_requests=2, interval_s=1.0)
+
+
+class TestPoisson:
+    def test_seeded_reproducibility(self):
+        first = Workload.poisson("vgg16", num_requests=20, rate_rps=3.0, seed=42)
+        second = Workload.poisson("vgg16", num_requests=20, rate_rps=3.0, seed=42)
+        assert [r.arrival_s for r in first] == [r.arrival_s for r in second]
+        assert [r.model for r in first] == [r.model for r in second]
+
+    def test_different_seeds_differ(self):
+        first = Workload.poisson("vgg16", num_requests=20, rate_rps=3.0, seed=0)
+        second = Workload.poisson("vgg16", num_requests=20, rate_rps=3.0, seed=1)
+        assert [r.arrival_s for r in first] != [r.arrival_s for r in second]
+
+    def test_arrivals_sorted_and_rate_plausible(self):
+        workload = Workload.poisson("vgg16", num_requests=200, rate_rps=4.0, seed=0)
+        arrivals = [r.arrival_s for r in workload]
+        assert arrivals == sorted(arrivals)
+        # The empirical rate of 200 samples should be within 30% of nominal.
+        assert workload.mean_rate_rps == pytest.approx(4.0, rel=0.3)
+
+    def test_model_mix_with_weights(self):
+        workload = Workload.poisson(
+            ["a", "b"], num_requests=300, rate_rps=1.0, seed=0, weights=[9, 1]
+        )
+        share_a = sum(1 for r in workload if r.model == "a") / len(workload)
+        assert share_a > 0.75
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Workload.poisson("vgg16", num_requests=10, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            Workload.poisson(["a", "b"], num_requests=10, rate_rps=1.0, weights=[1.0])
+
+
+class TestMerge:
+    def test_merge_reindexes_by_arrival(self):
+        early = Workload.constant_rate("a", num_requests=2, interval_s=2.0)
+        late = Workload.constant_rate("b", num_requests=2, interval_s=2.0, start_s=1.0)
+        merged = Workload.merge(early, late)
+        assert [r.model for r in merged] == ["a", "b", "a", "b"]
+        assert [r.index for r in merged] == [0, 1, 2, 3]
+
+    def test_unsorted_requests_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                requests=[
+                    Request(index=0, model="a", arrival_s=1.0),
+                    Request(index=1, model="a", arrival_s=0.5),
+                ]
+            )

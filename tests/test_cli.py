@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.cli import SCENARIO_NAMES, _scenario_registry, build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().out
+
+    def test_scenario_names_resolve(self):
+        registry = _scenario_registry()
+        assert set(SCENARIO_NAMES) == set(registry)
+        for run_fn, format_fn in registry.values():
+            assert callable(run_fn) and callable(format_fn)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "fig99"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "--model", "alexnet", "--edge-nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end" in out and "alexnet" in out
+
+    def test_serve_command(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "5",
+                    "--rate",
+                    "10",
+                    "--seed",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plans computed" in out and "latency p50" in out
+
+    def test_bad_inputs_fail_cleanly(self, capsys):
+        assert main(["serve", "--model", "nope"]) == 1
+        assert "unknown model" in capsys.readouterr().err
+        assert main(["serve", "--model", "alexnet", "--rate", "0"]) == 1
+        assert "rate must be positive" in capsys.readouterr().err
+        assert (
+            main(["serve", "--model", "alexnet", "--rate", "0", "--arrival", "constant"]) == 1
+        )
+        assert "rate must be positive" in capsys.readouterr().err
+
+    def test_serve_constant_arrival_uncontended(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "3",
+                    "--rate",
+                    "1",
+                    "--arrival",
+                    "constant",
+                    "--uncontended-links",
+                ]
+            )
+            == 0
+        )
+        assert "3 requests" in capsys.readouterr().out
