@@ -10,18 +10,25 @@
   (FTP) with overlapping tiles, used as the ablation reference for VSM.
 """
 
-from repro.baselines.single_tier import SingleTierBaseline, single_tier_plan
-from repro.baselines.neurosurgeon import NeurosurgeonPartitioner, NeurosurgeonResult
-from repro.baselines.dads import DadsPartitioner, DadsResult
+from repro.baselines.single_tier import SingleTierBaseline, SingleTierStrategy, single_tier_plan
+from repro.baselines.neurosurgeon import (
+    NeurosurgeonPartitioner,
+    NeurosurgeonResult,
+    NeurosurgeonStrategy,
+)
+from repro.baselines.dads import DadsPartitioner, DadsResult, DadsStrategy
 from repro.baselines.deepthings import FusedTilePartition, OverlapTilingStats
 
 __all__ = [
     "DadsPartitioner",
     "DadsResult",
+    "DadsStrategy",
     "FusedTilePartition",
     "NeurosurgeonPartitioner",
     "NeurosurgeonResult",
+    "NeurosurgeonStrategy",
     "OverlapTilingStats",
     "SingleTierBaseline",
+    "SingleTierStrategy",
     "single_tier_plan",
 ]

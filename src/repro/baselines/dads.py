@@ -27,6 +27,7 @@ from typing import Dict, Optional, Set
 import networkx as nx
 
 from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.core.strategy import ClusterSpec, PartitionPlan, register_strategy
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import NetworkCondition
 from repro.profiling.profiler import LatencyProfile
@@ -120,6 +121,40 @@ class DadsPartitioner:
             preds = graph.predecessors(vertex.index)
             if any(plan.tier_of(p.index) == Tier.CLOUD for p in preds):
                 plan.assign(vertex.index, Tier.CLOUD)
+
+
+class DadsStrategy:
+    """:class:`~repro.core.strategy.PartitionStrategy` adapter for DADS."""
+
+    name = "dads"
+    supports_repartitioning = False
+    measure_by_simulation = False
+
+    def supports(self, graph: DnnGraph) -> bool:
+        return True
+
+    def plan(
+        self,
+        graph: DnnGraph,
+        profile: "LatencyProfile",
+        network: NetworkCondition,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ) -> PartitionPlan:
+        result = DadsPartitioner(profile, network).partition(graph)
+        return PartitionPlan(
+            strategy=self.name,
+            graph=graph,
+            placement=result.plan,
+            metrics=result.metrics,
+            extras={
+                "cut_value_s": result.cut_value_s,
+                "edge_vertices": result.edge_vertices,
+                "cloud_vertices": result.cloud_vertices,
+            },
+        )
+
+
+register_strategy(DadsStrategy)
 
 
 def _add_capacity(flow: "nx.DiGraph", src, dst, capacity: float) -> None:

@@ -14,6 +14,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.core.strategy import (
+    ClusterSpec,
+    PartitionPlan,
+    StrategyUnsupportedError,
+    register_strategy,
+)
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import NetworkCondition
 from repro.profiling.profiler import LatencyProfile
@@ -100,3 +106,42 @@ class NeurosurgeonPartitioner:
                 best = NeurosurgeonResult(plan=plan, metrics=metrics, split_index=split_index)
         assert best is not None  # a chain always has at least one candidate
         return best
+
+
+class NeurosurgeonStrategy:
+    """:class:`~repro.core.strategy.PartitionStrategy` adapter for Neurosurgeon.
+
+    ``supports()`` declines non-chain graphs (Inception, ResNet), so callers
+    report the method as unavailable instead of catching
+    :class:`ChainTopologyError` per call site.
+    """
+
+    name = "neurosurgeon"
+    supports_repartitioning = False
+    measure_by_simulation = False
+
+    def supports(self, graph: DnnGraph) -> bool:
+        return graph.is_chain()
+
+    def plan(
+        self,
+        graph: DnnGraph,
+        profile: LatencyProfile,
+        network: NetworkCondition,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ) -> PartitionPlan:
+        if not self.supports(graph):
+            raise StrategyUnsupportedError(
+                f"{graph.name} is not a chain; the {self.name!r} method cannot partition it"
+            )
+        result = NeurosurgeonPartitioner(profile, network).partition(graph)
+        return PartitionPlan(
+            strategy=self.name,
+            graph=graph,
+            placement=result.plan,
+            metrics=result.metrics,
+            extras={"split_index": result.split_index},
+        )
+
+
+register_strategy(NeurosurgeonStrategy)

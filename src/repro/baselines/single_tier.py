@@ -8,8 +8,10 @@ first (for edge-only and cloud-only).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.core.strategy import ClusterSpec, PartitionPlan, register_strategy
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import NetworkCondition
 from repro.profiling.profiler import LatencyProfile
@@ -44,3 +46,39 @@ class SingleTierBaseline:
     def all_latencies_s(self, graph: DnnGraph) -> dict:
         """Latency of all three single-tier baselines, keyed by tier."""
         return {tier: self.latency_s(graph, tier) for tier in Tier}
+
+
+class SingleTierStrategy:
+    """:class:`~repro.core.strategy.PartitionStrategy` adapter for one tier.
+
+    Registered three times — ``device_only``, ``edge_only``, ``cloud_only`` —
+    so the single-tier baselines plug into the same runner/serving/CLI paths
+    as every partitioning method.
+    """
+
+    supports_repartitioning = False
+    measure_by_simulation = False
+
+    def __init__(self, tier: Tier) -> None:
+        self.tier = Tier(tier)
+        self.name = f"{self.tier.value}_only"
+
+    def supports(self, graph: DnnGraph) -> bool:
+        return True
+
+    def plan(
+        self,
+        graph: DnnGraph,
+        profile: LatencyProfile,
+        network: NetworkCondition,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ) -> PartitionPlan:
+        placement = single_tier_plan(graph, self.tier)
+        metrics = PlanEvaluator(profile, network).metrics(placement)
+        return PartitionPlan(
+            strategy=self.name, graph=graph, placement=placement, metrics=metrics
+        )
+
+
+for _tier in (Tier.DEVICE, Tier.EDGE, Tier.CLOUD):
+    register_strategy(lambda tier=_tier: SingleTierStrategy(tier), name=f"{_tier.value}_only")

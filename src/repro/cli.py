@@ -37,6 +37,7 @@ SCENARIO_NAMES = (
     "table01",
     "table02",
     "serving",
+    "serving_methods",
 )
 
 
@@ -67,6 +68,15 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "serving": (
             lambda: serving_harness.run_rate_sweep([0.5, 1.0, 2.0, 4.0, 8.0]),
             serving_harness.format_rate_sweep,
+        ),
+        "serving_methods": (
+            lambda: serving_harness.run_method_comparison(
+                ("neurosurgeon", "dads", "cloud_only", "hpa", "hpa_vsm"),
+                serving_harness.ServingScenario(
+                    models=("alexnet",), num_requests=50, rate_rps=4.0
+                ),
+            ),
+            serving_harness.format_method_comparison,
         ),
     }
 
@@ -117,6 +127,16 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
         help="network condition (Table III)",
     )
     parser.add_argument("--edge-nodes", type=int, default=4, help="number of edge nodes")
+    parser.add_argument(
+        "--method",
+        default=None,
+        metavar="NAME",
+        help=(
+            "partitioning method from the strategy registry "
+            "(hpa_vsm, hpa, neurosurgeon, dads, device_only, edge_only, cloud_only; "
+            "default: the configured D3 method)"
+        ),
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -140,7 +160,8 @@ def _command_run(args) -> int:
     from repro.models.zoo import build_model
 
     system = _build_system(args, enable_vsm=not args.no_vsm)
-    result = system.run(build_model(args.model))
+    result = system.run(build_model(args.model), method=args.method)
+    print(f"method: {result.method}")
     print(result.placement.describe())
     print(result.report.summary())
     return 0
@@ -161,7 +182,7 @@ def _command_serve(args) -> int:
             args.model, num_requests=args.requests, rate_rps=args.rate, seed=args.seed
         )
     contention = "none" if args.uncontended_links else "fifo"
-    report = system.serve(workload, link_contention=contention)
+    report = system.serve(workload, link_contention=contention, method=args.method)
     print(report.summary())
     return 0
 

@@ -6,6 +6,8 @@
 * :mod:`repro.core.vsm` — the Vertical Separation Module (Algorithm 2) with
   the reverse tile calculation of Eqs. (3)–(5);
 * :mod:`repro.core.dynamic` — threshold-guarded local re-partitioning;
+* :mod:`repro.core.strategy` — the pluggable :class:`PartitionStrategy` API
+  and registry unifying D3 and every baseline method;
 * :mod:`repro.core.d3` — the end-to-end D3 system facade.
 """
 
@@ -27,6 +29,18 @@ from repro.core.vsm import (
 )
 from repro.core.dynamic import DynamicRepartitioner, RepartitionEvent, RepartitionThresholds
 from repro.core.plan_cache import CachedPlan, PlanCache, PlanKey
+from repro.core.strategy import (
+    ClusterSpec,
+    HpaStrategy,
+    HpaVsmStrategy,
+    PartitionPlan,
+    PartitionStrategy,
+    StrategyUnsupportedError,
+    UnknownStrategyError,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 
 # The D3 facade pulls in the runtime subpackage, which itself imports the tier
 # model from this package; loading it lazily keeps `import repro.runtime`
@@ -44,13 +58,20 @@ def __getattr__(name):
 
 __all__ = [
     "CachedPlan",
+    "ClusterSpec",
     "D3Config",
     "D3Result",
     "D3System",
     "DynamicRepartitioner",
+    "HpaStrategy",
+    "HpaVsmStrategy",
+    "PartitionPlan",
+    "PartitionStrategy",
     "PlanCache",
     "PlanKey",
     "RepartitionThresholds",
+    "StrategyUnsupportedError",
+    "UnknownStrategyError",
     "FusedTileStack",
     "HPAConfig",
     "HorizontalPartitioner",
@@ -63,6 +84,9 @@ __all__ = [
     "TileRegion",
     "VSMPlan",
     "VerticalSeparationModule",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
     "reverse_tile_calculation",
     "tiers_at_or_after",
 ]

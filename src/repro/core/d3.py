@@ -21,7 +21,15 @@ from repro.core.dynamic import DynamicRepartitioner, RepartitionThresholds
 from repro.core.hpa import HPAConfig, HorizontalPartitioner
 from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
 from repro.core.plan_cache import CachedPlan, PlanCache, PlanKey
-from repro.core.vsm import VerticalSeparationModule, VSMPlan
+from repro.core.strategy import (
+    ClusterSpec,
+    HpaStrategy,
+    HpaVsmStrategy,
+    PartitionStrategy,
+    StrategyUnsupportedError,
+    get_strategy,
+)
+from repro.core.vsm import VSMPlan
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import BandwidthTrace, NetworkCondition, get_condition
 from repro.profiling.hardware import HardwareSpec
@@ -107,6 +115,8 @@ class D3Result:
     vsm_plan: Optional[VSMPlan]
     metrics: PlanMetrics
     report: ExecutionReport
+    #: Registry name of the partitioning method that produced the placement.
+    method: str = "hpa_vsm"
 
     @property
     def end_to_end_latency_s(self) -> float:
@@ -177,31 +187,44 @@ class D3System:
         return partitioner.partition(graph)
 
     def separate(self, graph: DnnGraph, placement: PlacementPlan) -> Optional[VSMPlan]:
-        """Run VSM over the edge-resident convolutional runs."""
-        if not self.config.enable_vsm or self.cluster.num_edge_nodes < 2:
-            return None
-        rows, cols = self.config.tile_grid
-        vsm = VerticalSeparationModule(grid_rows=rows, grid_cols=cols)
-        plan = vsm.plan(graph, placement, Tier.EDGE)
-        return plan if plan.runs else None
+        """Run VSM over the edge-resident convolutional runs.
 
-    def run(self, graph: DnnGraph) -> D3Result:
-        """Full pipeline: profile, partition, separate, simulate one inference."""
+        Delegates to :meth:`HpaVsmStrategy.separate` so the VSM gating logic
+        lives in exactly one place.
+        """
+        if not self.config.enable_vsm:
+            return None
+        return HpaVsmStrategy(self.config.hpa).separate(graph, placement, self._cluster_spec())
+
+    def run(self, graph: DnnGraph, method: Optional[str] = None) -> D3Result:
+        """Full pipeline: profile, partition, separate, simulate one inference.
+
+        ``method`` names any registered
+        :class:`~repro.core.strategy.PartitionStrategy` (``"hpa_vsm"``,
+        ``"neurosurgeon"``, ``"dads"``, ``"cloud_only"``, ...); when omitted
+        the configured D3 method is used (``hpa_vsm``, or ``hpa`` when VSM is
+        disabled).  Raises
+        :class:`~repro.core.strategy.StrategyUnsupportedError` when the
+        method declines the graph (consult ``strategy.supports(graph)``
+        first to probe availability).
+        """
+        strategy = self._strategy_for(method)
+        self._require_support(strategy, graph)
         profile = self.build_profile(graph)
-        placement = self.partition(graph, profile)
-        vsm_plan = self.separate(graph, placement)
-        evaluator = PlanEvaluator(profile, self.network)
-        metrics = evaluator.metrics(placement)
-        executor = DistributedExecutor(graph, placement, profile, self.cluster, vsm_plan)
+        partition = strategy.plan(graph, profile, self.network, self._cluster_spec())
+        executor = DistributedExecutor(
+            graph, partition.placement, profile, self.cluster, partition.vsm_plan
+        )
         report = executor.execute()
         return D3Result(
             graph=graph,
             network=self.network,
             profile=profile,
-            placement=placement,
-            vsm_plan=vsm_plan,
-            metrics=metrics,
+            placement=partition.placement,
+            vsm_plan=partition.vsm_plan,
+            metrics=partition.metrics,
             report=report,
+            method=strategy.name,
         )
 
     # ------------------------------------------------------------------ #
@@ -213,14 +236,15 @@ class D3System:
         trace: Optional[BandwidthTrace] = None,
         thresholds: Optional[RepartitionThresholds] = None,
         link_contention: str = "fifo",
+        method: Optional[str] = None,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
-        Every request is planned through the plan cache — HPA + VSM run once
-        per distinct ``(model, network condition, config)`` and the plan is
-        amortized over the stream — then all requests are simulated together
-        on the discrete-event engine, contending for per-node compute and
-        per-link bandwidth.
+        Every request is planned through the plan cache — partitioning runs
+        once per distinct ``(model, method, network condition, config)`` and
+        the plan is amortized over the stream — then all requests are
+        simulated together on the discrete-event engine, contending for
+        per-node compute and per-link bandwidth.
 
         Parameters
         ----------
@@ -228,15 +252,22 @@ class D3System:
             The request stream (deterministic, Poisson, or hand-built).
         trace:
             Optional bandwidth trace; each request is planned and charged
-            under the condition in effect at its arrival time, and drifts
-            beyond ``thresholds`` trigger the dynamic re-partitioner
-            mid-stream (invalidating the cached plan).
+            under the condition in effect at its arrival time.  Drifts beyond
+            ``thresholds`` trigger the dynamic re-partitioner mid-stream for
+            D3 methods (invalidating the cached plan); methods without local
+            re-partitioning degrade gracefully by re-planning from scratch
+            under the new condition (also counted as a repartition).
         thresholds:
             Drift band for plan invalidation (defaults to the paper's
             ``[0.75, 1.25]``).
         link_contention:
             ``"fifo"`` (default) serializes concurrent transfers per link;
             ``"none"`` reproduces the paper's uncontended one-shot links.
+        method:
+            Registry name of the partitioning strategy to serve with;
+            defaults to the configured D3 method.  Raises
+            :class:`~repro.core.strategy.StrategyUnsupportedError` when the
+            method declines a requested model's graph.
 
         Returns
         -------
@@ -244,6 +275,7 @@ class D3System:
             Per-request latencies, percentiles, throughput, utilisation,
             backbone traffic and plan-cache statistics for this call.
         """
+        strategy = self._strategy_for(method)
         if thresholds is not None:
             self.plan_cache.set_thresholds(thresholds)
         before = self.plan_cache.stats()
@@ -252,8 +284,8 @@ class D3System:
         ideal_by_id: Dict[str, float] = {}
         for request in workload:
             condition = trace.condition_at(request.arrival_s) if trace else self.network
-            graph = request.graph or self._graph_for(request.model)
-            entry = self._plan_for(graph, condition)
+            graph = request.graph or self.graph_for(request.model)
+            entry = self._plan_for(graph, condition, strategy)
             requests.append(
                 ServingRequest(
                     index=request.index,
@@ -274,6 +306,7 @@ class D3System:
             record.ideal_latency_s = ideal_by_id.get(record.request_id)
 
         report = simulator.build_report(workload.name, records)
+        report.method = strategy.name
         after = self.plan_cache.stats()
         report.cache_hits = after["hits"] - before["hits"]
         report.cache_misses = after["misses"] - before["misses"]
@@ -282,7 +315,7 @@ class D3System:
         return report
 
     # ------------------------------------------------------------------ #
-    def _graph_for(self, model: str) -> DnnGraph:
+    def graph_for(self, model: str) -> DnnGraph:
         """Resolve (and memoize) a model name through the zoo."""
         if model not in self._graphs:
             from repro.models.zoo import build_model
@@ -308,20 +341,64 @@ class D3System:
         self._graphs.setdefault(f"{graph.name}#{id(graph)}", graph)
         return f"{graph.name}#{id(graph)}"
 
-    def _plan_for(self, graph: DnnGraph, condition: NetworkCondition) -> CachedPlan:
+    def _strategy_for(self, method: Optional[str] = None) -> PartitionStrategy:
+        """Resolve a method name through the registry.
+
+        ``None`` means the configured D3 method (``hpa_vsm``, or ``hpa`` when
+        VSM is disabled).  HPA-family strategies are rebuilt with this
+        system's :class:`~repro.core.hpa.HPAConfig` so the facade's heuristic
+        switches keep applying.
+        """
+        name = method or ("hpa_vsm" if self.config.enable_vsm else "hpa")
+        strategy = get_strategy(name)
+        if type(strategy) in (HpaStrategy, HpaVsmStrategy):
+            # Only the stock D3 methods inherit the facade's HPAConfig;
+            # custom subclasses keep whatever their factory configured.
+            strategy = type(strategy)(self.config.hpa)
+        return strategy
+
+    def _cluster_spec(self) -> ClusterSpec:
+        return ClusterSpec.from_cluster(self.cluster, tile_grid=tuple(self.config.tile_grid))
+
+    @staticmethod
+    def _require_support(strategy: PartitionStrategy, graph: DnnGraph) -> None:
+        if not strategy.supports(graph):
+            raise StrategyUnsupportedError(
+                f"method {strategy.name!r} does not support {graph.name} "
+                f"(strategy.supports(graph) is False)"
+            )
+
+    def _plan_for(
+        self,
+        graph: DnnGraph,
+        condition: NetworkCondition,
+        strategy: Optional[PartitionStrategy] = None,
+    ) -> CachedPlan:
         """Plan-cache lookup with threshold-guarded drift adaptation."""
+        strategy = strategy or self._strategy_for()
         cache = self.plan_cache
-        key = PlanKey.build(self._graph_token(graph), condition, self.config.plan_key())
+        key = PlanKey.build(
+            self._graph_token(graph), condition, self.config.plan_key(), strategy.name
+        )
         entry = cache.get(key)
         if entry is not None:
             return entry
 
+        self._require_support(strategy, graph)
         profile = self._profile_for(graph)
-        base = cache.latest_for(key.model, key.config)
+        base = cache.latest_for(key.model, key.strategy, key.config)
         if base is not None:
             if cache.within_band(base, condition):
                 cache.record_alias(key, base)
                 return base
+            if base.repartitioner is None:
+                # The method has no local re-partitioning: degrade gracefully
+                # by re-planning from scratch under the drifted condition (the
+                # full re-solve DADS et al. would have to perform anyway).
+                cache.invalidate(base.key)
+                return self._store_strategy_plan(
+                    cache, key, graph, profile, condition, strategy, repartitioned=True
+                )
             # Out of band: the paper's local re-partitioning adapts the plan
             # (the listener registered by the cache invalidates the old entry).
             base.repartitioner.thresholds = cache.thresholds
@@ -334,13 +411,27 @@ class D3System:
                 cache.record_alias(key, base)
                 return base
             return self._store_plan(
-                cache, key, graph, profile, condition, base.repartitioner, repartitioned=True
+                cache,
+                key,
+                graph,
+                profile,
+                condition,
+                base.repartitioner,
+                strategy,
+                repartitioned=True,
             )
 
+        if not isinstance(strategy, HpaStrategy):
+            # Every non-HPA-family method — including custom strategies that
+            # merely claim drift support — plans through its own plan(); the
+            # DynamicRepartitioner below *is* HPA and would silently
+            # substitute an HPA placement under the strategy's name.
+            return self._store_strategy_plan(cache, key, graph, profile, condition, strategy)
+
         repartitioner = DynamicRepartitioner(
-            graph, profile, condition, thresholds=cache.thresholds, config=self.config.hpa
+            graph, profile, condition, thresholds=cache.thresholds, config=strategy.hpa_config
         )
-        return self._store_plan(cache, key, graph, profile, condition, repartitioner)
+        return self._store_plan(cache, key, graph, profile, condition, repartitioner, strategy)
 
     def _store_plan(
         self,
@@ -350,12 +441,13 @@ class D3System:
         profile: LatencyProfile,
         condition: NetworkCondition,
         repartitioner: DynamicRepartitioner,
+        strategy: HpaStrategy,
         repartitioned: bool = False,
     ) -> CachedPlan:
         # Snapshot the plan: the repartitioner mutates its own copy in place
         # on the next drift, and cached entries must stay frozen.
         placement = repartitioner.plan.copy()
-        vsm_plan = self.separate(graph, placement)
+        vsm_plan = strategy.separate(graph, placement, self._cluster_spec())
         ideal = self._ideal_latency(graph, placement, profile, vsm_plan, condition)
         entry = CachedPlan(
             key=key,
@@ -366,6 +458,33 @@ class D3System:
             condition=condition,
             ideal_latency_s=ideal,
             repartitioner=repartitioner,
+        )
+        return cache.store(entry, repartitioned=repartitioned)
+
+    def _store_strategy_plan(
+        self,
+        cache: PlanCache,
+        key: PlanKey,
+        graph: DnnGraph,
+        profile: LatencyProfile,
+        condition: NetworkCondition,
+        strategy: PartitionStrategy,
+        repartitioned: bool = False,
+    ) -> CachedPlan:
+        """Cache one non-adaptive strategy's plan for ``condition``."""
+        partition = strategy.plan(graph, profile, condition, self._cluster_spec())
+        ideal = self._ideal_latency(
+            graph, partition.placement, profile, partition.vsm_plan, condition
+        )
+        entry = CachedPlan(
+            key=key,
+            graph=graph,
+            profile=profile,
+            placement=partition.placement,
+            vsm_plan=partition.vsm_plan,
+            condition=condition,
+            ideal_latency_s=ideal,
+            repartitioner=None,
         )
         return cache.store(entry, repartitioned=repartitioned)
 

@@ -42,15 +42,28 @@ def network_key(condition: NetworkCondition) -> Tuple[float, float, float]:
 
 @dataclass(frozen=True)
 class PlanKey:
-    """Cache key: which model, under which conditions, for which system."""
+    """Cache key: which model, under which conditions, for which system.
+
+    ``strategy`` is the partitioning method's registry name, so the same
+    serving system can hold D3 and baseline plans for one model side by side.
+    """
 
     model: str
     network: Tuple[float, float, float]
     config: Tuple
+    strategy: str = "hpa_vsm"
 
     @classmethod
-    def build(cls, model: str, condition: NetworkCondition, config_key: Tuple) -> "PlanKey":
-        return cls(model=model, network=network_key(condition), config=config_key)
+    def build(
+        cls,
+        model: str,
+        condition: NetworkCondition,
+        config_key: Tuple,
+        strategy: str = "hpa_vsm",
+    ) -> "PlanKey":
+        return cls(
+            model=model, network=network_key(condition), config=config_key, strategy=strategy
+        )
 
 
 @dataclass
@@ -90,8 +103,9 @@ class PlanCache:
     def __init__(self, thresholds: Optional[RepartitionThresholds] = None) -> None:
         self.thresholds = thresholds or RepartitionThresholds()
         self._entries: Dict[PlanKey, CachedPlan] = {}
-        #: Latest entry per (model, config), the seed for drift adaptation.
-        self._latest: Dict[Tuple[str, Tuple], CachedPlan] = {}
+        #: Latest entry per (model, strategy, config), the seed for drift
+        #: adaptation.
+        self._latest: Dict[Tuple[str, str, Tuple], CachedPlan] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -137,9 +151,11 @@ class PlanCache:
             return entry
         return None
 
-    def latest_for(self, model: str, config_key: Tuple) -> Optional[CachedPlan]:
-        """Most recently stored entry for a (model, config), drifted or not."""
-        return self._latest.get((model, config_key))
+    def latest_for(
+        self, model: str, strategy: str, config_key: Tuple
+    ) -> Optional[CachedPlan]:
+        """Most recent entry for a (model, strategy, config), drifted or not."""
+        return self._latest.get((model, strategy, config_key))
 
     def within_band(self, entry: CachedPlan, condition: NetworkCondition) -> bool:
         """True when ``condition`` is inside the entry's tolerated drift band."""
@@ -155,7 +171,7 @@ class PlanCache:
     def store(self, entry: CachedPlan, *, repartitioned: bool = False) -> CachedPlan:
         """Insert a fresh entry; counts as a miss or a drift repartition."""
         self._entries[entry.key] = entry
-        self._latest[(entry.key.model, entry.key.config)] = entry
+        self._latest[(entry.key.model, entry.key.strategy, entry.key.config)] = entry
         if repartitioned:
             self.repartitions += 1
         else:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.dag import DnnGraph
 from repro.models.zoo import PAPER_MODELS as _PAPER_MODELS
@@ -32,6 +32,15 @@ class ExperimentConfig:
     profiler_noise_std: float = 0.0
     seed: int = 0
     input_shape: Tuple[int, int, int] = (3, 224, 224)
+    #: Per-instance graph memo filled by :meth:`build_graphs`; ``init=False``
+    #: keeps it out of ``__init__``/``dataclasses.replace`` (a copied config
+    #: rebuilds its own memo) and ``compare=False`` out of equality.
+    _graph_cache: Optional[Dict[str, DnnGraph]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _graph_cache_key: Optional[Tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def small(cls) -> "ExperimentConfig":
@@ -39,5 +48,18 @@ class ExperimentConfig:
         return cls(models=["alexnet", "resnet18"], networks=["wifi", "4g"])
 
     def build_graphs(self) -> Dict[str, DnnGraph]:
-        """Instantiate (and cache) the configured model graphs."""
-        return {name: build_model(name, input_shape=self.input_shape) for name in self.models}
+        """Instantiate (and cache) the configured model graphs.
+
+        Graph construction is the one repeated cost left in the figure
+        harnesses (partitioning results are cached by the scenario runner),
+        so the first call builds every configured model and later calls
+        return the same memo.  The memo is keyed by the knobs that shape a
+        graph (``models``, ``input_shape``), so mutating either rebuilds it.
+        """
+        key = (tuple(self.models), tuple(self.input_shape))
+        if self._graph_cache is None or self._graph_cache_key != key:
+            self._graph_cache = {
+                name: build_model(name, input_shape=self.input_shape) for name in self.models
+            }
+            self._graph_cache_key = key
+        return self._graph_cache

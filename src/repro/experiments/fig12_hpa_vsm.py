@@ -16,7 +16,6 @@ from repro.core.d3 import D3Config, D3System
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.experiments.runners import ScenarioRunner
-from repro.models.zoo import build_model
 
 FIG12_METHODS = ("device_only", "edge_only", "cloud_only", "neurosurgeon", "dads", "hpa", "hpa_vsm")
 
@@ -52,7 +51,7 @@ def run_hpa_vsm(
         speedups = {m: scenario.speedup_over("device_only", m) for m in FIG12_METHODS}
 
         # Recover the tiling redundancy of the D3 plan for this model.
-        graph = build_model(model, input_shape=config.input_shape)
+        graph = runner.graph(model)
         system = D3System(
             D3Config(
                 network=network,

@@ -1,28 +1,34 @@
 """Shared scenario runner used by the figure/table harnesses.
 
 A *scenario* is one (model, network condition) cell of the evaluation matrix.
-The runner computes every method's latency and backbone traffic for the cell —
-D3 (HPA and HPA+VSM), the three single-tier baselines, Neurosurgeon and DADS —
+The runner computes every method's latency and backbone traffic for the cell
 and caches the results so that the Fig. 9/10/12/13 harnesses do not repeat the
 same partitioning work.
+
+Methods are obtained exclusively through the strategy registry
+(:mod:`repro.core.strategy`): the runner is a thin loop over
+:data:`METHODS`, with no per-method glue.  A method that declines a graph via
+``supports()`` (Neurosurgeon on branchy DAGs) gets ``None`` cells, exactly as
+the paper leaves those bars out of Fig. 10.  Each strategy also declares how
+its headline number is measured: D3's methods are read off the discrete-event
+executor (VSM tile parallelism is invisible to the analytic objective), the
+one-shot baselines off the analytic :class:`~repro.core.placement.PlanEvaluator`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.baselines.dads import DadsPartitioner
-from repro.baselines.neurosurgeon import NeurosurgeonPartitioner
-from repro.baselines.single_tier import SingleTierBaseline
-from repro.core.d3 import D3Config, D3System
-from repro.core.placement import PlanEvaluator, Tier
+from repro.core.strategy import ClusterSpec, PartitionPlan, get_strategy
 from repro.experiments.config import ExperimentConfig
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import NetworkCondition, get_condition
 from repro.profiling.profiler import LatencyProfile, Profiler
+from repro.runtime.simulator import ExecutionReport
 
-#: Method identifiers used in result dictionaries, in display order.
+#: Method identifiers used in result dictionaries, in display order.  Every
+#: entry must name a registered :class:`~repro.core.strategy.PartitionStrategy`.
 METHODS = (
     "device_only",
     "edge_only",
@@ -66,6 +72,10 @@ class ScenarioRunner:
 
     # ------------------------------------------------------------------ #
     def graph(self, model: str) -> DnnGraph:
+        if model in self.config.models:
+            # Configured models share the config's memo, so every harness
+            # holding the same config reuses one set of graphs.
+            return self.config.build_graphs()[model]
         if model not in self._graphs:
             from repro.models.zoo import build_model
 
@@ -91,73 +101,64 @@ class ScenarioRunner:
         if key in self._results:
             return self._results[key]
 
+        from repro.runtime.cluster import Cluster
+
         graph = self.graph(model)
         profile = self.profile(model)
-        evaluator = PlanEvaluator(profile, condition)
+        cluster = Cluster.build(network=condition, num_edge_nodes=self.config.num_edge_nodes)
+        spec = ClusterSpec.from_cluster(cluster, tile_grid=tuple(self.config.tile_grid))
+
         latency: Dict[str, Optional[float]] = {}
         traffic: Dict[str, Optional[int]] = {}
+        plans: Dict[str, PartitionPlan] = {}
+        reports: Dict[str, ExecutionReport] = {}
 
-        # Single-tier baselines.
-        single = SingleTierBaseline(profile, condition)
-        for tier, name in ((Tier.DEVICE, "device_only"), (Tier.EDGE, "edge_only"), (Tier.CLOUD, "cloud_only")):
-            metrics = single.metrics(graph, tier)
-            latency[name] = metrics.end_to_end_latency_s
-            traffic[name] = metrics.bytes_to_cloud
-
-        # Neurosurgeon (chain topologies only).
-        if graph.is_chain():
-            neurosurgeon = NeurosurgeonPartitioner(profile, condition).partition(graph)
-            latency["neurosurgeon"] = neurosurgeon.latency_s
-            traffic["neurosurgeon"] = neurosurgeon.metrics.bytes_to_cloud
-        else:
-            latency["neurosurgeon"] = None
-            traffic["neurosurgeon"] = None
-
-        # DADS.
-        dads = DadsPartitioner(profile, condition).partition(graph)
-        latency["dads"] = dads.latency_s
-        traffic["dads"] = dads.metrics.bytes_to_cloud
-
-        # HPA only (one edge node, no VSM).
-        hpa_system = D3System(
-            D3Config(
-                network=condition,
-                num_edge_nodes=1,
-                enable_vsm=False,
-                use_regression=False,
-                profiler_noise_std=self.config.profiler_noise_std,
-                seed=self.config.seed,
-            )
-        )
-        hpa_result = hpa_system.run(graph)
-        latency["hpa"] = hpa_result.end_to_end_latency_s
-        traffic["hpa"] = hpa_result.bytes_to_cloud
-        tier_counts = {t.value: c for t, c in hpa_result.placement.tier_counts().items()}
-        tier_busy = {t.value: s for t, s in hpa_result.report.tier_busy_seconds().items()}
-
-        # Full D3: HPA + VSM over the configured edge nodes.
-        vsm_system = D3System(
-            D3Config(
-                network=condition,
-                num_edge_nodes=self.config.num_edge_nodes,
-                tile_grid=self.config.tile_grid,
-                enable_vsm=True,
-                use_regression=False,
-                profiler_noise_std=self.config.profiler_noise_std,
-                seed=self.config.seed,
-            )
-        )
-        vsm_result = vsm_system.run(graph)
-        latency["hpa_vsm"] = vsm_result.end_to_end_latency_s
-        traffic["hpa_vsm"] = vsm_result.bytes_to_cloud
+        for method in METHODS:
+            strategy = get_strategy(method)
+            if not strategy.supports(graph):
+                latency[method] = None
+                traffic[method] = None
+                continue
+            plan = strategy.plan(graph, profile, condition, spec)
+            plans[method] = plan
+            if strategy.measure_by_simulation:
+                report = self._simulate(plan, profile, cluster)
+                reports[method] = report
+                latency[method] = report.end_to_end_latency_s
+                traffic[method] = report.bytes_to_cloud
+            else:
+                latency[method] = plan.metrics.end_to_end_latency_s
+                traffic[method] = plan.metrics.bytes_to_cloud
 
         result = ScenarioResult(
             model=model,
             network=condition.name,
             latency_s=latency,
             bytes_to_cloud=traffic,
-            tier_counts=tier_counts,
-            tier_busy_s=tier_busy,
+            tier_counts=self._tier_counts(plans.get("hpa")),
+            tier_busy_s=self._tier_busy(reports.get("hpa")),
         )
         self._results[key] = result
         return result
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _simulate(plan: PartitionPlan, profile: LatencyProfile, cluster) -> ExecutionReport:
+        """One-shot discrete-event execution of a strategy's plan."""
+        from repro.runtime.executor import DistributedExecutor
+
+        return DistributedExecutor.from_partition_plan(plan, profile, cluster).execute()
+
+    @staticmethod
+    def _tier_counts(plan: Optional[PartitionPlan]) -> Dict[str, int]:
+        """Vertex-per-tier counts of the HPA plan (Table II companion data)."""
+        if plan is None:
+            return {}
+        return {t.value: c for t, c in plan.placement.tier_counts().items()}
+
+    @staticmethod
+    def _tier_busy(report: Optional[ExecutionReport]) -> Dict[str, float]:
+        """Per-tier busy seconds of the simulated HPA run (Table II)."""
+        if report is None:
+            return {}
+        return {t.value: s for t, s in report.tier_busy_seconds().items()}

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.d3 import D3Config, D3System
 from repro.core.dynamic import RepartitionThresholds
+from repro.core.strategy import get_strategy
 from repro.experiments.reporting import format_table
 from repro.network.conditions import BandwidthTrace
 from repro.runtime.serving import ServingReport
@@ -44,6 +45,10 @@ class ServingScenario:
     use_regression: bool = False
     profiler_noise_std: float = 0.0
     link_contention: str = "fifo"
+    #: Registry name of the partitioning method to serve with (``None`` uses
+    #: the system's configured D3 method) — this is what makes the harness a
+    #: serving-under-load comparison of *every* paper baseline, not just D3.
+    method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival not in ARRIVAL_PROCESSES:
@@ -97,6 +102,7 @@ def run_serving_scenario(
         trace=trace,
         thresholds=thresholds,
         link_contention=scenario.link_contention,
+        method=scenario.method,
     )
 
 
@@ -114,6 +120,62 @@ def run_rate_sweep(
         episode = replace(scenario, rate_rps=rate)
         results.append((rate, run_serving_scenario(episode, system=system)))
     return results
+
+
+def run_method_comparison(
+    methods: Sequence[str],
+    scenario: Optional[ServingScenario] = None,
+) -> List[Tuple[str, Optional[ServingReport]]]:
+    """Serve the same workload once per partitioning method.
+
+    This is the capability the strategy registry unlocks: the identical
+    request stream is driven through Neurosurgeon, DADS, the single-tier
+    baselines and D3 on the same cluster, so their latency percentiles and
+    queueing behaviour under load are directly comparable.  Methods that
+    decline the scenario's model graphs (``supports()`` is false) report
+    ``None`` instead of raising.
+    """
+    if not methods:
+        raise ValueError("need at least one method")
+    scenario = scenario or ServingScenario()
+    results: List[Tuple[str, Optional[ServingReport]]] = []
+    for method in methods:
+        system = scenario.build_system()
+        strategy = get_strategy(method)
+        graphs = [system.graph_for(model) for model in scenario.models]
+        if not all(strategy.supports(graph) for graph in graphs):
+            results.append((method, None))
+            continue
+        episode = replace(scenario, method=method)
+        results.append((method, run_serving_scenario(episode, system=system)))
+    return results
+
+
+def format_method_comparison(results: Sequence[Tuple[str, Optional[ServingReport]]]) -> str:
+    """Render a method comparison: one row per partitioning method."""
+    rows = []
+    for method, report in results:
+        if report is None:
+            rows.append((method, None, None, None, None, None, None))
+            continue
+        pct = report.latency_percentiles()
+        queueing = report.mean_queueing_delay_s()
+        rows.append(
+            (
+                method,
+                report.throughput_rps,
+                pct["p50"] * 1e3,
+                pct["p95"] * 1e3,
+                pct["p99"] * 1e3,
+                (queueing or 0.0) * 1e3,
+                report.bytes_to_cloud * 8.0 / 1e6,
+            )
+        )
+    return format_table(
+        headers=("method", "req/s", "p50 ms", "p95 ms", "p99 ms", "queue ms", "cloud Mb"),
+        rows=rows,
+        title="Serving under load — method comparison",
+    )
 
 
 def format_serving_report(report: ServingReport) -> str:

@@ -51,6 +51,20 @@ class DistributedExecutor:
         self.cluster = cluster
         self.vsm_plan = vsm_plan
 
+    @classmethod
+    def from_partition_plan(
+        cls, partition, profile: LatencyProfile, cluster: Cluster
+    ) -> "DistributedExecutor":
+        """Build an executor from a normalized strategy artifact.
+
+        ``partition`` is the :class:`~repro.core.strategy.PartitionPlan` any
+        registered method produces; this is the bridge between the pluggable
+        planning API and the one-shot execution engine.
+        """
+        return cls(
+            partition.graph, partition.placement, profile, cluster, partition.vsm_plan
+        )
+
     # ------------------------------------------------------------------ #
     def execute(self) -> ExecutionReport:
         """Simulate one inference; returns the full execution report."""

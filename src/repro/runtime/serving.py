@@ -96,6 +96,10 @@ class ServingReport:
     makespan_s: float = 0.0
     node_busy_s: Dict[str, float] = field(default_factory=dict)
     link_busy_s: Dict[str, float] = field(default_factory=dict)
+    #: Registry name of the partitioning method the stream was planned with
+    #: (filled by :meth:`repro.core.d3.D3System.serve`; empty when the report
+    #: was built directly from the simulator).
+    method: str = ""
     #: Plan-cache statistics, filled by :meth:`repro.core.d3.D3System.serve`.
     plans_computed: int = 0
     cache_hits: int = 0
@@ -150,9 +154,10 @@ class ServingReport:
 
     def summary(self) -> str:
         """Multi-line human-readable serving report."""
+        via = f" via {self.method}" if self.method else ""
         lines = [
             f"{self.workload_name}: {self.num_requests} requests in "
-            f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s)"
+            f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s){via}"
         ]
         if self.records:
             pct = self.latency_percentiles()

@@ -1,0 +1,278 @@
+"""Conformance suite for the unified :class:`PartitionStrategy` API.
+
+Every registered strategy is run through the same contract: its plan must be
+valid for the cluster, its predicted metrics must match the
+:class:`PlanEvaluator`, ``serve()`` must complete a small Poisson workload
+with it, and unsupported graphs must be declined via ``supports()`` rather
+than by raising from ``plan()`` unannounced.
+"""
+
+import pytest
+
+from repro.baselines.neurosurgeon import NeurosurgeonPartitioner
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import PlanEvaluator
+from repro.core.strategy import (
+    ClusterSpec,
+    HpaStrategy,
+    PartitionPlan,
+    PartitionStrategy,
+    StrategyUnsupportedError,
+    UnknownStrategyError,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runners import METHODS, ScenarioRunner
+from repro.network.conditions import get_condition
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.workload import Workload
+
+ALL_STRATEGIES = available_strategies()
+
+
+def _serving_system(num_edge_nodes: int = 2) -> D3System:
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=num_edge_nodes,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        assert set(METHODS) <= set(ALL_STRATEGIES)
+
+    def test_get_strategy_returns_conforming_instances(self):
+        for name in ALL_STRATEGIES:
+            strategy = get_strategy(name)
+            assert strategy.name == name
+            assert isinstance(strategy, PartitionStrategy)
+            assert isinstance(strategy.supports_repartitioning, bool)
+            assert isinstance(strategy.measure_by_simulation, bool)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(UnknownStrategyError, match="hpa_vsm"):
+            get_strategy("definitely_not_a_method")
+
+    def test_registration_requires_a_name(self):
+        with pytest.raises(ValueError):
+            register_strategy(lambda: None)
+
+    def test_custom_strategy_is_resolvable(self):
+        class EdgePinned(HpaStrategy):
+            name = "test_edge_pinned"
+
+        register_strategy(EdgePinned)
+        try:
+            assert "test_edge_pinned" in available_strategies()
+            assert get_strategy("test_edge_pinned").name == "test_edge_pinned"
+        finally:
+            from repro.core import strategy as strategy_module
+
+            del strategy_module._REGISTRY["test_edge_pinned"]
+
+
+# --------------------------------------------------------------------------- #
+# Planning contract
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+class TestPlanningContract:
+    def test_plan_is_valid_for_the_cluster(self, name, alexnet, alexnet_profile, wifi):
+        strategy = get_strategy(name)
+        assert strategy.supports(alexnet)  # every method handles a chain
+        plan = strategy.plan(alexnet, alexnet_profile, wifi, ClusterSpec(num_edge_nodes=4))
+        assert isinstance(plan, PartitionPlan)
+        assert plan.strategy == name
+        assert plan.placement.is_complete()
+        plan.placement.validate()
+
+    def test_predicted_metrics_match_plan_evaluator(self, name, alexnet, alexnet_profile, wifi):
+        plan = get_strategy(name).plan(alexnet, alexnet_profile, wifi, ClusterSpec(4))
+        recomputed = PlanEvaluator(alexnet_profile, wifi).metrics(plan.placement)
+        assert plan.metrics == recomputed
+        assert plan.latency_s == recomputed.end_to_end_latency_s
+        assert plan.bytes_to_cloud == recomputed.bytes_to_cloud
+
+    def test_plan_executes_on_a_real_cluster(
+        self, name, alexnet, alexnet_profile, cluster_four_edge
+    ):
+        plan = get_strategy(name).plan(
+            alexnet, alexnet_profile, cluster_four_edge.network, ClusterSpec(4)
+        )
+        report = DistributedExecutor.from_partition_plan(
+            plan, alexnet_profile, cluster_four_edge
+        ).execute()
+        assert report.end_to_end_latency_s > 0
+
+    def test_unsupported_graphs_are_declined_not_raised(
+        self, name, resnet18, resnet_profile, wifi
+    ):
+        strategy = get_strategy(name)
+        if strategy.supports(resnet18):
+            plan = strategy.plan(resnet18, resnet_profile, wifi, ClusterSpec(4))
+            plan.placement.validate()
+        else:
+            with pytest.raises(StrategyUnsupportedError):
+                strategy.plan(resnet18, resnet_profile, wifi, ClusterSpec(4))
+
+
+# --------------------------------------------------------------------------- #
+# Serving contract
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+class TestServingContract:
+    def test_serve_completes_a_poisson_workload(self, name):
+        system = _serving_system()
+        workload = Workload.poisson("alexnet", num_requests=6, rate_rps=4.0, seed=3)
+        report = system.serve(workload, method=name)
+        assert report.num_requests == 6
+        assert report.method == name
+        assert report.cache_misses == 1
+        assert report.cache_hits == 5
+        assert all(record.latency_s > 0 for record in report.records)
+
+    def test_single_request_latency_matches_one_shot_run(self, name):
+        """An idle serving stream reproduces the one-shot executor latency."""
+        system = _serving_system(num_edge_nodes=4)
+        report = system.serve(Workload.single("alexnet"), method=name)
+        one_shot = system.run(system.graph_for("alexnet"), method=name)
+        assert report.records[0].latency_s == pytest.approx(
+            one_shot.end_to_end_latency_s, rel=1e-9
+        )
+
+
+class TestCustomStrategyServing:
+    def test_serve_uses_the_custom_plan_not_hpa(self):
+        """A registered non-HPA method is served with its own placements,
+        even when it (wrongly) claims local re-partitioning support."""
+        from repro.core import strategy as strategy_module
+        from repro.core.placement import PlacementPlan, Tier
+
+        class CloudPinned:
+            name = "test_cloud_pinned"
+            supports_repartitioning = True
+            measure_by_simulation = False
+
+            def supports(self, graph):
+                return True
+
+            def plan(self, graph, profile, network, cluster_spec=None):
+                placement = PlacementPlan.single_tier(graph, Tier.CLOUD)
+                metrics = PlanEvaluator(profile, network).metrics(placement)
+                return PartitionPlan(self.name, graph, placement, metrics)
+
+        register_strategy(CloudPinned)
+        try:
+            system = _serving_system()
+            report = system.serve(Workload.single("alexnet"), method="test_cloud_pinned")
+            entry = next(iter(system.plan_cache._entries.values()))
+            counts = entry.placement.tier_counts()
+            assert counts[Tier.CLOUD] == len(entry.graph) - 1  # all but the input
+            one_shot = system.run(system.graph_for("alexnet"), method="test_cloud_pinned")
+            assert report.records[0].latency_s == pytest.approx(
+                one_shot.end_to_end_latency_s, rel=1e-9
+            )
+        finally:
+            del strategy_module._REGISTRY["test_cloud_pinned"]
+
+
+class TestServingUnavailability:
+    def test_serve_unsupported_graph_raises_typed_error(self):
+        system = _serving_system()
+        with pytest.raises(StrategyUnsupportedError, match="neurosurgeon"):
+            system.serve(Workload.single("resnet18"), method="neurosurgeon")
+
+    def test_mixed_stream_fails_on_the_unsupported_model_only(self):
+        system = _serving_system()
+        ok = system.serve(Workload.single("alexnet"), method="neurosurgeon")
+        assert ok.num_requests == 1
+        with pytest.raises(StrategyUnsupportedError):
+            system.serve(
+                Workload.constant_rate(["alexnet", "resnet18"], 2, interval_s=0.1),
+                method="neurosurgeon",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: serving a baseline matches its bespoke one-shot result
+# --------------------------------------------------------------------------- #
+class TestNeurosurgeonServingAcceptance:
+    def test_serve_latency_matches_partitioner_result(self, wifi):
+        system = _serving_system()
+        graph = system.graph_for("alexnet")
+        profile = system.build_profile(graph)
+        expected = NeurosurgeonPartitioner(profile, wifi).partition(graph).latency_s
+
+        report = system.serve(Workload.single("alexnet"), method="neurosurgeon")
+        assert report.records[0].latency_s == pytest.approx(expected, rel=1e-6)
+
+    def test_drift_replans_non_adaptive_method(self, wifi):
+        """Out-of-band drift re-plans from scratch instead of erroring."""
+        from repro.network.conditions import BandwidthTrace
+
+        system = _serving_system()
+        trace = BandwidthTrace(base=wifi, samples=[(0.0, 1.0), (0.9, 0.2)])
+        workload = Workload.constant_rate("alexnet", num_requests=4, interval_s=0.6)
+        report = system.serve(workload, trace=trace, method="dads")
+        assert report.num_requests == 4
+        assert report.cache_misses == 1
+        assert report.repartitions == 1
+        assert system.plan_cache.invalidations == 1
+
+
+# --------------------------------------------------------------------------- #
+# The scenario runner is a thin loop over the registry
+# --------------------------------------------------------------------------- #
+class TestScenarioRunnerUsesRegistry:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        runner = ScenarioRunner(ExperimentConfig.small())
+        return runner.run("resnet18", "wifi")
+
+    def test_every_method_has_a_cell(self, scenario):
+        assert set(scenario.latency_s) == set(METHODS)
+        assert set(scenario.bytes_to_cloud) == set(METHODS)
+
+    def test_unsupported_method_yields_none_cells(self, scenario):
+        assert scenario.latency_s["neurosurgeon"] is None
+        assert scenario.bytes_to_cloud["neurosurgeon"] is None
+
+    def test_supported_methods_yield_values(self, scenario):
+        for method in METHODS:
+            if method == "neurosurgeon":
+                continue
+            assert scenario.latency_s[method] is not None
+
+    def test_run_rejects_unsupported_method(self, resnet18):
+        system = D3System(
+            D3Config(network="wifi", use_regression=False, profiler_noise_std=0.0)
+        )
+        with pytest.raises(StrategyUnsupportedError):
+            system.run(resnet18, method="neurosurgeon")
+
+
+# --------------------------------------------------------------------------- #
+# ExperimentConfig.build_graphs memoization (satellite)
+# --------------------------------------------------------------------------- #
+class TestBuildGraphsMemo:
+    def test_graphs_are_cached_per_config_instance(self):
+        config = ExperimentConfig.small()
+        first = config.build_graphs()
+        assert first is config.build_graphs()
+        assert set(first) == set(config.models)
+
+    def test_changing_models_invalidates_the_memo(self):
+        config = ExperimentConfig.small()
+        first = config.build_graphs()
+        config.models = ["alexnet"]
+        second = config.build_graphs()
+        assert second is not first
+        assert set(second) == {"alexnet"}
