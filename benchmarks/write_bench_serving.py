@@ -1,0 +1,69 @@
+"""Write ``BENCH_serving.json``: the headline serving numbers CI tracks.
+
+Runs the canonical serving scenario — vgg16, Poisson arrivals, the paper's
+four-edge-node testbed topology — with fully deterministic settings (no
+profiler noise, fixed seed), and dumps p50/p95/p99 latency, throughput and
+plan-cache effectiveness as JSON.  CI uploads the file as an artifact so the
+performance trajectory of the serving engine is recorded per commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/write_bench_serving.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.core.d3 import D3Config, D3System
+from repro.network.topology import Topology
+from repro.runtime.workload import Workload
+
+MODEL = "vgg16"
+NUM_REQUESTS = 50
+RATE_RPS = 2.0
+NUM_EDGE_NODES = 4
+
+
+def run_benchmark() -> dict:
+    system = D3System(
+        D3Config(
+            topology=Topology.three_tier(num_edge_nodes=NUM_EDGE_NODES, network="wifi"),
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+    workload = Workload.poisson(MODEL, num_requests=NUM_REQUESTS, rate_rps=RATE_RPS, seed=0)
+    report = system.serve(workload)
+    percentiles = report.latency_percentiles()
+    return {
+        "model": MODEL,
+        "topology": "three_tier",
+        "num_edge_nodes": NUM_EDGE_NODES,
+        "requests": report.num_requests,
+        "rate_rps": RATE_RPS,
+        "p50_ms": percentiles["p50"] * 1e3,
+        "p95_ms": percentiles["p95"] * 1e3,
+        "p99_ms": percentiles["p99"] * 1e3,
+        "mean_ms": report.mean_latency_s * 1e3,
+        "throughput_rps": report.throughput_rps,
+        "mean_queueing_ms": max(0.0, (report.mean_queueing_delay_s() or 0.0)) * 1e3,
+        "plans_computed": report.plans_computed,
+        "cache_hits": report.cache_hits,
+    }
+
+
+def main() -> int:
+    output = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serving.json"
+    payload = run_benchmark()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}: p95 {payload['p95_ms']:.1f} ms, "
+          f"{payload['throughput_rps']:.2f} req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

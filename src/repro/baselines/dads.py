@@ -151,6 +151,7 @@ class DadsStrategy:
                 "edge_vertices": result.edge_vertices,
                 "cloud_vertices": result.cloud_vertices,
             },
+            topology_fingerprint=cluster_spec.topology_fingerprint if cluster_spec else (),
         )
 
 

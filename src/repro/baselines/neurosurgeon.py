@@ -141,6 +141,7 @@ class NeurosurgeonStrategy:
             placement=result.plan,
             metrics=result.metrics,
             extras={"split_index": result.split_index},
+            topology_fingerprint=cluster_spec.topology_fingerprint if cluster_spec else (),
         )
 
 

@@ -76,7 +76,11 @@ class SingleTierStrategy:
         placement = single_tier_plan(graph, self.tier)
         metrics = PlanEvaluator(profile, network).metrics(placement)
         return PartitionPlan(
-            strategy=self.name, graph=graph, placement=placement, metrics=metrics
+            strategy=self.name,
+            graph=graph,
+            placement=placement,
+            metrics=metrics,
+            topology_fingerprint=cluster_spec.topology_fingerprint if cluster_spec else (),
         )
 
 

@@ -38,6 +38,7 @@ SCENARIO_NAMES = (
     "table02",
     "serving",
     "serving_methods",
+    "topologies",
 )
 
 
@@ -54,6 +55,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         table02_tier_times,
     )
     from repro.experiments import serving as serving_harness
+    from repro.experiments import topologies as topologies_harness
 
     return {
         "fig01": (fig01_layer_profile.run_layer_profile, fig01_layer_profile.format_layer_profile),
@@ -77,6 +79,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
                 ),
             ),
             serving_harness.format_method_comparison,
+        ),
+        "topologies": (
+            topologies_harness.run_topology_comparison,
+            topologies_harness.format_topology_comparison,
         ),
     }
 
@@ -128,6 +134,15 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--edge-nodes", type=int, default=4, help="number of edge nodes")
     parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="PRESET|PATH",
+        help=(
+            "deployment topology: a preset (three_tier, multi_device, hetero_edge, "
+            "device_gateway) or a path to a topology JSON file; overrides --edge-nodes"
+        ),
+    )
+    parser.add_argument(
         "--method",
         default=None,
         metavar="NAME",
@@ -147,6 +162,7 @@ def _build_system(args, enable_vsm: bool = True):
 
     return D3System(
         D3Config(
+            topology=getattr(args, "topology", None),
             network=args.network,
             num_edge_nodes=args.edge_nodes,
             enable_vsm=enable_vsm,
@@ -173,13 +189,24 @@ def _command_serve(args) -> int:
     if args.rate <= 0:
         raise ValueError("rate must be positive")
     system = _build_system(args)
+    # On multi-device topologies the stream originates round-robin from every
+    # device of the fleet; single-device deployments keep the primary device.
+    devices = system.cluster.devices
+    sources = [node.name for node in devices] if len(devices) > 1 else None
     if args.arrival == "constant":
         workload = Workload.constant_rate(
-            args.model, num_requests=args.requests, interval_s=1.0 / args.rate
+            args.model,
+            num_requests=args.requests,
+            interval_s=1.0 / args.rate,
+            sources=sources,
         )
     else:
         workload = Workload.poisson(
-            args.model, num_requests=args.requests, rate_rps=args.rate, seed=args.seed
+            args.model,
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            seed=args.seed,
+            sources=sources,
         )
     contention = "none" if args.uncontended_links else "fifo"
     report = system.serve(workload, link_contention=contention, method=args.method)

@@ -32,6 +32,7 @@ from repro.core.strategy import (
 from repro.core.vsm import VSMPlan
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import BandwidthTrace, NetworkCondition, get_condition
+from repro.network.topology import LinkSpec, Topology, load_topology
 from repro.profiling.hardware import HardwareSpec
 from repro.profiling.profiler import LatencyProfile, Profiler
 from repro.profiling.regression import LatencyRegressionModel
@@ -48,10 +49,24 @@ class D3Config:
 
     Attributes
     ----------
+    topology:
+        The deployment description: a
+        :class:`~repro.network.topology.Topology`, a preset name
+        (``"multi_device"``, ``"hetero_edge"``, ...) or a path to a topology
+        JSON file.  ``None`` builds the paper's canonical testbed from the
+        deprecated ``network``/``num_edge_nodes`` shims below.
     network:
         Network condition name (Table III) or an explicit condition object.
+        With a topology referenced *by name or path*, this is the base
+        condition presets are built under and JSON documents fall back to; a
+        :class:`Topology` *object* (or a JSON document declaring its own
+        ``"network"``) is a complete artifact whose ``base_network`` wins.
+        Without a topology it is a deprecated shim feeding the canonical
+        :meth:`~repro.network.topology.Topology.three_tier` testbed.
     num_edge_nodes:
-        Edge nodes available for VSM parallelism (the paper uses 4).
+        Deprecated shim (use ``topology=``): edge nodes available for VSM
+        parallelism in the canonical testbed (the paper uses 4).  Ignored
+        when ``topology`` is given.
     tile_grid:
         The ``A x B`` VSM separation decision (the paper uses 2 x 2).
     enable_vsm:
@@ -72,6 +87,7 @@ class D3Config:
         is always included.
     """
 
+    topology: "Topology | str | None" = None
     network: NetworkCondition | str = "wifi"
     num_edge_nodes: int = 1
     tile_grid: Tuple[int, int] = (2, 2)
@@ -87,6 +103,24 @@ class D3Config:
         if isinstance(self.network, str):
             return get_condition(self.network)
         return self.network
+
+    def resolve_topology(self) -> Topology:
+        """The deployment topology this config describes.
+
+        ``None`` (the deprecated fixed-shape path) builds the canonical
+        three-tier testbed from ``num_edge_nodes``/``network`` — bit-identical
+        to the pre-topology API.
+        """
+        if self.topology is None or self.topology == "three_tier":
+            # The canonical preset honours the num_edge_nodes shim, so
+            # ``topology="three_tier"`` and the no-topology default describe
+            # the same testbed.
+            return Topology.three_tier(
+                num_edge_nodes=self.num_edge_nodes, network=self.resolve_network()
+            )
+        if isinstance(self.topology, str):
+            return load_topology(self.topology, network=self.network)
+        return self.topology
 
     def plan_key(self) -> Tuple:
         """Hashable signature of everything that affects a partitioning plan."""
@@ -138,10 +172,14 @@ class D3System:
 
     def __init__(self, config: Optional[D3Config] = None) -> None:
         self.config = config or D3Config()
-        self.network = self.config.resolve_network()
-        self.cluster = Cluster.build(
-            network=self.network, num_edge_nodes=self.config.num_edge_nodes
+        self.topology = self.config.resolve_topology()
+        self.cluster = Cluster.from_topology(
+            self.topology,
+            network=self.topology.base_network or self.config.resolve_network(),
         )
+        #: Planning-view condition (tier-pair effective bandwidths); for the
+        #: canonical testbed this is exactly the configured condition.
+        self.network = self.cluster.network
         self.profiler = Profiler(
             noise_std=self.config.profiler_noise_std, seed=self.config.seed
         )
@@ -256,7 +294,11 @@ class D3System:
             ``thresholds`` trigger the dynamic re-partitioner mid-stream for
             D3 methods (invalidating the cached plan); methods without local
             re-partitioning degrade gracefully by re-planning from scratch
-            under the new condition (also counted as a repartition).
+            under the new condition (also counted as a repartition).  When no
+            trace is given but the deployment topology carries trace-driven
+            links, the same machinery runs off those: each request is planned
+            under the topology's planning view at its arrival time, and every
+            physical wire is watched individually for drift.
         thresholds:
             Drift band for plan invalidation (defaults to the paper's
             ``[0.75, 1.25]``).
@@ -282,10 +324,38 @@ class D3System:
 
         requests = []
         ideal_by_id: Dict[str, float] = {}
+        topology = self.cluster.topology
+        sample_topology = trace is None and topology.has_traced_links
+        primary_device = self.cluster.device.name
         for request in workload:
-            condition = trace.condition_at(request.arrival_s) if trace else self.network
+            link_mbps: Optional[Dict[str, float]] = None
+            off_primary = request.source is not None and request.source != primary_device
+            if trace is not None:
+                condition = trace.condition_at(request.arrival_s)
+                if topology.has_traced_links:
+                    # An explicit backbone trace does not switch the wires'
+                    # own traces off: keep watching (and ideal-pricing) every
+                    # traced link at this arrival's rates.
+                    link_mbps = topology.link_bandwidths_at(request.arrival_s)
+            elif sample_topology or off_primary:
+                # Trace-driven links and/or a non-primary source device: plan
+                # under the topology's view at this arrival, anchored at the
+                # wires this request actually crosses, and watch every wire
+                # for drift.
+                at_s = request.arrival_s if sample_topology else 0.0
+                condition = topology.planning_condition(at_s=at_s, source=request.source)
+                if sample_topology:
+                    link_mbps = topology.link_bandwidths_at(at_s)
+            else:
+                condition = self.network
             graph = request.graph or self.graph_for(request.model)
-            entry = self._plan_for(graph, condition, strategy)
+            entry = self._plan_for(
+                graph,
+                condition,
+                strategy,
+                link_bandwidths=link_mbps,
+                source=request.source,
+            )
             requests.append(
                 ServingRequest(
                     index=request.index,
@@ -296,6 +366,7 @@ class D3System:
                     condition=condition,
                     arrival_s=request.arrival_s,
                     vsm_plan=entry.vsm_plan,
+                    source=request.source,
                 )
             )
             ideal_by_id[request.request_id] = entry.ideal_latency_s
@@ -373,22 +444,36 @@ class D3System:
         graph: DnnGraph,
         condition: NetworkCondition,
         strategy: Optional[PartitionStrategy] = None,
+        link_bandwidths: Optional[Dict[str, float]] = None,
+        source: Optional[str] = None,
     ) -> CachedPlan:
-        """Plan-cache lookup with threshold-guarded drift adaptation."""
+        """Plan-cache lookup with threshold-guarded drift adaptation.
+
+        ``link_bandwidths`` (Mbps keyed by link id, sampled from a traced
+        topology at the request's arrival) extends both the in-band guard and
+        the repartitioner's drift detection to individual physical wires —
+        including on exact key matches, where a wire off the primary planning
+        routes can drift without moving the key.  ``source`` is the request's
+        origin device; its ideal-latency baseline is simulated from there.
+        """
         strategy = strategy or self._strategy_for()
         cache = self.plan_cache
         key = PlanKey.build(
-            self._graph_token(graph), condition, self.config.plan_key(), strategy.name
+            self._graph_token(graph),
+            condition,
+            self.config.plan_key(),
+            strategy.name,
+            topology=self.topology.fingerprint(),
         )
-        entry = cache.get(key)
+        entry = cache.get(key, condition, link_bandwidths)
         if entry is not None:
             return entry
 
         self._require_support(strategy, graph)
         profile = self._profile_for(graph)
-        base = cache.latest_for(key.model, key.strategy, key.config)
+        base = cache.latest_for(key.model, key.strategy, key.config, key.topology)
         if base is not None:
-            if cache.within_band(base, condition):
+            if cache.within_band(base, condition, link_bandwidths):
                 cache.record_alias(key, base)
                 return base
             if base.repartitioner is None:
@@ -397,12 +482,22 @@ class D3System:
                 # full re-solve DADS et al. would have to perform anyway).
                 cache.invalidate(base.key)
                 return self._store_strategy_plan(
-                    cache, key, graph, profile, condition, strategy, repartitioned=True
+                    cache,
+                    key,
+                    graph,
+                    profile,
+                    condition,
+                    strategy,
+                    repartitioned=True,
+                    link_bandwidths=link_bandwidths,
+                    source=source,
                 )
             # Out of band: the paper's local re-partitioning adapts the plan
             # (the listener registered by the cache invalidates the old entry).
             base.repartitioner.thresholds = cache.thresholds
-            event = base.repartitioner.observe(network=condition)
+            event = base.repartitioner.observe(
+                network=condition, link_bandwidths=link_bandwidths
+            )
             if not event.triggered:
                 # The repartitioner judged the drift tolerable after all (its
                 # per-vertex view can be coarser than the link-level band);
@@ -419,6 +514,8 @@ class D3System:
                 base.repartitioner,
                 strategy,
                 repartitioned=True,
+                link_bandwidths=link_bandwidths,
+                source=source,
             )
 
         if not isinstance(strategy, HpaStrategy):
@@ -426,12 +523,18 @@ class D3System:
             # merely claim drift support — plans through its own plan(); the
             # DynamicRepartitioner below *is* HPA and would silently
             # substitute an HPA placement under the strategy's name.
-            return self._store_strategy_plan(cache, key, graph, profile, condition, strategy)
+            return self._store_strategy_plan(
+                cache, key, graph, profile, condition, strategy,
+                link_bandwidths=link_bandwidths, source=source,
+            )
 
         repartitioner = DynamicRepartitioner(
             graph, profile, condition, thresholds=cache.thresholds, config=strategy.hpa_config
         )
-        return self._store_plan(cache, key, graph, profile, condition, repartitioner, strategy)
+        return self._store_plan(
+            cache, key, graph, profile, condition, repartitioner, strategy,
+            link_bandwidths=link_bandwidths, source=source,
+        )
 
     def _store_plan(
         self,
@@ -443,12 +546,20 @@ class D3System:
         repartitioner: DynamicRepartitioner,
         strategy: HpaStrategy,
         repartitioned: bool = False,
+        link_bandwidths: Optional[Dict[str, float]] = None,
+        source: Optional[str] = None,
     ) -> CachedPlan:
         # Snapshot the plan: the repartitioner mutates its own copy in place
         # on the next drift, and cached entries must stay frozen.
         placement = repartitioner.plan.copy()
         vsm_plan = strategy.separate(graph, placement, self._cluster_spec())
-        ideal = self._ideal_latency(graph, placement, profile, vsm_plan, condition)
+        ideal = self._ideal_latency(
+            graph, placement, profile, vsm_plan, condition, link_bandwidths, source
+        )
+        if link_bandwidths:
+            # The rates this plan was computed under become the per-link
+            # reference the repartitioner judges future drift against.
+            repartitioner.reference_link_mbps = dict(link_bandwidths)
         entry = CachedPlan(
             key=key,
             graph=graph,
@@ -458,6 +569,7 @@ class D3System:
             condition=condition,
             ideal_latency_s=ideal,
             repartitioner=repartitioner,
+            link_mbps=dict(link_bandwidths) if link_bandwidths else None,
         )
         return cache.store(entry, repartitioned=repartitioned)
 
@@ -470,11 +582,14 @@ class D3System:
         condition: NetworkCondition,
         strategy: PartitionStrategy,
         repartitioned: bool = False,
+        link_bandwidths: Optional[Dict[str, float]] = None,
+        source: Optional[str] = None,
     ) -> CachedPlan:
         """Cache one non-adaptive strategy's plan for ``condition``."""
         partition = strategy.plan(graph, profile, condition, self._cluster_spec())
         ideal = self._ideal_latency(
-            graph, partition.placement, profile, partition.vsm_plan, condition
+            graph, partition.placement, profile, partition.vsm_plan, condition,
+            link_bandwidths, source,
         )
         entry = CachedPlan(
             key=key,
@@ -485,6 +600,7 @@ class D3System:
             condition=condition,
             ideal_latency_s=ideal,
             repartitioner=None,
+            link_mbps=dict(link_bandwidths) if link_bandwidths else None,
         )
         return cache.store(entry, repartitioned=repartitioned)
 
@@ -495,8 +611,42 @@ class D3System:
         profile: LatencyProfile,
         vsm_plan: Optional[VSMPlan],
         condition: NetworkCondition,
+        link_bandwidths: Optional[Dict[str, float]] = None,
+        source: Optional[str] = None,
     ) -> float:
-        """One-shot latency of a plan on an idle scratch cluster."""
-        scratch = self.cluster.with_network(condition)
-        report = DistributedExecutor(graph, placement, profile, scratch, vsm_plan).execute()
+        """One-shot latency of a plan on an idle scratch cluster.
+
+        The scratch one-shot always executes at simulation time zero, so a
+        traced topology's wires are frozen at ``link_bandwidths`` — the rates
+        sampled at the request's arrival — lest the baseline be priced at the
+        trace's t=0 rates and corrupt every queueing-delay figure.  ``source``
+        starts the inference from the request's own device.
+        """
+        scratch = self._scratch_cluster(condition, link_bandwidths)
+        report = DistributedExecutor(
+            graph, placement, profile, scratch, vsm_plan, source=source
+        ).execute()
         return report.end_to_end_latency_s
+
+    def _scratch_cluster(
+        self,
+        condition: NetworkCondition,
+        link_bandwidths: Optional[Dict[str, float]] = None,
+    ) -> Cluster:
+        """An idle cluster under ``condition``, traced wires frozen."""
+        topology = self.cluster.topology
+        if not link_bandwidths or not topology.has_traced_links:
+            return self.cluster.with_network(condition)
+        frozen_links = [
+            spec
+            if not isinstance(spec.bandwidth, BandwidthTrace)
+            else LinkSpec(spec.name, spec.a, spec.b, link_bandwidths[spec.name])
+            for spec in topology.links.values()
+        ]
+        frozen = Topology(
+            topology.name,
+            list(topology.nodes.values()),
+            frozen_links,
+            base_network=condition,
+        )
+        return Cluster.from_topology(frozen, network=condition)

@@ -100,6 +100,9 @@ class DynamicRepartitioner:
         self.reference_network = network
         self.current_profile = profile
         self.current_network = network
+        #: Per-link reference bandwidths (Mbps, keyed by link id) for
+        #: topology-aware drift detection; ``None`` until first observed.
+        self.reference_link_mbps: Optional[Dict[str, float]] = None
         partitioner = HorizontalPartitioner(profile, network, self.config)
         self.plan = partitioner.partition(graph)
         self._listeners: List[Callable[[RepartitionEvent], None]] = []
@@ -140,6 +143,25 @@ class DynamicRepartitioner:
             ):
                 return True
         return False
+
+    def _links_changed(self, link_bandwidths: Optional[Dict[str, float]]) -> bool:
+        """True when any physical link's rate left the band.
+
+        Per-link watching is strictly finer than the tier-pair check: on a
+        multi-hop or multi-wire topology a single congested link can stay
+        invisible in the harmonic tier-pair rate while the wire itself (and
+        every transfer crossing it) slowed beyond the threshold.
+        """
+        if not link_bandwidths:
+            return False
+        if self.reference_link_mbps is None:
+            # First observation seeds the reference; nothing to compare yet.
+            self.reference_link_mbps = dict(link_bandwidths)
+            return False
+        return any(
+            self.thresholds.exceeded(self.reference_link_mbps.get(link_id, mbps), mbps)
+            for link_id, mbps in link_bandwidths.items()
+        )
 
     def _drifted_vertices(self, profile: LatencyProfile) -> List[int]:
         """Vertices whose latency on their assigned tier left the band."""
@@ -205,8 +227,14 @@ class DynamicRepartitioner:
         self,
         profile: Optional[LatencyProfile] = None,
         network: Optional[NetworkCondition] = None,
+        link_bandwidths: Optional[Dict[str, float]] = None,
     ) -> RepartitionEvent:
-        """Feed new runtime conditions; adapt the plan locally if needed."""
+        """Feed new runtime conditions; adapt the plan locally if needed.
+
+        ``link_bandwidths`` (Mbps keyed by topology link id) enables
+        per-physical-link drift detection on arbitrary topologies; the first
+        observation records the reference rates.
+        """
         profile = profile or self.current_profile
         network = network or self.current_network
         self.current_profile = profile
@@ -216,7 +244,9 @@ class DynamicRepartitioner:
         latency_before = evaluator_before.objective(self.plan)
 
         drifted = self._drifted_vertices(profile)
-        bandwidth_drift = self._bandwidth_changed(network)
+        bandwidth_drift = self._bandwidth_changed(network) or self._links_changed(
+            link_bandwidths
+        )
         if not drifted and not bandwidth_drift:
             return RepartitionEvent(
                 triggered=False,
@@ -243,6 +273,8 @@ class DynamicRepartitioner:
         # Accept the new conditions as the reference going forward.
         self.reference_profile = profile
         self.reference_network = network
+        if link_bandwidths:
+            self.reference_link_mbps = dict(link_bandwidths)
         event = RepartitionEvent(
             triggered=True,
             changed_vertices=changed,
@@ -253,6 +285,29 @@ class DynamicRepartitioner:
         )
         self._notify(event)
         return event
+
+    def observe_topology(
+        self,
+        topology,
+        at_s: float = 0.0,
+        profile: Optional[LatencyProfile] = None,
+    ) -> RepartitionEvent:
+        """Sample a :class:`~repro.network.topology.Topology` at ``at_s``.
+
+        Every declared link is sampled (static rates, trace values, inherited
+        tier-pair rates) and watched individually; the planning-view condition
+        derived from those samples feeds the usual tier-pair check.  Listeners
+        registered with :meth:`add_listener` — the plan cache's invalidators —
+        therefore fire on per-link drift, not just backbone drift.
+        """
+        # Inherited links price against the *observed* topology's own base
+        # condition (falling back to our reference only when it has none):
+        # pricing them against the reference would compare the reference with
+        # itself and mask base-condition drift entirely.
+        base = topology.base_network or self.reference_network
+        link_mbps = topology.link_bandwidths_at(at_s, base=base)
+        condition = topology.planning_condition(base=base, at_s=at_s)
+        return self.observe(profile=profile, network=condition, link_bandwidths=link_mbps)
 
     def full_repartition(self) -> RepartitionEvent:
         """Re-run HPA from scratch under the current conditions (the baseline

@@ -46,12 +46,17 @@ class PlanKey:
 
     ``strategy`` is the partitioning method's registry name, so the same
     serving system can hold D3 and baseline plans for one model side by side.
+    ``topology`` is the deployment's
+    :meth:`~repro.network.topology.Topology.fingerprint`: two systems that
+    differ only in cluster shape (an extra device, a slower edge machine, a
+    re-traced link) must never share a plan.
     """
 
     model: str
     network: Tuple[float, float, float]
     config: Tuple
     strategy: str = "hpa_vsm"
+    topology: Tuple = ()
 
     @classmethod
     def build(
@@ -60,9 +65,14 @@ class PlanKey:
         condition: NetworkCondition,
         config_key: Tuple,
         strategy: str = "hpa_vsm",
+        topology: Tuple = (),
     ) -> "PlanKey":
         return cls(
-            model=model, network=network_key(condition), config=config_key, strategy=strategy
+            model=model,
+            network=network_key(condition),
+            config=config_key,
+            strategy=strategy,
+            topology=topology,
         )
 
 
@@ -82,6 +92,10 @@ class CachedPlan:
     #: The adaptive re-partitioner that owns ``placement``; reused to perform
     #: local updates when the network drifts out of the threshold band.
     repartitioner: Optional[DynamicRepartitioner] = None
+    #: Per-physical-link rates (Mbps keyed by link id) in effect when the
+    #: plan was computed; lets :meth:`PlanCache.within_band` watch each wire
+    #: of a traced topology, not just the tier-pair aggregate.
+    link_mbps: Optional[Dict[str, float]] = None
     valid: bool = True
     #: The invalidation callback this entry registered on its repartitioner
     #: (deregistered again when the entry is invalidated, so long-lived
@@ -103,9 +117,9 @@ class PlanCache:
     def __init__(self, thresholds: Optional[RepartitionThresholds] = None) -> None:
         self.thresholds = thresholds or RepartitionThresholds()
         self._entries: Dict[PlanKey, CachedPlan] = {}
-        #: Latest entry per (model, strategy, config), the seed for drift
-        #: adaptation.
-        self._latest: Dict[Tuple[str, str, Tuple], CachedPlan] = {}
+        #: Latest entry per (model, strategy, config, topology), the seed for
+        #: drift adaptation.
+        self._latest: Dict[Tuple[str, str, Tuple, Tuple], CachedPlan] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -143,22 +157,51 @@ class PlanCache:
                 entry.repartitioner.thresholds = thresholds
 
     # ------------------------------------------------------------------ #
-    def get(self, key: PlanKey) -> Optional[CachedPlan]:
-        """Exact lookup; counts a hit when present."""
+    def get(
+        self,
+        key: PlanKey,
+        condition: Optional[NetworkCondition] = None,
+        link_mbps: Optional[Dict[str, float]] = None,
+    ) -> Optional[CachedPlan]:
+        """Exact lookup; counts a hit when present and still in band.
+
+        With ``condition``/``link_mbps``, an exact key match is additionally
+        re-validated against the per-link drift band: a wire off the primary
+        planning routes can collapse without moving the tier-pair rates (and
+        hence the key), and such an entry must re-enter the drift path, not
+        be served as a hit.
+        """
         entry = self._entries.get(key)
-        if entry is not None and entry.valid:
-            self.hits += 1
-            return entry
-        return None
+        if entry is None or not entry.valid:
+            return None
+        if (
+            link_mbps
+            and condition is not None
+            and not self.within_band(entry, condition, link_mbps)
+        ):
+            return None
+        self.hits += 1
+        return entry
 
     def latest_for(
-        self, model: str, strategy: str, config_key: Tuple
+        self, model: str, strategy: str, config_key: Tuple, topology: Tuple = ()
     ) -> Optional[CachedPlan]:
-        """Most recent entry for a (model, strategy, config), drifted or not."""
-        return self._latest.get((model, strategy, config_key))
+        """Most recent entry for a (model, strategy, config, topology)."""
+        return self._latest.get((model, strategy, config_key, topology))
 
-    def within_band(self, entry: CachedPlan, condition: NetworkCondition) -> bool:
-        """True when ``condition`` is inside the entry's tolerated drift band."""
+    def within_band(
+        self,
+        entry: CachedPlan,
+        condition: NetworkCondition,
+        link_mbps: Optional[Dict[str, float]] = None,
+    ) -> bool:
+        """True when ``condition`` is inside the entry's tolerated drift band.
+
+        With ``link_mbps`` (and an entry that recorded its own link rates),
+        every physical wire is additionally checked: a single congested link
+        leaves the band even when the harmonic tier-pair aggregate barely
+        moves.
+        """
         pairs = (("device", "edge"), ("edge", "cloud"), ("device", "cloud"))
         for src, dst in pairs:
             if self.thresholds.exceeded(
@@ -166,12 +209,19 @@ class PlanCache:
                 condition.bandwidth_mbps(src, dst),
             ):
                 return False
+        if link_mbps and entry.link_mbps:
+            for link_id, mbps in link_mbps.items():
+                reference = entry.link_mbps.get(link_id)
+                if reference is not None and self.thresholds.exceeded(reference, mbps):
+                    return False
         return True
 
     def store(self, entry: CachedPlan, *, repartitioned: bool = False) -> CachedPlan:
         """Insert a fresh entry; counts as a miss or a drift repartition."""
         self._entries[entry.key] = entry
-        self._latest[(entry.key.model, entry.key.strategy, entry.key.config)] = entry
+        self._latest[
+            (entry.key.model, entry.key.strategy, entry.key.config, entry.key.topology)
+        ] = entry
         if repartitioned:
             self.repartitions += 1
         else:

@@ -71,15 +71,24 @@ class ClusterSpec:
 
     This is deliberately lighter than :class:`~repro.runtime.cluster.Cluster`:
     planning needs to know how much edge parallelism exists and how VSM may
-    tile it, not the live node/link objects.
+    tile it, not the live node/link objects.  ``topology_fingerprint`` is the
+    :meth:`~repro.network.topology.Topology.fingerprint` of the deployment
+    the spec was taken from: plans are stamped with it, and the executor
+    refuses to run a stamped plan on a different shape.
     """
 
     num_edge_nodes: int = 1
     tile_grid: Tuple[int, int] = (2, 2)
+    topology_fingerprint: Tuple = ()
 
     @classmethod
     def from_cluster(cls, cluster, tile_grid: Tuple[int, int] = (2, 2)) -> "ClusterSpec":
-        return cls(num_edge_nodes=cluster.num_edge_nodes, tile_grid=tile_grid)
+        topology = getattr(cluster, "topology", None)
+        return cls(
+            num_edge_nodes=cluster.num_edge_nodes,
+            tile_grid=tile_grid,
+            topology_fingerprint=topology.fingerprint() if topology is not None else (),
+        )
 
 
 @dataclass
@@ -101,6 +110,9 @@ class PartitionPlan:
     #: Method-specific extras (Neurosurgeon's split index, DADS's cut value,
     #: ...) kept for introspection without widening the common surface.
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Fingerprint of the deployment topology the plan was computed for
+    #: (empty when the strategy was invoked without a :class:`ClusterSpec`).
+    topology_fingerprint: Tuple = ()
 
     @property
     def latency_s(self) -> float:
@@ -232,6 +244,7 @@ class HpaStrategy:
             placement=placement,
             metrics=metrics,
             vsm_plan=vsm_plan,
+            topology_fingerprint=cluster_spec.topology_fingerprint,
         )
 
     def separate(

@@ -49,6 +49,13 @@ class ServingScenario:
     #: the system's configured D3 method) — this is what makes the harness a
     #: serving-under-load comparison of *every* paper baseline, not just D3.
     method: Optional[str] = None
+    #: Deployment topology: a preset name or JSON path (``None`` keeps the
+    #: canonical testbed described by ``network``/``num_edge_nodes``).
+    topology: Optional[str] = None
+    #: Device nodes requests are pinned to, round-robin; empty means the
+    #: primary device.  ``("@devices",)`` expands to every device of the
+    #: deployed topology (how multi-device fleets are exercised by name).
+    sources: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.arrival not in ARRIVAL_PROCESSES:
@@ -64,6 +71,7 @@ class ServingScenario:
     def build_system(self) -> D3System:
         return D3System(
             D3Config(
+                topology=self.topology,
                 network=self.network,
                 num_edge_nodes=self.num_edge_nodes,
                 tile_grid=self.tile_grid,
@@ -73,14 +81,39 @@ class ServingScenario:
             )
         )
 
-    def build_workload(self) -> Workload:
+    def resolve_sources(self, system: D3System) -> Optional[List[str]]:
+        """Expand the ``sources`` field against the deployed cluster.
+
+        The ``"@devices"`` sentinel — whether the whole field or one element
+        of it — expands to every device of the topology, in declaration order.
+        """
+        if not self.sources:
+            return None
+        raw = [self.sources] if isinstance(self.sources, str) else list(self.sources)
+        expanded: List[str] = []
+        for source in raw:
+            if source == "@devices":
+                expanded.extend(node.name for node in system.cluster.devices)
+            else:
+                expanded.append(source)
+        return expanded
+
+    def build_workload(self, system: Optional[D3System] = None) -> Workload:
         models = list(self.models)
+        sources = self.resolve_sources(system) if system is not None else None
         if self.arrival == "constant":
             return Workload.constant_rate(
-                models, num_requests=self.num_requests, interval_s=1.0 / self.rate_rps
+                models,
+                num_requests=self.num_requests,
+                interval_s=1.0 / self.rate_rps,
+                sources=sources,
             )
         return Workload.poisson(
-            models, num_requests=self.num_requests, rate_rps=self.rate_rps, seed=self.seed
+            models,
+            num_requests=self.num_requests,
+            rate_rps=self.rate_rps,
+            seed=self.seed,
+            sources=sources,
         )
 
 
@@ -98,7 +131,7 @@ def run_serving_scenario(
     scenario = scenario or ServingScenario()
     system = system or scenario.build_system()
     return system.serve(
-        scenario.build_workload(),
+        scenario.build_workload(system),
         trace=trace,
         thresholds=thresholds,
         link_contention=scenario.link_contention,

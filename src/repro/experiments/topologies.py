@@ -1,0 +1,94 @@
+"""Method × topology comparison harness.
+
+The paper's evaluation is a matrix of methods crossed with models and network
+conditions — always on the one canonical testbed shape.  With the deployment
+description now a first-class :class:`~repro.network.topology.Topology`, this
+harness adds the missing axis: the *same* request stream is served by every
+partitioning method on every deployment shape (the canonical testbed, a
+multi-device fleet, a heterogeneous edge rack, a multi-hop gateway chain), so
+the table answers "which method degrades how, where".
+
+``repro scenario topologies`` prints the result; the tests assert its shape
+and that D3 stays competitive on every topology it supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.strategy import get_strategy
+from repro.experiments.reporting import format_table
+from repro.experiments.serving import ServingScenario, run_serving_scenario
+from repro.runtime.serving import ServingReport
+
+#: The deployment shapes compared by default (all preset names).
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = (
+    "three_tier",
+    "multi_device",
+    "hetero_edge",
+    "device_gateway",
+)
+
+#: The methods compared by default (one per family: single-tier, chain-split,
+#: DAG-cut, D3 without and with VSM).
+DEFAULT_METHODS: Tuple[str, ...] = ("cloud_only", "neurosurgeon", "dads", "hpa", "hpa_vsm")
+
+
+def run_topology_comparison(
+    methods: Sequence[str] = DEFAULT_METHODS,
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    scenario: Optional[ServingScenario] = None,
+) -> List[Tuple[str, Dict[str, Optional[ServingReport]]]]:
+    """Serve one workload per (topology, method) pair.
+
+    Returns one row per topology: ``(topology_name, {method: report})``.
+    Requests are pinned round-robin across every device of each deployment;
+    methods that decline the scenario's model report ``None``.
+    """
+    if not methods:
+        raise ValueError("need at least one method")
+    if not topologies:
+        raise ValueError("need at least one topology")
+    scenario = scenario or ServingScenario(
+        models=("alexnet",), num_requests=30, rate_rps=4.0, sources=("@devices",)
+    )
+    results: List[Tuple[str, Dict[str, Optional[ServingReport]]]] = []
+    for topology in topologies:
+        # One resident system per deployment: its profiles and plan cache
+        # (keyed by strategy) are shared across all compared methods.
+        system = replace(scenario, topology=topology).build_system()
+        graphs = [system.graph_for(model) for model in scenario.models]
+        per_method: Dict[str, Optional[ServingReport]] = {}
+        for method in methods:
+            strategy = get_strategy(method)
+            if not all(strategy.supports(graph) for graph in graphs):
+                per_method[method] = None
+                continue
+            episode = replace(scenario, topology=topology, method=method)
+            per_method[method] = run_serving_scenario(episode, system=system)
+        results.append((topology, per_method))
+    return results
+
+
+def format_topology_comparison(
+    results: Sequence[Tuple[str, Dict[str, Optional[ServingReport]]]],
+) -> str:
+    """Render the comparison: rows are topologies, columns are method p95s."""
+    if not results:
+        return "no topology results"
+    methods = list(results[0][1])
+    rows = []
+    for topology, per_method in results:
+        row: List[object] = [topology]
+        for method in methods:
+            report = per_method.get(method)
+            row.append(
+                None if report is None else report.latency_percentiles()["p95"] * 1e3
+            )
+        rows.append(tuple(row))
+    return format_table(
+        headers=("topology", *(f"{m} p95 ms" for m in methods)),
+        rows=rows,
+        title="Serving under load — method × topology (p95 latency)",
+    )

@@ -16,15 +16,33 @@ from repro.network.conditions import (
     get_condition,
     list_conditions,
 )
+from repro.network.topology import (
+    LinkSpec,
+    NodeSpec,
+    Topology,
+    TopologyError,
+    TOPOLOGY_PRESETS,
+    get_topology,
+    list_topologies,
+    load_topology,
+)
 
 __all__ = [
     "BandwidthTrace",
+    "LinkSpec",
     "NETWORK_CONDITIONS",
     "NetworkCondition",
     "NetworkLink",
+    "NodeSpec",
     "SharedLink",
     "TABLE_III_UPLINK_MBPS",
+    "TOPOLOGY_PRESETS",
+    "Topology",
+    "TopologyError",
     "get_condition",
+    "get_topology",
     "list_conditions",
+    "list_topologies",
+    "load_topology",
     "transfer_seconds",
 ]

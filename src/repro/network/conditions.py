@@ -11,7 +11,7 @@ All rates are average uplink rates in Mbps, copied verbatim from Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.link import NetworkLink
 
@@ -151,34 +151,58 @@ def get_condition(name: str) -> NetworkCondition:
 
 @dataclass
 class BandwidthTrace:
-    """A piecewise-constant bandwidth trace for the dynamics experiments.
+    """A piecewise-constant bandwidth trace.
 
-    ``samples`` is a sequence of ``(start_time_s, multiplier)`` pairs applied to
-    a base :class:`NetworkCondition`'s backbone bandwidth.  The trace models
-    congestion episodes on the backbone; HPA's dynamic re-partitioner reacts
-    when the multiplier leaves the configured threshold band.
+    ``samples`` is a sequence of ``(start_time_s, value)`` pairs; the value in
+    effect at time ``t`` is the one of the latest sample with
+    ``start_time_s <= t`` (the first sample before that).  Two uses:
+
+    * with a ``base`` :class:`NetworkCondition`, values are *multipliers*
+      applied to the base's backbone bandwidth (the dynamics experiments:
+      congestion episodes that HPA's re-partitioner reacts to), and
+    * without a base, values are absolute link rates in *Mbps* — this is the
+      form a :class:`~repro.network.topology.LinkSpec` accepts, so any
+      physical link of a topology can drift on its own schedule.
+
+    Timestamps must be strictly increasing: a duplicate timestamp would make
+    the value at that instant ambiguous, so it is rejected outright rather
+    than silently resolved by ordering.
     """
 
-    base: NetworkCondition
+    base: Optional[NetworkCondition] = None
     samples: Sequence[Tuple[float, float]] = field(default_factory=lambda: [(0.0, 1.0)])
 
     def __post_init__(self) -> None:
         if not self.samples:
             raise ValueError("trace needs at least one sample")
         times = [t for t, _ in self.samples]
-        if times != sorted(times):
-            raise ValueError("trace samples must be ordered by time")
+        for earlier, later in zip(times, times[1:]):
+            if later == earlier:
+                raise ValueError(f"duplicate trace timestamp {later!r}")
+            if later < earlier:
+                raise ValueError("trace samples must be ordered by time")
+        if any(value <= 0 for _, value in self.samples):
+            raise ValueError("trace values must be positive")
 
-    def multiplier_at(self, time_s: float) -> float:
-        """Backbone multiplier in effect at ``time_s``."""
+    def sample_at(self, time_s: float) -> float:
+        """The raw sample value (multiplier or Mbps) in effect at ``time_s``."""
         current = self.samples[0][1]
-        for start, multiplier in self.samples:
+        for start, value in self.samples:
             if time_s >= start:
-                current = multiplier
+                current = value
             else:
                 break
         return current
 
+    def multiplier_at(self, time_s: float) -> float:
+        """Backbone multiplier in effect at ``time_s`` (alias of :meth:`sample_at`)."""
+        return self.sample_at(time_s)
+
     def condition_at(self, time_s: float) -> NetworkCondition:
-        """The effective network condition at ``time_s``."""
+        """The effective network condition at ``time_s`` (requires ``base``)."""
+        if self.base is None:
+            raise ValueError(
+                "this trace has no base NetworkCondition; its samples are "
+                "absolute link rates, not backbone multipliers"
+            )
         return self.base.scaled_backbone(self.multiplier_at(time_s))

@@ -67,10 +67,14 @@ class SharedLink:
     busy_seconds: float = 0.0
     bytes_carried: int = 0
     transfer_count: int = 0
+    #: Name of the :class:`~repro.network.topology.LinkSpec` this wire
+    #: realizes; lets the cluster resolve the spec (bandwidth, trace) back
+    #: from the stateful link.  ``None`` for hand-built links.
+    link_id: "str | None" = None
 
     @property
     def key(self) -> tuple:
-        """Unordered tier pair, matching :attr:`NetworkLink.key`."""
+        """Unordered endpoint pair, matching :attr:`NetworkLink.key`."""
         return tuple(sorted((self.source, self.destination)))
 
     def reset(self) -> None:

@@ -145,3 +145,29 @@ TIER_PRESETS = {
 
 #: Hardware used for the layer-profiling study of Fig. 1 (Raspberry Pi 4).
 FIG1_DEVICE = RASPBERRY_PI_4
+
+#: Named hardware presets, keyed by the short names topology JSON files use.
+HARDWARE_PRESETS = {
+    "raspberry_pi_4": RASPBERRY_PI_4,
+    "jetson_nano": JETSON_NANO,
+    "edge_desktop": EDGE_DESKTOP,
+    "cloud_server": CLOUD_SERVER,
+}
+
+
+def get_hardware(name: str) -> HardwareSpec:
+    """Look up a hardware preset by its short name."""
+    try:
+        return HARDWARE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hardware preset {name!r}; available: {sorted(HARDWARE_PRESETS)}"
+        ) from None
+
+
+def hardware_preset_name(spec: HardwareSpec) -> str | None:
+    """The preset name of ``spec`` when it is one of the built-ins, else None."""
+    for name, preset in HARDWARE_PRESETS.items():
+        if preset == spec:
+            return name
+    return None

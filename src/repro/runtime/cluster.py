@@ -1,46 +1,63 @@
-"""The simulated deployment: one device node, N edge nodes, one cloud node."""
+"""The simulated deployment, realized from a declarative :class:`Topology`.
+
+Historically this module hardcoded the paper's testbed shape (one device, N
+identical edge nodes, one cloud, three tier-pair wires).  The deployment is
+now described by a :class:`~repro.network.topology.Topology` — arbitrary named
+nodes and links — and the :class:`Cluster` is its live realization: one
+:class:`~repro.runtime.node.ComputeNode` per compute node, one stateful
+:class:`~repro.network.link.SharedLink` per declared wire (keyed by link id,
+not tier pair), plus routing and per-hop pricing for the engines.
+
+:meth:`Cluster.build` keeps the original fixed-shape constructor as a shim
+over :meth:`Topology.three_tier`, bit-identical to the pre-topology runtime.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Optional
 
 from repro.core.placement import Tier
 from repro.network.conditions import NetworkCondition, get_condition
-from repro.network.link import SharedLink
+from repro.network.link import SharedLink, transfer_seconds
+from repro.network.topology import NodeSpec, Topology, canonical_links
 from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, HardwareSpec, RASPBERRY_PI_4
 from repro.runtime.node import ComputeNode
-
-#: The three inter-tier wires of the deployment, as unordered tier pairs.
-LINK_PAIRS = (
-    ("device", "edge"),
-    ("edge", "cloud"),
-    ("device", "cloud"),
-)
 
 
 @dataclass
 class Cluster:
-    """The device/edge/cloud deployment of section IV.
+    """A live deployment: compute nodes, stateful links, and routing.
 
     Attributes
     ----------
     device:
-        The single mobile device node that collects the input.
+        The *primary* device node (the default origin of requests).
     edge_nodes:
-        One or more edge nodes in the same LAN as the device; VSM spreads fused
-        tile stacks across all of them.
+        The edge nodes, in topology declaration order; VSM spreads fused tile
+        stacks across all of them.
     cloud:
-        The remote cloud server.
+        The primary cloud node.
     network:
-        The inter-tier bandwidths in effect.
+        The planning-view network condition (tier-pair effective bandwidths
+        derived from the topology's links).
+    shared_links:
+        The stateful contention wires, keyed by the topology's link ids.
+    extra_devices, extra_clouds:
+        Further device/cloud nodes of multi-device / multi-region topologies.
+    topology:
+        The declarative description this cluster realizes; synthesized from
+        the node lists (canonical three-tier wires) when not given.
     """
 
     device: ComputeNode
     edge_nodes: List[ComputeNode]
     cloud: ComputeNode
     network: NetworkCondition
-    shared_links: Dict[frozenset, SharedLink] = field(default_factory=dict)
+    shared_links: Dict[str, SharedLink] = field(default_factory=dict)
+    extra_devices: List[ComputeNode] = field(default_factory=list)
+    extra_clouds: List[ComputeNode] = field(default_factory=list)
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         if not self.edge_nodes:
@@ -49,11 +66,34 @@ class Cluster:
             raise ValueError("device/cloud nodes must carry the matching tier")
         if any(node.tier != Tier.EDGE for node in self.edge_nodes):
             raise ValueError("edge nodes must carry the edge tier")
+        if any(node.tier != Tier.DEVICE for node in self.extra_devices):
+            raise ValueError("extra device nodes must carry the device tier")
+        if any(node.tier != Tier.CLOUD for node in self.extra_clouds):
+            raise ValueError("extra cloud nodes must carry the cloud tier")
+        if self.topology is None:
+            self.topology = self._synthesize_topology()
         if not self.shared_links:
             self.shared_links = {
-                frozenset(pair): SharedLink(source=pair[0], destination=pair[1])
-                for pair in LINK_PAIRS
+                name: SharedLink(source=spec.a, destination=spec.b, link_id=name)
+                for name, spec in self.topology.links.items()
             }
+        self._nodes_by_name = {node.name: node for node in self.all_nodes}
+        self._routes: Dict[tuple, List[SharedLink]] = {}
+        self._apply_speed_factors()
+
+    def _synthesize_topology(self) -> Topology:
+        """Canonical three-wire topology over this cluster's actual nodes."""
+        nodes = [
+            NodeSpec(node.name, node.tier.value, node.hardware) for node in self.all_nodes
+        ]
+        return Topology("three_tier", nodes, canonical_links(), base_network=self.network)
+
+    def _apply_speed_factors(self) -> None:
+        """Throughput of every node relative to its tier's primary node."""
+        for group in (self.devices, self.edge_nodes, self.cloud_nodes):
+            reference = group[0].hardware.effective_gflops
+            for node in group:
+                node.speed_factor = node.hardware.effective_gflops / reference
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -68,28 +108,90 @@ class Cluster:
         """Build the paper's testbed of section IV: a Raspberry Pi 4 device,
         i7-8700 edge nodes and a 2080 Ti cloud server (Table II instead uses a
         Jetson Nano device; pass ``device_hardware=JETSON_NANO`` for that)."""
-        if isinstance(network, str):
-            network = get_condition(network)
         if num_edge_nodes <= 0:
             raise ValueError("num_edge_nodes must be positive")
-        device = ComputeNode("device-0", Tier.DEVICE, device_hardware)
-        edge_nodes = [
-            ComputeNode(f"edge-{i}", Tier.EDGE, edge_hardware) for i in range(num_edge_nodes)
-        ]
-        cloud = ComputeNode("cloud-0", Tier.CLOUD, cloud_hardware)
-        return cls(device=device, edge_nodes=edge_nodes, cloud=cloud, network=network)
+        topology = Topology.three_tier(
+            num_edge_nodes=num_edge_nodes,
+            network=network,
+            device_hardware=device_hardware,
+            edge_hardware=edge_hardware,
+            cloud_hardware=cloud_hardware,
+        )
+        return cls.from_topology(topology)
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        network: Optional[NetworkCondition | str] = None,
+    ) -> "Cluster":
+        """Realize a declarative topology as a live cluster.
+
+        ``network`` overrides the topology's base condition; inherited links
+        price against it and the planning view is derived from it.
+        """
+        if isinstance(network, str):
+            network = get_condition(network)
+        base = network or topology.base_network
+        condition = topology.planning_condition(base=base)
+        by_tier: Dict[str, List[ComputeNode]] = {"device": [], "edge": [], "cloud": []}
+        for spec in topology.nodes.values():
+            if not spec.is_compute:
+                continue
+            by_tier[spec.tier].append(ComputeNode(spec.name, Tier(spec.tier), spec.hardware))
+        # Pin the topology's base so with_network()/scratch clusters keep
+        # pricing inherited links consistently.  __post_init__ builds the
+        # shared links from the realized topology.
+        realized = Topology(
+            topology.name,
+            list(topology.nodes.values()),
+            list(topology.links.values()),
+            base_network=base,
+        )
+        return cls(
+            device=by_tier["device"][0],
+            edge_nodes=by_tier["edge"],
+            cloud=by_tier["cloud"][0],
+            network=condition,
+            extra_devices=by_tier["device"][1:],
+            extra_clouds=by_tier["cloud"][1:],
+            topology=realized,
+        )
 
     # ------------------------------------------------------------------ #
     @property
+    def devices(self) -> List[ComputeNode]:
+        """All device nodes (the primary first)."""
+        return [self.device, *self.extra_devices]
+
+    @property
+    def cloud_nodes(self) -> List[ComputeNode]:
+        """All cloud nodes (the primary first)."""
+        return [self.cloud, *self.extra_clouds]
+
+    @property
     def all_nodes(self) -> List[ComputeNode]:
-        return [self.device, *self.edge_nodes, self.cloud]
+        return [*self.devices, *self.edge_nodes, *self.cloud_nodes]
 
     @property
     def num_edge_nodes(self) -> int:
         return len(self.edge_nodes)
 
+    def node(self, name: str) -> ComputeNode:
+        """Look a compute node up by its topology name."""
+        try:
+            return self._nodes_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown node {name!r}; cluster nodes: {sorted(self._nodes_by_name)}"
+            ) from None
+
     def tier_hardware(self) -> Dict[str, HardwareSpec]:
-        """Tier-name -> hardware mapping used by the profiler."""
+        """Tier-name -> hardware mapping used by the profiler.
+
+        Heterogeneous tiers are profiled against their *primary* node; other
+        nodes' speed factors stretch task durations at simulation time.
+        """
         return {
             Tier.DEVICE.value: self.device.hardware,
             Tier.EDGE.value: self.edge_nodes[0].hardware,
@@ -104,15 +206,49 @@ class Cluster:
             return self.cloud
         return self.edge_nodes[0]
 
+    # ------------------------------------------------------------------ #
+    # Routing and per-hop pricing
+    # ------------------------------------------------------------------ #
+    def route(self, source_node: str, destination_node: str) -> List[SharedLink]:
+        """The stateful wires a transfer crosses between two nodes, in order."""
+        key = (source_node, destination_node)
+        if key not in self._routes:
+            hops = self.topology.route(source_node, destination_node)
+            self._routes[key] = [self.shared_links[name] for name in hops]
+        return self._routes[key]
+
+    def hop_seconds(
+        self,
+        link: SharedLink,
+        payload_bytes: int,
+        condition: NetworkCondition,
+        time_s: float,
+    ) -> float:
+        """Transmission time of one payload over one wire at ``time_s``.
+
+        Inherited links price against ``condition`` (the per-request network
+        condition, exactly the pre-topology semantics); static and traced
+        links price against their own rate.
+        """
+        spec = self.topology.links[link.link_id]
+        own = spec.mbps_at(time_s)
+        if own is None:
+            tier_a, tier_b = self.topology.link_tier_pair(spec)
+            return condition.transfer_seconds(payload_bytes, tier_a, tier_b)
+        return transfer_seconds(payload_bytes, own)
+
     def shared_link(self, source, destination) -> SharedLink:
-        """The stateful contention wire between two (distinct) tiers."""
+        """The single wire between two tiers/nodes (KeyError when multi-hop)."""
         src = getattr(source, "value", source)
         dst = getattr(destination, "value", destination)
-        key = frozenset((src, dst))
-        if key not in self.shared_links:
-            raise KeyError(f"no shared link between {src!r} and {dst!r}")
-        return self.shared_links[key]
+        src_node = src if src in self._nodes_by_name else self.primary_node(Tier(src)).name
+        dst_node = dst if dst in self._nodes_by_name else self.primary_node(Tier(dst)).name
+        hops = self.route(src_node, dst_node)
+        if len(hops) != 1:
+            raise KeyError(f"no single shared link between {src!r} and {dst!r}")
+        return hops[0]
 
+    # ------------------------------------------------------------------ #
     def reset(self) -> None:
         """Reset the scheduling state of every node and link."""
         for node in self.all_nodes:
@@ -121,11 +257,5 @@ class Cluster:
             link.reset()
 
     def with_network(self, network: NetworkCondition) -> "Cluster":
-        """Same nodes under a different network condition (fresh node state)."""
-        return Cluster.build(
-            network=network,
-            num_edge_nodes=self.num_edge_nodes,
-            device_hardware=self.device.hardware,
-            edge_hardware=self.edge_nodes[0].hardware,
-            cloud_hardware=self.cloud.hardware,
-        )
+        """The same topology under a different network condition (fresh state)."""
+        return Cluster.from_topology(self.topology, network=network)

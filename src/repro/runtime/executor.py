@@ -41,6 +41,7 @@ class DistributedExecutor:
         profile: LatencyProfile,
         cluster: Cluster,
         vsm_plan: Optional[VSMPlan] = None,
+        source: Optional[str] = None,
     ) -> None:
         if plan.graph is not graph:
             raise ValueError("the placement plan was computed for a different graph")
@@ -50,6 +51,8 @@ class DistributedExecutor:
         self.profile = profile
         self.cluster = cluster
         self.vsm_plan = vsm_plan
+        #: Device node the inference originates at (None: the primary device).
+        self.source = source
 
     @classmethod
     def from_partition_plan(
@@ -59,8 +62,23 @@ class DistributedExecutor:
 
         ``partition`` is the :class:`~repro.core.strategy.PartitionPlan` any
         registered method produces; this is the bridge between the pluggable
-        planning API and the one-shot execution engine.
+        planning API and the one-shot execution engine.  A plan stamped with
+        a topology fingerprint must match the cluster it runs on — executing
+        a plan computed for a different deployment shape is a planning bug,
+        not a runtime choice.  (Plans built without a
+        :class:`~repro.core.strategy.ClusterSpec` carry no stamp and skip
+        the check.)
         """
+        fingerprint = getattr(partition, "topology_fingerprint", ())
+        if (
+            fingerprint
+            and cluster.topology is not None
+            and fingerprint != cluster.topology.fingerprint()
+        ):
+            raise ValueError(
+                f"partition plan for {partition.graph.name!r} was computed for a "
+                f"different topology than cluster {cluster.topology.name!r}"
+            )
         return cls(
             partition.graph, partition.placement, profile, cluster, partition.vsm_plan
         )
@@ -78,6 +96,7 @@ class DistributedExecutor:
             condition=self.cluster.network,
             arrival_s=0.0,
             vsm_plan=self.vsm_plan,
+            source=self.source,
         )
         records = simulator.run([request])
         report = records[0].report

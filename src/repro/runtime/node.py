@@ -23,6 +23,11 @@ class ComputeNode:
     hardware: HardwareSpec
     available_at: float = 0.0
     busy_seconds: float = 0.0
+    #: Compute throughput relative to the tier's *primary* node (the one the
+    #: latency profile was built against).  1.0 on homogeneous clusters; a
+    #: heterogeneous topology sets e.g. 0.5 on a half-speed edge machine, and
+    #: the engines stretch that node's task durations by 1/0.5.
+    speed_factor: float = 1.0
 
     def reset(self) -> None:
         """Clear scheduling state before a new simulation run."""

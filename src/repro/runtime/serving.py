@@ -10,11 +10,16 @@ once, contending for
   one task at a time and keeps a FIFO ready-queue (ties broken by request
   arrival order, then DAG topological order, so the schedule is deterministic
   and the single-request case reproduces the one-shot timeline exactly), and
-* **per-link bandwidth** — every inter-tier transfer occupies the shared
-  :class:`~repro.network.link.SharedLink` for its transmission time; with
-  ``link_contention="fifo"`` concurrent transfers serialize, with ``"none"``
-  the link has infinite capacity (the paper's one-shot assumption, used by the
-  degenerate single-request path so the seed figures are bit-identical).
+* **per-link bandwidth** — every cross-node transfer follows the topology's
+  fewest-hop route and occupies each
+  :class:`~repro.network.link.SharedLink` on it for that hop's transmission
+  time (store-and-forward on multi-hop chains); with
+  ``link_contention="fifo"`` concurrent transfers serialize per wire, with
+  ``"none"`` links have infinite capacity (the paper's one-shot assumption,
+  used by the degenerate single-request path so the seed figures are
+  bit-identical).  Inherited links price transfers off the request's network
+  condition; static and traced links price off their own rate at the moment
+  the hop starts.
 
 The engine consumes :class:`ServingRequest`s — a request plus its placement
 plan, latency profile, optional VSM plan and the network condition its
@@ -60,6 +65,9 @@ class ServingRequest:
     condition: NetworkCondition
     arrival_s: float = 0.0
     vsm_plan: Optional[VSMPlan] = None
+    #: Name of the device node the request originates at; ``None`` means the
+    #: cluster's primary device (the pre-topology single-device behaviour).
+    source: Optional[str] = None
 
 
 @dataclass
@@ -216,9 +224,17 @@ class _Unit:
 class _RequestState:
     """Everything the engine tracks for one in-flight request."""
 
-    __slots__ = ("request", "report", "units", "unit_list", "remaining_units", "completion_s")
+    __slots__ = (
+        "request",
+        "report",
+        "units",
+        "unit_list",
+        "remaining_units",
+        "completion_s",
+        "source_node",
+    )
 
-    def __init__(self, request: ServingRequest) -> None:
+    def __init__(self, request: ServingRequest, source_node: ComputeNode) -> None:
         self.request = request
         self.report = ExecutionReport(
             model_name=request.graph.name,
@@ -229,6 +245,8 @@ class _RequestState:
         self.unit_list: List[_Unit] = []
         self.remaining_units = 0
         self.completion_s = 0.0
+        #: Device node all device-tier work of this request runs on.
+        self.source_node = source_node
 
 
 @dataclass
@@ -345,7 +363,9 @@ class ServingSimulator:
             makespan_s=makespan,
             node_busy_s={node.name: node.busy_seconds for node in self.cluster.all_nodes},
             link_busy_s={
-                "-".join(link.key): link.busy_seconds
+                # Key by link id: two parallel wires between the same endpoints
+                # are distinct links and must report separately.
+                link.link_id or "-".join(link.key): link.busy_seconds
                 for link in self.cluster.shared_links.values()
             },
         )
@@ -360,7 +380,7 @@ class ServingSimulator:
     # Request admission
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, time_s: float, request: ServingRequest) -> None:
-        state = _RequestState(request)
+        state = _RequestState(request, self._resolve_source(request))
         self._states.append(state)
         self._build_units(state)
         # Stages with no cross-unit inputs (the virtual input vertex) are
@@ -407,19 +427,40 @@ class ServingSimulator:
     # ------------------------------------------------------------------ #
     # Stage execution
     # ------------------------------------------------------------------ #
+    def _resolve_source(self, request: ServingRequest) -> ComputeNode:
+        """The device node a request's device-tier work runs on."""
+        if request.source is None:
+            return self.cluster.primary_node(Tier.DEVICE)
+        node = self.cluster.node(request.source)
+        if node.tier != Tier.DEVICE:
+            raise ValueError(
+                f"request {request.request_id!r} pins source {request.source!r}, "
+                f"which is a {node.tier.value} node, not a device"
+            )
+        return node
+
+    def _unit_node(self, state: _RequestState, unit: _Unit) -> ComputeNode:
+        """The node a unit executes on (fused runs: their gather node)."""
+        if unit.tier == Tier.DEVICE:
+            return state.source_node
+        return self.cluster.primary_node(unit.tier)
+
     def _start_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
         request = state.request
         if unit.run is None:
             vertex = unit.vertices[0]
             duration = request.profile.get(vertex.index, unit.tier)
-            node = self.cluster.primary_node(unit.tier)
+            node = self._unit_node(state, unit)
             unit.remaining_tasks = 1
-            self._enqueue_task(time_s, _Task(unit, node, duration, vertex.name))
+            self._enqueue_task(
+                time_s, _Task(unit, node, duration / node.speed_factor, vertex.name)
+            )
             return
 
         # A fused run fans its tile stacks out over all edge nodes, exactly
         # like the one-shot executor (round-robin assignment, same per-stack
-        # work fractions).
+        # work fractions).  Heterogeneous edge machines stretch their share
+        # by the inverse of their speed factor.
         run = unit.run
         edge_nodes = self.cluster.edge_nodes
         unit.remaining_tasks = len(run.stacks)
@@ -430,7 +471,9 @@ class ServingSimulator:
                 fraction = stack.work_fraction(position, run.layer_output_area(position))
                 duration += request.profile.get(vertex.index, Tier.EDGE) * fraction
             label = f"tile{stack.grid_position}:{run.vertices[0].name}..{run.vertices[-1].name}"
-            self._enqueue_task(time_s, _Task(unit, node, duration, label))
+            self._enqueue_task(
+                time_s, _Task(unit, node, duration / node.speed_factor, label)
+            )
 
     def _enqueue_task(self, time_s: float, task: _Task) -> None:
         node_state = self._nodes[task.node.name]
@@ -504,34 +547,52 @@ class ServingSimulator:
         dst_unit: _Unit,
         time_s: float,
     ) -> None:
-        src_tier, dst_tier = src_unit.tier, dst_unit.tier
-        if src_tier == dst_tier:
-            # Intra-tier movement is free (the paper's assumption).
+        src_node = self._unit_node(state, src_unit)
+        dst_node = self._unit_node(state, dst_unit)
+        if src_node is dst_node:
+            # Same-node movement is free (the paper's intra-tier assumption).
             self._arrive(dst_unit, time_s)
             return
         request = state.request
-        duration = request.condition.transfer_seconds(
-            producer.output_bytes, src_tier.value, dst_tier.value
-        )
-        link = self.cluster.shared_link(src_tier, dst_tier)
-        if self.link_contention == "fifo":
-            start, end = link.reserve(time_s, duration, producer.output_bytes)
-        else:
-            start, end = time_s, time_s + duration
-            link.record(duration, producer.output_bytes)
+        payload = producer.output_bytes
+        # The transfer follows the topology's route and crosses every wire on
+        # it (store-and-forward); each hop is priced at the moment it starts
+        # and serialized on its own link under FIFO contention.
+        overall_start: Optional[float] = None
+        clock = time_s
+        for link in self.cluster.route(src_node.name, dst_node.name):
+            if self.link_contention == "fifo":
+                # Price the hop at the moment it actually starts: a transfer
+                # queued behind a backlog on a traced wire pays the rate in
+                # effect when the wire frees, not the rate at request time.
+                starts_at = max(clock, link.available_at)
+                duration = self.cluster.hop_seconds(
+                    link, payload, request.condition, starts_at
+                )
+                start, end = link.reserve(clock, duration, payload)
+            else:
+                duration = self.cluster.hop_seconds(link, payload, request.condition, clock)
+                start, end = clock, clock + duration
+                link.record(duration, payload)
+            if overall_start is None:
+                overall_start = start
+            clock = end
+        if overall_start is None:  # pragma: no cover - routes are never empty here
+            self._arrive(dst_unit, time_s)
+            return
         state.report.transfers.append(
             TensorTransfer(
                 producer=producer.name,
                 consumer=consumer.name,
-                source_tier=src_tier,
-                destination_tier=dst_tier,
-                payload_bytes=producer.output_bytes,
-                start_s=start,
-                duration_s=duration,
+                source_tier=src_unit.tier,
+                destination_tier=dst_unit.tier,
+                payload_bytes=payload,
+                start_s=overall_start,
+                duration_s=clock - overall_start,
                 request_id=request.request_id,
             )
         )
-        self._push(end, "transfer_end", dst_unit)
+        self._push(clock, "transfer_end", dst_unit)
 
     def _handle_transfer_end(self, time_s: float, unit: _Unit) -> None:
         self._arrive(unit, time_s)

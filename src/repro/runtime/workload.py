@@ -46,12 +46,17 @@ class Request:
     graph:
         Optional explicit DNN graph; when ``None`` the serving layer resolves
         ``model`` through :func:`repro.models.zoo.build_model`.
+    source:
+        Name of the device node the request originates at; ``None`` (the
+        back-compat default) means the cluster's single/primary device.
+        Multi-device topologies pin requests to distinct fleet members here.
     """
 
     index: int
     model: str
     arrival_s: float
     graph: Optional[DnnGraph] = None
+    source: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -106,10 +111,14 @@ class Workload:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def single(cls, model: ModelRef, at_s: float = 0.0) -> "Workload":
+    def single(
+        cls, model: ModelRef, at_s: float = 0.0, source: Optional[str] = None
+    ) -> "Workload":
         """The degenerate one-request workload (the original one-shot path)."""
         graph = model if isinstance(model, DnnGraph) else None
-        request = Request(index=0, model=_model_name(model), arrival_s=at_s, graph=graph)
+        request = Request(
+            index=0, model=_model_name(model), arrival_s=at_s, graph=graph, source=source
+        )
         return cls(requests=[request], name=f"single:{request.model}")
 
     @classmethod
@@ -119,23 +128,27 @@ class Workload:
         num_requests: int,
         interval_s: float,
         start_s: float = 0.0,
+        sources: Optional[Sequence[str]] = None,
     ) -> "Workload":
         """Deterministic arrivals every ``interval_s`` seconds.
 
         With several models the stream cycles through them round-robin, so the
-        mix is exact rather than merely expected.
+        mix is exact rather than merely expected; ``sources`` cycles the same
+        way, pinning request *i* to device ``sources[i % len(sources)]``.
         """
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
         if interval_s < 0:
             raise ValueError("interval cannot be negative")
         choices = _as_model_list(models)
+        origins = _as_source_list(sources)
         requests = [
             Request(
                 index=i,
                 model=_model_name(choices[i % len(choices)]),
                 arrival_s=start_s + i * interval_s,
                 graph=choices[i % len(choices)] if isinstance(choices[i % len(choices)], DnnGraph) else None,
+                source=origins[i % len(origins)] if origins else None,
             )
             for i in range(num_requests)
         ]
@@ -151,12 +164,15 @@ class Workload:
         seed: int = 0,
         start_s: float = 0.0,
         weights: Optional[Sequence[float]] = None,
+        sources: Optional[Sequence[str]] = None,
     ) -> "Workload":
         """Poisson arrivals at ``rate_rps`` requests per second.
 
         Inter-arrival gaps are exponential with mean ``1 / rate_rps``; with
         several models each request samples its model from ``weights``
-        (uniform when omitted).  Fully determined by ``seed``.
+        (uniform when omitted).  ``sources`` pins request *i* to device
+        ``sources[i % len(sources)]`` — round-robin, so a fleet's devices
+        contribute exactly evenly.  Fully determined by ``seed``.
         """
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
@@ -175,6 +191,7 @@ class Workload:
         rng = np.random.default_rng(seed)
         gaps = rng.exponential(scale=1.0 / rate_rps, size=num_requests)
         picks = rng.choice(len(choices), size=num_requests, p=probabilities)
+        origins = _as_source_list(sources)
         arrival = start_s
         requests: List[Request] = []
         for i in range(num_requests):
@@ -187,6 +204,7 @@ class Workload:
                     model=_model_name(choice),
                     arrival_s=arrival,
                     graph=choice if isinstance(choice, DnnGraph) else None,
+                    source=origins[i % len(origins)] if origins else None,
                 )
             )
         names = "+".join(_model_name(c) for c in choices)
@@ -200,7 +218,13 @@ class Workload:
             key=lambda r: (r.arrival_s, r.index),
         )
         requests = [
-            Request(index=i, model=r.model, arrival_s=r.arrival_s, graph=r.graph)
+            Request(
+                index=i,
+                model=r.model,
+                arrival_s=r.arrival_s,
+                graph=r.graph,
+                source=r.source,
+            )
             for i, r in enumerate(merged)
         ]
         name = "|".join(w.name for w in workloads)
@@ -214,3 +238,11 @@ def _as_model_list(models: Union[ModelRef, Sequence[ModelRef]]) -> List[ModelRef
     if not choices:
         raise ValueError("need at least one model")
     return choices
+
+
+def _as_source_list(sources: Optional[Union[str, Sequence[str]]]) -> List[str]:
+    if sources is None:
+        return []
+    if isinstance(sources, str):
+        return [sources]
+    return list(sources)

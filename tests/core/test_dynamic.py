@@ -79,3 +79,77 @@ class TestDynamicRepartitioner:
         # The same conditions observed again should no longer trigger.
         event = repartitioner.observe(profile=slowed)
         assert not event.triggered
+
+
+class TestPerLinkDrift:
+    """Topology-aware drift: every physical wire is watched individually."""
+
+    def _multi_hop_topology(self, trunk_mbps):
+        from repro.network.topology import LinkSpec, NodeSpec, Topology
+        from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, RASPBERRY_PI_4
+
+        return Topology(
+            "watched",
+            nodes=[
+                NodeSpec("d0", "device", RASPBERRY_PI_4),
+                NodeSpec("gw", "relay"),
+                NodeSpec("e0", "edge", EDGE_DESKTOP),
+                NodeSpec("c0", "cloud", CLOUD_SERVER),
+            ],
+            links=[
+                LinkSpec("uplink", "d0", "gw", 10.0),
+                LinkSpec("trunk", "gw", "e0", trunk_mbps),
+                LinkSpec("backbone", "e0", "c0", 30.0),
+            ],
+        )
+
+    def test_invisible_per_link_drift_still_triggers(self, alexnet, alexnet_profile):
+        """A congested fast hop barely moves the harmonic tier-pair rate, but
+        the per-link watch catches it."""
+        before = self._multi_hop_topology(trunk_mbps=1000.0)
+        after = self._multi_hop_topology(trunk_mbps=300.0)  # -70% on one wire
+        condition_before = before.planning_condition()
+        condition_after = after.planning_condition()
+        # The tier-pair view moved by far less than the 25% band...
+        ratio = condition_after.device_edge_mbps / condition_before.device_edge_mbps
+        assert 0.95 < ratio < 1.0
+        repartitioner = DynamicRepartitioner(alexnet, alexnet_profile, condition_before)
+        seed = repartitioner.observe_topology(before)
+        assert not seed.triggered  # first observation records the reference
+        # ...yet the link-level drift is detected.
+        event = repartitioner.observe_topology(after)
+        assert event.triggered
+
+    def test_within_band_links_do_not_trigger(self, alexnet, alexnet_profile):
+        before = self._multi_hop_topology(trunk_mbps=1000.0)
+        after = self._multi_hop_topology(trunk_mbps=900.0)  # -10%: inside band
+        repartitioner = DynamicRepartitioner(
+            alexnet, alexnet_profile, before.planning_condition()
+        )
+        repartitioner.observe_topology(before)
+        assert not repartitioner.observe_topology(after).triggered
+
+    def test_reference_links_update_after_trigger(self, alexnet, alexnet_profile):
+        before = self._multi_hop_topology(trunk_mbps=1000.0)
+        after = self._multi_hop_topology(trunk_mbps=300.0)
+        repartitioner = DynamicRepartitioner(
+            alexnet, alexnet_profile, before.planning_condition()
+        )
+        repartitioner.observe_topology(before)
+        assert repartitioner.observe_topology(after).triggered
+        # The drifted rates are the new reference: observing them again is calm.
+        assert not repartitioner.observe_topology(after).triggered
+
+    def test_inherited_links_drift_with_their_base_condition(
+        self, alexnet, alexnet_profile, wifi
+    ):
+        """An all-inherited topology whose base condition collapses must
+        trigger: inherited links are priced against the observed topology's
+        own base, not against the stale reference."""
+        from repro.network.topology import Topology
+
+        before = Topology.three_tier(num_edge_nodes=4, network=wifi)
+        after = Topology.three_tier(num_edge_nodes=4, network=wifi.scaled_backbone(0.3))
+        repartitioner = DynamicRepartitioner(alexnet, alexnet_profile, wifi)
+        assert not repartitioner.observe_topology(before).triggered  # seed
+        assert repartitioner.observe_topology(after).triggered

@@ -188,3 +188,39 @@ class TestCacheUnit:
         before = dict(entry.placement.assignments)
         entry.repartitioner.observe(network=get_condition("wifi").scaled_backbone(0.05))
         assert entry.placement.assignments == before
+
+
+class TestTopologyKeying:
+    def test_plan_key_distinguishes_topologies(self):
+        from repro.network.topology import Topology, get_topology
+
+        config_key = ("cfg",)
+        condition = get_condition("wifi")
+        canonical = Topology.three_tier(num_edge_nodes=4).fingerprint()
+        hetero = get_topology("hetero_edge").fingerprint()
+        key_a = PlanKey.build("vgg16", condition, config_key, "hpa_vsm", topology=canonical)
+        key_b = PlanKey.build("vgg16", condition, config_key, "hpa_vsm", topology=hetero)
+        assert key_a != key_b
+        # Identical shapes rebuilt from scratch share the key.
+        same = Topology.three_tier(num_edge_nodes=4).fingerprint()
+        assert key_a == PlanKey.build("vgg16", condition, config_key, "hpa_vsm", topology=same)
+
+    def test_topology_change_is_a_cache_miss(self, system, alexnet):
+        """Swapping only the deployment shape must never reuse a cached plan."""
+        cache = system.plan_cache
+        entry = system._plan_for(alexnet, get_condition("wifi"))
+        hits_before = cache.stats()["hits"]
+        foreign = PlanKey(
+            model=entry.key.model,
+            network=entry.key.network,
+            config=entry.key.config,
+            strategy=entry.key.strategy,
+            topology=("some", "other", "shape"),
+        )
+        assert cache.get(foreign) is None
+        assert cache.latest_for(
+            entry.key.model, entry.key.strategy, entry.key.config, foreign.topology
+        ) is None
+        # The native key still hits.
+        assert cache.get(entry.key) is entry
+        assert cache.stats()["hits"] == hits_before + 1

@@ -142,3 +142,53 @@ class TestFig13:
             fraction = cell.d3_fraction_of("cloud_only")
             assert fraction is None or fraction <= 1.0
         assert "Fig. 13" in fig13_communication.format_communication(cells)
+
+
+class TestTopologyComparison:
+    def test_method_by_topology_table(self):
+        from repro.experiments.serving import ServingScenario
+        from repro.experiments.topologies import (
+            format_topology_comparison,
+            run_topology_comparison,
+        )
+
+        scenario = ServingScenario(
+            models=("alexnet",), num_requests=6, rate_rps=8.0, sources=("@devices",)
+        )
+        results = run_topology_comparison(
+            methods=("cloud_only", "hpa_vsm"),
+            topologies=("three_tier", "multi_device"),
+            scenario=scenario,
+        )
+        assert [name for name, _ in results] == ["three_tier", "multi_device"]
+        for _, per_method in results:
+            assert set(per_method) == {"cloud_only", "hpa_vsm"}
+            for report in per_method.values():
+                assert report is not None and report.num_requests == 6
+        table = format_topology_comparison(results)
+        assert "multi_device" in table and "hpa_vsm p95 ms" in table
+
+    def test_unsupported_method_reports_none(self):
+        from repro.experiments.serving import ServingScenario
+        from repro.experiments.topologies import run_topology_comparison
+
+        # Neurosurgeon declines DAGs: resnet18 is not a chain.
+        scenario = ServingScenario(models=("resnet18",), num_requests=2, rate_rps=5.0)
+        results = run_topology_comparison(
+            methods=("neurosurgeon",), topologies=("three_tier",), scenario=scenario
+        )
+        assert results[0][1]["neurosurgeon"] is None
+
+    def test_devices_sentinel_expands_anywhere(self):
+        from repro.experiments.serving import ServingScenario
+
+        scenario = ServingScenario(topology="multi_device", sources="@devices")
+        system = scenario.build_system()
+        assert scenario.resolve_sources(system) == ["device-0", "device-1", "device-2"]
+        mixed = ServingScenario(topology="multi_device", sources=("device-1", "@devices"))
+        assert mixed.resolve_sources(system) == [
+            "device-1",
+            "device-0",
+            "device-1",
+            "device-2",
+        ]

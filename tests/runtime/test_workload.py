@@ -96,3 +96,34 @@ class TestMerge:
                     Request(index=1, model="a", arrival_s=0.5),
                 ]
             )
+
+
+class TestSourcePinning:
+    def test_default_source_is_none(self):
+        workload = Workload.constant_rate("a", num_requests=3, interval_s=1.0)
+        assert all(r.source is None for r in workload)
+
+    def test_constant_rate_round_robins_sources(self):
+        workload = Workload.constant_rate(
+            "a", num_requests=5, interval_s=1.0, sources=["d0", "d1"]
+        )
+        assert [r.source for r in workload] == ["d0", "d1", "d0", "d1", "d0"]
+
+    def test_poisson_round_robins_sources(self):
+        workload = Workload.poisson(
+            ["a", "b"], num_requests=6, rate_rps=2.0, seed=1, sources=("d0", "d1", "d2")
+        )
+        assert [r.source for r in workload] == ["d0", "d1", "d2", "d0", "d1", "d2"]
+
+    def test_single_source_string(self):
+        workload = Workload.poisson("a", num_requests=2, rate_rps=1.0, sources="d1")
+        assert [r.source for r in workload] == ["d1", "d1"]
+
+    def test_single_request_source(self):
+        assert Workload.single("a", source="d3").requests[0].source == "d3"
+
+    def test_merge_preserves_sources(self):
+        fleet_a = Workload.constant_rate("a", 2, interval_s=2.0, sources=["d0"])
+        fleet_b = Workload.constant_rate("b", 2, interval_s=2.0, start_s=1.0, sources=["d1"])
+        merged = Workload.merge(fleet_a, fleet_b)
+        assert [r.source for r in merged] == ["d0", "d1", "d0", "d1"]

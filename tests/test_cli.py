@@ -76,3 +76,46 @@ class TestCommands:
             == 0
         )
         assert "3 requests" in capsys.readouterr().out
+
+
+class TestTopologyFlag:
+    def test_run_with_preset_topology(self, capsys):
+        assert main(["run", "--model", "alexnet", "--topology", "device_gateway"]) == 0
+        assert "end-to-end" in capsys.readouterr().out
+
+    def test_serve_spreads_over_fleet_devices(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--topology",
+                    "multi_device",
+                    "--requests",
+                    "6",
+                    "--rate",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "device-1" in out and "device-2" in out  # utilisation rows
+
+    def test_serve_with_topology_json_file(self, capsys, tmp_path):
+        from repro.network.topology import get_topology
+
+        path = tmp_path / "rack.json"
+        path.write_text(get_topology("hetero_edge").to_json())
+        assert (
+            main(
+                ["serve", "--model", "alexnet", "--topology", str(path), "--requests", "3"]
+            )
+            == 0
+        )
+        assert "plans computed" in capsys.readouterr().out
+
+    def test_unknown_topology_fails_cleanly(self, capsys):
+        assert main(["run", "--model", "alexnet", "--topology", "moebius"]) == 1
+        assert "unknown topology" in capsys.readouterr().err
