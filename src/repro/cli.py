@@ -39,6 +39,7 @@ SCENARIO_NAMES = (
     "serving",
     "serving_methods",
     "topologies",
+    "availability",
 )
 
 
@@ -54,6 +55,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         table01_pair_latency,
         table02_tier_times,
     )
+    from repro.experiments import availability as availability_harness
     from repro.experiments import serving as serving_harness
     from repro.experiments import topologies as topologies_harness
 
@@ -83,6 +85,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "topologies": (
             topologies_harness.run_topology_comparison,
             topologies_harness.format_topology_comparison,
+        ),
+        "availability": (
+            availability_harness.run_availability_comparison,
+            availability_harness.format_availability_comparison,
         ),
     }
 
@@ -117,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--uncontended-links",
         action="store_true",
         help="disable link contention (the paper's one-shot assumption)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PATH|chaos:SEED",
+        help=(
+            "failure scenario: a fault-schedule JSON file or chaos:<seed> for a "
+            "seeded random crash/recover schedule over the deployed topology"
+        ),
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="failover retry budget per request under a fault schedule (default: 3)",
     )
 
     scenario = subparsers.add_parser("scenario", help="regenerate a named paper artefact")
@@ -209,7 +230,13 @@ def _command_serve(args) -> int:
             sources=sources,
         )
     contention = "none" if args.uncontended_links else "fifo"
-    report = system.serve(workload, link_contention=contention, method=args.method)
+    report = system.serve(
+        workload,
+        link_contention=contention,
+        method=args.method,
+        faults=args.faults,
+        max_retries=args.max_retries,
+    )
     print(report.summary())
     return 0
 

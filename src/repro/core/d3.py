@@ -14,6 +14,7 @@ with a single call::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,13 +33,19 @@ from repro.core.strategy import (
 from repro.core.vsm import VSMPlan
 from repro.graph.dag import DnnGraph
 from repro.network.conditions import BandwidthTrace, NetworkCondition, get_condition
-from repro.network.topology import LinkSpec, Topology, load_topology
+from repro.network.faults import FaultSchedule, load_fault_schedule
+from repro.network.topology import LinkSpec, Topology, TopologyError, load_topology
 from repro.profiling.hardware import HardwareSpec
 from repro.profiling.profiler import LatencyProfile, Profiler
 from repro.profiling.regression import LatencyRegressionModel
 from repro.runtime.cluster import Cluster
 from repro.runtime.executor import DistributedExecutor
-from repro.runtime.serving import ServingReport, ServingRequest, ServingSimulator
+from repro.runtime.serving import (
+    DEFAULT_MAX_RETRIES,
+    ServingReport,
+    ServingRequest,
+    ServingSimulator,
+)
 from repro.runtime.simulator import ExecutionReport
 from repro.runtime.workload import Workload
 
@@ -85,6 +92,13 @@ class D3Config:
     calibration_models:
         Extra graphs profiled to train the regression model; the target graph
         is always included.
+    plan_cache_entries:
+        Optional LRU bound on the serving plan cache (``None`` = unbounded).
+        Topology drift and failure-degraded deployment shapes mint fresh
+        cache keys, so long-lived serving systems should bound the cache.
+    max_retries:
+        Default failover retry budget per request when serving under a fault
+        schedule (overridable per :meth:`D3System.serve` call).
     """
 
     topology: "Topology | str | None" = None
@@ -98,6 +112,8 @@ class D3Config:
     seed: int = 0
     hpa: HPAConfig = field(default_factory=HPAConfig)
     calibration_models: Sequence[DnnGraph] = ()
+    plan_cache_entries: Optional[int] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
 
     def resolve_network(self) -> NetworkCondition:
         if isinstance(self.network, str):
@@ -170,6 +186,11 @@ class D3Result:
 class D3System:
     """End-to-end D3: profile, estimate, partition, separate, execute."""
 
+    #: LRU bound on memoized degraded deployments (masked topology + realized
+    #: cluster per failure signature); far above what any realistic fault
+    #: schedule visits, but a hard cap against combinatorial shapes.
+    DEGRADED_MEMO_ENTRIES = 32
+
     def __init__(self, config: Optional[D3Config] = None) -> None:
         self.config = config or D3Config()
         self.topology = self.config.resolve_topology()
@@ -184,9 +205,15 @@ class D3System:
             noise_std=self.config.profiler_noise_std, seed=self.config.seed
         )
         self._regression: Optional[LatencyRegressionModel] = None
-        self.plan_cache = PlanCache()
+        self.plan_cache = PlanCache(max_entries=self.config.plan_cache_entries)
         self._graphs: Dict[str, DnnGraph] = {}
         self._profiles: Dict[str, LatencyProfile] = {}
+        #: Degraded deployments, memoized per failure signature: the masked
+        #: topology (whose fingerprint keys degraded plans separately from
+        #: healthy ones) and its realized cluster (planning view + VSM spec).
+        #: LRU-bounded: a chaotic fleet can visit combinatorially many
+        #: failure signatures over a long lifetime.
+        self._degraded: "OrderedDict[Tuple, Tuple[Topology, Cluster]]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Offline phase
@@ -275,6 +302,8 @@ class D3System:
         thresholds: Optional[RepartitionThresholds] = None,
         link_contention: str = "fifo",
         method: Optional[str] = None,
+        faults: "FaultSchedule | str | None" = None,
+        max_retries: Optional[int] = None,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -310,16 +339,34 @@ class D3System:
             defaults to the configured D3 method.  Raises
             :class:`~repro.core.strategy.StrategyUnsupportedError` when the
             method declines a requested model's graph.
+        faults:
+            Optional failure scenario: a
+            :class:`~repro.network.faults.FaultSchedule`, a path to a
+            schedule JSON file, or ``"chaos:<seed>"`` for a seeded random
+            schedule over the deployed topology.  Requests arriving while
+            components are down are planned against the *masked* (degraded)
+            topology — keyed separately in the plan cache by the masked
+            fingerprint — and requests whose in-flight work a fault aborts
+            are retried through failover replanning at the moment of the
+            failure.  A recovery is treated as drift: the degraded stream's
+            repartitioner observes the restored view and invalidates the
+            stale degraded plan (fail-back).  ``None`` (or an empty
+            schedule) is bit-identical to the fault-free serving path.
+        max_retries:
+            Failover budget per request (defaults to the config's
+            ``max_retries``); a request that exhausts it is recorded failed.
 
         Returns
         -------
         ServingReport
             Per-request latencies, percentiles, throughput, utilisation,
-            backbone traffic and plan-cache statistics for this call.
+            backbone traffic, availability and plan-cache statistics for
+            this call.
         """
         strategy = self._strategy_for(method)
         if thresholds is not None:
             self.plan_cache.set_thresholds(thresholds)
+        schedule = self._resolve_faults(faults, workload)
         before = self.plan_cache.stats()
 
         requests = []
@@ -327,35 +374,55 @@ class D3System:
         topology = self.cluster.topology
         sample_topology = trace is None and topology.has_traced_links
         primary_device = self.cluster.device.name
+        no_faults: Tuple = (frozenset(), frozenset())
+        previous_down = no_faults
         for request in workload:
-            link_mbps: Optional[Dict[str, float]] = None
-            off_primary = request.source is not None and request.source != primary_device
-            if trace is not None:
-                condition = trace.condition_at(request.arrival_s)
-                if topology.has_traced_links:
-                    # An explicit backbone trace does not switch the wires'
-                    # own traces off: keep watching (and ideal-pricing) every
-                    # traced link at this arrival's rates.
-                    link_mbps = topology.link_bandwidths_at(request.arrival_s)
-            elif sample_topology or off_primary:
-                # Trace-driven links and/or a non-primary source device: plan
-                # under the topology's view at this arrival, anchored at the
-                # wires this request actually crosses, and watch every wire
-                # for drift.
-                at_s = request.arrival_s if sample_topology else 0.0
-                condition = topology.planning_condition(at_s=at_s, source=request.source)
-                if sample_topology:
-                    link_mbps = topology.link_bandwidths_at(at_s)
-            else:
-                condition = self.network
+            down = schedule.state_at(request.arrival_s) if schedule else no_faults
             graph = request.graph or self.graph_for(request.model)
-            entry = self._plan_for(
-                graph,
-                condition,
-                strategy,
-                link_bandwidths=link_mbps,
-                source=request.source,
-            )
+            if previous_down != down and (
+                previous_down[0] - down[0] or previous_down[1] - down[1]
+            ):
+                self._observe_recovery(graph, strategy, previous_down, down)
+            previous_down = down
+
+            planned = None
+            if down != no_faults:
+                planned = self._plan_degraded(
+                    graph, strategy, down, request.source, request.arrival_s, trace
+                )
+            if planned is not None:
+                entry, condition = planned
+            else:
+                # Healthy deployment — or a degraded one that cannot be
+                # planned at all (a whole tier down): fall back to the
+                # healthy plan and let the simulator fail what must fail.
+                link_mbps: Optional[Dict[str, float]] = None
+                off_primary = request.source is not None and request.source != primary_device
+                if trace is not None:
+                    condition = trace.condition_at(request.arrival_s)
+                    if topology.has_traced_links:
+                        # An explicit backbone trace does not switch the wires'
+                        # own traces off: keep watching (and ideal-pricing) every
+                        # traced link at this arrival's rates.
+                        link_mbps = topology.link_bandwidths_at(request.arrival_s)
+                elif sample_topology or off_primary:
+                    # Trace-driven links and/or a non-primary source device: plan
+                    # under the topology's view at this arrival, anchored at the
+                    # wires this request actually crosses, and watch every wire
+                    # for drift.
+                    at_s = request.arrival_s if sample_topology else 0.0
+                    condition = topology.planning_condition(at_s=at_s, source=request.source)
+                    if sample_topology:
+                        link_mbps = topology.link_bandwidths_at(at_s)
+                else:
+                    condition = self.network
+                entry = self._plan_for(
+                    graph,
+                    condition,
+                    strategy,
+                    link_bandwidths=link_mbps,
+                    source=request.source,
+                )
             requests.append(
                 ServingRequest(
                     index=request.index,
@@ -371,10 +438,20 @@ class D3System:
             )
             ideal_by_id[request.request_id] = entry.ideal_latency_s
 
-        simulator = ServingSimulator(self.cluster, link_contention=link_contention)
+        simulator = ServingSimulator(
+            self.cluster,
+            link_contention=link_contention,
+            faults=schedule,
+            max_retries=self.config.max_retries if max_retries is None else max_retries,
+            replan=self._make_replanner(strategy, trace) if schedule else None,
+        )
         records = simulator.run(requests)
         for record in records:
-            record.ideal_latency_s = ideal_by_id.get(record.request_id)
+            if record.completed and record.retries == 0:
+                # Queueing delay compares a clean run against its own idle
+                # baseline; retried/failed requests are measured by the
+                # availability metrics instead.
+                record.ideal_latency_s = ideal_by_id.get(record.request_id)
 
         report = simulator.build_report(workload.name, records)
         report.method = strategy.name
@@ -384,6 +461,163 @@ class D3System:
         report.repartitions = after["repartitions"] - before["repartitions"]
         report.plans_computed = report.cache_misses + report.repartitions
         return report
+
+    # ------------------------------------------------------------------ #
+    # Failure handling: degraded planning, failover replanning, fail-back
+    # ------------------------------------------------------------------ #
+    def _resolve_faults(
+        self, faults: "FaultSchedule | str | None", workload: Workload
+    ) -> Optional[FaultSchedule]:
+        """Resolve a schedule spec; chaos specs span the workload's arrivals."""
+        if faults is None:
+            return None
+        return load_fault_schedule(
+            faults,
+            topology=self.cluster.topology,
+            horizon_s=max(workload.duration_s, 1.0),
+        )
+
+    def _degraded_deployment(self, down: Tuple) -> Tuple[Topology, Cluster]:
+        """The masked topology and realized cluster for one failure state.
+
+        Memoized per failure signature: chaos schedules revisit the same
+        degraded shapes many times, and each shape's planning view, VSM
+        cluster spec and cache fingerprint are immutable.  Raises
+        :class:`~repro.network.topology.TopologyError` when the degraded
+        shape can no longer serve at all.
+        """
+        key = (tuple(sorted(down[0])), tuple(sorted(down[1])))
+        if key not in self._degraded:
+            masked = self.cluster.topology.masked(down[0], down[1])
+            cluster = Cluster.from_topology(
+                masked, network=masked.base_network or self.config.resolve_network()
+            )
+            self._degraded[key] = (masked, cluster)
+            while len(self._degraded) > self.DEGRADED_MEMO_ENTRIES:
+                self._degraded.popitem(last=False)
+        else:
+            self._degraded.move_to_end(key)
+        return self._degraded[key]
+
+    def _plan_degraded(
+        self,
+        graph: DnnGraph,
+        strategy: PartitionStrategy,
+        down: Tuple,
+        source: Optional[str],
+        at_s: float,
+        trace: Optional[BandwidthTrace],
+    ) -> Optional[Tuple[CachedPlan, NetworkCondition]]:
+        """Plan ``graph`` against the deployment as degraded by ``down``.
+
+        Returns ``None`` when the degraded deployment cannot be planned (a
+        whole compute tier down, the cloud unreachable); callers decide
+        whether that means falling back to the healthy plan or failing the
+        request.
+        """
+        try:
+            masked, _ = self._degraded_deployment(down)
+        except TopologyError:
+            return None
+        if source is not None and source in down[0]:
+            # The pinned source device itself is dead; any plan is moot (the
+            # simulator fails the request), so anchor at the primary device.
+            source = None
+        try:
+            if trace is not None:
+                condition = trace.condition_at(at_s)
+            else:
+                condition = masked.planning_condition(
+                    at_s=at_s if masked.has_traced_links else 0.0, source=source
+                )
+        except TopologyError:
+            return None
+        entry = self._plan_for(
+            graph, condition, strategy, source=source, deployment=down
+        )
+        return entry, condition
+
+    def _make_replanner(self, strategy: PartitionStrategy, trace: Optional[BandwidthTrace]):
+        """The failover callback the simulator invokes on aborted requests.
+
+        Re-plans the request's model against the topology as degraded *at the
+        moment of the failure* — through the plan cache, so repeated failovers
+        onto the same degraded shape amortize — and returns the freshly
+        planned request, or ``None`` when the degraded deployment cannot
+        serve it (the simulator then records the request as failed).
+        """
+
+        def replan(request: ServingRequest, now_s: float, down_nodes, down_links):
+            if request.source is not None and request.source in down_nodes:
+                return None
+            down = (frozenset(down_nodes), frozenset(down_links))
+            if down[0] or down[1]:
+                planned = self._plan_degraded(
+                    request.graph, strategy, down, request.source, now_s, trace
+                )
+                if planned is None:
+                    return None
+                entry, condition = planned
+            else:
+                # Everything recovered before the retry fired: the healthy
+                # plan is the right plan again.
+                condition = trace.condition_at(now_s) if trace is not None else self.network
+                entry = self._plan_for(
+                    request.graph, condition, strategy, source=request.source
+                )
+            return ServingRequest(
+                index=request.index,
+                request_id=request.request_id,
+                graph=request.graph,
+                plan=entry.placement,
+                profile=entry.profile,
+                condition=condition,
+                arrival_s=request.arrival_s,
+                vsm_plan=entry.vsm_plan,
+                source=request.source,
+            )
+
+        return replan
+
+    def _observe_recovery(
+        self,
+        graph: DnnGraph,
+        strategy: PartitionStrategy,
+        previous_down: Tuple,
+        down: Tuple,
+    ) -> None:
+        """Treat a recovery as drift: fail back from the degraded plan.
+
+        When a node or link returns, the stream that was planned against the
+        previous degraded shape observes the restored planning view through
+        its :class:`~repro.core.dynamic.DynamicRepartitioner`.  A triggered
+        adaptation fires the cache's invalidation listener, retiring the
+        stale degraded entry — subsequent requests hit the healthy (or
+        less-degraded) cached plan instead of a plan that still avoids a
+        node that is back.
+        """
+        try:
+            masked_prev, _ = self._degraded_deployment(previous_down)
+        except TopologyError:
+            return
+        entry = self.plan_cache.latest_for(
+            self._graph_token(graph),
+            strategy.name,
+            self.config.plan_key(),
+            masked_prev.fingerprint(),
+        )
+        if entry is None or entry.repartitioner is None:
+            return
+        try:
+            if down[0] or down[1]:
+                restored, _ = self._degraded_deployment(down)
+            else:
+                restored = self.cluster.topology
+            condition = restored.planning_condition()
+        except TopologyError:
+            return
+        entry.repartitioner.thresholds = self.plan_cache.thresholds
+        entry.repartitioner.observe(network=condition)
 
     # ------------------------------------------------------------------ #
     def graph_for(self, model: str) -> DnnGraph:
@@ -428,8 +662,10 @@ class D3System:
             strategy = type(strategy)(self.config.hpa)
         return strategy
 
-    def _cluster_spec(self) -> ClusterSpec:
-        return ClusterSpec.from_cluster(self.cluster, tile_grid=tuple(self.config.tile_grid))
+    def _cluster_spec(self, cluster: Optional[Cluster] = None) -> ClusterSpec:
+        return ClusterSpec.from_cluster(
+            cluster or self.cluster, tile_grid=tuple(self.config.tile_grid)
+        )
 
     @staticmethod
     def _require_support(strategy: PartitionStrategy, graph: DnnGraph) -> None:
@@ -446,6 +682,7 @@ class D3System:
         strategy: Optional[PartitionStrategy] = None,
         link_bandwidths: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
+        deployment: Optional[Tuple] = None,
     ) -> CachedPlan:
         """Plan-cache lookup with threshold-guarded drift adaptation.
 
@@ -455,15 +692,24 @@ class D3System:
         including on exact key matches, where a wire off the primary planning
         routes can drift without moving the key.  ``source`` is the request's
         origin device; its ideal-latency baseline is simulated from there.
+        ``deployment`` is a failure signature ``(down_nodes, down_links)``:
+        the plan is computed for (and keyed by the fingerprint of) the masked
+        topology, so degraded plans never poison the healthy cache.
         """
         strategy = strategy or self._strategy_for()
         cache = self.plan_cache
+        plan_cluster: Optional[Cluster] = None
+        if deployment is not None:
+            masked, plan_cluster = self._degraded_deployment(deployment)
+            topology_fp = masked.fingerprint()
+        else:
+            topology_fp = self.topology.fingerprint()
         key = PlanKey.build(
             self._graph_token(graph),
             condition,
             self.config.plan_key(),
             strategy.name,
-            topology=self.topology.fingerprint(),
+            topology=topology_fp,
         )
         entry = cache.get(key, condition, link_bandwidths)
         if entry is not None:
@@ -491,6 +737,7 @@ class D3System:
                     repartitioned=True,
                     link_bandwidths=link_bandwidths,
                     source=source,
+                    plan_cluster=plan_cluster,
                 )
             # Out of band: the paper's local re-partitioning adapts the plan
             # (the listener registered by the cache invalidates the old entry).
@@ -516,6 +763,7 @@ class D3System:
                 repartitioned=True,
                 link_bandwidths=link_bandwidths,
                 source=source,
+                plan_cluster=plan_cluster,
             )
 
         if not isinstance(strategy, HpaStrategy):
@@ -526,6 +774,7 @@ class D3System:
             return self._store_strategy_plan(
                 cache, key, graph, profile, condition, strategy,
                 link_bandwidths=link_bandwidths, source=source,
+                plan_cluster=plan_cluster,
             )
 
         repartitioner = DynamicRepartitioner(
@@ -534,6 +783,7 @@ class D3System:
         return self._store_plan(
             cache, key, graph, profile, condition, repartitioner, strategy,
             link_bandwidths=link_bandwidths, source=source,
+            plan_cluster=plan_cluster,
         )
 
     def _store_plan(
@@ -548,13 +798,15 @@ class D3System:
         repartitioned: bool = False,
         link_bandwidths: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
+        plan_cluster: Optional[Cluster] = None,
     ) -> CachedPlan:
         # Snapshot the plan: the repartitioner mutates its own copy in place
         # on the next drift, and cached entries must stay frozen.
         placement = repartitioner.plan.copy()
-        vsm_plan = strategy.separate(graph, placement, self._cluster_spec())
+        vsm_plan = strategy.separate(graph, placement, self._cluster_spec(plan_cluster))
         ideal = self._ideal_latency(
-            graph, placement, profile, vsm_plan, condition, link_bandwidths, source
+            graph, placement, profile, vsm_plan, condition, link_bandwidths, source,
+            plan_cluster,
         )
         if link_bandwidths:
             # The rates this plan was computed under become the per-link
@@ -584,12 +836,13 @@ class D3System:
         repartitioned: bool = False,
         link_bandwidths: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
+        plan_cluster: Optional[Cluster] = None,
     ) -> CachedPlan:
         """Cache one non-adaptive strategy's plan for ``condition``."""
-        partition = strategy.plan(graph, profile, condition, self._cluster_spec())
+        partition = strategy.plan(graph, profile, condition, self._cluster_spec(plan_cluster))
         ideal = self._ideal_latency(
             graph, partition.placement, profile, partition.vsm_plan, condition,
-            link_bandwidths, source,
+            link_bandwidths, source, plan_cluster,
         )
         entry = CachedPlan(
             key=key,
@@ -613,6 +866,7 @@ class D3System:
         condition: NetworkCondition,
         link_bandwidths: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
+        plan_cluster: Optional[Cluster] = None,
     ) -> float:
         """One-shot latency of a plan on an idle scratch cluster.
 
@@ -620,9 +874,11 @@ class D3System:
         traced topology's wires are frozen at ``link_bandwidths`` — the rates
         sampled at the request's arrival — lest the baseline be priced at the
         trace's t=0 rates and corrupt every queueing-delay figure.  ``source``
-        starts the inference from the request's own device.
+        starts the inference from the request's own device; ``plan_cluster``
+        (a degraded deployment) substitutes for the healthy cluster so a
+        failover plan's baseline reflects the surviving machines.
         """
-        scratch = self._scratch_cluster(condition, link_bandwidths)
+        scratch = self._scratch_cluster(condition, link_bandwidths, plan_cluster)
         report = DistributedExecutor(
             graph, placement, profile, scratch, vsm_plan, source=source
         ).execute()
@@ -632,11 +888,13 @@ class D3System:
         self,
         condition: NetworkCondition,
         link_bandwidths: Optional[Dict[str, float]] = None,
+        base_cluster: Optional[Cluster] = None,
     ) -> Cluster:
         """An idle cluster under ``condition``, traced wires frozen."""
-        topology = self.cluster.topology
+        base = base_cluster or self.cluster
+        topology = base.topology
         if not link_bandwidths or not topology.has_traced_links:
-            return self.cluster.with_network(condition)
+            return base.with_network(condition)
         frozen_links = [
             spec
             if not isinstance(spec.bandwidth, BandwidthTrace)

@@ -20,6 +20,7 @@ section III-E.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -112,18 +113,35 @@ class PlanCache:
         The relative-change band of section III-E; conditions within the band
         of a cached entry reuse its plan, conditions outside it trigger a
         local re-partitioning (and an invalidation of the stale entry).
+    max_entries:
+        Optional LRU bound on the number of cached keys.  Topology
+        fingerprints, drifting conditions and failure-degraded deployment
+        shapes all mint fresh keys, so an unbounded cache grows for the
+        lifetime of the serving system; with a bound, the least recently
+        *used* key (lookups and aliasing refresh recency) is evicted on
+        insert.  ``None`` keeps the historical unbounded behaviour.
     """
 
-    def __init__(self, thresholds: Optional[RepartitionThresholds] = None) -> None:
+    def __init__(
+        self,
+        thresholds: Optional[RepartitionThresholds] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
         self.thresholds = thresholds or RepartitionThresholds()
-        self._entries: Dict[PlanKey, CachedPlan] = {}
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
         #: Latest entry per (model, strategy, config, topology), the seed for
-        #: drift adaptation.
-        self._latest: Dict[Tuple[str, str, Tuple, Tuple], CachedPlan] = {}
+        #: drift adaptation.  Shares the LRU bound: one retained seed per
+        #: stream would otherwise still grow with every degraded-topology
+        #: fingerprint a chaotic deployment mints.
+        self._latest: "OrderedDict[Tuple[str, str, Tuple, Tuple], CachedPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.repartitions = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -140,6 +158,7 @@ class PlanCache:
             "misses": self.misses,
             "repartitions": self.repartitions,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
             "entries": len(self._entries),
         }
 
@@ -180,6 +199,7 @@ class PlanCache:
             and not self.within_band(entry, condition, link_mbps)
         ):
             return None
+        self._entries.move_to_end(key)
         self.hits += 1
         return entry
 
@@ -187,7 +207,11 @@ class PlanCache:
         self, model: str, strategy: str, config_key: Tuple, topology: Tuple = ()
     ) -> Optional[CachedPlan]:
         """Most recent entry for a (model, strategy, config, topology)."""
-        return self._latest.get((model, strategy, config_key, topology))
+        key = (model, strategy, config_key, topology)
+        entry = self._latest.get(key)
+        if entry is not None:
+            self._latest.move_to_end(key)
+        return entry
 
     def within_band(
         self,
@@ -219,9 +243,12 @@ class PlanCache:
     def store(self, entry: CachedPlan, *, repartitioned: bool = False) -> CachedPlan:
         """Insert a fresh entry; counts as a miss or a drift repartition."""
         self._entries[entry.key] = entry
-        self._latest[
-            (entry.key.model, entry.key.strategy, entry.key.config, entry.key.topology)
-        ] = entry
+        self._entries.move_to_end(entry.key)
+        latest_key = (
+            entry.key.model, entry.key.strategy, entry.key.config, entry.key.topology
+        )
+        self._latest[latest_key] = entry
+        self._latest.move_to_end(latest_key)
         if repartitioned:
             self.repartitions += 1
         else:
@@ -231,6 +258,7 @@ class PlanCache:
             # this plan to new conditions, the cached copy is stale.
             entry.invalidator = self._make_invalidator(entry)
             entry.repartitioner.add_listener(entry.invalidator)
+        self._evict_over_bound()
         return entry
 
     def record_alias(self, key: PlanKey, entry: CachedPlan) -> None:
@@ -241,7 +269,42 @@ class PlanCache:
         next exact lookup under ``key`` is a plain hit.
         """
         self._entries[key] = entry
+        self._entries.move_to_end(key)
         self.hits += 1
+        self._evict_over_bound()
+
+    def _evict_over_bound(self) -> None:
+        """Drop least-recently-used keys until the LRU bound is respected.
+
+        Key eviction does not kill streams: the ``_latest`` seed an evicted
+        entry may still serve keeps drift adaptation working, and a future
+        in-band condition simply re-aliases it (a hit, not a recompute).
+        ``_latest`` is bounded by the same cap — a cold stream's seed is
+        eventually dropped too (its next request replans from scratch) so a
+        chaotic deployment's fingerprint churn cannot grow it forever.
+        """
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._drop_listener_if_orphaned(evicted)
+            self.evictions += 1
+        while len(self._latest) > self.max_entries:
+            _, evicted = self._latest.popitem(last=False)
+            self._drop_listener_if_orphaned(evicted)
+
+    def _drop_listener_if_orphaned(self, evicted: CachedPlan) -> None:
+        """Deregister an entry's invalidator once nothing references it."""
+        if (
+            evicted.repartitioner is not None
+            and evicted.invalidator is not None
+            and all(entry is not evicted for entry in self._entries.values())
+            and all(entry is not evicted for entry in self._latest.values())
+        ):
+            # No key nor stream seed references the entry any more; the
+            # listener on its repartitioner would only leak.
+            evicted.repartitioner.remove_listener(evicted.invalidator)
+            evicted.invalidator = None
 
     # ------------------------------------------------------------------ #
     def invalidate(self, key: PlanKey) -> bool:

@@ -26,6 +26,7 @@ and plan-cache effectiveness under load).
 from repro.experiments.config import ExperimentConfig, PAPER_MODELS, PAPER_NETWORKS
 from repro.experiments.runners import ScenarioRunner, ScenarioResult
 from repro.experiments import (
+    availability,
     fig01_layer_profile,
     fig04_regression,
     fig09_hpa_speedup,
@@ -45,6 +46,7 @@ __all__ = [
     "PAPER_NETWORKS",
     "ScenarioResult",
     "ScenarioRunner",
+    "availability",
     "fig01_layer_profile",
     "fig04_regression",
     "fig09_hpa_speedup",

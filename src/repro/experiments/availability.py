@@ -1,0 +1,132 @@
+"""Serving-through-failures scenario harness.
+
+The serving harness of :mod:`repro.experiments.serving` assumes every machine
+stays healthy for the whole workload.  This harness is the fault-tolerance
+counterpart: the same request stream is driven through
+:meth:`repro.core.d3.D3System.serve` under seeded chaos schedules of
+increasing aggressiveness (edge mean-time-between-failures sweeping down),
+once per partitioning method, and reports the quantities a *fault-tolerant*
+serving system is judged on: availability (completed fraction), tail latency
+among the survivors (p95), failover replans, and outright failures.
+
+The comparison surfaces a trade-off the one-shot figures cannot show: methods
+that concentrate work on one tier (``cloud_only``) ride out edge chaos
+untouched, while methods that exploit edge parallelism (``hpa_vsm``) buy their
+lower healthy-path latency with failover churn when the rack misbehaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.strategy import get_strategy
+from repro.experiments.reporting import format_table
+from repro.experiments.serving import ServingScenario
+from repro.network.faults import FaultSchedule
+from repro.runtime.serving import ServingReport
+
+#: One harness row: method, edge MTBF (None = no faults), the serving report
+#: (None when the method declines the scenario's models).
+AvailabilityResult = Tuple[str, Optional[float], Optional[ServingReport]]
+
+#: Default methods compared: D3's full pipeline, the classic offloading
+#: baseline, and the tier that edge chaos cannot touch.
+DEFAULT_METHODS = ("hpa_vsm", "neurosurgeon", "cloud_only")
+
+#: Default edge mean-time-between-failures sweep (seconds); ``None`` is the
+#: fault-free reference row.
+DEFAULT_EDGE_MTBF_S = (None, 10.0, 4.0)
+
+
+def default_availability_scenario() -> ServingScenario:
+    """The canonical availability workload: a steady VGG-16 stream.
+
+    VGG-16 requests are long enough (hundreds of milliseconds on the edge
+    rack) that a crashing node reliably catches work in flight, which is the
+    regime the failover machinery exists for.
+    """
+    return ServingScenario(
+        models=("vgg16",),
+        num_requests=60,
+        rate_rps=6.0,
+        num_edge_nodes=4,
+    )
+
+
+def run_availability_comparison(
+    methods: Sequence[str] = DEFAULT_METHODS,
+    mtbfs_s: Sequence[Optional[float]] = DEFAULT_EDGE_MTBF_S,
+    scenario: Optional[ServingScenario] = None,
+    seed: int = 7,
+    mttr_s: float = 3.0,
+    max_retries: int = 3,
+) -> List[AvailabilityResult]:
+    """Serve one workload per (method, fault rate) cell.
+
+    Every cell gets a *fresh* system (so plan caches don't leak between
+    methods) but the identical workload and — for a given MTBF — the
+    identical chaos schedule, making the cells directly comparable.  Methods
+    that decline the scenario's models report ``None``.
+    """
+    if not methods:
+        raise ValueError("need at least one method")
+    if not mtbfs_s:
+        raise ValueError("need at least one fault rate")
+    scenario = scenario or default_availability_scenario()
+    results: List[AvailabilityResult] = []
+    for method in methods:
+        strategy = get_strategy(method)
+        for mtbf in mtbfs_s:
+            system = scenario.build_system()
+            graphs = [system.graph_for(model) for model in scenario.models]
+            if not all(strategy.supports(graph) for graph in graphs):
+                results.append((method, mtbf, None))
+                continue
+            episode = replace(scenario, method=method)
+            workload = episode.build_workload(system)
+            faults = None
+            if mtbf is not None:
+                faults = FaultSchedule.chaos(
+                    system.topology,
+                    seed=seed,
+                    horizon_s=max(workload.duration_s, 1.0),
+                    tier_mtbf_s={"edge": mtbf},
+                    mttr_s=mttr_s,
+                )
+            report = system.serve(
+                workload,
+                link_contention=episode.link_contention,
+                method=episode.method,
+                faults=faults,
+                max_retries=max_retries,
+            )
+            results.append((method, mtbf, report))
+    return results
+
+
+def format_availability_comparison(results: Sequence[AvailabilityResult]) -> str:
+    """Render the method × fault-rate table (availability + p95 tail)."""
+    rows = []
+    for method, mtbf, report in results:
+        mtbf_label = "none" if mtbf is None else f"{mtbf:g}s"
+        if report is None:
+            rows.append((method, mtbf_label, None, None, None, None, None))
+            continue
+        pct = report.latency_percentiles()
+        rows.append(
+            (
+                method,
+                mtbf_label,
+                report.availability * 100.0,
+                pct["p95"] * 1e3,
+                report.num_failed,
+                report.num_retried,
+                report.failover_replans,
+            )
+        )
+    return format_table(
+        headers=("method", "edge mtbf", "avail %", "p95 ms", "failed", "retried", "replans"),
+        rows=rows,
+        title="Serving through failures — method × fault-rate",
+    )

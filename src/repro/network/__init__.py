@@ -19,6 +19,7 @@ from repro.network.conditions import (
 from repro.network.topology import (
     LinkSpec,
     NodeSpec,
+    RouteUnavailableError,
     Topology,
     TopologyError,
     TOPOLOGY_PRESETS,
@@ -26,14 +27,32 @@ from repro.network.topology import (
     list_topologies,
     load_topology,
 )
+from repro.network.faults import (
+    FaultEvent,
+    FaultSchedule,
+    FaultScheduleError,
+    LinkDown,
+    LinkUp,
+    NodeDown,
+    NodeUp,
+    load_fault_schedule,
+)
 
 __all__ = [
     "BandwidthTrace",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultScheduleError",
+    "LinkDown",
     "LinkSpec",
+    "LinkUp",
     "NETWORK_CONDITIONS",
     "NetworkCondition",
     "NetworkLink",
+    "NodeDown",
     "NodeSpec",
+    "NodeUp",
+    "RouteUnavailableError",
     "SharedLink",
     "TABLE_III_UPLINK_MBPS",
     "TOPOLOGY_PRESETS",
@@ -43,6 +62,7 @@ __all__ = [
     "get_topology",
     "list_conditions",
     "list_topologies",
+    "load_fault_schedule",
     "load_topology",
     "transfer_seconds",
 ]

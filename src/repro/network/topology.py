@@ -35,7 +35,7 @@ import json
 import os
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.network.conditions import BandwidthTrace, NetworkCondition, get_condition
 from repro.profiling.hardware import (
@@ -60,6 +60,16 @@ Bandwidth = Union[None, float, BandwidthTrace]
 
 class TopologyError(ValueError):
     """Raised when a topology description is structurally invalid."""
+
+
+class RouteUnavailableError(TopologyError):
+    """Raised when no route exists between two nodes over the usable links.
+
+    Subclasses :class:`TopologyError` so pre-failure callers that caught the
+    broad error keep working; the serving engine catches this *typed* error to
+    distinguish "the deployment is mis-wired" from "a failure severed the
+    path" and trigger failover replanning for the latter.
+    """
 
 
 def canonical_links() -> List["LinkSpec"]:
@@ -284,17 +294,34 @@ class Topology:
                     queue.append(neighbor)
         return sorted(seen)
 
-    def route(self, src: str, dst: str) -> List[str]:
+    def route(
+        self,
+        src: str,
+        dst: str,
+        down_nodes: FrozenSet[str] = frozenset(),
+        down_links: FrozenSet[str] = frozenset(),
+    ) -> List[str]:
         """Fewest-hop path of link names from node ``src`` to node ``dst``.
 
         Deterministic: ties are broken by link/node declaration order.
+        ``down_nodes``/``down_links`` mask failed components: the search never
+        crosses a down link nor routes *through* a down node (relays
+        included), and raises :class:`RouteUnavailableError` when the masked
+        graph leaves the destination unreachable.
         """
-        key = (src, dst)
+        masked = bool(down_nodes) or bool(down_links)
+        key: Tuple = (src, dst)
+        if masked:
+            key = (src, dst, tuple(sorted(down_nodes)), tuple(sorted(down_links)))
         if key in self._routes:
             return self._routes[key]
         if src not in self.nodes or dst not in self.nodes:
             missing = src if src not in self.nodes else dst
             raise TopologyError(f"unknown node {missing!r} in topology {self.name!r}")
+        if src in down_nodes or dst in down_nodes:
+            raise RouteUnavailableError(
+                f"no route from {src!r} to {dst!r}: an endpoint is down"
+            )
         if src == dst:
             self._routes[key] = []
             return []
@@ -307,6 +334,8 @@ class Topology:
             for neighbor, link_name in adjacency[current]:
                 if neighbor in seen:
                     continue
+                if masked and (link_name in down_links or neighbor in down_nodes):
+                    continue
                 seen.add(neighbor)
                 parents[neighbor] = (current, link_name)
                 if neighbor == dst:
@@ -314,7 +343,10 @@ class Topology:
                     break
                 queue.append(neighbor)
         if dst not in parents:
-            raise TopologyError(f"no route from {src!r} to {dst!r} in topology {self.name!r}")
+            raise RouteUnavailableError(
+                f"no route from {src!r} to {dst!r} in topology {self.name!r}"
+                + (" under the current failures" if masked else "")
+            )
         hops: List[str] = []
         cursor = dst
         while cursor != src:
@@ -323,6 +355,37 @@ class Topology:
         hops.reverse()
         self._routes[key] = hops
         return hops
+
+    # ------------------------------------------------------------------ #
+    # Failure masking
+    # ------------------------------------------------------------------ #
+    def masked(
+        self,
+        down_nodes: FrozenSet[str] = frozenset(),
+        down_links: FrozenSet[str] = frozenset(),
+    ) -> "Topology":
+        """The degraded deployment with failed nodes/links removed.
+
+        Down nodes disappear (taking any link that names them directly), down
+        links disappear; tier-alias links survive as long as their tier still
+        has live members.  The result is a fully validated topology — its
+        :meth:`fingerprint` keys degraded plans separately from healthy ones
+        in the plan cache — and construction raises :class:`TopologyError`
+        when the degraded shape can no longer serve (a whole compute tier
+        down, or the cloud unreachable), which the serving layer maps to
+        failed requests.
+        """
+        if not down_nodes and not down_links:
+            return self
+        nodes = [node for node in self.nodes.values() if node.name not in down_nodes]
+        links = [
+            link
+            for link in self.links.values()
+            if link.name not in down_links
+            and link.a not in down_nodes
+            and link.b not in down_nodes
+        ]
+        return Topology(self.name, nodes, links, base_network=self.base_network)
 
     # ------------------------------------------------------------------ #
     # Planning view

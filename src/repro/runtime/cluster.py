@@ -79,6 +79,11 @@ class Cluster:
             }
         self._nodes_by_name = {node.name: node for node in self.all_nodes}
         self._routes: Dict[tuple, List[SharedLink]] = {}
+        #: Failure state: names of currently-down topology nodes and links.
+        #: Mutated by the serving engine while it consumes a fault schedule;
+        #: :meth:`reset` restores full health.
+        self._down_nodes: set = set()
+        self._down_links: set = set()
         self._apply_speed_factors()
 
     def _synthesize_topology(self) -> Topology:
@@ -207,10 +212,90 @@ class Cluster:
         return self.edge_nodes[0]
 
     # ------------------------------------------------------------------ #
+    # Failure state
+    # ------------------------------------------------------------------ #
+    @property
+    def down_nodes(self) -> frozenset:
+        """Names of currently-failed topology nodes."""
+        return frozenset(self._down_nodes)
+
+    @property
+    def down_links(self) -> frozenset:
+        """Ids of currently-failed topology links."""
+        return frozenset(self._down_links)
+
+    def node_is_up(self, name: str) -> bool:
+        return name not in self._down_nodes
+
+    def link_is_up(self, link_id: str) -> bool:
+        return link_id not in self._down_links
+
+    def fail_node(self, name: str) -> None:
+        """Mark a topology node (compute or relay) as down; idempotent."""
+        if name not in self.topology.nodes:
+            raise KeyError(f"unknown node {name!r} in topology {self.topology.name!r}")
+        self._down_nodes.add(name)
+
+    def recover_node(self, name: str) -> None:
+        """Bring a failed node back; a no-op for healthy or unknown names."""
+        self._down_nodes.discard(name)
+
+    def fail_link(self, link_id: str) -> None:
+        """Mark a topology link as dark; idempotent."""
+        if link_id not in self.topology.links:
+            raise KeyError(f"unknown link {link_id!r} in topology {self.topology.name!r}")
+        self._down_links.add(link_id)
+
+    def recover_link(self, link_id: str) -> None:
+        """Relight a failed link; a no-op for healthy or unknown ids."""
+        self._down_links.discard(link_id)
+
+    def active_nodes(self, tier: Tier) -> List[ComputeNode]:
+        """The *up* compute nodes of a tier, in topology declaration order."""
+        if tier == Tier.DEVICE:
+            group = self.devices
+        elif tier == Tier.CLOUD:
+            group = self.cloud_nodes
+        else:
+            group = self.edge_nodes
+        return [node for node in group if node.name not in self._down_nodes]
+
+    def masked_topology(self) -> Topology:
+        """The degraded deployment description under the current failures.
+
+        Raises :class:`~repro.network.topology.TopologyError` when the
+        degraded shape can no longer serve at all.
+        """
+        return self.topology.masked(frozenset(self._down_nodes), frozenset(self._down_links))
+
+    # ------------------------------------------------------------------ #
     # Routing and per-hop pricing
     # ------------------------------------------------------------------ #
     def route(self, source_node: str, destination_node: str) -> List[SharedLink]:
-        """The stateful wires a transfer crosses between two nodes, in order."""
+        """The stateful wires a transfer crosses between two nodes, in order.
+
+        Failure-aware: with down nodes/links the path avoids them (possibly
+        taking a longer detour) and raises
+        :class:`~repro.network.topology.RouteUnavailableError` when the
+        failures sever every path.  The healthy route cache key is unchanged,
+        so fault-free simulations route exactly as before.
+        """
+        if self._down_nodes or self._down_links:
+            key: tuple = (
+                source_node,
+                destination_node,
+                tuple(sorted(self._down_nodes)),
+                tuple(sorted(self._down_links)),
+            )
+            if key not in self._routes:
+                hops = self.topology.route(
+                    source_node,
+                    destination_node,
+                    down_nodes=frozenset(self._down_nodes),
+                    down_links=frozenset(self._down_links),
+                )
+                self._routes[key] = [self.shared_links[name] for name in hops]
+            return self._routes[key]
         key = (source_node, destination_node)
         if key not in self._routes:
             hops = self.topology.route(source_node, destination_node)
@@ -250,11 +335,13 @@ class Cluster:
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
-        """Reset the scheduling state of every node and link."""
+        """Reset the scheduling state of every node and link, and heal faults."""
         for node in self.all_nodes:
             node.reset()
         for link in self.shared_links.values():
             link.reset()
+        self._down_nodes.clear()
+        self._down_links.clear()
 
     def with_network(self, network: NetworkCondition) -> "Cluster":
         """The same topology under a different network condition (fresh state)."""

@@ -21,25 +21,41 @@ once, contending for
   condition; static and traced links price off their own rate at the moment
   the hop starts.
 
+The engine also consumes a :class:`~repro.network.faults.FaultSchedule` as
+first-class events.  When a node dies, the task it was executing is cut short
+(its timeline event is truncated at the moment of death) and every request
+with unfinished work bound to that node — or an in-flight transfer over a
+severed wire — is *aborted and retried*: its pending work is discarded, a
+fresh attempt is planned (through the ``replan`` callback when the serving
+layer provides one, re-resolving onto surviving nodes otherwise) and execution
+restarts from the input at the current time.  Retries are bounded by
+``max_retries``; a request that exhausts its budget, loses its source device,
+or cannot be replanned against the degraded deployment is recorded as
+``failed``.  With no schedule the engine is bit-identical to its fault-free
+behaviour.
+
 The engine consumes :class:`ServingRequest`s — a request plus its placement
 plan, latency profile, optional VSM plan and the network condition its
 transfers are charged under — and produces per-request
 :class:`~repro.runtime.simulator.ExecutionReport`s plus the aggregate
 :class:`ServingReport` (percentile latencies, throughput, utilisation,
-backbone traffic).
+backbone traffic, availability).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.placement import PlacementPlan, Tier
 from repro.core.vsm import FusedRunPlan, VSMPlan
 from repro.graph.dag import DnnGraph, Vertex
 from repro.network.conditions import NetworkCondition
+from repro.network.faults import FaultEvent, FaultSchedule
+from repro.network.link import SharedLink
+from repro.network.topology import RouteUnavailableError
 from repro.profiling.profiler import LatencyProfile
 from repro.runtime.cluster import Cluster
 from repro.runtime.messages import TensorTransfer
@@ -48,6 +64,19 @@ from repro.runtime.simulator import ExecutionReport, TimelineEvent
 
 #: Link contention models understood by the engine.
 LINK_CONTENTION_MODES = ("fifo", "none")
+
+#: Terminal request outcomes.
+REQUEST_STATUSES = ("completed", "failed")
+
+#: Default failover retry budget per request.
+DEFAULT_MAX_RETRIES = 3
+
+#: Signature of the failover replanning callback: ``(request, now_s,
+#: down_nodes, down_links) -> replanned request or None`` (None = the request
+#: cannot be served on the degraded deployment and fails).
+ReplanCallback = Callable[
+    ["ServingRequest", float, FrozenSet[str], FrozenSet[str]], Optional["ServingRequest"]
+]
 
 
 # --------------------------------------------------------------------------- #
@@ -82,9 +111,20 @@ class RequestRecord:
     #: Latency of the same plan on an idle cluster (filled by the serving
     #: layer from the plan cache); ``None`` when unknown.
     ideal_latency_s: Optional[float] = None
+    #: Terminal outcome: ``"completed"`` or ``"failed"`` (retry budget
+    #: exhausted / source device lost / degraded deployment unservable).
+    status: str = "completed"
+    #: Failover attempts this request consumed (0 on an undisturbed run).
+    retries: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
 
     @property
     def latency_s(self) -> float:
+        """Arrival-to-completion for completed requests; time-to-failure
+        otherwise."""
         return self.completion_s - self.arrival_s
 
     @property
@@ -113,6 +153,14 @@ class ServingReport:
     cache_hits: int = 0
     cache_misses: int = 0
     repartitions: int = 0
+    #: Failover replans performed mid-stream (a fault aborted in-flight work
+    #: and the strategy re-planned the request against the degraded topology).
+    failover_replans: int = 0
+    #: Seconds each node spent down within the report's makespan window
+    #: (empty on fault-free runs); feeds downtime-weighted utilisation.
+    node_down_s: Dict[str, float] = field(default_factory=dict)
+    #: Seconds each link spent dark within the makespan window.
+    link_down_s: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,26 +168,65 @@ class ServingReport:
         return len(self.records)
 
     @property
+    def num_completed(self) -> int:
+        return sum(1 for record in self.records if record.completed)
+
+    @property
+    def num_failed(self) -> int:
+        return self.num_requests - self.num_completed
+
+    @property
+    def num_retried(self) -> int:
+        """Requests that consumed at least one failover retry."""
+        return sum(1 for record in self.records if record.retries > 0)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that completed (1.0 for an empty stream)."""
+        if not self.records:
+            return 1.0
+        return self.num_completed / self.num_requests
+
+    @property
     def latencies_s(self) -> List[float]:
-        return [record.latency_s for record in self.records]
+        """Latencies of *completed* requests (failures have no latency)."""
+        return [record.latency_s for record in self.records if record.completed]
 
     @property
     def throughput_rps(self) -> float:
         """Completed requests per second of simulated wall-clock."""
         if self.makespan_s <= 0:
             return 0.0
-        return self.num_requests / self.makespan_s
+        return self.num_completed / self.makespan_s
 
     @property
     def bytes_to_cloud(self) -> int:
         """Total backbone traffic entering the cloud across all requests."""
         return sum(record.report.bytes_to_cloud for record in self.records)
 
-    def latency_percentiles(self, quantiles: Tuple[float, ...] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
-        """Latency percentiles (``{"p50": ..., "p95": ..., "p99": ...}``)."""
+    def latency_percentiles(
+        self,
+        quantiles: Tuple[float, ...] = (50.0, 95.0, 99.0),
+        retried_only: bool = False,
+    ) -> Dict[str, float]:
+        """Latency percentiles (``{"p50": ..., "p95": ..., "p99": ...}``).
+
+        Computed over completed requests; with ``retried_only`` the sample is
+        restricted to requests that survived at least one failover retry (the
+        tail a fault-tolerant deployment is judged on).  An empty sample —
+        an all-failed run, or no retried requests — returns zeros instead of
+        raising, so degenerate reports stay well-formed.
+        """
         from repro.experiments.reporting import latency_percentiles
 
-        return latency_percentiles(self.latencies_s, quantiles)
+        values = [
+            record.latency_s
+            for record in self.records
+            if record.completed and (record.retries > 0 or not retried_only)
+        ]
+        if not values:
+            return {f"p{q:g}": 0.0 for q in quantiles}
+        return latency_percentiles(values, quantiles)
 
     @property
     def mean_latency_s(self) -> float:
@@ -154,11 +241,22 @@ class ServingReport:
         delays = [r.queueing_delay_s for r in self.records if r.queueing_delay_s is not None]
         return mean(delays) if delays else None
 
-    def node_utilisation(self) -> Dict[str, float]:
-        """Busy fraction of every node over the workload's makespan."""
+    def node_utilisation(self, downtime_weighted: bool = False) -> Dict[str, float]:
+        """Busy fraction of every node over the workload's makespan.
+
+        With ``downtime_weighted`` each node's denominator shrinks by the time
+        it spent down, so a node that was dead half the run but saturated
+        while alive reports ~100%, not ~50%.
+        """
         if self.makespan_s <= 0:
             return {name: 0.0 for name in self.node_busy_s}
-        return {name: min(1.0, busy / self.makespan_s) for name, busy in self.node_busy_s.items()}
+        result = {}
+        for name, busy in self.node_busy_s.items():
+            window = self.makespan_s
+            if downtime_weighted:
+                window = max(window - self.node_down_s.get(name, 0.0), 0.0)
+            result[name] = min(1.0, busy / window) if window > 0 else 0.0
+        return result
 
     def summary(self) -> str:
         """Multi-line human-readable serving report."""
@@ -167,7 +265,7 @@ class ServingReport:
             f"{self.workload_name}: {self.num_requests} requests in "
             f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s){via}"
         ]
-        if self.records:
+        if self.latencies_s:
             pct = self.latency_percentiles()
             lines.append(
                 "  latency p50 {p50:.1f} ms, p95 {p95:.1f} ms, p99 {p99:.1f} ms, "
@@ -182,7 +280,26 @@ class ServingReport:
             if queueing is not None:
                 # Clamp the float-epsilon negatives an idle stream produces.
                 lines.append(f"  mean queueing delay {max(0.0, queueing) * 1e3:.1f} ms")
-        utilisation = self.node_utilisation()
+        faulted = (
+            self.num_failed
+            or self.num_retried
+            or self.failover_replans
+            or any(self.node_down_s.values())
+            or any(self.link_down_s.values())
+        )
+        if faulted:
+            lines.append(
+                f"  availability {self.availability:.1%} "
+                f"({self.num_failed}/{self.num_requests} failed, "
+                f"{self.num_retried} retried, "
+                f"{self.failover_replans} failover replans)"
+            )
+            retried = self.latency_percentiles(retried_only=True)
+            if self.num_retried and any(retried.values()):
+                lines.append(
+                    f"  p99 over retried requests {retried['p99'] * 1e3:.1f} ms"
+                )
+        utilisation = self.node_utilisation(downtime_weighted=faulted)
         if utilisation:
             busiest = sorted(utilisation.items(), key=lambda kv: kv[1], reverse=True)
             lines.append(
@@ -200,10 +317,25 @@ class ServingReport:
 # --------------------------------------------------------------------------- #
 # Internal simulation state
 # --------------------------------------------------------------------------- #
+class _NoNodeAvailable(RuntimeError):
+    """A request needs a tier of which no node is currently up."""
+
+
 class _Unit:
     """One schedulable stage of a request: a vertex or a whole fused run."""
 
-    __slots__ = ("state", "tier", "vertices", "run", "waiting", "remaining_tasks", "topo_key")
+    __slots__ = (
+        "state",
+        "tier",
+        "vertices",
+        "run",
+        "waiting",
+        "remaining_tasks",
+        "topo_key",
+        "exec_nodes",
+        "home_node",
+        "completed",
+    )
 
     def __init__(
         self,
@@ -219,6 +351,22 @@ class _Unit:
         self.waiting = 0  # incoming cross-unit edges not yet arrived
         self.remaining_tasks = 0  # compute tasks in flight once started
         self.topo_key = 0  # topological rank of the first member vertex
+        #: Nodes this unit's tasks run on, resolved against the nodes that
+        #: were *up* when the attempt was built (one entry per tile stack for
+        #: fused runs, a single entry otherwise).  Snapshotting at build time
+        #: keeps the schedule deterministic and lets the engine detect which
+        #: requests a dying node takes down.
+        self.exec_nodes: List[ComputeNode] = []
+        #: The node cross-unit transfers address (the gather node for fused
+        #: runs, the executing node otherwise).
+        self.home_node: Optional[ComputeNode] = None
+        self.completed = False
+
+    def touches(self, node_name: str) -> bool:
+        """True when any of this unit's work is bound to ``node_name``."""
+        if self.home_node is not None and self.home_node.name == node_name:
+            return True
+        return any(node.name == node_name for node in self.exec_nodes)
 
 
 class _RequestState:
@@ -232,6 +380,11 @@ class _RequestState:
         "remaining_units",
         "completion_s",
         "source_node",
+        "epoch",
+        "retries",
+        "failed",
+        "failed_at_s",
+        "retry_pending",
     )
 
     def __init__(self, request: ServingRequest, source_node: ComputeNode) -> None:
@@ -247,6 +400,18 @@ class _RequestState:
         self.completion_s = 0.0
         #: Device node all device-tier work of this request runs on.
         self.source_node = source_node
+        #: Attempt counter: bumped on every abort, so stale task/transfer
+        #: events from a discarded attempt are ignored when they fire.
+        self.epoch = 0
+        self.retries = 0
+        self.failed = False
+        self.failed_at_s = 0.0
+        self.retry_pending = False
+
+    @property
+    def terminal(self) -> bool:
+        """True once the request completed or failed."""
+        return self.failed or (bool(self.unit_list) and self.remaining_units == 0)
 
 
 @dataclass
@@ -257,17 +422,41 @@ class _Task:
     node: ComputeNode
     duration_s: float
     label: str
+    #: The owning request's attempt the task belongs to; a mismatch at
+    #: dispatch/completion time means the attempt was aborted.
+    epoch: int = 0
+
+
+@dataclass
+class _Inflight:
+    """One transfer currently on the wires, tracked for fault handling."""
+
+    end_s: float
+    link_ids: FrozenSet[str]
+    src: str
+    dst: str
+    state: "_RequestState"
+    epoch: int
+    #: Per-hop ``(link, start, end, payload)`` reservations, kept so an abort
+    #: can release wire time the bytes never actually used.
+    hops: List[Tuple[SharedLink, float, float, int]]
 
 
 class _NodeState:
     """FIFO ready-queue and busy flag of one node."""
 
-    __slots__ = ("node", "queue", "busy")
+    __slots__ = ("node", "queue", "busy", "run_id", "current")
 
     def __init__(self, node: ComputeNode) -> None:
         self.node = node
         self.queue: List[Tuple[Tuple[int, int, int], _Task]] = []
         self.busy = False
+        #: Monotone id of the task occupying the node; a ``task_end`` event
+        #: carrying a stale id was cancelled by a node failure.
+        self.run_id = 0
+        #: ``(task, events_list, event_index, end_s)`` of the running task,
+        #: kept so a node death can truncate its timeline event.
+        self.current: Optional[Tuple[_Task, list, int, float]] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -279,26 +468,58 @@ class ServingSimulator:
     Parameters
     ----------
     cluster:
-        The deployment all requests run on.  Its node and link state is reset
-        at the start of every :meth:`run`.
+        The deployment all requests run on.  Its node, link and failure state
+        is reset at the start of every :meth:`run`.
     link_contention:
         ``"fifo"`` serializes concurrent transfers on each inter-tier link
         (the serving default); ``"none"`` gives links infinite capacity,
         reproducing the one-shot semantics of the original executor.
+    faults:
+        Optional :class:`~repro.network.faults.FaultSchedule` consumed as
+        first-class simulation events.  ``None`` (or an empty schedule) is
+        bit-identical to the fault-free engine.
+    max_retries:
+        Failover budget per request: how many aborted attempts may be retried
+        before the request is recorded as failed.
+    replan:
+        Optional failover replanning callback ``(request, now_s, down_nodes,
+        down_links) -> ServingRequest | None`` invoked on every retry;
+        :meth:`repro.core.d3.D3System.serve` wires the plan cache in here.
+        Without it, retries re-resolve the existing plan onto surviving
+        nodes.
     """
 
-    def __init__(self, cluster: Cluster, link_contention: str = "fifo") -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        link_contention: str = "fifo",
+        faults: Optional[FaultSchedule] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        replan: Optional[ReplanCallback] = None,
+    ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
                 f"unknown link contention mode {link_contention!r}; "
                 f"expected one of {LINK_CONTENTION_MODES}"
             )
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
         self.cluster = cluster
         self.link_contention = link_contention
+        self.faults = faults
+        self.max_retries = max_retries
+        self._replan = replan
+        self.failover_replans = 0
         self._events: List[Tuple[float, int, str, object]] = []
         self._sequence = itertools.count()
         self._nodes: Dict[str, _NodeState] = {}
         self._states: List[_RequestState] = []
+        #: Transfers currently on the wires, used to abort requests whose
+        #: bytes a failure caught in flight (and to release their unused
+        #: reservations).  Only populated when a fault schedule is active.
+        self._inflight: List[_Inflight] = []
+        self._node_down_intervals: Dict[str, List[List[Optional[float]]]] = {}
+        self._link_down_intervals: Dict[str, List[List[Optional[float]]]] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -315,6 +536,19 @@ class ServingSimulator:
         self._sequence = itertools.count()
         self._nodes = {node.name: _NodeState(node) for node in self.cluster.all_nodes}
         self._states = []
+        self._inflight = []
+        self._node_down_intervals = {}
+        self._link_down_intervals = {}
+        self.failover_replans = 0
+
+        # Fault events enter the queue first, so at equal timestamps a fault
+        # precedes every arrival/task/transfer event: a node dying the instant
+        # a task would finish kills the task (completion was never confirmed),
+        # and a request arriving the instant a node dies sees it dead.
+        if self.faults:
+            self.faults.validate_against(self.cluster.topology)
+            for fault in self.faults:
+                self._push(fault.time_s, "fault", fault)
 
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.index))
         for request in ordered:
@@ -328,24 +562,44 @@ class ServingSimulator:
                 self._handle_task_end(time_s, payload)  # type: ignore[arg-type]
             elif kind == "transfer_end":
                 self._handle_transfer_end(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "fault":
+                self._handle_fault(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "retry":
+                self._handle_retry(time_s, payload)  # type: ignore[arg-type]
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
 
         records = []
         for state in sorted(self._states, key=lambda s: s.request.index):
+            request = state.request
+            if state.failed:
+                state.report.end_to_end_latency_s = state.failed_at_s - request.arrival_s
+                records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        model=request.graph.name,
+                        arrival_s=request.arrival_s,
+                        completion_s=state.failed_at_s,
+                        report=state.report,
+                        status="failed",
+                        retries=state.retries,
+                    )
+                )
+                continue
             if state.remaining_units:
                 raise RuntimeError(
-                    f"request {state.request.request_id} finished the event loop "
+                    f"request {request.request_id} finished the event loop "
                     f"with {state.remaining_units} unexecuted stages (dependency deadlock)"
                 )
-            state.report.end_to_end_latency_s = state.completion_s - state.request.arrival_s
+            state.report.end_to_end_latency_s = state.completion_s - request.arrival_s
             records.append(
                 RequestRecord(
-                    request_id=state.request.request_id,
-                    model=state.request.graph.name,
-                    arrival_s=state.request.arrival_s,
+                    request_id=request.request_id,
+                    model=request.graph.name,
+                    arrival_s=request.arrival_s,
                     completion_s=state.completion_s,
                     report=state.report,
+                    retries=state.retries,
                 )
             )
         return records
@@ -353,6 +607,7 @@ class ServingSimulator:
     def build_report(self, workload_name: str, records: List[RequestRecord]) -> ServingReport:
         """Aggregate records plus the cluster's utilisation bookkeeping."""
         makespan = 0.0
+        start = end = 0.0
         if records:
             start = min(record.arrival_s for record in records)
             end = max(record.completion_s for record in records)
@@ -368,6 +623,9 @@ class ServingSimulator:
                 link.link_id or "-".join(link.key): link.busy_seconds
                 for link in self.cluster.shared_links.values()
             },
+            failover_replans=self.failover_replans,
+            node_down_s=_clip_downtime(self._node_down_intervals, start, end),
+            link_down_s=_clip_downtime(self._link_down_intervals, start, end),
         )
 
     # ------------------------------------------------------------------ #
@@ -382,16 +640,32 @@ class ServingSimulator:
     def _handle_arrival(self, time_s: float, request: ServingRequest) -> None:
         state = _RequestState(request, self._resolve_source(request))
         self._states.append(state)
-        self._build_units(state)
-        # Stages with no cross-unit inputs (the virtual input vertex) are
-        # ready the moment the request arrives.
+        if not self.cluster.node_is_up(state.source_node.name):
+            # The request's entry point is dead: there is nothing to fail
+            # over to — the client itself is offline.
+            self._fail(state, time_s)
+            return
+        if not self._activate(state, time_s):
+            self._fail(state, time_s)
+
+    def _activate(self, state: _RequestState, time_s: float) -> bool:
+        """(Re)build the request's stages against the live nodes and start
+        every stage with no pending inputs; False when a needed tier is
+        entirely down."""
+        try:
+            self._build_units(state)
+        except _NoNodeAvailable:
+            return False
         for unit in state.unit_list:
             if unit.waiting == 0:
                 self._start_unit(state, unit, time_s)
+        return True
 
     def _build_units(self, state: _RequestState) -> None:
         request = state.request
         graph = request.graph
+        state.units = {}
+        state.unit_list = []
         topo_rank = {v.index: rank for rank, v in enumerate(graph.topological_order())}
 
         fused_member: Dict[int, FusedRunPlan] = {}
@@ -417,12 +691,49 @@ class ServingSimulator:
                 state.unit_list.append(unit)
             state.units[vertex.index] = unit
 
+        self._resolve_unit_nodes(state)
+
         for vertex in graph.topological_order():
             unit = state.units[vertex.index]
             for pred in graph.predecessors(vertex.index):
                 if state.units[pred.index] is not unit:
                     unit.waiting += 1
         state.remaining_units = len(state.unit_list)
+
+    def _resolve_unit_nodes(self, state: _RequestState) -> None:
+        """Bind every unit to the nodes that are up *now* (snapshot).
+
+        On a healthy cluster this reproduces the original resolution exactly:
+        non-tiled work on each tier's primary node, fused runs fanned
+        round-robin over all edge nodes.  Under failures the first *live*
+        node of the tier takes over and tile stacks spread over the surviving
+        edge rack.  Raises :class:`_NoNodeAvailable` when a needed tier has
+        no live member.
+        """
+        live: Dict[Tier, List[ComputeNode]] = {}
+
+        def tier_nodes(tier: Tier) -> List[ComputeNode]:
+            if tier not in live:
+                nodes = self.cluster.active_nodes(tier)
+                if not nodes:
+                    raise _NoNodeAvailable(tier.value)
+                live[tier] = nodes
+            return live[tier]
+
+        for unit in state.unit_list:
+            if unit.run is not None:
+                edge_nodes = tier_nodes(Tier.EDGE)
+                unit.exec_nodes = [
+                    edge_nodes[i % len(edge_nodes)] for i in range(len(unit.run.stacks))
+                ]
+                unit.home_node = edge_nodes[0]
+            elif unit.tier == Tier.DEVICE:
+                unit.exec_nodes = [state.source_node]
+                unit.home_node = state.source_node
+            else:
+                node = tier_nodes(unit.tier)[0]
+                unit.exec_nodes = [node]
+                unit.home_node = node
 
     # ------------------------------------------------------------------ #
     # Stage execution
@@ -439,40 +750,34 @@ class ServingSimulator:
             )
         return node
 
-    def _unit_node(self, state: _RequestState, unit: _Unit) -> ComputeNode:
-        """The node a unit executes on (fused runs: their gather node)."""
-        if unit.tier == Tier.DEVICE:
-            return state.source_node
-        return self.cluster.primary_node(unit.tier)
-
     def _start_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
         request = state.request
         if unit.run is None:
             vertex = unit.vertices[0]
             duration = request.profile.get(vertex.index, unit.tier)
-            node = self._unit_node(state, unit)
+            node = unit.exec_nodes[0]
             unit.remaining_tasks = 1
             self._enqueue_task(
-                time_s, _Task(unit, node, duration / node.speed_factor, vertex.name)
+                time_s,
+                _Task(unit, node, duration / node.speed_factor, vertex.name, state.epoch),
             )
             return
 
-        # A fused run fans its tile stacks out over all edge nodes, exactly
-        # like the one-shot executor (round-robin assignment, same per-stack
-        # work fractions).  Heterogeneous edge machines stretch their share
-        # by the inverse of their speed factor.
+        # A fused run fans its tile stacks out over the live edge nodes,
+        # exactly like the one-shot executor on a healthy rack (round-robin
+        # assignment, same per-stack work fractions).  Heterogeneous edge
+        # machines stretch their share by the inverse of their speed factor.
         run = unit.run
-        edge_nodes = self.cluster.edge_nodes
         unit.remaining_tasks = len(run.stacks)
         for stack_index, stack in enumerate(run.stacks):
-            node = edge_nodes[stack_index % len(edge_nodes)]
+            node = unit.exec_nodes[stack_index]
             duration = 0.0
             for position, vertex in enumerate(run.vertices):
                 fraction = stack.work_fraction(position, run.layer_output_area(position))
                 duration += request.profile.get(vertex.index, Tier.EDGE) * fraction
             label = f"tile{stack.grid_position}:{run.vertices[0].name}..{run.vertices[-1].name}"
             self._enqueue_task(
-                time_s, _Task(unit, node, duration / node.speed_factor, label)
+                time_s, _Task(unit, node, duration / node.speed_factor, label, state.epoch)
             )
 
     def _enqueue_task(self, time_s: float, task: _Task) -> None:
@@ -482,10 +787,21 @@ class ServingSimulator:
         self._dispatch(node_state, time_s)
 
     def _dispatch(self, node_state: _NodeState, time_s: float) -> None:
-        """Start the next queued task if the node is idle (work-conserving)."""
-        if node_state.busy or not node_state.queue:
+        """Start the next queued task if the node is idle (work-conserving).
+
+        Tasks whose attempt was aborted are discarded here; a down node
+        dispatches nothing until it recovers.
+        """
+        if node_state.busy or not self.cluster.node_is_up(node_state.node.name):
             return
-        _, task = heapq.heappop(node_state.queue)
+        task: Optional[_Task] = None
+        while node_state.queue:
+            _, candidate = heapq.heappop(node_state.queue)
+            if candidate.epoch == candidate.unit.state.epoch and not candidate.unit.state.failed:
+                task = candidate
+                break
+        if task is None:
+            return
         start, end = node_state.node.schedule(time_s, task.duration_s)
         node_state.busy = True
         state = task.unit.state
@@ -500,22 +816,34 @@ class ServingSimulator:
                 request_id=state.request.request_id,
             )
         )
-        self._push(end, "task_end", (node_state, task))
+        node_state.run_id += 1
+        node_state.current = (task, state.report.events, len(state.report.events) - 1, end)
+        self._push(end, "task_end", (node_state, task, node_state.run_id))
 
-    def _handle_task_end(self, time_s: float, payload: Tuple[_NodeState, _Task]) -> None:
-        node_state, task = payload
+    def _handle_task_end(
+        self, time_s: float, payload: Tuple[_NodeState, _Task, int]
+    ) -> None:
+        node_state, task, run_id = payload
+        if run_id != node_state.run_id:
+            # The node died while this task was on it; the reservation was
+            # rolled back and the owning request already aborted.
+            return
         node_state.busy = False
+        node_state.current = None
         unit = task.unit
-        unit.remaining_tasks -= 1
-        if unit.remaining_tasks == 0:
-            self._complete_unit(unit.state, unit, time_s)
+        state = unit.state
+        if task.epoch == state.epoch and not state.failed:
+            unit.remaining_tasks -= 1
+            if unit.remaining_tasks == 0:
+                self._complete_unit(state, unit, time_s)
         self._dispatch(node_state, time_s)
 
     def _complete_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
         state.remaining_units -= 1
+        unit.completed = True
         state.completion_s = max(state.completion_s, time_s)
         if unit.run is not None:
-            gather_node = self.cluster.primary_node(Tier.EDGE)
+            gather_node = unit.home_node
             state.report.events.append(
                 TimelineEvent(
                     node=gather_node.name,
@@ -528,12 +856,17 @@ class ServingSimulator:
                 )
             )
         graph = state.request.graph
+        epoch = state.epoch
         for vertex in unit.vertices:
             for successor in graph.successors(vertex.index):
                 successor_unit = state.units[successor.index]
                 if successor_unit is unit:
                     continue
                 self._deliver_edge(state, vertex, unit, successor, successor_unit, time_s)
+                if state.epoch != epoch or state.failed:
+                    # A severed route aborted the attempt mid-delivery; the
+                    # remaining edges belong to a discarded plan.
+                    return
 
     # ------------------------------------------------------------------ #
     # Data movement
@@ -547,20 +880,28 @@ class ServingSimulator:
         dst_unit: _Unit,
         time_s: float,
     ) -> None:
-        src_node = self._unit_node(state, src_unit)
-        dst_node = self._unit_node(state, dst_unit)
+        src_node = src_unit.home_node
+        dst_node = dst_unit.home_node
         if src_node is dst_node:
             # Same-node movement is free (the paper's intra-tier assumption).
             self._arrive(dst_unit, time_s)
             return
         request = state.request
         payload = producer.output_bytes
-        # The transfer follows the topology's route and crosses every wire on
-        # it (store-and-forward); each hop is priced at the moment it starts
-        # and serialized on its own link under FIFO contention.
+        # The transfer follows the topology's route — detouring around dark
+        # wires and dead relays — and crosses every hop store-and-forward;
+        # each hop is priced at the moment it starts and serialized on its
+        # own link under FIFO contention.  A severed route aborts the attempt
+        # and sends the request into failover.
+        try:
+            route = self.cluster.route(src_node.name, dst_node.name)
+        except RouteUnavailableError:
+            self._abort(state, time_s)
+            return
         overall_start: Optional[float] = None
         clock = time_s
-        for link in self.cluster.route(src_node.name, dst_node.name):
+        hops: List[Tuple[SharedLink, float, float, int]] = []
+        for link in route:
             if self.link_contention == "fifo":
                 # Price the hop at the moment it actually starts: a transfer
                 # queued behind a backlog on a traced wire pays the rate in
@@ -570,6 +911,8 @@ class ServingSimulator:
                     link, payload, request.condition, starts_at
                 )
                 start, end = link.reserve(clock, duration, payload)
+                if self.faults:
+                    hops.append((link, start, end, payload))
             else:
                 duration = self.cluster.hop_seconds(link, payload, request.condition, clock)
                 start, end = clock, clock + duration
@@ -592,12 +935,238 @@ class ServingSimulator:
                 request_id=request.request_id,
             )
         )
-        self._push(clock, "transfer_end", dst_unit)
+        if self.faults:
+            link_ids = frozenset(
+                link.link_id or "-".join(link.key) for link in route
+            )
+            self._inflight.append(
+                _Inflight(
+                    end_s=clock,
+                    link_ids=link_ids,
+                    src=src_node.name,
+                    dst=dst_node.name,
+                    state=state,
+                    epoch=state.epoch,
+                    hops=hops,
+                )
+            )
+        self._push(clock, "transfer_end", (dst_unit, state.epoch))
 
-    def _handle_transfer_end(self, time_s: float, unit: _Unit) -> None:
+    def _handle_transfer_end(self, time_s: float, payload: Tuple[_Unit, int]) -> None:
+        unit, epoch = payload
+        state = unit.state
+        if self._inflight and len(self._inflight) > 64:
+            # Bound the in-flight registry during long healthy stretches of a
+            # faulted run; drained rows are only otherwise pruned at faults.
+            self._inflight = [t for t in self._inflight if t.end_s > time_s]
+        if epoch != state.epoch or state.failed:
+            return
         self._arrive(unit, time_s)
 
     def _arrive(self, unit: _Unit, time_s: float) -> None:
         unit.waiting -= 1
         if unit.waiting == 0:
             self._start_unit(unit.state, unit, time_s)
+
+    # ------------------------------------------------------------------ #
+    # Failure injection
+    # ------------------------------------------------------------------ #
+    def _handle_fault(self, time_s: float, event: FaultEvent) -> None:
+        if event.kind == "node_down":
+            if not self.cluster.node_is_up(event.target):
+                return  # already down; idempotent
+            self.cluster.fail_node(event.target)
+            self._open_interval(self._node_down_intervals, event.target, time_s)
+            node_state = self._nodes.get(event.target)  # None for relays
+            if node_state is not None:
+                self._kill_running_task(node_state, time_s)
+            self._abort_touching_node(event.target, time_s)
+        elif event.kind == "node_up":
+            if self.cluster.node_is_up(event.target):
+                return
+            self.cluster.recover_node(event.target)
+            self._close_interval(self._node_down_intervals, event.target, time_s)
+            node_state = self._nodes.get(event.target)
+            if node_state is not None:
+                self._dispatch(node_state, time_s)
+        elif event.kind == "link_down":
+            if not self.cluster.link_is_up(event.target):
+                return
+            self.cluster.fail_link(event.target)
+            self._open_interval(self._link_down_intervals, event.target, time_s)
+            self._abort_inflight_over({event.target}, time_s)
+        elif event.kind == "link_up":
+            if self.cluster.link_is_up(event.target):
+                return
+            self.cluster.recover_link(event.target)
+            self._close_interval(self._link_down_intervals, event.target, time_s)
+        else:  # pragma: no cover - schedule validation rejects unknown kinds
+            raise RuntimeError(f"unknown fault kind {event.kind!r}")
+
+    @staticmethod
+    def _open_interval(
+        intervals: Dict[str, List[List[Optional[float]]]], target: str, time_s: float
+    ) -> None:
+        intervals.setdefault(target, []).append([time_s, None])
+
+    @staticmethod
+    def _close_interval(
+        intervals: Dict[str, List[List[Optional[float]]]], target: str, time_s: float
+    ) -> None:
+        spans = intervals.get(target)
+        if spans and spans[-1][1] is None:
+            spans[-1][1] = time_s
+
+    def _kill_running_task(self, node_state: _NodeState, time_s: float) -> None:
+        """Cut short the task executing on a dying node.
+
+        The recorded timeline event is truncated at the moment of death (the
+        work really did stop), the node's reservation and busy bookkeeping
+        are rolled back to ``time_s``, and the pending ``task_end`` event is
+        invalidated via the run id.
+        """
+        node_state.run_id += 1
+        if not node_state.busy or node_state.current is None:
+            return
+        _, events_list, event_index, end_s = node_state.current
+        if end_s > time_s:
+            events_list[event_index] = replace(events_list[event_index], end_s=time_s)
+            node_state.node.busy_seconds -= end_s - time_s
+        node_state.node.available_at = time_s
+        node_state.busy = False
+        node_state.current = None
+
+    def _abort_touching_node(self, node_name: str, time_s: float) -> None:
+        """Abort every live request with unfinished work bound to a dead node
+        or bytes in flight to, from, or through it.
+
+        For in-flight transfers the match is endpoint-precise: a transfer is
+        disrupted when the dead node is its source or destination, or when
+        its route crosses a wire that names the node *directly* (a dead relay
+        takes its point-to-point links with it).  A transfer between two
+        healthy nodes merely sharing a tier-alias medium (the paper's LAN)
+        with the dead node is untouched.
+        """
+        for state in self._states:
+            if state.terminal:
+                continue
+            if any(
+                not unit.completed and unit.touches(node_name) for unit in state.unit_list
+            ):
+                self._abort(state, time_s)
+        direct = {
+            name
+            for name, link in self.cluster.topology.links.items()
+            if link.a == node_name or link.b == node_name
+        }
+        victims = [
+            t.state
+            for t in self._live_inflight(time_s)
+            if t.src == node_name or t.dst == node_name or (t.link_ids & direct)
+        ]
+        for state in victims:
+            self._abort(state, time_s)
+
+    def _abort_inflight_over(self, link_ids: set, time_s: float) -> None:
+        """Abort requests whose in-flight transfers cross a severed wire."""
+        victims = [t.state for t in self._live_inflight(time_s) if t.link_ids & link_ids]
+        for state in victims:
+            self._abort(state, time_s)
+
+    def _live_inflight(self, time_s: float) -> List[_Inflight]:
+        """Still-running transfers of still-live attempts (prunes the rest)."""
+        self._inflight = [
+            t
+            for t in self._inflight
+            if t.end_s > time_s and t.epoch == t.state.epoch and not t.state.terminal
+        ]
+        return self._inflight
+
+    def _release_inflight(self, state: _RequestState, time_s: float) -> None:
+        """Release the wire reservations of an aborted attempt's transfers.
+
+        Store-and-forward books every hop of a route up-front; when the
+        attempt dies, reservations that had not started by ``time_s`` are
+        unwound (tail-first, while the reservation is still the last one
+        booked on its wire) so phantom transfers stop serializing later
+        traffic.  Wire time already started stays consumed — the bytes were
+        on the medium when the failure hit.
+        """
+        remaining = []
+        for t in self._inflight:
+            if t.state is not state:
+                remaining.append(t)
+                continue
+            if t.end_s > time_s and t.epoch == state.epoch:
+                for link, start, end, payload in reversed(t.hops):
+                    if start >= time_s and link.available_at == end:
+                        link.available_at = start
+                        link.busy_seconds -= end - start
+                        link.bytes_carried -= payload
+                        link.transfer_count -= 1
+                    else:
+                        break
+        self._inflight = remaining
+
+    def _abort(self, state: _RequestState, time_s: float) -> None:
+        """Discard a request's current attempt and schedule a failover retry.
+
+        Queued tasks and pending transfer completions of the attempt are
+        invalidated by the epoch bump; tasks already executing on *healthy*
+        nodes run to completion (no preemption) but their effects are
+        ignored.  The retry fires at the same timestamp, after all same-time
+        faults have been applied, so it replans against the full degraded
+        state.
+        """
+        if state.terminal:
+            return
+        self._release_inflight(state, time_s)
+        state.epoch += 1
+        if not state.retry_pending:
+            state.retry_pending = True
+            self._push(time_s, "retry", state)
+
+    def _handle_retry(self, time_s: float, state: _RequestState) -> None:
+        state.retry_pending = False
+        if state.terminal:
+            return
+        if state.retries >= self.max_retries:
+            self._fail(state, time_s)
+            return
+        state.retries += 1
+        if not self.cluster.node_is_up(state.source_node.name):
+            self._fail(state, time_s)
+            return
+        if self._replan is not None:
+            new_request = self._replan(
+                state.request, time_s, self.cluster.down_nodes, self.cluster.down_links
+            )
+            if new_request is None:
+                self._fail(state, time_s)
+                return
+            self.failover_replans += 1
+            state.request = new_request
+        if not self._activate(state, time_s):
+            self._fail(state, time_s)
+
+    def _fail(self, state: _RequestState, time_s: float) -> None:
+        state.failed = True
+        state.failed_at_s = time_s
+        state.epoch += 1
+        state.completion_s = time_s
+
+
+def _clip_downtime(
+    intervals: Dict[str, List[List[Optional[float]]]], start: float, end: float
+) -> Dict[str, float]:
+    """Seconds each target spent down within ``[start, end]`` (open intervals
+    are still down at the end of the run)."""
+    downtime: Dict[str, float] = {}
+    for target, spans in intervals.items():
+        total = 0.0
+        for span_start, span_end in spans:
+            closed_end = end if span_end is None else min(span_end, end)
+            total += max(0.0, closed_end - max(span_start, start))
+        if total > 0.0:
+            downtime[target] = total
+    return downtime

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.d3 import D3Config, D3System
 from repro.core.dynamic import DynamicRepartitioner, RepartitionThresholds
-from repro.core.plan_cache import PlanCache, PlanKey, network_key
+from repro.core.plan_cache import CachedPlan, PlanCache, PlanKey, network_key
 from repro.network.conditions import BandwidthTrace, get_condition
 from repro.runtime.workload import Workload
 
@@ -224,3 +224,138 @@ class TestTopologyKeying:
         # The native key still hits.
         assert cache.get(entry.key) is entry
         assert cache.stats()["hits"] == hits_before + 1
+
+
+class TestLRUEviction:
+    """The bounded cache: max_entries LRU eviction (degraded topology
+    fingerprints and drifting conditions mint unbounded key streams)."""
+
+    def _entry_for(self, system, condition):
+        from repro.models.zoo import build_model
+
+        return system._plan_for(system.graph_for("alexnet"), condition)
+
+    def test_unbounded_by_default(self, system):
+        assert system.plan_cache.max_entries is None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_eviction_keeps_bound(self):
+        from repro.graph.builder import GraphBuilder
+
+        system = D3System(
+            D3Config(
+                network="wifi",
+                num_edge_nodes=2,
+                use_regression=False,
+                profiler_noise_std=0.0,
+                plan_cache_entries=2,
+            )
+        )
+        cache = system.plan_cache
+
+        def tiny(name):
+            builder = GraphBuilder(name, input_shape=(3, 32, 32))
+            builder.conv("c0", 8, kernel=3, padding=1)
+            builder.flatten("flat")
+            builder.linear("fc", 10)
+            return builder.build()
+
+        # three distinct models -> three distinct key streams
+        for name in ("net-a", "net-b", "net-c"):
+            system._plan_for(tiny(name), system.network)
+        assert len(cache) <= 2
+        assert cache.evictions >= 1
+        assert cache.stats()["evictions"] == cache.evictions
+
+    def test_oldest_key_evicted_first(self):
+        cache = PlanCache(max_entries=2)
+        entries = {}
+        for name in ("a", "b", "c"):
+            key = PlanKey(model=name, network=(1.0, 1.0, 1.0), config=())
+            entry = CachedPlan(
+                key=key,
+                graph=None,
+                profile=None,
+                placement=None,
+                vsm_plan=None,
+                condition=get_condition("wifi"),
+                ideal_latency_s=0.0,
+            )
+            entries[name] = entry
+            cache.store(entry)
+        assert cache.get(entries["a"].key) is None  # evicted
+        assert cache.get(entries["b"].key) is entries["b"]
+        assert cache.get(entries["c"].key) is entries["c"]
+        assert cache.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = PlanCache(max_entries=2)
+
+        def store(name):
+            key = PlanKey(model=name, network=(1.0, 1.0, 1.0), config=())
+            entry = CachedPlan(
+                key=key,
+                graph=None,
+                profile=None,
+                placement=None,
+                vsm_plan=None,
+                condition=get_condition("wifi"),
+                ideal_latency_s=0.0,
+            )
+            cache.store(entry)
+            return entry
+
+        first = store("a")
+        store("b")
+        assert cache.get(first.key) is first  # refresh "a"
+        store("c")  # evicts "b", the least recently used
+        assert cache.get(first.key) is first
+        assert cache.get(PlanKey(model="b", network=(1.0, 1.0, 1.0), config=())) is None
+
+    def test_evicted_stream_seed_still_adapts(self):
+        """Eviction drops keys, not streams: the _latest drift seed survives,
+        so a re-request of an evicted shape re-aliases instead of replanning
+        from scratch when still in band."""
+        system = D3System(
+            D3Config(
+                network="wifi",
+                num_edge_nodes=2,
+                use_regression=False,
+                profiler_noise_std=0.0,
+                plan_cache_entries=1,
+            )
+        )
+        cache = system.plan_cache
+        wifi = get_condition("wifi")
+        entry = self._entry_for(system, wifi)
+        # a second, far-off condition evicts the wifi key
+        self._entry_for(system, wifi.scaled_backbone(50.0))
+        assert cache.get(entry.key) is None
+        misses_before = cache.misses
+        again = self._entry_for(system, wifi)
+        # replanned or re-aliased, but never silently wrong
+        assert again.condition.bandwidth_mbps("edge", "cloud") == pytest.approx(
+            wifi.bandwidth_mbps("edge", "cloud"), rel=0.5
+        ) or cache.misses > misses_before
+
+    def test_latest_seeds_share_the_bound(self):
+        cache = PlanCache(max_entries=2)
+        for name in ("a", "b", "c", "d"):
+            key = PlanKey(model=name, network=(1.0, 1.0, 1.0), config=())
+            cache.store(
+                CachedPlan(
+                    key=key,
+                    graph=None,
+                    profile=None,
+                    placement=None,
+                    vsm_plan=None,
+                    condition=get_condition("wifi"),
+                    ideal_latency_s=0.0,
+                )
+            )
+        assert len(cache._latest) <= 2
+        assert cache.latest_for("d", "hpa_vsm", ()) is not None
+        assert cache.latest_for("a", "hpa_vsm", ()) is None  # seed evicted

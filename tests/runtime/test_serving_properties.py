@@ -1,0 +1,160 @@
+"""Property-based invariants of the serving engine under fault injection.
+
+Hypothesis drives randomized workloads and fault schedules through the full
+``D3System.serve`` stack and asserts the invariants the discrete-event engine
+must uphold no matter what dies when:
+
+* every request terminates exactly once — completed xor failed;
+* the per-node timeline is monotone: events are well-formed and no two
+  compute events overlap on one node;
+* a completed, never-retried request's latency is bounded below by its plan's
+  idle critical path (the plan-cache ideal latency);
+* no compute event overlaps an interval during which its node was down;
+* an empty schedule leaves the availability machinery untouched.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.d3 import D3Config, D3System
+from repro.network.faults import (
+    FaultSchedule,
+    LinkDown,
+    LinkUp,
+    NodeDown,
+    NodeUp,
+)
+from repro.runtime.workload import Workload
+
+#: Fault targets of the 3-edge-node canonical testbed the suite runs on.
+NODE_TARGETS = ("edge-0", "edge-1", "edge-2", "cloud-0")
+LINK_TARGETS = ("device-edge", "edge-cloud", "device-cloud")
+
+
+@pytest.fixture(scope="module")
+def system():
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=3,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+raw_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False),
+        st.sampled_from(NODE_TARGETS + LINK_TARGETS),
+        st.booleans(),  # True = down, False = up
+    ),
+    max_size=8,
+)
+
+workload_params = st.tuples(
+    st.integers(min_value=1, max_value=6),  # num_requests
+    st.floats(min_value=0.5, max_value=10.0, allow_nan=False),  # rate_rps
+    st.integers(min_value=0, max_value=2**16),  # seed
+)
+
+
+def build_schedule(raw) -> FaultSchedule:
+    events = []
+    for time_s, target, is_down in raw:
+        if target in NODE_TARGETS:
+            events.append(NodeDown(time_s, target) if is_down else NodeUp(time_s, target))
+        else:
+            events.append(LinkDown(time_s, target) if is_down else LinkUp(time_s, target))
+    return FaultSchedule(events)
+
+
+def down_intervals(schedule: FaultSchedule, target: str):
+    """The [down, up) spans of one target (open span = down forever)."""
+    spans, opened = [], None
+    for event in schedule.events:
+        if event.target != target:
+            continue
+        if event.is_failure and opened is None:
+            opened = event.time_s
+        elif not event.is_failure and opened is not None:
+            spans.append((opened, event.time_s))
+            opened = None
+    if opened is not None:
+        spans.append((opened, float("inf")))
+    return spans
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(raw=raw_events, params=workload_params)
+def test_serving_invariants_under_faults(system, raw, params):
+    num_requests, rate_rps, seed = params
+    schedule = build_schedule(raw)
+    workload = Workload.poisson(
+        "alexnet", num_requests=num_requests, rate_rps=rate_rps, seed=seed
+    )
+    report = system.serve(workload, faults=schedule, max_retries=2)
+
+    # -- every request terminates exactly once, completed xor failed -------
+    assert report.num_requests == num_requests
+    ids = [record.request_id for record in report.records]
+    assert len(set(ids)) == num_requests
+    for record in report.records:
+        assert record.status in ("completed", "failed")
+        assert record.completion_s >= record.arrival_s
+    assert report.num_completed + report.num_failed == num_requests
+    assert 0.0 <= report.availability <= 1.0
+
+    # -- per-node timelines are monotone and non-overlapping ---------------
+    by_node = {}
+    for record in report.records:
+        for event in record.report.events:
+            assert event.end_s >= event.start_s
+            if event.kind == "compute":
+                by_node.setdefault(event.node, []).append((event.start_s, event.end_s))
+        for transfer in record.report.transfers:
+            assert transfer.duration_s >= 0.0
+    for node, spans in by_node.items():
+        spans.sort()
+        for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+            assert next_start >= prev_end - 1e-9, f"overlapping tasks on {node}"
+
+    # -- clean completions are bounded below by the idle critical path -----
+    for record in report.records:
+        if record.completed and record.retries == 0:
+            assert record.ideal_latency_s is not None
+            assert record.latency_s >= record.ideal_latency_s - 1e-9
+
+    # -- no task runs on a down node ---------------------------------------
+    for target in NODE_TARGETS:
+        for down_s, up_s in down_intervals(schedule, target):
+            for record in report.records:
+                for event in record.report.events:
+                    if event.node != target:
+                        continue
+                    assert not (event.start_s < up_s and event.end_s > down_s), (
+                        f"{event} overlaps {target} downtime [{down_s}, {up_s})"
+                    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(params=workload_params)
+def test_empty_schedule_has_no_availability_side_effects(system, params):
+    num_requests, rate_rps, seed = params
+    workload = Workload.poisson(
+        "alexnet", num_requests=num_requests, rate_rps=rate_rps, seed=seed
+    )
+    report = system.serve(workload, faults=FaultSchedule([]))
+    assert report.availability == 1.0
+    assert report.num_retried == 0
+    assert report.failover_replans == 0
+    assert report.node_down_s == {} and report.link_down_s == {}
+    assert all(record.retries == 0 for record in report.records)

@@ -119,3 +119,63 @@ class TestTopologyFlag:
     def test_unknown_topology_fails_cleanly(self, capsys):
         assert main(["run", "--model", "alexnet", "--topology", "moebius"]) == 1
         assert "unknown topology" in capsys.readouterr().err
+
+
+class TestFaultsFlag:
+    def test_serve_with_chaos_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--faults",
+                    "chaos:7",
+                    "--requests",
+                    "10",
+                    "--rate",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "plans computed" in capsys.readouterr().out
+
+    def test_serve_with_schedule_file(self, capsys, tmp_path):
+        from repro.network.faults import FaultSchedule, NodeDown, NodeUp
+
+        path = tmp_path / "faults.json"
+        path.write_text(
+            FaultSchedule([NodeDown(0.2, "edge-0"), NodeUp(1.0, "edge-0")]).to_json()
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--faults",
+                    str(path),
+                    "--requests",
+                    "8",
+                    "--rate",
+                    "10",
+                    "--max-retries",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "plans computed" in capsys.readouterr().out
+
+    def test_bad_chaos_spec_fails_cleanly(self, capsys):
+        assert main(["serve", "--model", "alexnet", "--faults", "chaos:banana"]) == 1
+        assert "chaos" in capsys.readouterr().err
+
+    def test_schedule_targeting_unknown_node_fails_cleanly(self, capsys, tmp_path):
+        from repro.network.faults import FaultSchedule, NodeDown
+
+        path = tmp_path / "faults.json"
+        path.write_text(FaultSchedule([NodeDown(0.5, "edge-42")]).to_json())
+        assert main(["serve", "--model", "alexnet", "--faults", str(path)]) == 1
+        assert "unknown node" in capsys.readouterr().err
