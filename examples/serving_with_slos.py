@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Serving with SLOs: micro-batching, deadline scheduling and load shedding.
+
+The plain serving example answers "what happens under traffic?"; this one
+answers "what do the scheduling levers buy when traffic *exceeds capacity*?".
+The same overloaded AlexNet stream — every request carrying a latency SLO,
+premium (class 0) and background (class 1) traffic interleaved — is served
+three times:
+
+* **fifo** — the default engine: arrival order, no shedding.  Past
+  saturation every request queues behind every other; attainment collapses.
+* **batch** — dynamic micro-batching on a compute-bound on-device
+  deployment: same-layer work from concurrent requests coalesces into
+  batches priced by the hardware's sublinear batch-cost curve, raising
+  throughput above FIFO's.
+* **edf** — earliest-deadline-first with admission control: requests whose
+  SLO is already unreachable at arrival are shed at the door, and the saved
+  capacity serves the rest within their deadlines — goodput instead of
+  uniform lateness, with class 0 protected ahead of class 1.
+
+Run with:  python examples/serving_with_slos.py
+"""
+
+from __future__ import annotations
+
+from repro.core.d3 import D3Config, D3System
+from repro.runtime.workload import Workload
+
+#: Offered load (req/s) — far beyond what one device sustains for AlexNet.
+RATE_RPS = 20.0
+NUM_REQUESTS = 60
+SLO_MS = 500.0
+
+
+def build_system() -> D3System:
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=4,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+def main() -> None:
+    workload = Workload.poisson(
+        "alexnet",
+        num_requests=NUM_REQUESTS,
+        rate_rps=RATE_RPS,
+        seed=7,
+        slo_ms=SLO_MS,
+        priorities=(0, 1),  # premium and background traffic, interleaved 1:1
+    )
+    print(
+        f"offering {NUM_REQUESTS} requests at {RATE_RPS:g} req/s, "
+        f"SLO {SLO_MS:g} ms, classes 0 (premium) / 1 (background)\n"
+    )
+    for scheduler in ("fifo", "batch", "edf"):
+        # A fresh system per scheduler: identical plans, clean plan cache —
+        # only the dispatch policy differs between runs.
+        report = build_system().serve(
+            workload, method="device_only", scheduler=scheduler
+        )
+        print(f"--- scheduler: {scheduler} ---")
+        print(report.summary())
+        print(
+            f"  goodput {report.goodput_rps:.2f} req/s, "
+            f"attainment {report.slo_attainment:.1%}, "
+            f"{report.num_rejected} shed, "
+            f"mean batch occupancy {report.mean_batch_occupancy:.2f}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

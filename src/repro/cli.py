@@ -40,6 +40,7 @@ SCENARIO_NAMES = (
     "serving_methods",
     "topologies",
     "availability",
+    "slo",
 )
 
 
@@ -57,6 +58,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
     )
     from repro.experiments import availability as availability_harness
     from repro.experiments import serving as serving_harness
+    from repro.experiments import slo as slo_harness
     from repro.experiments import topologies as topologies_harness
 
     return {
@@ -89,6 +91,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "availability": (
             availability_harness.run_availability_comparison,
             availability_harness.format_availability_comparison,
+        ),
+        "slo": (
+            slo_harness.run_slo_comparison,
+            slo_harness.format_slo_comparison,
         ),
     }
 
@@ -138,6 +144,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="failover retry budget per request under a fault schedule (default: 3)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=("fifo", "batch", "edf"),
+        default="fifo",
+        help=(
+            "dispatch policy: fifo (default, arrival order), batch (dynamic "
+            "micro-batching of same-layer work), edf (earliest-deadline-first "
+            "over SLOs with admission control)"
+        ),
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help=(
+            "per-request latency SLO in milliseconds; enables goodput/"
+            "attainment reporting and, with --scheduler edf, admission control"
+        ),
     )
 
     scenario = subparsers.add_parser("scenario", help="regenerate a named paper artefact")
@@ -209,6 +235,8 @@ def _command_serve(args) -> int:
 
     if args.rate <= 0:
         raise ValueError("rate must be positive")
+    if args.slo_ms is not None and args.slo_ms <= 0:
+        raise ValueError("--slo-ms must be positive")
     system = _build_system(args)
     # On multi-device topologies the stream originates round-robin from every
     # device of the fleet; single-device deployments keep the primary device.
@@ -220,6 +248,7 @@ def _command_serve(args) -> int:
             num_requests=args.requests,
             interval_s=1.0 / args.rate,
             sources=sources,
+            slo_ms=args.slo_ms,
         )
     else:
         workload = Workload.poisson(
@@ -228,6 +257,7 @@ def _command_serve(args) -> int:
             rate_rps=args.rate,
             seed=args.seed,
             sources=sources,
+            slo_ms=args.slo_ms,
         )
     contention = "none" if args.uncontended_links else "fifo"
     report = system.serve(
@@ -236,6 +266,7 @@ def _command_serve(args) -> int:
         method=args.method,
         faults=args.faults,
         max_retries=args.max_retries,
+        scheduler=args.scheduler,
     )
     print(report.summary())
     return 0

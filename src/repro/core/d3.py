@@ -40,6 +40,7 @@ from repro.profiling.profiler import LatencyProfile, Profiler
 from repro.profiling.regression import LatencyRegressionModel
 from repro.runtime.cluster import Cluster
 from repro.runtime.executor import DistributedExecutor
+from repro.runtime.scheduler import Scheduler
 from repro.runtime.serving import (
     DEFAULT_MAX_RETRIES,
     ServingReport,
@@ -304,6 +305,7 @@ class D3System:
         method: Optional[str] = None,
         faults: "FaultSchedule | str | None" = None,
         max_retries: Optional[int] = None,
+        scheduler: "Scheduler | str | None" = None,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -355,6 +357,15 @@ class D3System:
         max_retries:
             Failover budget per request (defaults to the config's
             ``max_retries``); a request that exhausts it is recorded failed.
+        scheduler:
+            Dispatch policy for the shared nodes: a
+            :class:`~repro.runtime.scheduler.Scheduler` instance, a registry
+            name (``"fifo"``, ``"batch"``, ``"edf"``) or ``None`` for the
+            default FIFO (bit-identical to the pre-scheduler engine).  The
+            batching scheduler micro-batches same-layer work; the deadline
+            scheduler serves EDF over the workload's ``slo_ms``/``priority``
+            fields and sheds requests whose SLO is already unreachable at
+            arrival.
 
         Returns
         -------
@@ -434,6 +445,9 @@ class D3System:
                     arrival_s=request.arrival_s,
                     vsm_plan=entry.vsm_plan,
                     source=request.source,
+                    slo_ms=request.slo_ms,
+                    priority=request.priority,
+                    ideal_latency_s=entry.ideal_latency_s,
                 )
             )
             ideal_by_id[request.request_id] = entry.ideal_latency_s
@@ -444,6 +458,7 @@ class D3System:
             faults=schedule,
             max_retries=self.config.max_retries if max_retries is None else max_retries,
             replan=self._make_replanner(strategy, trace) if schedule else None,
+            scheduler=scheduler,
         )
         records = simulator.run(requests)
         for record in records:
@@ -575,6 +590,9 @@ class D3System:
                 arrival_s=request.arrival_s,
                 vsm_plan=entry.vsm_plan,
                 source=request.source,
+                slo_ms=request.slo_ms,
+                priority=request.priority,
+                ideal_latency_s=entry.ideal_latency_s,
             )
 
         return replan

@@ -236,17 +236,70 @@ class PlanEvaluator:
         return self.network.transfer_seconds(src.output_bytes, src_tier.value, dst_tier.value)
 
     # ------------------------------------------------------------------ #
-    def objective(self, plan: PlacementPlan) -> float:
-        """The total latency ``Θ`` the paper minimises."""
+    # Batch-aware cost hooks (the serving scheduler's planning view)
+    # ------------------------------------------------------------------ #
+    def batched_vertex_latency(
+        self, vertex: Vertex, tier: Tier, batch_size: int, batch_exponent: float = 0.85
+    ) -> float:
+        """Amortized per-request cost of one vertex inside a micro-batch.
+
+        ``batch_size`` same-layer requests executed as one batch cost
+        ``t_1 * batch_size ** batch_exponent`` wall-clock (the sublinear
+        curve of :func:`repro.profiling.hardware.batch_cost_s`); each member
+        is charged an equal share.  ``batch_size=1`` reduces exactly to
+        :meth:`vertex_latency`, so unbatched planning is unchanged.
+        """
+        from repro.profiling.hardware import batch_cost_s
+
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        solo = self.vertex_latency(vertex, tier)
+        if batch_size == 1:
+            return solo
+        return batch_cost_s([solo] * batch_size, batch_exponent) / batch_size
+
+    def batched_objective(
+        self,
+        plan: PlacementPlan,
+        batch_size: int,
+        tier_exponents: Optional[Mapping[Tier, float]] = None,
+    ) -> float:
+        """The objective ``Θ`` at a steady micro-batch occupancy.
+
+        Compute terms amortize by the per-tier batch curve (``tier_exponents``
+        maps each tier to its hardware's ``batch_exponent``; omitted tiers
+        use the CPU-class 0.85); transfer terms are per-request activations
+        and do not amortize.  This is the cost the plan cache can hand an
+        SLO/throughput planner deciding whether a deeper batch is worth its
+        added queueing wait — ``batched_objective(plan, 1)`` is exactly
+        :meth:`objective`.
+        """
+        exponents = dict(tier_exponents or {})
         graph = plan.graph
         compute = sum(
-            self.vertex_latency(vertex, plan.tier_of(vertex.index)) for vertex in graph
+            self.batched_vertex_latency(
+                vertex,
+                plan.tier_of(vertex.index),
+                batch_size,
+                exponents.get(plan.tier_of(vertex.index), 0.85),
+            )
+            for vertex in graph
         )
         transfer = sum(
             self.edge_latency(src, plan.tier_of(src.index), plan.tier_of(dst.index))
             for src, dst in graph.edges()
         )
         return compute + transfer
+
+    # ------------------------------------------------------------------ #
+    def objective(self, plan: PlacementPlan) -> float:
+        """The total latency ``Θ`` the paper minimises.
+
+        Defined as the batch-1 point of :meth:`batched_objective`, so the Θ
+        loops exist exactly once (``batched_vertex_latency`` reduces to
+        ``vertex_latency`` at batch 1, making the delegation float-exact).
+        """
+        return self.batched_objective(plan, 1)
 
     def metrics(self, plan: PlacementPlan) -> PlanMetrics:
         """Full metric breakdown used by the experiment harnesses."""

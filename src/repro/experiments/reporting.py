@@ -9,22 +9,42 @@ from typing import Dict, Iterable, List, Optional, Sequence
 # --------------------------------------------------------------------------- #
 # Percentile math (used by the serving reports)
 # --------------------------------------------------------------------------- #
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile of ``values`` with linear interpolation.
+#: Percentile estimators understood by :func:`percentile`.
+PERCENTILE_INTERPOLATIONS = ("linear", "nearest")
 
-    Matches numpy's default (``method="linear"``): the percentile rank is
-    mapped onto the fractional index ``(n - 1) * q / 100`` of the sorted
-    sample and neighbouring order statistics are interpolated.  Implemented
+
+def percentile(values: Sequence[float], q: float, interpolation: str = "linear") -> float:
+    """The ``q``-th percentile of ``values``.
+
+    ``interpolation="linear"`` (the default, and the behaviour every golden
+    trace and paper table is pinned to) matches numpy's default
+    (``method="linear"``): the percentile rank is mapped onto the fractional
+    index ``(n - 1) * q / 100`` of the sorted sample and neighbouring order
+    statistics are interpolated.  ``interpolation="nearest"`` is the classic
+    nearest-rank definition — the smallest sample value at or above the
+    ``ceil(q / 100 * n)``-th order statistic — which always returns an
+    actually observed value (some SLO auditors insist on that).  Implemented
     here without numpy so the reporting layer stays dependency-free and the
-    arithmetic is easy to audit in tests.
+    arithmetic is easy to audit in tests (a numpy cross-check test pins the
+    linear branch).
     """
     if not values:
         raise ValueError("cannot take a percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if interpolation not in PERCENTILE_INTERPOLATIONS:
+        raise ValueError(
+            f"unknown interpolation {interpolation!r}; "
+            f"expected one of {PERCENTILE_INTERPOLATIONS}"
+        )
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
+    if interpolation == "nearest":
+        if q == 0.0:
+            return float(ordered[0])
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return float(ordered[rank - 1])
     rank = (len(ordered) - 1) * q / 100.0
     lower = math.floor(rank)
     upper = math.ceil(rank)
@@ -35,10 +55,12 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def latency_percentiles(
-    values: Sequence[float], quantiles: Sequence[float] = (50.0, 95.0, 99.0)
+    values: Sequence[float],
+    quantiles: Sequence[float] = (50.0, 95.0, 99.0),
+    interpolation: str = "linear",
 ) -> Dict[str, float]:
     """Named percentile summary (``{"p50": ..., "p95": ..., "p99": ...}``)."""
-    return {f"p{q:g}": percentile(values, q) for q in quantiles}
+    return {f"p{q:g}": percentile(values, q, interpolation=interpolation) for q in quantiles}
 
 
 def mean(values: Sequence[float]) -> float:

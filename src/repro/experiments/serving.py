@@ -56,6 +56,12 @@ class ServingScenario:
     #: primary device.  ``("@devices",)`` expands to every device of the
     #: deployed topology (how multi-device fleets are exercised by name).
     sources: Tuple[str, ...] = ()
+    #: Latency SLO applied to every request (``None`` = best-effort).
+    slo_ms: Optional[float] = None
+    #: Priority classes cycled round-robin over the stream (empty = all 0).
+    priorities: Tuple[int, ...] = ()
+    #: Dispatch policy registry name (``None`` = the default FIFO).
+    scheduler: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival not in ARRIVAL_PROCESSES:
@@ -101,12 +107,15 @@ class ServingScenario:
     def build_workload(self, system: Optional[D3System] = None) -> Workload:
         models = list(self.models)
         sources = self.resolve_sources(system) if system is not None else None
+        priorities = list(self.priorities) or None
         if self.arrival == "constant":
             return Workload.constant_rate(
                 models,
                 num_requests=self.num_requests,
                 interval_s=1.0 / self.rate_rps,
                 sources=sources,
+                slo_ms=self.slo_ms,
+                priorities=priorities,
             )
         return Workload.poisson(
             models,
@@ -114,6 +123,8 @@ class ServingScenario:
             rate_rps=self.rate_rps,
             seed=self.seed,
             sources=sources,
+            slo_ms=self.slo_ms,
+            priorities=priorities,
         )
 
 
@@ -136,6 +147,7 @@ def run_serving_scenario(
         thresholds=thresholds,
         link_contention=scenario.link_contention,
         method=scenario.method,
+        scheduler=scenario.scheduler,
     )
 
 

@@ -68,6 +68,21 @@ class HardwareSpec:
         return self.gpu_gflops > 0
 
     @property
+    def batch_exponent(self) -> float:
+        """Exponent of the node's sublinear micro-batch cost curve.
+
+        Executing ``n`` same-layer inferences as one batch costs
+        ``t_1 * n ** batch_exponent`` instead of ``n * t_1``: weights are
+        loaded once, kernel launches amortize, and wide execution units fill
+        up.  GPUs batch much better than CPUs (idle SMs absorb extra samples
+        almost for free), so the exponent is derived from the node's dominant
+        execution engine.  Always in ``(0, 1]``, so a batch is never cheaper
+        than its longest member and never dearer than running its members
+        back to back.
+        """
+        return 0.6 if self.has_gpu else 0.85
+
+    @property
     def effective_gflops(self) -> float:
         """Throughput of the fastest execution engine on the node."""
         return max(self.cpu_gflops, self.gpu_gflops)
@@ -88,6 +103,29 @@ class HardwareSpec:
             memory_gb=self.memory_gb,
             per_layer_overhead_s=self.per_layer_overhead_s,
         )
+
+
+def batch_cost_s(solo_costs_s: "list[float]", batch_exponent: float) -> float:
+    """Compute time of one micro-batch of tasks with the given solo costs.
+
+    The sublinear curve ``mean * n ** exponent`` models amortized weight
+    loading and kernel launches; the result is clamped into
+    ``[max(solo), sum(solo)]`` so batching can never beat the longest member
+    (the invariant the property suite pins) nor lose to plain sequential
+    execution — the latter matters for the degenerate case of a batch with
+    wildly uneven members.
+    """
+    if not solo_costs_s:
+        raise ValueError("a batch needs at least one member")
+    if not 0.0 < batch_exponent <= 1.0:
+        raise ValueError("batch_exponent must be in (0, 1]")
+    n = len(solo_costs_s)
+    longest = max(solo_costs_s)
+    if n == 1:
+        return longest
+    total = sum(solo_costs_s)
+    amortized = (total / n) * n**batch_exponent
+    return max(longest, min(total, amortized))
 
 
 #: Raspberry Pi 4 model B, 4x Cortex-A72 @ 1.5 GHz, 4 GB LPDDR4.

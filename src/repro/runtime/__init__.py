@@ -16,7 +16,15 @@ from repro.runtime.cluster import Cluster
 from repro.runtime.messages import TensorTransfer
 from repro.runtime.simulator import ExecutionReport, TimelineEvent
 from repro.runtime.executor import DistributedExecutor
+from repro.runtime.scheduler import (
+    BatchingScheduler,
+    DeadlineScheduler,
+    FifoScheduler,
+    Scheduler,
+    get_scheduler,
+)
 from repro.runtime.serving import (
+    BatchRecord,
     RequestRecord,
     ServingReport,
     ServingRequest,
@@ -25,16 +33,22 @@ from repro.runtime.serving import (
 from repro.runtime.workload import Request, Workload
 
 __all__ = [
+    "BatchRecord",
+    "BatchingScheduler",
     "Cluster",
     "ComputeNode",
+    "DeadlineScheduler",
     "DistributedExecutor",
     "ExecutionReport",
+    "FifoScheduler",
     "Request",
     "RequestRecord",
+    "Scheduler",
     "ServingReport",
     "ServingRequest",
     "ServingSimulator",
     "TensorTransfer",
     "TimelineEvent",
     "Workload",
+    "get_scheduler",
 ]

@@ -1,0 +1,223 @@
+"""Pluggable per-node schedulers for the serving engine.
+
+The serving engine keeps one ready-queue per compute node and, whenever the
+node goes idle, asks its :class:`Scheduler` which queued work to run next.
+Three policies ship:
+
+:class:`FifoScheduler`
+    The default: tasks run in request-arrival order (ties broken by DAG
+    topological order, then enqueue order).  This is *bit-identical* to the
+    pre-scheduler engine — the golden traces pin it — and is what every
+    paper-figure path runs under.
+
+:class:`BatchingScheduler`
+    Dynamic micro-batching, the lever real inference servers (Triton,
+    TF-Serving, Clipper) pull under load: queued tasks that execute the same
+    layer of the same model on the same node coalesce into one batch whose
+    compute time follows the node hardware's sublinear batch-cost curve
+    (:func:`repro.profiling.hardware.batch_cost_s`), so a saturated node
+    serves strictly more requests per second than FIFO.  A batch flushes when
+    it reaches ``max_batch`` members or when the oldest member has waited
+    ``max_wait_ms`` — until then an idle node may deliberately hold back,
+    trading a bounded amount of latency for occupancy.  Requests whose batch
+    died with its node are retried *unbatched* (the failure blast radius of a
+    batch is its whole membership; the retry must not re-enter one).
+
+:class:`DeadlineScheduler`
+    Earliest-deadline-first over per-request SLOs with strict priority
+    classes: class 0 always runs before class 1, and within a class the
+    request whose ``arrival + SLO`` deadline expires soonest runs first.
+    Requests without an SLO sort last within their class.  Admission control
+    is on by default: an arriving request whose predicted completion already
+    breaches its SLO is shed at the door, preserving goodput under overload.
+
+Schedulers are deliberately stateless between ``select`` calls — all state
+lives in the engine's per-node queues — so one scheduler instance can be
+reused across runs and systems.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving imports us)
+    from repro.runtime.serving import _NodeState, _Task
+
+#: Registry names accepted by ``repro serve --scheduler``.
+SCHEDULER_NAMES = ("fifo", "batch", "edf")
+
+
+def batch_compatibility_key(task: "_Task") -> Tuple:
+    """Tasks coalesce into one micro-batch iff this key matches.
+
+    Same graph object (one per model in a serving system), same layer/stage
+    label, same tier: the members are the *same* computation over different
+    inputs, which is exactly what real batched kernels require.  The
+    executing node is implied — candidates already share a ready-queue.
+    """
+    state = task.unit.state
+    return (id(state.request.graph), task.label, task.unit.tier)
+
+
+class Scheduler:
+    """Policy protocol the serving engine consults at every dispatch.
+
+    Subclasses override :meth:`queue_key` (how a node's ready-queue is
+    ordered) and :meth:`select` (which queued task — or batch of tasks — an
+    idle node runs next).  ``select`` is only called with a non-empty,
+    pre-pruned queue (aborted attempts are already gone) and must either pop
+    and return the chosen tasks, or return ``([], deadline)`` to hold the
+    node idle until ``deadline`` (the engine schedules a flush event and
+    re-asks then, or earlier if new work arrives).
+    """
+
+    name = "fifo"
+    #: When True the engine sheds arriving requests whose predicted
+    #: completion already breaches their SLO (recorded as ``rejected``).
+    admission_control = False
+
+    def queue_key(self, task: "_Task", seq: int) -> Tuple:
+        """Heap ordering of one node's ready-queue (FIFO by request)."""
+        state = task.unit.state
+        return (state.request.index, task.unit.topo_key, seq)
+
+    def select(
+        self, node_state: "_NodeState", time_s: float
+    ) -> Tuple[List["_Task"], Optional[float]]:
+        """Pick the next dispatch: ``(tasks, None)`` or ``([], flush_at_s)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class FifoScheduler(Scheduler):
+    """Arrival-order service, one task at a time (the engine's default)."""
+
+    name = "fifo"
+
+    def __init__(self, admission: bool = False) -> None:
+        self.admission_control = admission
+
+    def select(self, node_state, time_s):
+        _, task = heapq.heappop(node_state.queue)
+        return [task], None
+
+
+class BatchingScheduler(Scheduler):
+    """Dynamic micro-batching of same-layer tasks on one node.
+
+    Parameters
+    ----------
+    max_batch:
+        Hard cap on batch membership; reaching it flushes immediately.
+    max_wait_ms:
+        How long the oldest queued member may wait for company before the
+        batch flushes regardless of size.  ``0`` batches only work that is
+        already queued together (no deliberate idling).
+    admission:
+        Enable SLO admission control (off by default — batching is a
+        throughput lever, shedding is a policy decision).
+    """
+
+    name = "batch"
+
+    def __init__(
+        self, max_batch: int = 8, max_wait_ms: float = 5.0, admission: bool = False
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms cannot be negative")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1e3
+        self.admission_control = admission
+
+    def select(self, node_state, time_s):
+        _, head = node_state.queue[0]  # the heap root IS the scheduling head
+        if head.unit.state.no_batch or self.max_batch == 1:
+            # A failover retry of a request whose batch died with its node:
+            # it must not re-enter a batch, so it dispatches alone.
+            heapq.heappop(node_state.queue)
+            return [head], None
+        key = batch_compatibility_key(head)
+        # One linear scan for membership, then sort only the (small)
+        # compatible subset — not the whole queue — by scheduling key.
+        compatible = sorted(
+            entry
+            for entry in node_state.queue
+            if not entry[1].unit.state.no_batch
+            and batch_compatibility_key(entry[1]) == key
+        )[: self.max_batch]
+        tasks = [task for _, task in compatible]
+        if len(tasks) < self.max_batch and self.max_wait_s > 0:
+            flush_at = min(task.enqueued_s for task in tasks) + self.max_wait_s
+            if flush_at > time_s + 1e-12:
+                return [], flush_at
+        self._remove(node_state, tasks)
+        return tasks, None
+
+    @staticmethod
+    def _remove(node_state, tasks) -> None:
+        chosen = {id(task) for task in tasks}
+        node_state.queue = [
+            entry for entry in node_state.queue if id(entry[1]) not in chosen
+        ]
+        heapq.heapify(node_state.queue)
+
+
+class DeadlineScheduler(Scheduler):
+    """Earliest-deadline-first over SLOs, with strict priority classes."""
+
+    name = "edf"
+
+    def __init__(self, admission: bool = True) -> None:
+        self.admission_control = admission
+
+    def queue_key(self, task, seq):
+        state = task.unit.state
+        request = state.request
+        deadline = (
+            request.arrival_s + request.slo_ms / 1e3
+            if request.slo_ms is not None
+            else math.inf
+        )
+        return (request.priority, deadline, request.index, task.unit.topo_key, seq)
+
+    def select(self, node_state, time_s):
+        _, task = heapq.heappop(node_state.queue)
+        return [task], None
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_SCHEDULER_FACTORIES = {
+    "fifo": FifoScheduler,
+    "batch": BatchingScheduler,
+    "edf": DeadlineScheduler,
+}
+
+
+def get_scheduler(name: str, **kwargs) -> Scheduler:
+    """Build a scheduler by registry name (``fifo``, ``batch``, ``edf``)."""
+    try:
+        factory = _SCHEDULER_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_SCHEDULER_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def resolve_scheduler(spec: "Scheduler | str | None") -> Scheduler:
+    """``None`` -> the default FIFO; a name -> registry; an instance -> itself."""
+    if spec is None:
+        return FifoScheduler()
+    if isinstance(spec, str):
+        return get_scheduler(spec)
+    if not isinstance(spec, Scheduler):
+        raise TypeError(f"expected a Scheduler, name or None, got {type(spec).__name__}")
+    return spec

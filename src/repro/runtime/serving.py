@@ -34,12 +34,28 @@ or cannot be replanned against the degraded deployment is recorded as
 ``failed``.  With no schedule the engine is bit-identical to its fault-free
 behaviour.
 
+Dispatch policy is pluggable through :mod:`repro.runtime.scheduler`: the
+default :class:`~repro.runtime.scheduler.FifoScheduler` reproduces the
+historical engine bit-for-bit (the golden traces pin it), while
+:class:`~repro.runtime.scheduler.BatchingScheduler` coalesces same-layer
+tasks on one node into micro-batches priced by the hardware's sublinear
+batch-cost curve, and :class:`~repro.runtime.scheduler.DeadlineScheduler`
+serves earliest-deadline-first over per-request SLOs with priority classes.
+Schedulers with admission control shed arriving requests whose predicted
+completion (idle critical path plus the current backlog on the nodes the
+plan touches) already breaches their SLO; shed requests are recorded as
+``rejected`` and surface as the report's shed count, goodput and
+SLO-attainment metrics.  A batch whose node dies aborts as a unit — every
+member request fails over together — and the retried attempts run
+*unbatched*.
+
 The engine consumes :class:`ServingRequest`s — a request plus its placement
 plan, latency profile, optional VSM plan and the network condition its
 transfers are charged under — and produces per-request
 :class:`~repro.runtime.simulator.ExecutionReport`s plus the aggregate
-:class:`ServingReport` (percentile latencies, throughput, utilisation,
-backbone traffic, availability).
+:class:`ServingReport` (percentile latencies, throughput, goodput,
+SLO attainment, batch occupancy, utilisation, backbone traffic,
+availability).
 """
 
 from __future__ import annotations
@@ -56,17 +72,19 @@ from repro.network.conditions import NetworkCondition
 from repro.network.faults import FaultEvent, FaultSchedule
 from repro.network.link import SharedLink
 from repro.network.topology import RouteUnavailableError
+from repro.profiling.hardware import batch_cost_s
 from repro.profiling.profiler import LatencyProfile
 from repro.runtime.cluster import Cluster
 from repro.runtime.messages import TensorTransfer
 from repro.runtime.node import ComputeNode
+from repro.runtime.scheduler import Scheduler, resolve_scheduler
 from repro.runtime.simulator import ExecutionReport, TimelineEvent
 
 #: Link contention models understood by the engine.
 LINK_CONTENTION_MODES = ("fifo", "none")
 
-#: Terminal request outcomes.
-REQUEST_STATUSES = ("completed", "failed")
+#: Terminal request outcomes (``rejected`` = shed by admission control).
+REQUEST_STATUSES = ("completed", "failed", "rejected")
 
 #: Default failover retry budget per request.
 DEFAULT_MAX_RETRIES = 3
@@ -97,6 +115,14 @@ class ServingRequest:
     #: Name of the device node the request originates at; ``None`` means the
     #: cluster's primary device (the pre-topology single-device behaviour).
     source: Optional[str] = None
+    #: Latency SLO in milliseconds; ``None`` = best-effort (no deadline).
+    slo_ms: Optional[float] = None
+    #: Priority class (0 = most important); only the deadline scheduler and
+    #: the per-class report metrics consult it.
+    priority: int = 0
+    #: Idle-cluster latency of the request's plan (from the plan cache);
+    #: admission control predicts completion as this plus the live backlog.
+    ideal_latency_s: Optional[float] = None
 
 
 @dataclass
@@ -111,15 +137,33 @@ class RequestRecord:
     #: Latency of the same plan on an idle cluster (filled by the serving
     #: layer from the plan cache); ``None`` when unknown.
     ideal_latency_s: Optional[float] = None
-    #: Terminal outcome: ``"completed"`` or ``"failed"`` (retry budget
-    #: exhausted / source device lost / degraded deployment unservable).
+    #: Terminal outcome: ``"completed"``, ``"failed"`` (retry budget
+    #: exhausted / source device lost / degraded deployment unservable) or
+    #: ``"rejected"`` (shed at arrival by SLO admission control).
     status: str = "completed"
     #: Failover attempts this request consumed (0 on an undisturbed run).
     retries: int = 0
+    #: The request's latency SLO in milliseconds (``None`` = best-effort).
+    slo_ms: Optional[float] = None
+    #: The request's priority class (0 = most important).
+    priority: int = 0
 
     @property
     def completed(self) -> bool:
         return self.status == "completed"
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == "rejected"
+
+    @property
+    def met_slo(self) -> bool:
+        """Completed within the SLO (best-effort requests count when served)."""
+        if not self.completed:
+            return False
+        if self.slo_ms is None:
+            return True
+        return self.latency_s <= self.slo_ms / 1e3 + 1e-12
 
     @property
     def latency_s(self) -> float:
@@ -135,6 +179,25 @@ class RequestRecord:
         return self.latency_s - self.ideal_latency_s
 
 
+@dataclass(frozen=True)
+class BatchRecord:
+    """One micro-batch dispatch (size > 1) the engine executed."""
+
+    node: str
+    label: str
+    size: int
+    start_s: float
+    end_s: float
+    #: Longest member's solo duration — the lower bound on the batch's cost.
+    longest_solo_s: float
+    #: Sum of the members' solo durations — what FIFO would have paid.
+    total_solo_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
 @dataclass
 class ServingReport:
     """Aggregate result of serving a workload on one cluster."""
@@ -144,6 +207,13 @@ class ServingReport:
     makespan_s: float = 0.0
     node_busy_s: Dict[str, float] = field(default_factory=dict)
     link_busy_s: Dict[str, float] = field(default_factory=dict)
+    #: Name of the dispatch policy the stream ran under.
+    scheduler: str = "fifo"
+    #: Dispatch-size histogram: ``{batch size: dispatches}``.  FIFO/EDF runs
+    #: are all size 1; the batching scheduler's occupancy shows up here.
+    batch_occupancy: Dict[int, int] = field(default_factory=dict)
+    #: Every multi-member batch the engine executed (size > 1 only).
+    batches: List[BatchRecord] = field(default_factory=list)
     #: Registry name of the partitioning method the stream was planned with
     #: (filled by :meth:`repro.core.d3.D3System.serve`; empty when the report
     #: was built directly from the simulator).
@@ -173,7 +243,12 @@ class ServingReport:
 
     @property
     def num_failed(self) -> int:
-        return self.num_requests - self.num_completed
+        return sum(1 for record in self.records if record.status == "failed")
+
+    @property
+    def num_rejected(self) -> int:
+        """Requests shed at arrival by SLO admission control."""
+        return sum(1 for record in self.records if record.rejected)
 
     @property
     def num_retried(self) -> int:
@@ -182,10 +257,15 @@ class ServingReport:
 
     @property
     def availability(self) -> float:
-        """Fraction of requests that completed (1.0 for an empty stream)."""
-        if not self.records:
+        """Fraction of *admitted* requests that completed (1.0 when empty).
+
+        Deliberately shed requests are an overload-policy outcome, not an
+        availability incident, so they leave the denominator.
+        """
+        admitted = self.num_requests - self.num_rejected
+        if admitted <= 0:
             return 1.0
-        return self.num_completed / self.num_requests
+        return self.num_completed / admitted
 
     @property
     def latencies_s(self) -> List[float]:
@@ -200,6 +280,53 @@ class ServingReport:
         return self.num_completed / self.makespan_s
 
     @property
+    def num_met_slo(self) -> int:
+        """Requests that completed within their SLO (best-effort = served)."""
+        return sum(1 for record in self.records if record.met_slo)
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-meeting completions per second — the metric overload is
+        judged on: shed and late requests contribute nothing."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.num_met_slo / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *offered* requests that completed within their SLO.
+
+        Shed requests count against attainment — admission control only pays
+        off when the capacity it frees lets the survivors meet theirs.
+        """
+        if not self.records:
+            return 1.0
+        return self.num_met_slo / self.num_requests
+
+    def class_percentiles(
+        self, quantiles: Tuple[float, ...] = (50.0, 95.0, 99.0)
+    ) -> Dict[int, Dict[str, float]]:
+        """Latency percentiles per priority class (completed requests)."""
+        from repro.experiments.reporting import latency_percentiles
+
+        by_class: Dict[int, List[float]] = {}
+        for record in self.records:
+            if record.completed:
+                by_class.setdefault(record.priority, []).append(record.latency_s)
+        return {
+            cls: latency_percentiles(values, quantiles)
+            for cls, values in sorted(by_class.items())
+        }
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average dispatch size (1.0 under FIFO/EDF; > 1 when batching bites)."""
+        total = sum(self.batch_occupancy.values())
+        if total == 0:
+            return 0.0
+        return sum(size * count for size, count in self.batch_occupancy.items()) / total
+
+    @property
     def bytes_to_cloud(self) -> int:
         """Total backbone traffic entering the cloud across all requests."""
         return sum(record.report.bytes_to_cloud for record in self.records)
@@ -208,6 +335,7 @@ class ServingReport:
         self,
         quantiles: Tuple[float, ...] = (50.0, 95.0, 99.0),
         retried_only: bool = False,
+        interpolation: str = "linear",
     ) -> Dict[str, float]:
         """Latency percentiles (``{"p50": ..., "p95": ..., "p99": ...}``).
 
@@ -216,6 +344,11 @@ class ServingReport:
         tail a fault-tolerant deployment is judged on).  An empty sample —
         an all-failed run, or no retried requests — returns zeros instead of
         raising, so degenerate reports stay well-formed.
+
+        ``interpolation`` selects the estimator: ``"linear"`` (the default,
+        matching ``numpy.percentile``) interpolates neighbouring order
+        statistics; ``"nearest"`` is the classic nearest-rank percentile (an
+        actually observed latency, preferred by some SLO auditors).
         """
         from repro.experiments.reporting import latency_percentiles
 
@@ -226,7 +359,7 @@ class ServingReport:
         ]
         if not values:
             return {f"p{q:g}": 0.0 for q in quantiles}
-        return latency_percentiles(values, quantiles)
+        return latency_percentiles(values, quantiles, interpolation=interpolation)
 
     @property
     def mean_latency_s(self) -> float:
@@ -261,10 +394,33 @@ class ServingReport:
     def summary(self) -> str:
         """Multi-line human-readable serving report."""
         via = f" via {self.method}" if self.method else ""
+        scheduled = f" [{self.scheduler}]" if self.scheduler != "fifo" else ""
         lines = [
             f"{self.workload_name}: {self.num_requests} requests in "
-            f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s){via}"
+            f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s){via}{scheduled}"
         ]
+        has_slos = any(record.slo_ms is not None for record in self.records)
+        if has_slos or self.num_rejected:
+            lines.append(
+                f"  goodput {self.goodput_rps:.2f} req/s, "
+                f"SLO attainment {self.slo_attainment:.1%}, "
+                f"{self.num_rejected} shed"
+            )
+            per_class = self.class_percentiles()
+            if len(per_class) > 1:
+                lines.append(
+                    "  per-class p95 "
+                    + ", ".join(
+                        f"class {cls} {pct['p95'] * 1e3:.1f} ms"
+                        for cls, pct in per_class.items()
+                    )
+                )
+        if self.batches:
+            lines.append(
+                f"  batching: {len(self.batches)} batches, "
+                f"mean occupancy {self.mean_batch_occupancy:.2f}, "
+                f"largest {max(self.batch_occupancy)}"
+            )
         if self.latencies_s:
             pct = self.latency_percentiles()
             lines.append(
@@ -335,6 +491,7 @@ class _Unit:
         "exec_nodes",
         "home_node",
         "completed",
+        "node_costs",
     )
 
     def __init__(
@@ -361,6 +518,10 @@ class _Unit:
         #: runs, the executing node otherwise).
         self.home_node: Optional[ComputeNode] = None
         self.completed = False
+        #: Memoized ``[(node name, solo seconds)]`` of this unit's tasks —
+        #: computed once per attempt by the admission predictor (units are
+        #: rebuilt on every failover retry, so the memo can never go stale).
+        self.node_costs: Optional[List[Tuple[str, float]]] = None
 
     def touches(self, node_name: str) -> bool:
         """True when any of this unit's work is bound to ``node_name``."""
@@ -385,6 +546,8 @@ class _RequestState:
         "failed",
         "failed_at_s",
         "retry_pending",
+        "rejected",
+        "no_batch",
     )
 
     def __init__(self, request: ServingRequest, source_node: ComputeNode) -> None:
@@ -407,11 +570,20 @@ class _RequestState:
         self.failed = False
         self.failed_at_s = 0.0
         self.retry_pending = False
+        #: Shed at arrival by admission control (terminal, never started).
+        self.rejected = False
+        #: Set when a batch died with its node: every retried attempt of this
+        #: request dispatches unbatched from then on.
+        self.no_batch = False
 
     @property
     def terminal(self) -> bool:
-        """True once the request completed or failed."""
-        return self.failed or (bool(self.unit_list) and self.remaining_units == 0)
+        """True once the request completed, failed or was shed."""
+        return (
+            self.failed
+            or self.rejected
+            or (bool(self.unit_list) and self.remaining_units == 0)
+        )
 
 
 @dataclass
@@ -425,6 +597,9 @@ class _Task:
     #: The owning request's attempt the task belongs to; a mismatch at
     #: dispatch/completion time means the attempt was aborted.
     epoch: int = 0
+    #: When the task entered its node's ready-queue; the batching
+    #: scheduler's ``max_wait`` hold is anchored at the oldest member.
+    enqueued_s: float = 0.0
 
 
 @dataclass
@@ -443,20 +618,29 @@ class _Inflight:
 
 
 class _NodeState:
-    """FIFO ready-queue and busy flag of one node."""
+    """Ready-queue (ordered by the scheduler's key) and busy flag of one node."""
 
-    __slots__ = ("node", "queue", "busy", "run_id", "current")
+    __slots__ = ("node", "queue", "busy", "run_id", "current", "flush_at", "dirty")
 
     def __init__(self, node: ComputeNode) -> None:
         self.node = node
-        self.queue: List[Tuple[Tuple[int, int, int], _Task]] = []
+        self.queue: List[Tuple[Tuple, _Task]] = []
         self.busy = False
-        #: Monotone id of the task occupying the node; a ``task_end`` event
-        #: carrying a stale id was cancelled by a node failure.
+        #: Deadline of the pending flush event during a batching hold;
+        #: ``None`` when no flush is outstanding (deduplicates the events a
+        #: busy hold window would otherwise pile up).
+        self.flush_at: Optional[float] = None
+        #: Set when an abort/failure may have left stale tasks in the queue;
+        #: cleared by the next prune.  Keeps the fault-free fast path free of
+        #: per-dispatch validation scans.
+        self.dirty = False
+        #: Monotone id of the dispatch occupying the node; a ``task_end``
+        #: event carrying a stale id was cancelled by a node failure.
         self.run_id = 0
-        #: ``(task, events_list, event_index, end_s)`` of the running task,
-        #: kept so a node death can truncate its timeline event.
-        self.current: Optional[Tuple[_Task, list, int, float]] = None
+        #: ``(members, end_s)`` of the running dispatch, where ``members`` is
+        #: one ``(task, events_list, event_index)`` per batch member, kept so
+        #: a node death can truncate every member's timeline event.
+        self.current: Optional[Tuple[List[Tuple[_Task, list, int]], float]] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -487,6 +671,11 @@ class ServingSimulator:
         :meth:`repro.core.d3.D3System.serve` wires the plan cache in here.
         Without it, retries re-resolve the existing plan onto surviving
         nodes.
+    scheduler:
+        Dispatch policy: a :class:`~repro.runtime.scheduler.Scheduler`
+        instance, a registry name (``"fifo"``, ``"batch"``, ``"edf"``) or
+        ``None`` for the default FIFO, which is bit-identical to the
+        pre-scheduler engine.
     """
 
     def __init__(
@@ -496,6 +685,7 @@ class ServingSimulator:
         faults: Optional[FaultSchedule] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         replan: Optional[ReplanCallback] = None,
+        scheduler: "Scheduler | str | None" = None,
     ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
@@ -509,7 +699,11 @@ class ServingSimulator:
         self.faults = faults
         self.max_retries = max_retries
         self._replan = replan
+        self.scheduler = resolve_scheduler(scheduler)
         self.failover_replans = 0
+        #: Dispatch-size histogram and multi-member batch log of the last run.
+        self.batch_occupancy: Dict[int, int] = {}
+        self.batches: List[BatchRecord] = []
         self._events: List[Tuple[float, int, str, object]] = []
         self._sequence = itertools.count()
         self._nodes: Dict[str, _NodeState] = {}
@@ -540,6 +734,8 @@ class ServingSimulator:
         self._node_down_intervals = {}
         self._link_down_intervals = {}
         self.failover_replans = 0
+        self.batch_occupancy = {}
+        self.batches = []
 
         # Fault events enter the queue first, so at equal timestamps a fault
         # precedes every arrival/task/transfer event: a node dying the instant
@@ -566,12 +762,33 @@ class ServingSimulator:
                 self._handle_fault(time_s, payload)  # type: ignore[arg-type]
             elif kind == "retry":
                 self._handle_retry(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "flush":
+                # A batching hold expired: re-ask the scheduler (no-op when
+                # the node went busy or the held work already dispatched).
+                node_state = payload  # type: _NodeState
+                if node_state.flush_at is not None and node_state.flush_at <= time_s + 1e-12:
+                    node_state.flush_at = None
+                self._dispatch(node_state, time_s)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
 
         records = []
         for state in sorted(self._states, key=lambda s: s.request.index):
             request = state.request
+            if state.rejected:
+                records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        model=request.graph.name,
+                        arrival_s=request.arrival_s,
+                        completion_s=request.arrival_s,
+                        report=state.report,
+                        status="rejected",
+                        slo_ms=request.slo_ms,
+                        priority=request.priority,
+                    )
+                )
+                continue
             if state.failed:
                 state.report.end_to_end_latency_s = state.failed_at_s - request.arrival_s
                 records.append(
@@ -583,6 +800,8 @@ class ServingSimulator:
                         report=state.report,
                         status="failed",
                         retries=state.retries,
+                        slo_ms=request.slo_ms,
+                        priority=request.priority,
                     )
                 )
                 continue
@@ -600,6 +819,8 @@ class ServingSimulator:
                     completion_s=state.completion_s,
                     report=state.report,
                     retries=state.retries,
+                    slo_ms=request.slo_ms,
+                    priority=request.priority,
                 )
             )
         return records
@@ -626,6 +847,9 @@ class ServingSimulator:
             failover_replans=self.failover_replans,
             node_down_s=_clip_downtime(self._node_down_intervals, start, end),
             link_down_s=_clip_downtime(self._link_down_intervals, start, end),
+            scheduler=self.scheduler.name,
+            batch_occupancy=dict(sorted(self.batch_occupancy.items())),
+            batches=list(self.batches),
         )
 
     # ------------------------------------------------------------------ #
@@ -645,21 +869,135 @@ class ServingSimulator:
             # over to — the client itself is offline.
             self._fail(state, time_s)
             return
+        if self.scheduler.admission_control and request.slo_ms is not None:
+            if not self._build(state):
+                self._fail(state, time_s)
+                return
+            predicted = self._predicted_latency_s(state, time_s)
+            if predicted > request.slo_ms / 1e3 + 1e-12:
+                # Shedding at the door: serving this request would blow its
+                # SLO *and* push everyone queued behind it further out.
+                state.rejected = True
+                state.epoch += 1
+                return
+            self._start_ready_units(state, time_s)
+            return
         if not self._activate(state, time_s):
             self._fail(state, time_s)
+
+    def _predicted_latency_s(self, state: _RequestState, time_s: float) -> float:
+        """Admission predictor: idle critical path + compute and wire backlog.
+
+        The compute backlog of a node is the *committed, unfinished* solo
+        work of every live request bound to it — not just what already sits
+        in its ready-queue, since a chain enqueues one stage at a time and a
+        queue-depth view would miss almost all of an admitted request's
+        remaining work.  The backlog of a wire is its reservation watermark:
+        store-and-forward booking pushes ``available_at`` out for every
+        queued transfer, so a saturated uplink — the usual bottleneck of
+        offloaded inference — is visible at the door.  Compute and wire
+        backlogs are taken as one pessimistic maximum each and summed, since
+        a request generally crosses its bottleneck wire *and* its bottleneck
+        node in series.  Deliberately conservative: batching and parallelism
+        can only beat the prediction, and under overload a conservative
+        predictor sheds the borderline request that would have missed anyway.
+        """
+        ideal = state.request.ideal_latency_s or 0.0
+        touched = {node.name for unit in state.unit_list for node in unit.exec_nodes}
+        committed = self._committed_node_s(touched, exclude=state)
+        node_backlog = max(committed.values(), default=0.0)
+        link_backlog = 0.0
+        if self.link_contention == "fifo":
+            for link in self._touched_links(state):
+                link_backlog = max(link_backlog, max(0.0, link.available_at - time_s))
+        return ideal + node_backlog + link_backlog
+
+    def _committed_node_s(
+        self, touched: set, exclude: _RequestState
+    ) -> Dict[str, float]:
+        """Unfinished solo compute seconds bound to each node in ``touched``
+        across every live request (the admitting request itself excluded)."""
+        committed = {name: 0.0 for name in touched}
+        for state in self._states:
+            if state is exclude or state.terminal:
+                continue
+            for unit in state.unit_list:
+                if unit.completed:
+                    continue
+                for name, duration in self._unit_node_costs(state, unit):
+                    if name in committed:
+                        committed[name] += duration
+        return committed
+
+    @staticmethod
+    def _unit_node_costs(state: _RequestState, unit: _Unit) -> List[Tuple[str, float]]:
+        """Per-node solo durations of one unit's tasks, memoized per attempt."""
+        if unit.node_costs is not None:
+            return unit.node_costs
+        profile = state.request.profile
+        costs: List[Tuple[str, float]] = []
+        if unit.run is None:
+            node = unit.exec_nodes[0]
+            vertex = unit.vertices[0]
+            costs.append(
+                (node.name, profile.get(vertex.index, unit.tier) / node.speed_factor)
+            )
+        else:
+            run = unit.run
+            for stack_index, stack in enumerate(run.stacks):
+                node = unit.exec_nodes[stack_index]
+                duration = sum(
+                    profile.get(vertex.index, Tier.EDGE)
+                    * stack.work_fraction(position, run.layer_output_area(position))
+                    for position, vertex in enumerate(run.vertices)
+                )
+                costs.append((node.name, duration / node.speed_factor))
+        unit.node_costs = costs
+        return costs
+
+    def _touched_links(self, state: _RequestState) -> List[SharedLink]:
+        """The wires the request's cross-unit edges will traverse."""
+        links: Dict[int, SharedLink] = {}
+        graph = state.request.graph
+        for unit in state.unit_list:
+            for vertex in unit.vertices:
+                for successor in graph.successors(vertex.index):
+                    successor_unit = state.units[successor.index]
+                    if successor_unit is unit:
+                        continue
+                    src, dst = unit.home_node, successor_unit.home_node
+                    if src is None or dst is None or src is dst:
+                        continue
+                    try:
+                        route = self.cluster.route(src.name, dst.name)
+                    except RouteUnavailableError:
+                        continue
+                    for link in route:
+                        links[id(link)] = link
+        return list(links.values())
 
     def _activate(self, state: _RequestState, time_s: float) -> bool:
         """(Re)build the request's stages against the live nodes and start
         every stage with no pending inputs; False when a needed tier is
         entirely down."""
+        if not self._build(state):
+            return False
+        self._start_ready_units(state, time_s)
+        return True
+
+    def _build(self, state: _RequestState) -> bool:
+        """(Re)build the request's stages; False when a needed tier is
+        entirely down.  Admission control peeks between build and start."""
         try:
             self._build_units(state)
         except _NoNodeAvailable:
             return False
+        return True
+
+    def _start_ready_units(self, state: _RequestState, time_s: float) -> None:
         for unit in state.unit_list:
             if unit.waiting == 0:
                 self._start_unit(state, unit, time_s)
-        return True
 
     def _build_units(self, state: _RequestState) -> None:
         request = state.request
@@ -782,60 +1120,130 @@ class ServingSimulator:
 
     def _enqueue_task(self, time_s: float, task: _Task) -> None:
         node_state = self._nodes[task.node.name]
-        priority = (task.unit.state.request.index, task.unit.topo_key, next(self._sequence))
-        heapq.heappush(node_state.queue, (priority, task))
+        task.enqueued_s = time_s
+        key = self.scheduler.queue_key(task, next(self._sequence))
+        heapq.heappush(node_state.queue, (key, task))
         self._dispatch(node_state, time_s)
 
+    def _prune_queue(self, node_state: _NodeState) -> None:
+        """Drop queued tasks of aborted or terminal attempts, so the
+        scheduler only ever reasons over live work.
+
+        Only runs when an abort flagged the node as dirty — on the fault-free
+        path every queued task is live by construction and dispatch stays
+        scan-free.
+        """
+        if not node_state.dirty:
+            return
+        node_state.dirty = False
+        node_state.queue = [
+            entry
+            for entry in node_state.queue
+            if entry[1].epoch == entry[1].unit.state.epoch
+            and not entry[1].unit.state.failed
+        ]
+        heapq.heapify(node_state.queue)
+
+    def _mark_queues_dirty(self, state: _RequestState) -> None:
+        """Flag the nodes that may hold queued tasks of a dying attempt."""
+        for unit in state.unit_list:
+            for node in unit.exec_nodes:
+                node_state = self._nodes.get(node.name)
+                if node_state is not None:
+                    node_state.dirty = True
+
     def _dispatch(self, node_state: _NodeState, time_s: float) -> None:
-        """Start the next queued task if the node is idle (work-conserving).
+        """Ask the scheduler for the next dispatch if the node is idle.
 
         Tasks whose attempt was aborted are discarded here; a down node
-        dispatches nothing until it recovers.
+        dispatches nothing until it recovers.  The scheduler may return a
+        deferral instead of work (a batching hold), in which case a flush
+        event re-asks at the hold's deadline.
         """
         if node_state.busy or not self.cluster.node_is_up(node_state.node.name):
             return
-        task: Optional[_Task] = None
-        while node_state.queue:
-            _, candidate = heapq.heappop(node_state.queue)
-            if candidate.epoch == candidate.unit.state.epoch and not candidate.unit.state.failed:
-                task = candidate
-                break
-        if task is None:
+        self._prune_queue(node_state)
+        if not node_state.queue:
             return
-        start, end = node_state.node.schedule(time_s, task.duration_s)
+        tasks, flush_at = self.scheduler.select(node_state, time_s)
+        if not tasks:
+            if flush_at is None:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} returned neither work "
+                    f"nor a flush deadline for a non-empty queue"
+                )
+            # Deduplicate: every enqueue/task_end during a hold re-asks the
+            # scheduler, but one pending flush per node deadline is enough.
+            if node_state.flush_at is None or flush_at < node_state.flush_at - 1e-12:
+                node_state.flush_at = flush_at
+                self._push(flush_at, "flush", node_state)
+            return
+        node_state.flush_at = None
+        self._start_dispatch(node_state, tasks, time_s)
+
+    def _start_dispatch(
+        self, node_state: _NodeState, tasks: List[_Task], time_s: float
+    ) -> None:
+        """Run one scheduler dispatch — a solo task or a micro-batch — on the
+        node.  A batch occupies the node once, for the hardware's sublinear
+        batch cost, and every member records a timeline event spanning it."""
+        solo = [task.duration_s for task in tasks]
+        if len(tasks) == 1:
+            duration = solo[0]
+        else:
+            duration = batch_cost_s(solo, node_state.node.hardware.batch_exponent)
+        start, end = node_state.node.schedule(time_s, duration)
         node_state.busy = True
-        state = task.unit.state
-        state.report.events.append(
-            TimelineEvent(
-                node=node_state.node.name,
-                tier=task.unit.tier,
-                label=task.label,
-                kind="compute",
-                start_s=start,
-                end_s=end,
-                request_id=state.request.request_id,
+        members = []
+        for task in tasks:
+            state = task.unit.state
+            label = task.label if len(tasks) == 1 else f"batch[{len(tasks)}]:{task.label}"
+            state.report.events.append(
+                TimelineEvent(
+                    node=node_state.node.name,
+                    tier=task.unit.tier,
+                    label=label,
+                    kind="compute",
+                    start_s=start,
+                    end_s=end,
+                    request_id=state.request.request_id,
+                )
             )
-        )
+            members.append((task, state.report.events, len(state.report.events) - 1))
         node_state.run_id += 1
-        node_state.current = (task, state.report.events, len(state.report.events) - 1, end)
-        self._push(end, "task_end", (node_state, task, node_state.run_id))
+        node_state.current = (members, end)
+        self.batch_occupancy[len(tasks)] = self.batch_occupancy.get(len(tasks), 0) + 1
+        if len(tasks) > 1:
+            self.batches.append(
+                BatchRecord(
+                    node=node_state.node.name,
+                    label=tasks[0].label,
+                    size=len(tasks),
+                    start_s=start,
+                    end_s=end,
+                    longest_solo_s=max(solo),
+                    total_solo_s=sum(solo),
+                )
+            )
+        self._push(end, "task_end", (node_state, tasks, node_state.run_id))
 
     def _handle_task_end(
-        self, time_s: float, payload: Tuple[_NodeState, _Task, int]
+        self, time_s: float, payload: Tuple[_NodeState, List[_Task], int]
     ) -> None:
-        node_state, task, run_id = payload
+        node_state, tasks, run_id = payload
         if run_id != node_state.run_id:
-            # The node died while this task was on it; the reservation was
-            # rolled back and the owning request already aborted.
+            # The node died while this dispatch was on it; the reservation
+            # was rolled back and the owning requests already aborted.
             return
         node_state.busy = False
         node_state.current = None
-        unit = task.unit
-        state = unit.state
-        if task.epoch == state.epoch and not state.failed:
-            unit.remaining_tasks -= 1
-            if unit.remaining_tasks == 0:
-                self._complete_unit(state, unit, time_s)
+        for task in tasks:
+            unit = task.unit
+            state = unit.state
+            if task.epoch == state.epoch and not state.failed:
+                unit.remaining_tasks -= 1
+                if unit.remaining_tasks == 0:
+                    self._complete_unit(state, unit, time_s)
         self._dispatch(node_state, time_s)
 
     def _complete_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
@@ -1018,20 +1426,31 @@ class ServingSimulator:
             spans[-1][1] = time_s
 
     def _kill_running_task(self, node_state: _NodeState, time_s: float) -> None:
-        """Cut short the task executing on a dying node.
+        """Cut short the dispatch executing on a dying node.
 
-        The recorded timeline event is truncated at the moment of death (the
-        work really did stop), the node's reservation and busy bookkeeping
-        are rolled back to ``time_s``, and the pending ``task_end`` event is
-        invalidated via the run id.
+        Every member's recorded timeline event is truncated at the moment of
+        death (the work really did stop), the node's reservation and busy
+        bookkeeping are rolled back to ``time_s``, and the pending
+        ``task_end`` event is invalidated via the run id.  A micro-batch
+        dies *as a unit* — all members abort together (their requests touch
+        the dead node, so :meth:`_abort_touching_node` sweeps them up) — and
+        each member is flagged to retry unbatched: the whole membership just
+        shared one failure domain, and the failover attempt must not.
         """
         node_state.run_id += 1
         if not node_state.busy or node_state.current is None:
             return
-        _, events_list, event_index, end_s = node_state.current
+        members, end_s = node_state.current
         if end_s > time_s:
-            events_list[event_index] = replace(events_list[event_index], end_s=time_s)
+            for _, events_list, event_index in members:
+                if events_list[event_index].end_s > time_s:
+                    events_list[event_index] = replace(
+                        events_list[event_index], end_s=time_s
+                    )
             node_state.node.busy_seconds -= end_s - time_s
+        if len(members) > 1:
+            for task, _, _ in members:
+                task.unit.state.no_batch = True
         node_state.node.available_at = time_s
         node_state.busy = False
         node_state.current = None
@@ -1121,6 +1540,7 @@ class ServingSimulator:
         if state.terminal:
             return
         self._release_inflight(state, time_s)
+        self._mark_queues_dirty(state)
         state.epoch += 1
         if not state.retry_pending:
             state.retry_pending = True
@@ -1154,6 +1574,7 @@ class ServingSimulator:
         state.failed_at_s = time_s
         state.epoch += 1
         state.completion_s = time_s
+        self._mark_queues_dirty(state)
 
 
 def _clip_downtime(

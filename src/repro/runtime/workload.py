@@ -15,7 +15,7 @@ original one-shot pipeline is expressed on top of the serving engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -50,6 +50,14 @@ class Request:
         Name of the device node the request originates at; ``None`` (the
         back-compat default) means the cluster's single/primary device.
         Multi-device topologies pin requests to distinct fleet members here.
+    slo_ms:
+        Latency service-level objective in milliseconds; ``None`` (the
+        default) is best-effort.  SLO-aware schedulers order and shed by it,
+        and the serving report's goodput/attainment metrics judge against it.
+    priority:
+        Priority class, 0 = most important.  The deadline scheduler serves
+        classes strictly in order; per-class latency percentiles are
+        reported.
     """
 
     index: int
@@ -57,10 +65,16 @@ class Request:
     arrival_s: float
     graph: Optional[DnnGraph] = None
     source: Optional[str] = None
+    slo_ms: Optional[float] = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival time cannot be negative")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive when set")
+        if self.priority < 0:
+            raise ValueError("priority class cannot be negative")
 
     @property
     def request_id(self) -> str:
@@ -112,12 +126,23 @@ class Workload:
     # ------------------------------------------------------------------ #
     @classmethod
     def single(
-        cls, model: ModelRef, at_s: float = 0.0, source: Optional[str] = None
+        cls,
+        model: ModelRef,
+        at_s: float = 0.0,
+        source: Optional[str] = None,
+        slo_ms: Optional[float] = None,
+        priority: int = 0,
     ) -> "Workload":
         """The degenerate one-request workload (the original one-shot path)."""
         graph = model if isinstance(model, DnnGraph) else None
         request = Request(
-            index=0, model=_model_name(model), arrival_s=at_s, graph=graph, source=source
+            index=0,
+            model=_model_name(model),
+            arrival_s=at_s,
+            graph=graph,
+            source=source,
+            slo_ms=slo_ms,
+            priority=priority,
         )
         return cls(requests=[request], name=f"single:{request.model}")
 
@@ -129,12 +154,17 @@ class Workload:
         interval_s: float,
         start_s: float = 0.0,
         sources: Optional[Sequence[str]] = None,
+        slo_ms: Optional[float] = None,
+        priorities: Optional[Sequence[int]] = None,
     ) -> "Workload":
         """Deterministic arrivals every ``interval_s`` seconds.
 
         With several models the stream cycles through them round-robin, so the
         mix is exact rather than merely expected; ``sources`` cycles the same
         way, pinning request *i* to device ``sources[i % len(sources)]``.
+        ``slo_ms`` applies one latency SLO to every request; ``priorities``
+        cycles priority classes round-robin (e.g. ``(0, 2)`` interleaves
+        premium and background traffic exactly 1:1).
         """
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
@@ -142,6 +172,7 @@ class Workload:
             raise ValueError("interval cannot be negative")
         choices = _as_model_list(models)
         origins = _as_source_list(sources)
+        classes = list(priorities) if priorities else [0]
         requests = [
             Request(
                 index=i,
@@ -149,6 +180,8 @@ class Workload:
                 arrival_s=start_s + i * interval_s,
                 graph=choices[i % len(choices)] if isinstance(choices[i % len(choices)], DnnGraph) else None,
                 source=origins[i % len(origins)] if origins else None,
+                slo_ms=slo_ms,
+                priority=classes[i % len(classes)],
             )
             for i in range(num_requests)
         ]
@@ -165,6 +198,8 @@ class Workload:
         start_s: float = 0.0,
         weights: Optional[Sequence[float]] = None,
         sources: Optional[Sequence[str]] = None,
+        slo_ms: Optional[float] = None,
+        priorities: Optional[Sequence[int]] = None,
     ) -> "Workload":
         """Poisson arrivals at ``rate_rps`` requests per second.
 
@@ -172,7 +207,9 @@ class Workload:
         several models each request samples its model from ``weights``
         (uniform when omitted).  ``sources`` pins request *i* to device
         ``sources[i % len(sources)]`` — round-robin, so a fleet's devices
-        contribute exactly evenly.  Fully determined by ``seed``.
+        contribute exactly evenly.  ``slo_ms`` applies one latency SLO to
+        every request and ``priorities`` cycles priority classes round-robin.
+        Fully determined by ``seed``.
         """
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
@@ -192,6 +229,7 @@ class Workload:
         gaps = rng.exponential(scale=1.0 / rate_rps, size=num_requests)
         picks = rng.choice(len(choices), size=num_requests, p=probabilities)
         origins = _as_source_list(sources)
+        classes = list(priorities) if priorities else [0]
         arrival = start_s
         requests: List[Request] = []
         for i in range(num_requests):
@@ -205,6 +243,8 @@ class Workload:
                     arrival_s=arrival,
                     graph=choice if isinstance(choice, DnnGraph) else None,
                     source=origins[i % len(origins)] if origins else None,
+                    slo_ms=slo_ms,
+                    priority=classes[i % len(classes)],
                 )
             )
         names = "+".join(_model_name(c) for c in choices)
@@ -224,11 +264,29 @@ class Workload:
                 arrival_s=r.arrival_s,
                 graph=r.graph,
                 source=r.source,
+                slo_ms=r.slo_ms,
+                priority=r.priority,
             )
             for i, r in enumerate(merged)
         ]
         name = "|".join(w.name for w in workloads)
         return cls(requests=requests, name=name)
+
+    def with_slo(
+        self, slo_ms: Optional[float], priority: Optional[int] = None
+    ) -> "Workload":
+        """A copy of the workload with every request's SLO (and optionally
+        priority class) replaced — how an existing stream is re-shaped into
+        a premium or background class."""
+        requests = [
+            replace(
+                request,
+                slo_ms=slo_ms,
+                priority=request.priority if priority is None else priority,
+            )
+            for request in self.requests
+        ]
+        return Workload(requests=requests, name=self.name)
 
 
 def _as_model_list(models: Union[ModelRef, Sequence[ModelRef]]) -> List[ModelRef]:

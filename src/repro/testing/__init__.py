@@ -1,0 +1,175 @@
+"""Golden-trace tooling: pin the serving engine's full event timelines.
+
+Summary statistics (p95, throughput, availability) are too coarse to pin a
+discrete-event engine: a refactor can shuffle the schedule, change every
+timestamp and still land on similar aggregates.  This module serializes the
+*complete* timeline of a serving run — every compute event, every transfer,
+every terminal status, in order, at full float precision — into a JSON
+document that is committed as a fixture and diffed exactly by
+``tests/runtime/test_golden_traces.py``.
+
+Three canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
+
+``steady``
+    A Poisson AlexNet stream on the canonical three-tier testbed — the
+    no-batching, no-fault serving baseline.
+``chaos``
+    The same testbed under a seeded chaos fault schedule with failover
+    retries — pins abort/retry/failover timing.
+``fleet``
+    A multi-device topology with requests pinned round-robin across the
+    device fleet — pins multi-hop routing and per-device source resolution.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python -m repro.testing regen-goldens
+
+which rewrites ``tests/runtime/goldens/*.json`` (run from the repo root, or
+pass ``--out``).  An unintentional diff is a regression: the default
+(FIFO-scheduled, admission-free) engine must stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.serving import RequestRecord, ServingReport
+
+#: Default fixture directory, relative to the repository root.
+GOLDENS_DIR = Path("tests") / "runtime" / "goldens"
+
+
+# --------------------------------------------------------------------------- #
+# Canonical scenarios
+# --------------------------------------------------------------------------- #
+def _steady_report() -> ServingReport:
+    from repro.core.d3 import D3Config, D3System
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(network="wifi", num_edge_nodes=4, use_regression=False, profiler_noise_std=0.0)
+    )
+    workload = Workload.poisson("alexnet", num_requests=24, rate_rps=12.0, seed=11)
+    return system.serve(workload)
+
+
+def _chaos_report() -> ServingReport:
+    from repro.core.d3 import D3Config, D3System
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(network="wifi", num_edge_nodes=3, use_regression=False, profiler_noise_std=0.0)
+    )
+    workload = Workload.poisson("vgg16", num_requests=16, rate_rps=6.0, seed=5)
+    return system.serve(workload, faults="chaos:2", max_retries=2)
+
+
+def _fleet_report() -> ServingReport:
+    from repro.core.d3 import D3Config, D3System
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(topology="multi_device", use_regression=False, profiler_noise_std=0.0)
+    )
+    sources = [node.name for node in system.cluster.devices]
+    workload = Workload.poisson(
+        "alexnet", num_requests=18, rate_rps=9.0, seed=3, sources=sources
+    )
+    return system.serve(workload)
+
+
+#: name -> report builder; every entry becomes one committed fixture.
+GOLDEN_SCENARIOS: Dict[str, Callable[[], ServingReport]] = {
+    "steady": _steady_report,
+    "chaos": _chaos_report,
+    "fleet": _fleet_report,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Serialization
+# --------------------------------------------------------------------------- #
+def serialize_record(record: RequestRecord) -> dict:
+    """One request's full timeline as a JSON-ready dict (exact floats)."""
+    return {
+        "request_id": record.request_id,
+        "model": record.model,
+        "status": record.status,
+        "retries": record.retries,
+        "arrival_s": record.arrival_s,
+        "completion_s": record.completion_s,
+        "latency_s": record.report.end_to_end_latency_s,
+        "events": [
+            {
+                "node": event.node,
+                "tier": event.tier.value,
+                "label": event.label,
+                "kind": event.kind,
+                "start_s": event.start_s,
+                "end_s": event.end_s,
+            }
+            for event in record.report.events
+        ],
+        "transfers": [
+            {
+                "producer": transfer.producer,
+                "consumer": transfer.consumer,
+                "source_tier": transfer.source_tier.value,
+                "destination_tier": transfer.destination_tier.value,
+                "payload_bytes": transfer.payload_bytes,
+                "start_s": transfer.start_s,
+                "duration_s": transfer.duration_s,
+            }
+            for transfer in record.report.transfers
+        ],
+    }
+
+
+def serialize_report(report: ServingReport) -> dict:
+    """A serving report's complete observable behaviour as a JSON document."""
+    return {
+        "workload": report.workload_name,
+        "method": report.method,
+        "makespan_s": report.makespan_s,
+        "num_requests": report.num_requests,
+        "num_completed": report.num_completed,
+        "num_failed": report.num_failed,
+        "failover_replans": report.failover_replans,
+        "node_busy_s": dict(sorted(report.node_busy_s.items())),
+        "link_busy_s": dict(sorted(report.link_busy_s.items())),
+        "node_down_s": dict(sorted(report.node_down_s.items())),
+        "link_down_s": dict(sorted(report.link_down_s.items())),
+        "records": [serialize_record(record) for record in report.records],
+    }
+
+
+def golden_trace(name: str) -> dict:
+    """Run one canonical scenario and serialize its timeline."""
+    if name not in GOLDEN_SCENARIOS:
+        raise KeyError(
+            f"unknown golden scenario {name!r}; available: {sorted(GOLDEN_SCENARIOS)}"
+        )
+    return serialize_report(GOLDEN_SCENARIOS[name]())
+
+
+def write_goldens(out_dir: Optional[Path] = None) -> List[Path]:
+    """Regenerate every golden fixture; returns the written paths."""
+    out_dir = Path(out_dir or GOLDENS_DIR)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in GOLDEN_SCENARIOS:
+        path = out_dir / f"{name}.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(golden_trace(name), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+def load_golden(name: str, goldens_dir: Optional[Path] = None) -> dict:
+    """Load one committed fixture."""
+    path = Path(goldens_dir or GOLDENS_DIR) / f"{name}.json"
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)

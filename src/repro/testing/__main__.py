@@ -1,0 +1,38 @@
+"""``python -m repro.testing`` — golden-trace maintenance commands."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.testing import GOLDENS_DIR, write_goldens
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="Maintenance commands for the golden-trace regression fixtures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    regen = sub.add_parser(
+        "regen-goldens",
+        help="re-run the canonical serving scenarios and rewrite the committed fixtures",
+    )
+    regen.add_argument(
+        "--out",
+        type=Path,
+        default=GOLDENS_DIR,
+        help=f"fixture directory (default: {GOLDENS_DIR}, i.e. run from the repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.command != "regen-goldens":
+        parser.print_help()
+        return 2
+    for path in write_goldens(args.out):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,49 @@ class TestPercentile:
             percentile([1.0], -0.1)
 
 
+class TestNearestRankInterpolation:
+    def test_nearest_rank_returns_observed_values(self):
+        values = [0.3, 0.1, 0.9, 0.5, 0.7]
+        for q in (1.0, 25.0, 50.0, 75.0, 95.0, 100.0):
+            assert percentile(values, q, interpolation="nearest") in values
+
+    def test_nearest_rank_formula(self):
+        # Classic nearest-rank: the ceil(q/100 * n)-th order statistic.
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50.0, interpolation="nearest") == 20.0
+        assert percentile(values, 51.0, interpolation="nearest") == 30.0
+        assert percentile(values, 100.0, interpolation="nearest") == 40.0
+        assert percentile(values, 0.0, interpolation="nearest") == 10.0
+
+    def test_nearest_matches_numpy_inverted_cdf(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(size=97).tolist()
+        for q in (10.0, 50.0, 90.0, 95.0, 99.0):
+            assert percentile(values, q, interpolation="nearest") == pytest.approx(
+                float(np.percentile(values, q, method="inverted_cdf")), rel=1e-12
+            )
+
+    def test_linear_stays_the_default(self):
+        """The flagged estimator must not disturb the pinned default — the
+        golden traces and every paper table are computed with linear."""
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == percentile(values, 50.0, interpolation="linear")
+        assert percentile(values, 50.0) == 2.5
+        assert percentile(values, 50.0, interpolation="nearest") == 2.0
+
+    def test_interpolations_agree_on_singleton(self):
+        assert percentile([7.0], 95.0, interpolation="nearest") == 7.0
+
+    def test_latency_percentiles_passes_flag_through(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        nearest = latency_percentiles(values, quantiles=(50.0,), interpolation="nearest")
+        assert nearest == {"p50": 2.0}
+
+    def test_unknown_interpolation_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], 50.0, interpolation="midpoint")
+
+
 class TestLatencyPercentiles:
     def test_default_keys(self):
         summary = latency_percentiles(list(range(1, 101)))

@@ -1,0 +1,193 @@
+"""Table-construction tests for the serving comparison harnesses.
+
+``experiments.availability`` and ``experiments.topologies`` were previously
+exercised only through the CLI smoke path; these tests pin their row/column
+shape, the ``None`` cells unsupported methods must produce, and determinism
+across runs.  ``experiments.slo`` additionally carries the scheduling
+acceptance properties: micro-batching strictly improves a compute-bound
+method's throughput at high arrival rates, and the deadline scheduler
+improves SLO attainment under overload.
+"""
+
+import pytest
+
+from repro.experiments.availability import (
+    format_availability_comparison,
+    run_availability_comparison,
+)
+from repro.experiments.serving import ServingScenario
+from repro.experiments.slo import (
+    format_slo_comparison,
+    occupancy_summary,
+    run_slo_comparison,
+)
+from repro.experiments.topologies import (
+    format_topology_comparison,
+    run_topology_comparison,
+)
+
+
+def tiny_scenario(**overrides):
+    """A fast deterministic scenario (ResNet-18 is a DAG, so Neurosurgeon —
+    chains only — must decline it and produce ``None`` cells)."""
+    base = dict(
+        models=("resnet18",),
+        num_requests=5,
+        rate_rps=4.0,
+        num_edge_nodes=2,
+    )
+    base.update(overrides)
+    return ServingScenario(**base)
+
+
+class TestAvailabilityTable:
+    METHODS = ("hpa_vsm", "neurosurgeon")
+    MTBFS = (None, 5.0)
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_availability_comparison(
+            methods=self.METHODS, mtbfs_s=self.MTBFS, scenario=tiny_scenario()
+        )
+
+    def test_row_shape_and_order(self, results):
+        assert len(results) == len(self.METHODS) * len(self.MTBFS)
+        assert [(m, f) for m, f, _ in results] == [
+            (method, mtbf) for method in self.METHODS for mtbf in self.MTBFS
+        ]
+
+    def test_unsupported_method_cells_are_none(self, results):
+        for method, _, report in results:
+            if method == "neurosurgeon":
+                assert report is None  # ResNet-18 is not a chain
+            else:
+                assert report is not None
+
+    def test_served_cells_cover_the_workload(self, results):
+        for _, _, report in results:
+            if report is not None:
+                assert report.num_requests == 5
+                assert 0.0 <= report.availability <= 1.0
+
+    def test_deterministic_across_runs(self, results):
+        again = run_availability_comparison(
+            methods=self.METHODS, mtbfs_s=self.MTBFS, scenario=tiny_scenario()
+        )
+        assert format_availability_comparison(again) == format_availability_comparison(
+            results
+        )
+
+    def test_format_renders_none_as_na(self, results):
+        text = format_availability_comparison(results)
+        assert "n/a" in text
+        assert "avail %" in text
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_availability_comparison(methods=())
+        with pytest.raises(ValueError):
+            run_availability_comparison(mtbfs_s=())
+
+
+class TestTopologyTable:
+    METHODS = ("hpa_vsm", "neurosurgeon")
+    TOPOLOGIES = ("three_tier", "multi_device")
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_topology_comparison(
+            methods=self.METHODS, topologies=self.TOPOLOGIES, scenario=tiny_scenario()
+        )
+
+    def test_row_and_column_shape(self, results):
+        assert [topology for topology, _ in results] == list(self.TOPOLOGIES)
+        for _, per_method in results:
+            assert list(per_method) == list(self.METHODS)
+
+    def test_unsupported_method_cells_are_none(self, results):
+        for _, per_method in results:
+            assert per_method["neurosurgeon"] is None
+            assert per_method["hpa_vsm"] is not None
+
+    def test_deterministic_across_runs(self, results):
+        again = run_topology_comparison(
+            methods=self.METHODS, topologies=self.TOPOLOGIES, scenario=tiny_scenario()
+        )
+        assert format_topology_comparison(again) == format_topology_comparison(results)
+
+    def test_format_has_one_column_per_method(self, results):
+        header = format_topology_comparison(results).splitlines()[1]
+        for method in self.METHODS:
+            assert f"{method} p95 ms" in header
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_topology_comparison(methods=())
+        with pytest.raises(ValueError):
+            run_topology_comparison(topologies=())
+
+
+class TestSloTable:
+    RATES = (2.0, 30.0)
+    SCHEDULERS = ("fifo", "batch", "edf")
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scenario = ServingScenario(
+            models=("alexnet",), num_requests=30, num_edge_nodes=4, slo_ms=500.0
+        )
+        return run_slo_comparison(
+            methods=("device_only",),
+            rates_rps=self.RATES,
+            schedulers=self.SCHEDULERS,
+            scenario=scenario,
+        )
+
+    def cell(self, results, rate, scheduler):
+        for method, r, s, report in results:
+            if r == rate and s == scheduler:
+                return report
+        raise AssertionError(f"missing cell ({rate}, {scheduler})")
+
+    def test_full_cross_product(self, results):
+        assert len(results) == len(self.RATES) * len(self.SCHEDULERS)
+
+    def test_batching_strictly_improves_overload_throughput(self, results):
+        fifo = self.cell(results, 30.0, "fifo")
+        batch = self.cell(results, 30.0, "batch")
+        assert batch.throughput_rps > fifo.throughput_rps
+        assert batch.mean_batch_occupancy > 1.0
+
+    def test_edf_improves_attainment_under_overload(self, results):
+        fifo = self.cell(results, 30.0, "fifo")
+        edf = self.cell(results, 30.0, "edf")
+        assert edf.slo_attainment > fifo.slo_attainment
+        assert edf.goodput_rps >= fifo.goodput_rps
+        assert edf.num_rejected > 0
+
+    def test_underload_needs_no_shedding(self, results):
+        edf = self.cell(results, 2.0, "edf")
+        assert edf.slo_attainment > 0.5
+
+    def test_unsupported_method_cells_are_none(self):
+        rows = run_slo_comparison(
+            methods=("neurosurgeon",),
+            rates_rps=(4.0,),
+            schedulers=("fifo",),
+            scenario=tiny_scenario(slo_ms=500.0),
+        )
+        assert rows == [("neurosurgeon", 4.0, "fifo", None)]
+        assert "n/a" in format_slo_comparison(rows)
+
+    def test_occupancy_summary_shape(self, results):
+        summary = occupancy_summary(results)
+        assert set(summary) == set(self.SCHEDULERS)
+        assert summary["batch"] >= summary["fifo"]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_slo_comparison(methods=())
+        with pytest.raises(ValueError):
+            run_slo_comparison(rates_rps=())
+        with pytest.raises(ValueError):
+            run_slo_comparison(schedulers=())

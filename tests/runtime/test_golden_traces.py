@@ -1,0 +1,97 @@
+"""Golden-trace regression harness: the serving engine's full event
+timelines are pinned beyond summary statistics.
+
+Each canonical scenario (steady Poisson stream, chaos fault injection,
+multi-device fleet) is re-simulated and its *complete* serialized timeline —
+every compute event, transfer, status and timestamp, at full float
+precision — is diffed exactly against the committed JSON fixture.  Any
+behaviour change in the default (FIFO, admission-free) engine shows up here
+even when p95/throughput happen to agree.
+
+After an intentional engine change, regenerate with::
+
+    PYTHONPATH=src python -m repro.testing regen-goldens
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing import (
+    GOLDEN_SCENARIOS,
+    golden_trace,
+    load_golden,
+    serialize_report,
+    write_goldens,
+)
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def roundtrip(document: dict) -> dict:
+    """Normalize through JSON so float repr and key types match the fixture."""
+    return json.loads(json.dumps(document, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Every canonical scenario simulated once (they are not free)."""
+    return {name: golden_trace(name) for name in GOLDEN_SCENARIOS}
+
+
+class TestGoldenTraces:
+    def test_fixtures_are_committed(self):
+        for name in GOLDEN_SCENARIOS:
+            assert (GOLDENS_DIR / f"{name}.json").exists(), (
+                f"missing fixture for {name!r}; run "
+                f"`PYTHONPATH=src python -m repro.testing regen-goldens`"
+            )
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+    def test_timeline_is_bit_identical(self, traces, name):
+        expected = load_golden(name, GOLDENS_DIR)
+        actual = roundtrip(traces[name])
+        # Compare piecewise first so a regression names the divergent request
+        # instead of dumping two 50 kB documents.
+        assert actual.keys() == expected.keys()
+        for key in expected:
+            if key != "records":
+                assert actual[key] == expected[key], f"{name}: {key} diverged"
+        assert len(actual["records"]) == len(expected["records"])
+        for mine, theirs in zip(actual["records"], expected["records"]):
+            assert mine == theirs, f"{name}: request {theirs['request_id']} diverged"
+
+    def test_traces_cover_the_interesting_regimes(self, traces):
+        """The three fixtures must keep exercising what they were chosen for."""
+        steady = traces["steady"]
+        assert steady["num_failed"] == 0 and not steady["node_down_s"]
+        chaos = traces["chaos"]
+        assert chaos["node_down_s"] or chaos["link_down_s"], (
+            "chaos fixture no longer injects any downtime"
+        )
+        assert any(r["retries"] > 0 for r in chaos["records"]) or chaos["num_failed"], (
+            "chaos fixture no longer disturbs any request"
+        )
+        fleet = traces["fleet"]
+        devices = {
+            e["node"]
+            for r in fleet["records"]
+            for e in r["events"]
+            if e["tier"] == "device"
+        }
+        assert len(devices) > 1, "fleet fixture no longer spreads over the devices"
+
+
+class TestRegeneration:
+    def test_regen_writes_identical_fixtures(self, traces, tmp_path):
+        """`regen-goldens` output equals both the live run and the fixtures."""
+        paths = write_goldens(tmp_path)
+        assert {p.name for p in paths} == {f"{n}.json" for n in GOLDEN_SCENARIOS}
+        for name in GOLDEN_SCENARIOS:
+            regenerated = json.loads((tmp_path / f"{name}.json").read_text())
+            assert regenerated == roundtrip(traces[name])
+
+    def test_serializer_is_deterministic(self):
+        report = GOLDEN_SCENARIOS["steady"]()
+        assert serialize_report(report) == serialize_report(report)

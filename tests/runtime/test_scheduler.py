@@ -1,0 +1,523 @@
+"""Tests for the pluggable serving schedulers (FIFO, batching, EDF) and the
+SLO machinery they drive: micro-batch cost, admission control, goodput and
+attainment accounting, and the batch-aware PlanEvaluator hooks.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.d3 import D3Config, D3System
+from repro.core.placement import PlacementPlan, PlanEvaluator, Tier
+from repro.profiling.hardware import EDGE_DESKTOP, JETSON_NANO, batch_cost_s
+from repro.runtime.scheduler import (
+    BatchingScheduler,
+    DeadlineScheduler,
+    FifoScheduler,
+    get_scheduler,
+    resolve_scheduler,
+)
+from repro.runtime.workload import Request, Workload
+from repro.testing import serialize_report
+
+
+def make_system(**overrides):
+    config = dict(
+        network="wifi", num_edge_nodes=4, use_regression=False, profiler_noise_std=0.0
+    )
+    config.update(overrides)
+    return D3System(D3Config(**config))
+
+
+def overload_workload(slo_ms=500.0, priorities=None, n=40, rate=20.0, seed=2):
+    return Workload.poisson(
+        "alexnet", num_requests=n, rate_rps=rate, seed=seed,
+        slo_ms=slo_ms, priorities=priorities,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The batch cost curve
+# --------------------------------------------------------------------------- #
+class TestBatchCost:
+    def test_singleton_is_solo_cost(self):
+        assert batch_cost_s([0.25], 0.85) == 0.25
+
+    def test_never_cheaper_than_longest_member(self):
+        for n in (2, 4, 8, 32):
+            assert batch_cost_s([0.1] * n, 0.6) >= 0.1
+
+    def test_never_dearer_than_sequential(self):
+        for n in (2, 4, 8, 32):
+            assert batch_cost_s([0.1] * n, 0.85) <= 0.1 * n + 1e-12
+
+    def test_sublinear_in_batch_size(self):
+        per_member = [batch_cost_s([0.1] * n, 0.85) / n for n in (1, 2, 4, 8)]
+        assert per_member == sorted(per_member, reverse=True)
+        assert per_member[-1] < per_member[0]
+
+    def test_uneven_members_clamped_by_longest(self):
+        assert batch_cost_s([1.0, 1e-6, 1e-6], 0.85) >= 1.0
+
+    def test_gpu_batches_better_than_cpu(self):
+        assert JETSON_NANO.batch_exponent < EDGE_DESKTOP.batch_exponent
+        gpu = batch_cost_s([0.1] * 8, JETSON_NANO.batch_exponent)
+        cpu = batch_cost_s([0.1] * 8, EDGE_DESKTOP.batch_exponent)
+        assert gpu < cpu
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_cost_s([], 0.85)
+        with pytest.raises(ValueError):
+            batch_cost_s([0.1], 0.0)
+        with pytest.raises(ValueError):
+            batch_cost_s([0.1], 1.5)
+
+
+# --------------------------------------------------------------------------- #
+# Registry and construction
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_names_resolve(self):
+        assert isinstance(get_scheduler("fifo"), FifoScheduler)
+        assert isinstance(get_scheduler("batch"), BatchingScheduler)
+        assert isinstance(get_scheduler("edf"), DeadlineScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_scheduler("lifo")
+
+    def test_resolve_spec_forms(self):
+        assert isinstance(resolve_scheduler(None), FifoScheduler)
+        assert isinstance(resolve_scheduler("edf"), DeadlineScheduler)
+        instance = BatchingScheduler(max_batch=2)
+        assert resolve_scheduler(instance) is instance
+        with pytest.raises(TypeError):
+            resolve_scheduler(42)
+
+    def test_batching_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BatchingScheduler(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingScheduler(max_wait_ms=-1.0)
+
+    def test_admission_defaults(self):
+        assert not FifoScheduler().admission_control
+        assert not BatchingScheduler().admission_control
+        assert DeadlineScheduler().admission_control
+
+
+# --------------------------------------------------------------------------- #
+# select() mechanics on a bare queue (no engine involved)
+# --------------------------------------------------------------------------- #
+def fake_task(key, enqueued_s=0.0, label="conv1", graph="g", no_batch=False, tier=Tier.EDGE):
+    task = SimpleNamespace(
+        enqueued_s=enqueued_s,
+        label=label,
+        unit=SimpleNamespace(
+            tier=tier,
+            topo_key=0,
+            state=SimpleNamespace(
+                no_batch=no_batch,
+                request=SimpleNamespace(graph=graph, index=key[0]),
+            ),
+        ),
+    )
+    return (key, task)
+
+
+def fake_node(entries):
+    import heapq
+
+    queue = list(entries)
+    heapq.heapify(queue)
+    return SimpleNamespace(queue=queue)
+
+
+class TestSelectMechanics:
+    def test_protocol_base_is_abstract(self):
+        from repro.runtime.scheduler import Scheduler
+
+        with pytest.raises(NotImplementedError):
+            Scheduler().select(fake_node([fake_task((0, 0, 0))]), 0.0)
+
+    def test_batching_holds_below_max_batch(self):
+        scheduler = BatchingScheduler(max_batch=4, max_wait_ms=10.0)
+        graph = object()
+        node = fake_node(
+            [fake_task((i, 0, i), enqueued_s=0.0, graph=graph) for i in range(2)]
+        )
+        tasks, flush_at = scheduler.select(node, 0.001)
+        assert tasks == []
+        assert flush_at == pytest.approx(0.010)  # oldest member + max_wait
+        assert len(node.queue) == 2  # nothing consumed while holding
+
+    def test_batching_flushes_at_deadline(self):
+        scheduler = BatchingScheduler(max_batch=4, max_wait_ms=10.0)
+        graph = object()
+        node = fake_node(
+            [fake_task((i, 0, i), enqueued_s=0.0, graph=graph) for i in range(2)]
+        )
+        tasks, flush_at = scheduler.select(node, 0.011)  # hold expired
+        assert flush_at is None
+        assert len(tasks) == 2
+        assert node.queue == []
+
+    def test_batching_dispatches_full_batch_immediately(self):
+        scheduler = BatchingScheduler(max_batch=3, max_wait_ms=10.0)
+        graph = object()
+        node = fake_node(
+            [fake_task((i, 0, i), enqueued_s=0.0, graph=graph) for i in range(5)]
+        )
+        tasks, flush_at = scheduler.select(node, 0.0)
+        assert flush_at is None
+        assert len(tasks) == 3  # capped at max_batch
+        assert len(node.queue) == 2
+
+    def test_incompatible_work_never_coalesces(self):
+        scheduler = BatchingScheduler(max_batch=4, max_wait_ms=0.0)
+        graph = object()
+        node = fake_node(
+            [
+                fake_task((0, 0, 0), graph=graph, label="conv1"),
+                fake_task((1, 0, 1), graph=graph, label="conv2"),
+                fake_task((2, 0, 2), graph=graph, label="conv1"),
+            ]
+        )
+        tasks, _ = scheduler.select(node, 0.0)
+        assert [t.label for t in tasks] == ["conv1", "conv1"]
+        assert [t.label for _, t in node.queue] == ["conv2"]
+
+    def test_no_batch_head_dispatches_alone(self):
+        """A failover retry of a dead batch's member must not re-batch."""
+        scheduler = BatchingScheduler(max_batch=4, max_wait_ms=10.0)
+        graph = object()
+        node = fake_node(
+            [
+                fake_task((0, 0, 0), graph=graph, no_batch=True),
+                fake_task((1, 0, 1), graph=graph),
+            ]
+        )
+        tasks, flush_at = scheduler.select(node, 0.0)
+        assert flush_at is None
+        assert len(tasks) == 1 and tasks[0].unit.state.no_batch
+        assert len(node.queue) == 1
+
+    def test_no_batch_member_excluded_from_others_batches(self):
+        scheduler = BatchingScheduler(max_batch=4, max_wait_ms=0.0)
+        graph = object()
+        node = fake_node(
+            [
+                fake_task((0, 0, 0), graph=graph),
+                fake_task((1, 0, 1), graph=graph, no_batch=True),
+                fake_task((2, 0, 2), graph=graph),
+            ]
+        )
+        tasks, _ = scheduler.select(node, 0.0)
+        assert len(tasks) == 2
+        assert all(not t.unit.state.no_batch for t in tasks)
+
+    def test_max_batch_one_degenerates_to_fifo(self):
+        scheduler = BatchingScheduler(max_batch=1, max_wait_ms=10.0)
+        graph = object()
+        node = fake_node(
+            [fake_task((i, 0, i), graph=graph) for i in range(3)]
+        )
+        tasks, flush_at = scheduler.select(node, 0.0)
+        assert flush_at is None and len(tasks) == 1
+
+
+# --------------------------------------------------------------------------- #
+# FIFO: the default must be the old engine, exactly
+# --------------------------------------------------------------------------- #
+class TestFifoEquivalence:
+    def test_explicit_fifo_bit_identical_to_default(self):
+        workload = Workload.poisson("alexnet", num_requests=20, rate_rps=15.0, seed=4)
+        default = make_system().serve(workload)
+        explicit = make_system().serve(workload, scheduler="fifo")
+        assert serialize_report(default) == serialize_report(explicit)
+
+    def test_slo_fields_alone_do_not_change_the_schedule(self):
+        plain = Workload.poisson("alexnet", num_requests=20, rate_rps=15.0, seed=4)
+        tagged = plain.with_slo(250.0, priority=1)
+        a = make_system().serve(plain)
+        b = make_system().serve(tagged)
+        assert [r.completion_s for r in a.records] == [r.completion_s for r in b.records]
+        assert b.num_rejected == 0  # FIFO has no admission control
+
+
+# --------------------------------------------------------------------------- #
+# Batching
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def batched_overload():
+    """device_only under deep overload: the compute-bound batching regime."""
+    workload = overload_workload()
+    fifo = make_system().serve(workload, method="device_only", scheduler="fifo")
+    batch = make_system().serve(workload, method="device_only", scheduler="batch")
+    return fifo, batch
+
+
+class TestBatchingScheduler:
+    def test_batches_actually_form(self, batched_overload):
+        _, batch = batched_overload
+        assert batch.scheduler == "batch"
+        assert batch.batches, "no micro-batches formed under deep overload"
+        assert batch.mean_batch_occupancy > 1.5
+
+    def test_throughput_strictly_improves_over_fifo(self, batched_overload):
+        fifo, batch = batched_overload
+        assert batch.throughput_rps > fifo.throughput_rps * 1.1
+
+    def test_batch_cost_bounds(self, batched_overload):
+        _, batch = batched_overload
+        for record in batch.batches:
+            assert record.duration_s >= record.longest_solo_s - 1e-12
+            assert record.duration_s <= record.total_solo_s + 1e-12
+
+    def test_max_batch_respected(self):
+        workload = overload_workload()
+        report = make_system().serve(
+            workload, method="device_only", scheduler=BatchingScheduler(max_batch=3)
+        )
+        assert report.batch_occupancy
+        assert max(report.batch_occupancy) <= 3
+
+    def test_zero_wait_still_serves_everything(self):
+        workload = overload_workload()
+        report = make_system().serve(
+            workload,
+            method="device_only",
+            scheduler=BatchingScheduler(max_batch=4, max_wait_ms=0.0),
+        )
+        assert report.num_completed == len(workload)
+
+    def test_every_request_terminates_exactly_once(self, batched_overload):
+        _, batch = batched_overload
+        assert len(batch.records) == 40
+        assert len({r.request_id for r in batch.records}) == 40
+        for record in batch.records:
+            assert record.status in ("completed", "failed", "rejected")
+
+    def test_members_share_the_batch_interval(self, batched_overload):
+        """Batched timeline events carry a batch label and identical spans."""
+        _, batch = batched_overload
+        spans = {}
+        for record in batch.records:
+            for event in record.report.events:
+                if event.label.startswith("batch["):
+                    spans.setdefault((event.node, event.start_s), set()).add(event.end_s)
+        assert spans, "expected batch-labelled events"
+        for ends in spans.values():
+            assert len(ends) == 1
+
+
+# --------------------------------------------------------------------------- #
+# EDF and admission control
+# --------------------------------------------------------------------------- #
+class TestDeadlineScheduler:
+    def test_queue_key_orders_by_class_then_deadline(self):
+        scheduler = DeadlineScheduler()
+
+        def key(priority, arrival, slo_ms, index, seq):
+            task = SimpleNamespace(
+                unit=SimpleNamespace(
+                    topo_key=0,
+                    state=SimpleNamespace(
+                        request=SimpleNamespace(
+                            priority=priority, arrival_s=arrival,
+                            slo_ms=slo_ms, index=index,
+                        )
+                    ),
+                )
+            )
+            return scheduler.queue_key(task, seq)
+
+        urgent = key(0, 0.0, 50.0, 1, 1)
+        relaxed = key(0, 0.0, 500.0, 0, 0)
+        background = key(1, 0.0, 10.0, 2, 2)
+        best_effort = key(0, 0.0, None, 3, 3)
+        assert urgent < relaxed < best_effort  # within class 0: by deadline
+        assert best_effort < background  # class 0 always precedes class 1
+        assert best_effort[1] == math.inf
+
+    def test_same_class_deadlines_never_invert(self):
+        """Among same-class keys, sort order follows deadlines exactly."""
+        scheduler = DeadlineScheduler()
+        keys = []
+        for seq, slo in enumerate((300.0, 80.0, 150.0, None, 40.0)):
+            task = SimpleNamespace(
+                unit=SimpleNamespace(
+                    topo_key=0,
+                    state=SimpleNamespace(
+                        request=SimpleNamespace(
+                            priority=0, arrival_s=0.1 * seq, slo_ms=slo, index=seq
+                        )
+                    ),
+                )
+            )
+            keys.append(scheduler.queue_key(task, seq))
+        deadlines = [key[1] for key in sorted(keys)]
+        assert deadlines == sorted(deadlines)
+
+    def test_admission_sheds_under_overload(self):
+        workload = overload_workload()
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        assert report.scheduler == "edf"
+        assert report.num_rejected > 0
+        assert report.num_rejected + report.num_completed + report.num_failed == 40
+
+    def test_shed_requests_never_execute(self):
+        workload = overload_workload()
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        for record in report.records:
+            if record.rejected:
+                assert record.report.events == []
+                assert record.report.transfers == []
+                assert record.completion_s == record.arrival_s
+
+    def test_attainment_beats_fifo_under_overload(self):
+        workload = overload_workload()
+        fifo = make_system().serve(workload, method="device_only", scheduler="fifo")
+        edf = make_system().serve(workload, method="device_only", scheduler="edf")
+        assert edf.slo_attainment > fifo.slo_attainment
+        assert edf.goodput_rps > fifo.goodput_rps
+
+    def test_survivors_meet_their_slo(self):
+        workload = overload_workload()
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        met = [r for r in report.records if r.met_slo]
+        assert met
+        for record in met:
+            assert record.latency_s <= record.slo_ms / 1e3 + 1e-9
+
+    def test_priority_classes_protected(self):
+        workload = overload_workload(priorities=(0, 1), n=40, rate=20.0)
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        per_class = report.class_percentiles()
+        if 0 in per_class and 1 in per_class:
+            assert per_class[0]["p95"] <= per_class[1]["p95"] + 1e-9
+
+    def test_no_slo_means_no_shedding(self):
+        workload = overload_workload(slo_ms=None)
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        assert report.num_rejected == 0
+        assert report.num_completed == 40
+
+
+# --------------------------------------------------------------------------- #
+# Report metrics
+# --------------------------------------------------------------------------- #
+class TestSloMetrics:
+    def test_goodput_attainment_consistency(self):
+        workload = overload_workload()
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        assert report.num_met_slo <= report.num_completed
+        assert report.slo_attainment == pytest.approx(
+            report.num_met_slo / report.num_requests
+        )
+        assert report.goodput_rps == pytest.approx(
+            report.num_met_slo / report.makespan_s
+        )
+        assert report.goodput_rps <= report.throughput_rps + 1e-9
+
+    def test_rejections_leave_availability_semantics(self):
+        workload = overload_workload()
+        report = make_system().serve(workload, method="device_only", scheduler="edf")
+        admitted = report.num_requests - report.num_rejected
+        assert report.availability == pytest.approx(report.num_completed / admitted)
+
+    def test_summary_mentions_slo_and_batching(self):
+        workload = overload_workload(priorities=(0, 1))
+        report = make_system().serve(workload, method="device_only", scheduler="batch")
+        text = report.summary()
+        assert "goodput" in text
+        assert "batching:" in text
+        assert "[batch]" in text
+
+    def test_empty_report_defaults(self):
+        from repro.runtime.serving import ServingReport
+
+        report = ServingReport(workload_name="empty")
+        assert report.slo_attainment == 1.0
+        assert report.goodput_rps == 0.0
+        assert report.mean_batch_occupancy == 0.0
+        assert report.class_percentiles() == {}
+
+
+# --------------------------------------------------------------------------- #
+# Workload SLO plumbing
+# --------------------------------------------------------------------------- #
+class TestWorkloadSlo:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(index=0, model="alexnet", arrival_s=0.0, slo_ms=0.0)
+        with pytest.raises(ValueError):
+            Request(index=0, model="alexnet", arrival_s=0.0, priority=-1)
+
+    def test_constructors_apply_slo_and_classes(self):
+        workload = Workload.constant_rate(
+            "alexnet", num_requests=4, interval_s=0.1, slo_ms=100.0, priorities=(0, 2)
+        )
+        assert [r.slo_ms for r in workload] == [100.0] * 4
+        assert [r.priority for r in workload] == [0, 2, 0, 2]
+
+    def test_with_slo_rewrites_stream(self):
+        workload = Workload.poisson("alexnet", num_requests=5, rate_rps=2.0, seed=0)
+        tagged = workload.with_slo(80.0, priority=1)
+        assert [r.slo_ms for r in tagged] == [80.0] * 5
+        assert all(r.priority == 1 for r in tagged)
+        assert [r.arrival_s for r in tagged] == [r.arrival_s for r in workload]
+
+    def test_merge_preserves_slo_fields(self):
+        premium = Workload.poisson(
+            "alexnet", num_requests=3, rate_rps=2.0, seed=0, slo_ms=50.0
+        )
+        background = Workload.poisson(
+            "alexnet", num_requests=3, rate_rps=2.0, seed=1, priorities=(2,)
+        )
+        merged = Workload.merge(premium, background)
+        assert sorted(r.slo_ms for r in merged if r.slo_ms) == [50.0] * 3
+        assert sum(1 for r in merged if r.priority == 2) == 3
+
+
+# --------------------------------------------------------------------------- #
+# Batch-aware PlanEvaluator hooks
+# --------------------------------------------------------------------------- #
+class TestBatchedEvaluator:
+    @pytest.fixture(scope="class")
+    def evaluator(self, alexnet, alexnet_profile, wifi):
+        return PlanEvaluator(alexnet_profile, wifi)
+
+    @pytest.fixture(scope="class")
+    def plan(self, alexnet):
+        return PlacementPlan.single_tier(alexnet, Tier.EDGE)
+
+    def test_batch_one_is_the_plain_objective(self, evaluator, plan):
+        assert evaluator.batched_objective(plan, 1) == pytest.approx(
+            evaluator.objective(plan)
+        )
+
+    def test_per_request_compute_amortizes(self, evaluator, plan):
+        costs = [evaluator.batched_objective(plan, n) for n in (1, 2, 4, 8)]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] < costs[0]
+
+    def test_vertex_hook_consistent(self, evaluator, alexnet):
+        vertex = next(iter(alexnet))
+        solo = evaluator.vertex_latency(vertex, Tier.EDGE)
+        assert evaluator.batched_vertex_latency(vertex, Tier.EDGE, 1) == solo
+        amortized = evaluator.batched_vertex_latency(vertex, Tier.EDGE, 4)
+        assert amortized < solo
+        assert amortized * 4 >= solo  # the batch still costs at least one solo
+
+    def test_tier_exponents_respected(self, evaluator, plan):
+        cpu = evaluator.batched_objective(plan, 8, {Tier.EDGE: 0.85})
+        gpu = evaluator.batched_objective(plan, 8, {Tier.EDGE: 0.6})
+        assert gpu < cpu
+
+    def test_batch_size_validation(self, evaluator, alexnet):
+        vertex = next(iter(alexnet))
+        with pytest.raises(ValueError):
+            evaluator.batched_vertex_latency(vertex, Tier.EDGE, 0)

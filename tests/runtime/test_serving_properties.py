@@ -10,8 +10,15 @@ must uphold no matter what dies when:
 * a completed, never-retried request's latency is bounded below by its plan's
   idle critical path (the plan-cache ideal latency);
 * no compute event overlaps an interval during which its node was down;
-* an empty schedule leaves the availability machinery untouched.
+* an empty schedule leaves the availability machinery untouched;
+* under the micro-batching scheduler: no batch spans a node-downtime window,
+  a batch costs at least its longest member's solo time (and at most the
+  sequential sum), and every admitted request still terminates exactly once;
+* the EDF queue key never inverts two same-class deadlines on one node queue.
 """
+
+import math
+from types import SimpleNamespace
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -24,6 +31,7 @@ from repro.network.faults import (
     NodeDown,
     NodeUp,
 )
+from repro.runtime.scheduler import BatchingScheduler, DeadlineScheduler
 from repro.runtime.workload import Workload
 
 #: Fault targets of the 3-edge-node canonical testbed the suite runs on.
@@ -139,6 +147,109 @@ def test_serving_invariants_under_faults(system, raw, params):
                     assert not (event.start_s < up_s and event.end_s > down_s), (
                         f"{event} overlaps {target} downtime [{down_s}, {up_s})"
                     )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(raw=raw_events, params=workload_params)
+def test_batching_invariants_under_faults(system, raw, params):
+    """The micro-batching scheduler upholds the engine's invariants no
+    matter what dies when:
+
+    * no batch — no compute event at all — spans a node-downtime window;
+    * a batch's compute time is bounded below by its longest member's solo
+      time and above by the members' sequential sum;
+    * every admitted request still terminates exactly once.
+    """
+    num_requests, rate_rps, seed = params
+    schedule = build_schedule(raw)
+    workload = Workload.poisson(
+        "alexnet", num_requests=num_requests, rate_rps=max(rate_rps, 4.0), seed=seed
+    )
+    report = system.serve(
+        workload,
+        faults=schedule,
+        max_retries=2,
+        scheduler=BatchingScheduler(max_batch=4, max_wait_ms=20.0),
+    )
+
+    # -- termination exactly once, shed xor served ------------------------
+    assert len(report.records) == num_requests
+    assert len({r.request_id for r in report.records}) == num_requests
+    for record in report.records:
+        assert record.status in ("completed", "failed", "rejected")
+    assert (
+        report.num_completed + report.num_failed + report.num_rejected == num_requests
+    )
+
+    # -- batch cost bounds -------------------------------------------------
+    for batch in report.batches:
+        assert batch.duration_s >= batch.longest_solo_s - 1e-12
+        assert batch.duration_s <= batch.total_solo_s + 1e-12
+        assert batch.size > 1
+    if report.batches:
+        assert max(report.batch_occupancy) <= 4
+
+    # -- no batch overlaps a downtime window of its node -------------------
+    for target in NODE_TARGETS:
+        for down_s, up_s in down_intervals(schedule, target):
+            for batch in report.batches:
+                if batch.node != target:
+                    continue
+                assert not (batch.start_s < up_s and batch.end_s > down_s), (
+                    f"batch {batch} overlaps {target} downtime [{down_s}, {up_s})"
+                )
+            for record in report.records:
+                for event in record.report.events:
+                    if event.node != target:
+                        continue
+                    assert not (event.start_s < up_s and event.end_s > down_s), (
+                        f"{event} overlaps {target} downtime [{down_s}, {up_s})"
+                    )
+
+
+edf_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # priority class
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # arrival
+        st.one_of(st.none(), st.floats(min_value=1.0, max_value=1000.0)),  # slo
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(raw=edf_requests)
+def test_edf_never_inverts_same_class_deadlines(raw):
+    """Sorting by the EDF queue key never serves a later same-class deadline
+    before an earlier one on the same node queue."""
+    scheduler = DeadlineScheduler()
+    keys = []
+    for seq, (priority, arrival, slo) in enumerate(raw):
+        task = SimpleNamespace(
+            unit=SimpleNamespace(
+                topo_key=0,
+                state=SimpleNamespace(
+                    request=SimpleNamespace(
+                        priority=priority, arrival_s=arrival, slo_ms=slo, index=seq
+                    )
+                ),
+            )
+        )
+        keys.append(scheduler.queue_key(task, seq))
+    ordered = sorted(keys)
+    # Priority classes are strictly respected...
+    assert [k[0] for k in ordered] == sorted(k[0] for k in ordered)
+    # ...and within one class, absolute deadlines are never inverted.
+    for previous, current in zip(ordered, ordered[1:]):
+        if previous[0] == current[0]:
+            assert previous[1] <= current[1] or (
+                math.isinf(previous[1]) and math.isinf(current[1])
+            )
 
 
 @settings(

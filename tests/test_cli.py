@@ -179,3 +179,68 @@ class TestFaultsFlag:
         path.write_text(FaultSchedule([NodeDown(0.5, "edge-42")]).to_json())
         assert main(["serve", "--model", "alexnet", "--faults", str(path)]) == 1
         assert "unknown node" in capsys.readouterr().err
+
+
+class TestSchedulerFlag:
+    def test_serve_with_batch_scheduler_and_slo(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--method",
+                    "device_only",
+                    "--scheduler",
+                    "batch",
+                    "--slo-ms",
+                    "500",
+                    "--requests",
+                    "20",
+                    "--rate",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[batch]" in out
+        assert "goodput" in out and "SLO attainment" in out
+        assert "batching:" in out
+
+    def test_serve_with_edf_sheds_under_overload(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--method",
+                    "device_only",
+                    "--scheduler",
+                    "edf",
+                    "--slo-ms",
+                    "500",
+                    "--requests",
+                    "20",
+                    "--rate",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[edf]" in out and "shed" in out
+
+    def test_default_scheduler_output_unchanged(self, capsys):
+        assert main(["serve", "--model", "alexnet", "--requests", "5", "--rate", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "[fifo]" not in out and "goodput" not in out
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scheduler", "lifo"])
+
+    def test_bad_slo_fails_cleanly(self, capsys):
+        assert main(["serve", "--model", "alexnet", "--slo-ms", "0"]) == 1
+        assert "--slo-ms must be positive" in capsys.readouterr().err
