@@ -1,0 +1,20 @@
+"""Thin wrapper: run the serving-engine benchmark from the benchmarks/ tree.
+
+Equivalent to ``repro bench engine`` / ``python -m repro.benchmarks.engine``;
+kept next to the other bench scripts so the whole performance surface lives in
+one directory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --requests 10000
+    PYTHONPATH=src python benchmarks/bench_engine.py --write BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.benchmarks.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,11 @@ plan-cache effectiveness as JSON.  A second, *batched-mode* episode serves an
 overloaded compute-bound stream (``device_only``, the regime micro-batching
 exists for) under an SLO through the batching scheduler and records its
 p95/goodput/occupancy next to a FIFO reference, so the performance trajectory
-tracks scheduling wins as well as raw engine speed.  CI uploads the file as
-an artifact per commit.
+tracks scheduling wins as well as raw engine speed.
+
+The default output is the *committed* ``BENCH_serving.json`` at the repository
+root (updated in place — the trajectory is tracked in git, not just as a CI
+artifact); pass a path to write elsewhere.
 
 Usage::
 
@@ -18,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 from repro.core.d3 import D3Config, D3System
@@ -99,8 +103,14 @@ def run_batched_episode() -> dict:
     return episode
 
 
+#: The committed trajectory file this script maintains.
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_serving.json"
+)
+
+
 def main() -> int:
-    output = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serving.json"
+    output = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_OUTPUT
     payload = run_benchmark()
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

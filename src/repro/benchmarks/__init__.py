@@ -1,0 +1,6 @@
+"""Performance benchmark harnesses (wall-clock, not correctness).
+
+:mod:`repro.benchmarks.engine` measures the serving engine itself — events/sec,
+requests/sec, wall time and peak RSS at 10k/100k/1M requests across the three
+schedulers — and maintains the committed ``BENCH_engine.json`` trajectory file.
+"""

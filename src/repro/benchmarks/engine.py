@@ -1,0 +1,296 @@
+"""Serving-engine benchmark: events/sec, requests/sec, wall time, peak RSS.
+
+The engine's correctness is pinned by golden traces; this module pins its
+*speed*.  It drives :class:`~repro.runtime.serving.ServingSimulator` directly
+over a pre-planned request stream (planning happens before the clock starts,
+so the numbers measure the discrete-event engine, not the partitioner) in
+``stream_stats`` mode, and reports one row per ``(request count, scheduler)``
+cell.
+
+Each cell runs in a fresh subprocess so peak RSS is the cell's own high-water
+mark rather than whatever an earlier, larger run left behind (``ru_maxrss``
+never shrinks within a process).  The committed ``BENCH_engine.json`` tracks
+the trajectory across PRs; CI re-runs the small cells and fails on a >20%
+events/sec regression against the committed numbers (see ``--check``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.benchmarks.engine --requests 10000
+    repro bench engine --requests 10000 --check BENCH_engine.json
+    repro bench engine --write BENCH_engine.json   # refresh the committed file
+
+The scenario is fixed — alexnet at a constant 200 req/s on the paper's
+four-edge-node wifi testbed — so numbers are comparable across commits.  EDF
+cells attach a 250 ms SLO to every request: that exercises the admission
+predictor (the committed-compute scan) on the hot path, which FIFO never
+touches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+#: The fixed benchmark scenario (changing any of these resets the trajectory).
+MODEL = "alexnet"
+NUM_EDGE_NODES = 4
+NETWORK = "wifi"
+INTERVAL_S = 0.005
+EDF_SLO_MS = 250.0
+
+DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
+SCHEDULERS = ("fifo", "batch", "edf")
+DEFAULT_OUTPUT = "BENCH_engine.json"
+
+#: The engine this PR replaced, measured on the same scenario (100k FIFO):
+#: the acceptance bar is >=5x events/sec over these numbers, and they stay in
+#: the bench file so the trajectory keeps its origin.
+BASELINE_BEFORE = {
+    "label": "pre-optimization engine, 100k fifo, same scenario",
+    "requests": 100_000,
+    "wall_s": 35.391,
+    "requests_per_s": 2825.5,
+    "events_per_s": 33907.0,
+    "peak_rss_mb": 690.6,
+}
+
+
+def run_single(size: int, scheduler: str) -> Dict:
+    """One benchmark cell, measured in this process.
+
+    Plans the workload first (cold plan cache — one miss, then stream-wide
+    hits), then times ``ServingSimulator.run`` alone.
+    """
+    from repro.core.d3 import D3Config, D3System
+    from repro.runtime.serving import ServingSimulator
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(
+            network=NETWORK,
+            num_edge_nodes=NUM_EDGE_NODES,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+    slo_ms = EDF_SLO_MS if scheduler == "edf" else None
+    workload = Workload.constant_rate(
+        MODEL, num_requests=size, interval_s=INTERVAL_S, slo_ms=slo_ms
+    )
+    requests = system.plan_requests(workload)
+    simulator = ServingSimulator(
+        system.cluster, scheduler=scheduler, stream_stats=True
+    )
+    start = time.perf_counter()
+    simulator.run(requests)
+    wall_s = time.perf_counter() - start
+    report = simulator.build_report(workload.name, [])
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "requests": size,
+        "scheduler": scheduler,
+        "wall_s": round(wall_s, 3),
+        "events": simulator.events_processed,
+        "events_per_s": round(simulator.events_processed / wall_s, 1),
+        "requests_per_s": round(size / wall_s, 1),
+        "peak_rss_mb": round(peak_kb / 1024.0, 1),
+        "completed": report.num_completed,
+        "rejected": report.num_rejected,
+    }
+
+
+def _run_cell(size: int, scheduler: str, isolate: bool) -> Dict:
+    """Run one cell, in a subprocess when ``isolate`` (clean RSS high-water mark)."""
+    if not isolate:
+        return run_single(size, scheduler)
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    output = subprocess.check_output(
+        [
+            sys.executable,
+            "-m",
+            "repro.benchmarks.engine",
+            "--single",
+            str(size),
+            scheduler,
+        ],
+        env=env,
+    )
+    return json.loads(output)
+
+
+def run_benchmark(
+    sizes: List[int], schedulers: List[str], isolate: bool = True
+) -> Dict:
+    """The full grid as a ``BENCH_engine.json``-shaped payload."""
+    results: Dict[str, Dict[str, Dict]] = {}
+    for size in sizes:
+        row: Dict[str, Dict] = {}
+        for scheduler in schedulers:
+            cell = _run_cell(size, scheduler, isolate)
+            row[scheduler] = cell
+            print(
+                f"  {size:>9,} x {scheduler:<5}  wall {cell['wall_s']:>8.3f}s  "
+                f"{cell['events_per_s']:>10,.0f} events/s  "
+                f"{cell['requests_per_s']:>9,.0f} req/s  "
+                f"rss {cell['peak_rss_mb']:>7.1f} MB",
+                file=sys.stderr,
+            )
+        results[str(size)] = row
+    return {
+        "schema": 1,
+        "scenario": {
+            "model": MODEL,
+            "arrival": "constant",
+            "interval_s": INTERVAL_S,
+            "rate_rps": 1.0 / INTERVAL_S,
+            "network": NETWORK,
+            "num_edge_nodes": NUM_EDGE_NODES,
+            "edf_slo_ms": EDF_SLO_MS,
+            "stream_stats": True,
+        },
+        "baseline_before": dict(BASELINE_BEFORE),
+        "results": results,
+    }
+
+
+def check_regression(
+    payload: Dict, reference_path: str, tolerance: float
+) -> List[str]:
+    """Cells of ``payload`` slower than committed reference by > tolerance."""
+    with open(reference_path, "r", encoding="utf-8") as handle:
+        reference = json.load(handle)
+    failures = []
+    for size, row in payload["results"].items():
+        reference_row = reference.get("results", {}).get(size, {})
+        for scheduler, cell in row.items():
+            committed = reference_row.get(scheduler)
+            if committed is None:
+                continue
+            floor = committed["events_per_s"] * (1.0 - tolerance)
+            if cell["events_per_s"] < floor:
+                failures.append(
+                    f"{size} x {scheduler}: {cell['events_per_s']:,.0f} events/s "
+                    f"< {floor:,.0f} (committed {committed['events_per_s']:,.0f} "
+                    f"- {tolerance:.0%})"
+                )
+    return failures
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench engine",
+        description="Benchmark the serving engine (events/sec, wall time, peak RSS).",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help=(
+            "request count to measure (repeatable; default: the committed "
+            "trajectory's 10k/100k/1M grid)"
+        ),
+    )
+    parser.add_argument(
+        "--schedulers",
+        default=",".join(SCHEDULERS),
+        metavar="LIST",
+        help="comma-separated scheduler subset (default: fifo,batch,edf)",
+    )
+    parser.add_argument(
+        "--write",
+        nargs="?",
+        const=DEFAULT_OUTPUT,
+        default=None,
+        metavar="PATH",
+        help=f"write the payload as JSON (default path: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="fail when events/sec regresses versus this committed bench file",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression for --check (default: 0.2)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        metavar="EVENTS_PER_S",
+        help="fail when any measured cell falls below this absolute events/sec",
+    )
+    parser.add_argument(
+        "--no-isolate",
+        action="store_true",
+        help="run cells in-process (faster, but peak RSS accumulates)",
+    )
+    parser.add_argument(
+        "--single",
+        nargs=2,
+        default=None,
+        metavar=("SIZE", "SCHEDULER"),
+        help=argparse.SUPPRESS,  # internal: one cell, JSON on stdout
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.single is not None:
+        cell = run_single(int(args.single[0]), args.single[1])
+        json.dump(cell, sys.stdout)
+        sys.stdout.write("\n")
+        return 0
+
+    sizes = args.requests if args.requests else list(DEFAULT_SIZES)
+    schedulers = [name.strip() for name in args.schedulers.split(",") if name.strip()]
+    for name in schedulers:
+        if name not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {name!r}; expected one of {SCHEDULERS}")
+    payload = run_benchmark(sizes, schedulers, isolate=not args.no_isolate)
+    print(json.dumps(payload, indent=2))
+
+    status = 0
+    if args.floor is not None:
+        for size, row in payload["results"].items():
+            for scheduler, cell in row.items():
+                if cell["events_per_s"] < args.floor:
+                    print(
+                        f"FLOOR VIOLATION {size} x {scheduler}: "
+                        f"{cell['events_per_s']:,.0f} < {args.floor:,.0f} events/s",
+                        file=sys.stderr,
+                    )
+                    status = 1
+    if args.check is not None:
+        failures = check_regression(payload, args.check, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+    if args.write is not None:
+        with open(args.write, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.write}", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -306,6 +306,7 @@ class D3System:
         faults: "FaultSchedule | str | None" = None,
         max_retries: Optional[int] = None,
         scheduler: "Scheduler | str | None" = None,
+        stream_stats: bool = False,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -366,6 +367,13 @@ class D3System:
             scheduler serves EDF over the workload's ``slo_ms``/``priority``
             fields and sheds requests whose SLO is already unreachable at
             arrival.
+        stream_stats:
+            Serve at benchmark scale: aggregates stream into online
+            accumulators instead of materializing per-request records and
+            timelines, so memory stays O(nodes) rather than O(requests).
+            The report's summary numbers are identical below the exact-
+            percentile threshold and reservoir-estimated above it; its
+            ``records``/``timeline`` views are empty.
 
         Returns
         -------
@@ -379,8 +387,61 @@ class D3System:
             self.plan_cache.set_thresholds(thresholds)
         schedule = self._resolve_faults(faults, workload)
         before = self.plan_cache.stats()
+        requests, ideal_by_id = self._plan_workload(workload, strategy, schedule, trace)
 
-        requests = []
+        simulator = ServingSimulator(
+            self.cluster,
+            link_contention=link_contention,
+            faults=schedule,
+            max_retries=self.config.max_retries if max_retries is None else max_retries,
+            replan=self._make_replanner(strategy, trace) if schedule else None,
+            scheduler=scheduler,
+            stream_stats=stream_stats,
+        )
+        records = simulator.run(requests)
+        for record in records:
+            if record.completed and record.retries == 0:
+                # Queueing delay compares a clean run against its own idle
+                # baseline; retried/failed requests are measured by the
+                # availability metrics instead.
+                record.ideal_latency_s = ideal_by_id.get(record.request_id)
+
+        report = simulator.build_report(workload.name, records)
+        report.method = strategy.name
+        after = self.plan_cache.stats()
+        report.cache_hits = after["hits"] - before["hits"]
+        report.cache_misses = after["misses"] - before["misses"]
+        report.repartitions = after["repartitions"] - before["repartitions"]
+        report.plans_computed = report.cache_misses + report.repartitions
+        return report
+
+    def plan_requests(
+        self,
+        workload: Workload,
+        method: Optional[str] = None,
+        trace: Optional[BandwidthTrace] = None,
+    ) -> List[ServingRequest]:
+        """Plan every request of ``workload`` into simulator-ready form.
+
+        The exact planning pass :meth:`serve` runs (plan cache, traces,
+        per-arrival conditions) without the simulation — benchmark harnesses
+        use it to price a workload once and then drive
+        :class:`ServingSimulator` directly, so engine timings measure the
+        engine rather than the planner.
+        """
+        strategy = self._strategy_for(method)
+        requests, _ = self._plan_workload(workload, strategy, None, trace)
+        return requests
+
+    def _plan_workload(
+        self,
+        workload: Workload,
+        strategy: PartitionStrategy,
+        schedule: Optional[FaultSchedule],
+        trace: Optional[BandwidthTrace],
+    ) -> Tuple[List[ServingRequest], Dict[str, float]]:
+        """Price one request stream: ``(serving requests, ideal latency by id)``."""
+        requests: List[ServingRequest] = []
         ideal_by_id: Dict[str, float] = {}
         topology = self.cluster.topology
         sample_topology = trace is None and topology.has_traced_links
@@ -451,31 +512,7 @@ class D3System:
                 )
             )
             ideal_by_id[request.request_id] = entry.ideal_latency_s
-
-        simulator = ServingSimulator(
-            self.cluster,
-            link_contention=link_contention,
-            faults=schedule,
-            max_retries=self.config.max_retries if max_retries is None else max_retries,
-            replan=self._make_replanner(strategy, trace) if schedule else None,
-            scheduler=scheduler,
-        )
-        records = simulator.run(requests)
-        for record in records:
-            if record.completed and record.retries == 0:
-                # Queueing delay compares a clean run against its own idle
-                # baseline; retried/failed requests are measured by the
-                # availability metrics instead.
-                record.ideal_latency_s = ideal_by_id.get(record.request_id)
-
-        report = simulator.build_report(workload.name, records)
-        report.method = strategy.name
-        after = self.plan_cache.stats()
-        report.cache_hits = after["hits"] - before["hits"]
-        report.cache_misses = after["misses"] - before["misses"]
-        report.repartitions = after["repartitions"] - before["repartitions"]
-        report.plans_computed = report.cache_misses + report.repartitions
-        return report
+        return requests, ideal_by_id
 
     # ------------------------------------------------------------------ #
     # Failure handling: degraded planning, failover replanning, fail-back

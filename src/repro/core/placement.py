@@ -223,17 +223,36 @@ class PlanEvaluator:
     def __init__(self, profile: LatencyProfile, network: NetworkCondition) -> None:
         self.profile = profile
         self.network = network
+        # Per-instance memo tables.  A profile lookup and a tier-pair
+        # transfer are pure functions of their keys (noise is baked into the
+        # profile at measurement time), and the serve path re-asks for the
+        # same handful of (vertex, tier) pairs once per candidate plan per
+        # request — memoizing turns the inner Θ loops into dict hits.
+        self._vertex_memo: Dict[tuple, float] = {}
+        self._edge_memo: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------ #
     def vertex_latency(self, vertex: Vertex, tier: Tier) -> float:
         """``t^{l_i}_i`` for one vertex."""
-        return self.profile.get(vertex.index, tier)
+        key = (vertex.index, tier)
+        memo = self._vertex_memo
+        if key not in memo:
+            memo[key] = self.profile.get(vertex.index, tier)
+        return memo[key]
 
     def edge_latency(self, src: Vertex, src_tier: Tier, dst_tier: Tier) -> float:
         """``t^{[l_i, l_j]}_{ij}`` for one directed link."""
         if src_tier == dst_tier:
             return 0.0
-        return self.network.transfer_seconds(src.output_bytes, src_tier.value, dst_tier.value)
+        # output_bytes joins the key so evaluator reuse across graphs whose
+        # vertex indices collide can never alias a different payload.
+        key = (src.index, src.output_bytes, src_tier, dst_tier)
+        memo = self._edge_memo
+        if key not in memo:
+            memo[key] = self.network.transfer_seconds(
+                src.output_bytes, src_tier.value, dst_tier.value
+            )
+        return memo[key]
 
     # ------------------------------------------------------------------ #
     # Batch-aware cost hooks (the serving scheduler's planning view)

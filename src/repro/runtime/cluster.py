@@ -18,11 +18,27 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.placement import Tier
-from repro.network.conditions import NetworkCondition, get_condition
-from repro.network.link import SharedLink, transfer_seconds
+from repro.network.conditions import BandwidthTrace, NetworkCondition, get_condition
+from repro.network.link import MBPS_TO_BYTES_PER_SECOND, SharedLink, transfer_seconds
 from repro.network.topology import NodeSpec, Topology, canonical_links
 from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, HardwareSpec, RASPBERRY_PI_4
 from repro.runtime.node import ComputeNode
+
+
+def _condition_divisor(condition: NetworkCondition, tier_a, tier_b) -> float:
+    """Bytes-per-second divisor of ``condition.transfer_seconds`` for a tier pair.
+
+    ``0.0`` is the "always zero seconds" sentinel (same-tier with negligible
+    intra-tier delay).  Ops mirror :meth:`NetworkCondition.transfer_seconds`
+    exactly so precomputed pricing stays bit-identical.
+    """
+    src = getattr(tier_a, "value", tier_a)
+    dst = getattr(tier_b, "value", tier_b)
+    if src == dst:
+        if condition.intra_tier_mbps > 0:
+            return condition.intra_tier_mbps * 1e6 / 8.0
+        return 0.0
+    return condition.bandwidth_mbps(src, dst) * 1e6 / 8.0
 
 
 @dataclass
@@ -79,6 +95,13 @@ class Cluster:
             }
         self._nodes_by_name = {node.name: node for node in self.all_nodes}
         self._routes: Dict[tuple, List[SharedLink]] = {}
+        #: Lazily built per-link pricing table (see :meth:`hop_seconds`):
+        #: topology link specs never change, so the classification and the
+        #: static/inherited divisors are computed once per link instead of
+        #: once per hop.  Inherited entries memoize one divisor per network
+        #: condition (id-keyed; the ref list pins the conditions so a
+        #: recycled id can never alias a different one).
+        self._hop_pricing: Dict[str, tuple] = {}
         #: Failure state: names of currently-down topology nodes and links.
         #: Mutated by the serving engine while it consumes a fault schedule;
         #: :meth:`reset` restores full health.
@@ -315,12 +338,43 @@ class Cluster:
         condition, exactly the pre-topology semantics); static and traced
         links price against their own rate.
         """
+        entry = self._hop_pricing.get(link.link_id)
+        if entry is None:
+            entry = self._hop_pricing[link.link_id] = self._hop_pricing_for(link)
+        kind = entry[0]
+        if kind == "static":
+            if payload_bytes < 0:
+                raise ValueError("payload_bytes cannot be negative")
+            if payload_bytes == 0:
+                return 0.0
+            return payload_bytes / entry[1] + 0.0
+        if kind == "inherited":
+            _, tier_a, tier_b, memo, refs = entry
+            divisor = memo.get(id(condition))
+            if divisor is None:
+                divisor = _condition_divisor(condition, tier_a, tier_b)
+                memo[id(condition)] = divisor
+                refs.append(condition)
+            if divisor:
+                return payload_bytes / divisor
+            return 0.0
+        return transfer_seconds(payload_bytes, entry[1].mbps_at(time_s))
+
+    def _hop_pricing_for(self, link: SharedLink) -> tuple:
+        """Classify one wire's pricing once (its topology spec never changes)."""
         spec = self.topology.links[link.link_id]
-        own = spec.mbps_at(time_s)
-        if own is None:
+        bandwidth = spec.bandwidth
+        if bandwidth is None:
             tier_a, tier_b = self.topology.link_tier_pair(spec)
-            return condition.transfer_seconds(payload_bytes, tier_a, tier_b)
-        return transfer_seconds(payload_bytes, own)
+            return ("inherited", tier_a, tier_b, {}, [])
+        if isinstance(bandwidth, BandwidthTrace):
+            return ("traced", spec)
+        own = float(bandwidth)
+        if own <= 0:
+            # Non-positive static rate: defer to transfer_seconds so the
+            # "bandwidth must be positive" error surfaces unchanged.
+            return ("traced", spec)
+        return ("static", own * MBPS_TO_BYTES_PER_SECOND)
 
     def shared_link(self, source, destination) -> SharedLink:
         """The single wire between two tiers/nodes (KeyError when multi-hop)."""

@@ -145,10 +145,14 @@ class BatchingScheduler(Scheduler):
         key = batch_compatibility_key(head)
         # One linear scan for membership, then sort only the (small)
         # compatible subset — not the whole queue — by scheduling key.
+        # Entries already consumed by an earlier batch (tombstoned, awaiting
+        # lazy deletion) are not real work and must not re-batch.
+        tombstones = node_state.tombstones
         compatible = sorted(
             entry
             for entry in node_state.queue
-            if not entry[1].unit.state.no_batch
+            if entry[1] not in tombstones
+            and not entry[1].unit.state.no_batch
             and batch_compatibility_key(entry[1]) == key
         )[: self.max_batch]
         tasks = [task for _, task in compatible]
@@ -161,11 +165,26 @@ class BatchingScheduler(Scheduler):
 
     @staticmethod
     def _remove(node_state, tasks) -> None:
-        chosen = {id(task) for task in tasks}
-        node_state.queue = [
-            entry for entry in node_state.queue if id(entry[1]) not in chosen
-        ]
-        heapq.heapify(node_state.queue)
+        """Lazily delete consumed batch members from the node's ready-queue.
+
+        Historically this filtered and re-heapified the whole queue on every
+        flush — O(queue) per batch.  Tombstoning is O(batch): members are
+        marked consumed and physically dropped only when they surface at the
+        heap root (the engine purges before every select).  The queue is
+        compacted outright once tombstones outnumber the live half, keeping
+        memory and scan costs bounded under sustained batching.
+        """
+        tombstones = node_state.tombstones
+        tombstones.update(tasks)
+        queue = node_state.queue
+        while queue and queue[0][1] in tombstones:
+            tombstones.discard(heapq.heappop(queue)[1])
+        if len(tombstones) > (len(queue) >> 1):
+            node_state.queue = [
+                entry for entry in queue if entry[1] not in tombstones
+            ]
+            tombstones.clear()
+            heapq.heapify(node_state.queue)
 
 
 class DeadlineScheduler(Scheduler):

@@ -74,10 +74,16 @@ from repro.network.link import SharedLink
 from repro.network.topology import RouteUnavailableError
 from repro.profiling.hardware import batch_cost_s
 from repro.profiling.profiler import LatencyProfile
+from repro.runtime.accumulators import DEFAULT_EXACT_THRESHOLD, ServingStats
 from repro.runtime.cluster import Cluster
 from repro.runtime.messages import TensorTransfer
 from repro.runtime.node import ComputeNode
-from repro.runtime.scheduler import Scheduler, resolve_scheduler
+from repro.runtime.scheduler import (
+    DeadlineScheduler,
+    FifoScheduler,
+    Scheduler,
+    resolve_scheduler,
+)
 from repro.runtime.simulator import ExecutionReport, TimelineEvent
 
 #: Link contention models understood by the engine.
@@ -231,28 +237,43 @@ class ServingReport:
     node_down_s: Dict[str, float] = field(default_factory=dict)
     #: Seconds each link spent dark within the makespan window.
     link_down_s: Dict[str, float] = field(default_factory=dict)
+    #: Online accumulators filled when the engine ran with ``stream_stats``;
+    #: ``records`` is empty then and every aggregate below reads from here.
+    #: Percentiles are exact while the run fits the accumulator's exact
+    #: threshold and reservoir estimates beyond it.
+    stats: Optional[ServingStats] = None
 
     # ------------------------------------------------------------------ #
     @property
     def num_requests(self) -> int:
+        if self.stats is not None and not self.records:
+            return self.stats.num_requests
         return len(self.records)
 
     @property
     def num_completed(self) -> int:
+        if self.stats is not None and not self.records:
+            return self.stats.num_completed
         return sum(1 for record in self.records if record.completed)
 
     @property
     def num_failed(self) -> int:
+        if self.stats is not None and not self.records:
+            return self.stats.num_failed
         return sum(1 for record in self.records if record.status == "failed")
 
     @property
     def num_rejected(self) -> int:
         """Requests shed at arrival by SLO admission control."""
+        if self.stats is not None and not self.records:
+            return self.stats.num_rejected
         return sum(1 for record in self.records if record.rejected)
 
     @property
     def num_retried(self) -> int:
         """Requests that consumed at least one failover retry."""
+        if self.stats is not None and not self.records:
+            return self.stats.num_retried
         return sum(1 for record in self.records if record.retries > 0)
 
     @property
@@ -269,7 +290,14 @@ class ServingReport:
 
     @property
     def latencies_s(self) -> List[float]:
-        """Latencies of *completed* requests (failures have no latency)."""
+        """Latencies of *completed* requests (failures have no latency).
+
+        Under ``stream_stats`` this is the accumulator's retained sample —
+        the full stream while the run fits the exact threshold, a seeded
+        reservoir beyond it.
+        """
+        if self.stats is not None and not self.records:
+            return self.stats.percentiles.sample
         return [record.latency_s for record in self.records if record.completed]
 
     @property
@@ -282,6 +310,8 @@ class ServingReport:
     @property
     def num_met_slo(self) -> int:
         """Requests that completed within their SLO (best-effort = served)."""
+        if self.stats is not None and not self.records:
+            return self.stats.num_met_slo
         return sum(1 for record in self.records if record.met_slo)
 
     @property
@@ -299,7 +329,7 @@ class ServingReport:
         Shed requests count against attainment — admission control only pays
         off when the capacity it frees lets the survivors meet theirs.
         """
-        if not self.records:
+        if self.num_requests == 0:
             return 1.0
         return self.num_met_slo / self.num_requests
 
@@ -309,6 +339,11 @@ class ServingReport:
         """Latency percentiles per priority class (completed requests)."""
         from repro.experiments.reporting import latency_percentiles
 
+        if self.stats is not None and not self.records:
+            return {
+                cls: estimator.percentiles(quantiles)
+                for cls, estimator in sorted(self.stats.by_class.items())
+            }
         by_class: Dict[int, List[float]] = {}
         for record in self.records:
             if record.completed:
@@ -329,6 +364,8 @@ class ServingReport:
     @property
     def bytes_to_cloud(self) -> int:
         """Total backbone traffic entering the cloud across all requests."""
+        if self.stats is not None and not self.records:
+            return self.stats.bytes_to_cloud
         return sum(record.report.bytes_to_cloud for record in self.records)
 
     def latency_percentiles(
@@ -352,6 +389,11 @@ class ServingReport:
         """
         from repro.experiments.reporting import latency_percentiles
 
+        if self.stats is not None and not self.records:
+            estimator = (
+                self.stats.retried_percentiles if retried_only else self.stats.percentiles
+            )
+            return estimator.percentiles(quantiles, interpolation=interpolation)
         values = [
             record.latency_s
             for record in self.records
@@ -365,12 +407,16 @@ class ServingReport:
     def mean_latency_s(self) -> float:
         from repro.experiments.reporting import mean
 
+        if self.stats is not None and not self.records:
+            return self.stats.latency.mean
         values = self.latencies_s
         return mean(values) if values else 0.0
 
     def mean_queueing_delay_s(self) -> Optional[float]:
         from repro.experiments.reporting import mean
 
+        if self.stats is not None and not self.records:
+            return self.stats.queueing.mean if self.stats.queueing.count else None
         delays = [r.queueing_delay_s for r in self.records if r.queueing_delay_s is not None]
         return mean(delays) if delays else None
 
@@ -399,7 +445,10 @@ class ServingReport:
             f"{self.workload_name}: {self.num_requests} requests in "
             f"{self.makespan_s:.2f} s ({self.throughput_rps:.2f} req/s){via}{scheduled}"
         ]
-        has_slos = any(record.slo_ms is not None for record in self.records)
+        if self.stats is not None and not self.records:
+            has_slos = self.stats.has_slos
+        else:
+            has_slos = any(record.slo_ms is not None for record in self.records)
         if has_slos or self.num_rejected:
             lines.append(
                 f"  goodput {self.goodput_rps:.2f} req/s, "
@@ -415,9 +464,12 @@ class ServingReport:
                         for cls, pct in per_class.items()
                     )
                 )
-        if self.batches:
+        num_batches = len(self.batches) or sum(
+            count for size, count in self.batch_occupancy.items() if size > 1
+        )
+        if num_batches:
             lines.append(
-                f"  batching: {len(self.batches)} batches, "
+                f"  batching: {num_batches} batches, "
                 f"mean occupancy {self.mean_batch_occupancy:.2f}, "
                 f"largest {max(self.batch_occupancy)}"
             )
@@ -473,61 +525,153 @@ class ServingReport:
 # --------------------------------------------------------------------------- #
 # Internal simulation state
 # --------------------------------------------------------------------------- #
+#: Sentinel distinguishing "absent from the live set" from the stored ``None``.
+_MISSING = object()
+
+
 class _NoNodeAvailable(RuntimeError):
     """A request needs a tier of which no node is currently up."""
 
 
-class _Unit:
-    """One schedulable stage of a request: a vertex or a whole fused run."""
+class _CompiledUnit:
+    """The request-independent shape of one schedulable stage.
+
+    Everything about a stage that is a pure function of ``(graph, plan,
+    profile, vsm_plan, source node, set of live nodes)`` is computed once and
+    shared by every request of the stream that carries the same plan objects:
+    the member vertices, topological rank, executing nodes, per-task solo
+    durations and labels, the cross-unit out-edges, and the per-node cost
+    vector the admission predictor reads.  The per-request :class:`_Unit`
+    copies the shared references and adds only the mutable countdown state.
+    """
 
     __slots__ = (
-        "state",
+        "pos",
         "tier",
         "vertices",
         "run",
-        "waiting",
-        "remaining_tasks",
         "topo_key",
+        "waiting",
         "exec_nodes",
         "home_node",
-        "completed",
+        "tasks",
         "node_costs",
+        "out_edges",
+        "gather_label",
     )
 
-    def __init__(
-        self,
-        state: "_RequestState",
-        tier: Tier,
-        vertices: List[Vertex],
-        run: Optional[FusedRunPlan] = None,
-    ) -> None:
-        self.state = state
+    def __init__(self, tier: Tier, vertices: List[Vertex], run: Optional[FusedRunPlan]) -> None:
+        self.pos = 0  # position in the compiled unit list
         self.tier = tier
         self.vertices = vertices
         self.run = run
-        self.waiting = 0  # incoming cross-unit edges not yet arrived
-        self.remaining_tasks = 0  # compute tasks in flight once started
-        self.topo_key = 0  # topological rank of the first member vertex
-        #: Nodes this unit's tasks run on, resolved against the nodes that
-        #: were *up* when the attempt was built (one entry per tile stack for
-        #: fused runs, a single entry otherwise).  Snapshotting at build time
-        #: keeps the schedule deterministic and lets the engine detect which
-        #: requests a dying node takes down.
+        self.topo_key = 0
+        self.waiting = 0
         self.exec_nodes: List[ComputeNode] = []
+        self.home_node: Optional[ComputeNode] = None
+        #: ``[(node, solo duration, label, node state)]`` — one entry per
+        #: compute task, carrying the engine's per-node queue directly so
+        #: enqueueing skips the name lookup.
+        self.tasks: List[Tuple[ComputeNode, float, str, "_NodeState"]] = []
+        #: ``[(node name, solo seconds)]`` for the admission predictor.
+        self.node_costs: List[Tuple[str, float]] = []
+        #: Cross-unit data dependencies, in delivery order: ``[(producer
+        #: vertex, consumer vertex, consumer unit position, same-node?)]``.
+        #: Same-node edges are free (the paper's intra-tier assumption) and
+        #: the flag is a compile-time constant, so completion delivers them
+        #: without touching the transfer machinery.
+        self.out_edges: List[Tuple[Vertex, Vertex, int, bool]] = []
+        self.gather_label: Optional[str] = None
+
+
+class _CompiledPlan:
+    """Shared stage structure of one ``(plan objects, source, live nodes)``."""
+
+    __slots__ = ("units", "touched_links", "touched_nodes", "refs")
+
+    def __init__(self, units: List[_CompiledUnit]) -> None:
+        self.units = units
+        #: Wires the plan's cross-unit edges traverse, memoized on fault-free
+        #: runs for the admission predictor (route state never changes then).
+        self.touched_links: Optional[List[SharedLink]] = None
+        #: Names of every node the plan executes on (admission predictor).
+        self.touched_nodes: FrozenSet[str] = frozenset()
+        #: Strong references to the objects whose ids key this compilation,
+        #: pinning them so a recycled id can never alias a different plan.
+        self.refs: Tuple = ()
+
+
+class _Unit:
+    """One schedulable stage of a request: a vertex or a whole fused run.
+
+    Instantiated from a :class:`_CompiledUnit` — the immutable structure
+    (vertices, nodes, durations, edges) is shared across requests; only the
+    dependency/task countdowns and the completion flag live per request.
+    """
+
+    __slots__ = (
+        "state",
+        "compiled",
+        "tier",
+        "waiting",
+        "remaining_tasks",
+        "topo_key",
+        "home_node",
+        "completed",
+        "tasks",
+        "out_edges",
+    )
+
+    def __init__(self, state: "_RequestState", compiled: _CompiledUnit) -> None:
+        # Only what the per-task hot paths touch is copied into slots; the
+        # cold structure (vertices, fused-run plan, executor lists, admission
+        # costs, gather label) stays behind ``compiled`` and is reached via
+        # the properties below — a request allocates 10 slot writes per unit
+        # instead of 14, and this constructor runs once per unit per request.
+        self.state = state
+        self.compiled = compiled
+        self.tier = compiled.tier
+        self.topo_key = compiled.topo_key
         #: The node cross-unit transfers address (the gather node for fused
         #: runs, the executing node otherwise).
-        self.home_node: Optional[ComputeNode] = None
+        self.home_node = compiled.home_node
+        self.tasks = compiled.tasks
+        self.out_edges = compiled.out_edges
+        self.waiting = compiled.waiting  # incoming cross-unit edges not yet arrived
+        self.remaining_tasks = 0  # compute tasks in flight once started
         self.completed = False
-        #: Memoized ``[(node name, solo seconds)]`` of this unit's tasks —
-        #: computed once per attempt by the admission predictor (units are
-        #: rebuilt on every failover retry, so the memo can never go stale).
-        self.node_costs: Optional[List[Tuple[str, float]]] = None
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        return self.compiled.vertices
+
+    @property
+    def run(self) -> Optional[FusedRunPlan]:
+        return self.compiled.run
+
+    @property
+    def exec_nodes(self) -> List[ComputeNode]:
+        """Nodes this unit's tasks run on, resolved against the nodes that
+        were *up* when the attempt was compiled (one entry per tile stack
+        for fused runs, a single entry otherwise).  Snapshotting at build
+        time keeps the schedule deterministic and lets the engine detect
+        which requests a dying node takes down."""
+        return self.compiled.exec_nodes
+
+    @property
+    def node_costs(self) -> List[Tuple[str, float]]:
+        """``[(node name, solo seconds)]`` — the admission predictor's view."""
+        return self.compiled.node_costs
+
+    @property
+    def gather_label(self) -> Optional[str]:
+        return self.compiled.gather_label
 
     def touches(self, node_name: str) -> bool:
         """True when any of this unit's work is bound to ``node_name``."""
         if self.home_node is not None and self.home_node.name == node_name:
             return True
-        return any(node.name == node_name for node in self.exec_nodes)
+        return any(node.name == node_name for node in self.compiled.exec_nodes)
 
 
 class _RequestState:
@@ -536,7 +680,6 @@ class _RequestState:
     __slots__ = (
         "request",
         "report",
-        "units",
         "unit_list",
         "remaining_units",
         "completion_s",
@@ -548,16 +691,26 @@ class _RequestState:
         "retry_pending",
         "rejected",
         "no_batch",
+        "done",
+        "bytes_to_cloud",
+        "compiled",
     )
 
-    def __init__(self, request: ServingRequest, source_node: ComputeNode) -> None:
+    def __init__(
+        self, request: ServingRequest, source_node: ComputeNode, timeline: bool = True
+    ) -> None:
         self.request = request
-        self.report = ExecutionReport(
-            model_name=request.graph.name,
-            end_to_end_latency_s=0.0,
-            request_id=request.request_id,
+        #: Per-request timeline; ``None`` under ``stream_stats`` (events and
+        #: transfers are not materialized at benchmark scale).
+        self.report: Optional[ExecutionReport] = (
+            ExecutionReport(
+                model_name=request.graph.name,
+                end_to_end_latency_s=0.0,
+                request_id=request.request_id,
+            )
+            if timeline
+            else None
         )
-        self.units: Dict[int, _Unit] = {}
         self.unit_list: List[_Unit] = []
         self.remaining_units = 0
         self.completion_s = 0.0
@@ -575,31 +728,56 @@ class _RequestState:
         #: Set when a batch died with its node: every retried attempt of this
         #: request dispatches unbatched from then on.
         self.no_batch = False
+        #: Set the moment the last unit completes (cheaper to test than the
+        #: unit-list scan, and it survives the streaming mode releasing the
+        #: unit structures of finished requests).
+        self.done = False
+        #: Backbone bytes this request shipped into the cloud, accumulated
+        #: directly under ``stream_stats`` (no transfer objects exist then).
+        self.bytes_to_cloud = 0
+        #: The shared :class:`_CompiledPlan` of the current attempt.
+        self.compiled: Optional[_CompiledPlan] = None
 
     @property
     def terminal(self) -> bool:
         """True once the request completed, failed or was shed."""
         return (
-            self.failed
+            self.done
+            or self.failed
             or self.rejected
             or (bool(self.unit_list) and self.remaining_units == 0)
         )
 
 
-@dataclass
 class _Task:
-    """One reservation-sized piece of work bound for a specific node."""
+    """One reservation-sized piece of work bound for a specific node.
 
-    unit: _Unit
-    node: ComputeNode
-    duration_s: float
-    label: str
-    #: The owning request's attempt the task belongs to; a mismatch at
-    #: dispatch/completion time means the attempt was aborted.
-    epoch: int = 0
-    #: When the task entered its node's ready-queue; the batching
-    #: scheduler's ``max_wait`` hold is anchored at the oldest member.
-    enqueued_s: float = 0.0
+    A plain ``__slots__`` class (not a dataclass): tasks are the engine's
+    most-allocated object and identity hashing is exactly what the batching
+    scheduler's tombstone set needs.
+    """
+
+    __slots__ = ("unit", "node", "duration_s", "label", "epoch", "enqueued_s")
+
+    def __init__(
+        self,
+        unit: _Unit,
+        node: ComputeNode,
+        duration_s: float,
+        label: str,
+        epoch: int = 0,
+        enqueued_s: float = 0.0,
+    ) -> None:
+        self.unit = unit
+        self.node = node
+        self.duration_s = duration_s
+        self.label = label
+        #: The owning request's attempt the task belongs to; a mismatch at
+        #: dispatch/completion time means the attempt was aborted.
+        self.epoch = epoch
+        #: When the task entered its node's ready-queue; the batching
+        #: scheduler's ``max_wait`` hold is anchored at the oldest member.
+        self.enqueued_s = enqueued_s
 
 
 @dataclass
@@ -620,12 +798,27 @@ class _Inflight:
 class _NodeState:
     """Ready-queue (ordered by the scheduler's key) and busy flag of one node."""
 
-    __slots__ = ("node", "queue", "busy", "run_id", "current", "flush_at", "dirty")
+    __slots__ = (
+        "node",
+        "queue",
+        "busy",
+        "run_id",
+        "current",
+        "flush_at",
+        "dirty",
+        "tombstones",
+    )
 
     def __init__(self, node: ComputeNode) -> None:
         self.node = node
         self.queue: List[Tuple[Tuple, _Task]] = []
         self.busy = False
+        #: Tasks lazily deleted from ``queue`` (the batching scheduler pulls
+        #: batch members from the middle of the heap).  Tombstoned entries
+        #: are purged when they surface at the root instead of rebuilding
+        #: the heap on every flush.  Holds the task objects themselves so a
+        #: recycled ``id()`` can never resurrect a tombstone.
+        self.tombstones: set = set()
         #: Deadline of the pending flush event during a batching hold;
         #: ``None`` when no flush is outstanding (deduplicates the events a
         #: busy hold window would otherwise pile up).
@@ -676,6 +869,19 @@ class ServingSimulator:
         instance, a registry name (``"fifo"``, ``"batch"``, ``"edf"``) or
         ``None`` for the default FIFO, which is bit-identical to the
         pre-scheduler engine.
+    stream_stats:
+        Benchmark mode for huge workloads: per-request timelines and records
+        are not materialized; aggregates stream into online accumulators
+        (:class:`~repro.runtime.accumulators.ServingStats`) as requests
+        reach a terminal state, and finished requests release their stage
+        structures immediately.  :meth:`run` returns an empty record list
+        and :meth:`build_report` produces a report whose aggregates read the
+        accumulators — exact at small N (below ``exact_percentiles``
+        samples the percentile path keeps the raw values), reservoir
+        estimates beyond.  Off by default: the golden traces pin the
+        record-keeping path bit-exactly.
+    exact_percentiles:
+        Sample-count threshold below which streamed percentiles stay exact.
     """
 
     def __init__(
@@ -686,6 +892,8 @@ class ServingSimulator:
         max_retries: int = DEFAULT_MAX_RETRIES,
         replan: Optional[ReplanCallback] = None,
         scheduler: "Scheduler | str | None" = None,
+        stream_stats: bool = False,
+        exact_percentiles: int = DEFAULT_EXACT_THRESHOLD,
     ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
@@ -700,7 +908,12 @@ class ServingSimulator:
         self.max_retries = max_retries
         self._replan = replan
         self.scheduler = resolve_scheduler(scheduler)
+        self.stream_stats = stream_stats
+        self.exact_percentiles = exact_percentiles
         self.failover_replans = 0
+        #: Events popped off the queue by the last :meth:`run` (the
+        #: benchmark harness's throughput denominator).
+        self.events_processed = 0
         #: Dispatch-size histogram and multi-member batch log of the last run.
         self.batch_occupancy: Dict[int, int] = {}
         self.batches: List[BatchRecord] = []
@@ -708,12 +921,33 @@ class ServingSimulator:
         self._sequence = itertools.count()
         self._nodes: Dict[str, _NodeState] = {}
         self._states: List[_RequestState] = []
+        #: Non-terminal requests in arrival order — what the admission
+        #: predictor and fault sweeps iterate instead of every state the run
+        #: has ever produced (iteration order matches ``_states`` filtered
+        #: by ``terminal``, so the arithmetic is unchanged).
+        self._live: Dict[_RequestState, None] = {}
+        #: Requests that have not reached a terminal state yet.
+        self._open = 0
+        #: Online aggregates of the current run under ``stream_stats``.
+        self._stats: Optional[ServingStats] = None
+        #: Compiled stage templates keyed by the identities of the plan
+        #: objects (plus source and the live-node signature); all requests
+        #: of a stream share the plan-cache objects, so compilation is paid
+        #: once per distinct plan instead of once per request.
+        self._compiled: Dict[Tuple, _CompiledPlan] = {}
         #: Transfers currently on the wires, used to abort requests whose
         #: bytes a failure caught in flight (and to release their unused
         #: reservations).  Only populated when a fault schedule is active.
         self._inflight: List[_Inflight] = []
         self._node_down_intervals: Dict[str, List[List[Optional[float]]]] = {}
         self._link_down_intervals: Dict[str, List[List[Optional[float]]]] = {}
+        self._default_source: Optional[ComputeNode] = None
+        self._faulty = bool(self.faults)
+        self._base_key = type(self.scheduler).queue_key is Scheduler.queue_key
+        self._pop_select = type(self.scheduler).select in (
+            FifoScheduler.select,
+            DeadlineScheduler.select,
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -724,18 +958,40 @@ class ServingSimulator:
         Records come back in arrival order.  Event/transfer timestamps in the
         per-request reports are absolute simulation times; each report's
         ``end_to_end_latency_s`` is relative to its request's arrival.
+
+        Under ``stream_stats`` no records are materialized — the run's
+        aggregates stream into :meth:`build_report`'s accumulators instead
+        and the returned list is empty.
         """
         self.cluster.reset()
         self._events = []
         self._sequence = itertools.count()
         self._nodes = {node.name: _NodeState(node) for node in self.cluster.all_nodes}
         self._states = []
+        self._live = {}
+        self._open = 0
+        self._stats = ServingStats(self.exact_percentiles) if self.stream_stats else None
+        self._compiled = {}
         self._inflight = []
         self._node_down_intervals = {}
         self._link_down_intervals = {}
         self.failover_replans = 0
+        self.events_processed = 0
         self.batch_occupancy = {}
         self.batches = []
+        self._default_source = None
+        # Fast-path predicates, resolved once per run: with no fault schedule
+        # nodes can never go down (``reset`` heals everything), a scheduler
+        # that keeps the base queue key lets enqueue build keys inline, and
+        # the plain pop-the-root policies (FIFO/EDF) dispatch without the
+        # select() indirection or flush bookkeeping.
+        self._faulty = bool(self.faults)
+        scheduler_type = type(self.scheduler)
+        self._base_key = scheduler_type.queue_key is Scheduler.queue_key
+        self._pop_select = scheduler_type.select in (
+            FifoScheduler.select,
+            DeadlineScheduler.select,
+        )
 
         # Fault events enter the queue first, so at equal timestamps a fault
         # precedes every arrival/task/transfer event: a node dying the instant
@@ -750,14 +1006,27 @@ class ServingSimulator:
         for request in ordered:
             self._push(request.arrival_s, "arrival", request)
 
-        while self._events:
-            time_s, _, kind, payload = heapq.heappop(self._events)
-            if kind == "arrival":
-                self._handle_arrival(time_s, payload)  # type: ignore[arg-type]
+        # Hot loop: bind everything referenced per event to locals and test
+        # event kinds by descending frequency (task ends and transfer ends
+        # dominate any serving run by an order of magnitude).
+        events = self._events
+        pop = heapq.heappop
+        handle_task_end = self._handle_task_end
+        handle_task_end_direct = self._handle_task_end_direct
+        handle_transfer_end = self._handle_transfer_end
+        handle_arrival = self._handle_arrival
+        processed = 0
+        while events:
+            time_s, _, kind, payload = pop(events)
+            processed += 1
+            if kind == "task_end1":
+                handle_task_end_direct(time_s, payload)  # type: ignore[arg-type]
             elif kind == "task_end":
-                self._handle_task_end(time_s, payload)  # type: ignore[arg-type]
+                handle_task_end(time_s, payload)  # type: ignore[arg-type]
             elif kind == "transfer_end":
-                self._handle_transfer_end(time_s, payload)  # type: ignore[arg-type]
+                handle_transfer_end(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "arrival":
+                handle_arrival(time_s, payload)  # type: ignore[arg-type]
             elif kind == "fault":
                 self._handle_fault(time_s, payload)  # type: ignore[arg-type]
             elif kind == "retry":
@@ -771,9 +1040,27 @@ class ServingSimulator:
                 self._dispatch(node_state, time_s)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
+        self.events_processed = processed
 
+        if self._stats is not None:
+            if self._open:
+                raise RuntimeError(
+                    f"{self._open} requests finished the event loop with "
+                    f"unexecuted stages (dependency deadlock)"
+                )
+            return []
+
+        # Requests are pushed pre-sorted by (arrival, index), so the state
+        # list is already in index order whenever arrival order and index
+        # order agree (every workload constructor guarantees it); re-sort
+        # only on the exotic hand-built stream where they diverge.
+        states = self._states
+        for i in range(1, len(states)):
+            if states[i - 1].request.index > states[i].request.index:
+                states = sorted(states, key=lambda s: s.request.index)
+                break
         records = []
-        for state in sorted(self._states, key=lambda s: s.request.index):
+        for state in states:
             request = state.request
             if state.rejected:
                 records.append(
@@ -833,6 +1120,9 @@ class ServingSimulator:
             start = min(record.arrival_s for record in records)
             end = max(record.completion_s for record in records)
             makespan = end - start
+        elif self._stats is not None and self._stats.num_requests:
+            start, end = self._stats.makespan_window
+            makespan = end - start
         return ServingReport(
             workload_name=workload_name,
             records=records,
@@ -850,6 +1140,7 @@ class ServingSimulator:
             scheduler=self.scheduler.name,
             batch_occupancy=dict(sorted(self.batch_occupancy.items())),
             batches=list(self.batches),
+            stats=self._stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -862,9 +1153,12 @@ class ServingSimulator:
     # Request admission
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, time_s: float, request: ServingRequest) -> None:
-        state = _RequestState(request, self._resolve_source(request))
-        self._states.append(state)
-        if not self.cluster.node_is_up(state.source_node.name):
+        state = _RequestState(request, self._resolve_source(request), self._stats is None)
+        if self._stats is None:
+            self._states.append(state)
+        self._live[state] = None
+        self._open += 1
+        if self._faulty and not self.cluster.node_is_up(state.source_node.name):
             # The request's entry point is dead: there is nothing to fail
             # over to — the client itself is offline.
             self._fail(state, time_s)
@@ -879,11 +1173,41 @@ class ServingSimulator:
                 # SLO *and* push everyone queued behind it further out.
                 state.rejected = True
                 state.epoch += 1
+                self._retire(state, "rejected", request.arrival_s)
                 return
             self._start_ready_units(state, time_s)
             return
         if not self._activate(state, time_s):
             self._fail(state, time_s)
+
+    def _retire(self, state: _RequestState, status: str, completion_s: float) -> None:
+        """Drop a request from the live set the moment it turns terminal.
+
+        Under ``stream_stats`` this is also where the request is *accounted*
+        — its aggregates stream into the accumulators — and where its stage
+        structures are released (a million-request run never holds more than
+        the in-flight window in memory).
+        """
+        if self._live.pop(state, _MISSING) is _MISSING:
+            return  # already retired (idempotent by construction)
+        self._open -= 1
+        if self._stats is not None:
+            request = state.request
+            self._stats.add(
+                status=status,
+                arrival_s=request.arrival_s,
+                completion_s=completion_s,
+                retries=state.retries,
+                slo_ms=request.slo_ms,
+                priority=request.priority,
+                ideal_latency_s=(
+                    request.ideal_latency_s
+                    if status == "completed" and state.retries == 0
+                    else None
+                ),
+                bytes_to_cloud=state.bytes_to_cloud,
+            )
+            state.unit_list = []
 
     def _predicted_latency_s(self, state: _RequestState, time_s: float) -> float:
         """Admission predictor: idle critical path + compute and wire backlog.
@@ -903,7 +1227,12 @@ class ServingSimulator:
         predictor sheds the borderline request that would have missed anyway.
         """
         ideal = state.request.ideal_latency_s or 0.0
-        touched = {node.name for unit in state.unit_list for node in unit.exec_nodes}
+        compiled = state.compiled
+        touched = (
+            compiled.touched_nodes
+            if compiled is not None
+            else {node.name for unit in state.unit_list for node in unit.exec_nodes}
+        )
         committed = self._committed_node_s(touched, exclude=state)
         node_backlog = max(committed.values(), default=0.0)
         link_backlog = 0.0
@@ -916,65 +1245,54 @@ class ServingSimulator:
         self, touched: set, exclude: _RequestState
     ) -> Dict[str, float]:
         """Unfinished solo compute seconds bound to each node in ``touched``
-        across every live request (the admitting request itself excluded)."""
+        across every live request (the admitting request itself excluded).
+
+        Iterates the live set — non-terminal requests in arrival order —
+        which is exactly the subset (and the order) the historical full-state
+        scan accumulated over, without touching the requests that already
+        finished: the scan is O(in-flight window), not O(requests ever seen).
+        """
         committed = {name: 0.0 for name in touched}
-        for state in self._states:
+        for state in self._live:
             if state is exclude or state.terminal:
                 continue
             for unit in state.unit_list:
                 if unit.completed:
                     continue
-                for name, duration in self._unit_node_costs(state, unit):
+                for name, duration in unit.compiled.node_costs:
                     if name in committed:
                         committed[name] += duration
         return committed
 
-    @staticmethod
-    def _unit_node_costs(state: _RequestState, unit: _Unit) -> List[Tuple[str, float]]:
-        """Per-node solo durations of one unit's tasks, memoized per attempt."""
-        if unit.node_costs is not None:
-            return unit.node_costs
-        profile = state.request.profile
-        costs: List[Tuple[str, float]] = []
-        if unit.run is None:
-            node = unit.exec_nodes[0]
-            vertex = unit.vertices[0]
-            costs.append(
-                (node.name, profile.get(vertex.index, unit.tier) / node.speed_factor)
-            )
-        else:
-            run = unit.run
-            for stack_index, stack in enumerate(run.stacks):
-                node = unit.exec_nodes[stack_index]
-                duration = sum(
-                    profile.get(vertex.index, Tier.EDGE)
-                    * stack.work_fraction(position, run.layer_output_area(position))
-                    for position, vertex in enumerate(run.vertices)
-                )
-                costs.append((node.name, duration / node.speed_factor))
-        unit.node_costs = costs
-        return costs
-
     def _touched_links(self, state: _RequestState) -> List[SharedLink]:
-        """The wires the request's cross-unit edges will traverse."""
+        """The wires the request's cross-unit edges will traverse.
+
+        Memoized on the compiled plan for fault-free runs (routes cannot
+        change then); recomputed against the live route state otherwise.
+        """
+        compiled = state.compiled
+        memoize = not self.faults and compiled is not None
+        if memoize and compiled.touched_links is not None:
+            return compiled.touched_links
         links: Dict[int, SharedLink] = {}
-        graph = state.request.graph
-        for unit in state.unit_list:
-            for vertex in unit.vertices:
-                for successor in graph.successors(vertex.index):
-                    successor_unit = state.units[successor.index]
-                    if successor_unit is unit:
-                        continue
-                    src, dst = unit.home_node, successor_unit.home_node
-                    if src is None or dst is None or src is dst:
-                        continue
-                    try:
-                        route = self.cluster.route(src.name, dst.name)
-                    except RouteUnavailableError:
-                        continue
-                    for link in route:
-                        links[id(link)] = link
-        return list(links.values())
+        unit_list = state.unit_list
+        for unit in unit_list:
+            for _, _, dst_pos, local in unit.out_edges:
+                if local:
+                    continue
+                src, dst = unit.home_node, unit_list[dst_pos].home_node
+                if src is None or dst is None:
+                    continue
+                try:
+                    route = self.cluster.route(src.name, dst.name)
+                except RouteUnavailableError:
+                    continue
+                for link in route:
+                    links[id(link)] = link
+        resolved = list(links.values())
+        if memoize:
+            compiled.touched_links = resolved
+        return resolved
 
     def _activate(self, state: _RequestState, time_s: float) -> bool:
         """(Re)build the request's stages against the live nodes and start
@@ -1000,11 +1318,60 @@ class ServingSimulator:
                 self._start_unit(state, unit, time_s)
 
     def _build_units(self, state: _RequestState) -> None:
+        """Instantiate the request's stages from the shared compiled plan."""
+        compiled = self._compiled_for(state)
+        state.compiled = compiled
+        state.unit_list = [_Unit(state, unit) for unit in compiled.units]
+        state.remaining_units = len(state.unit_list)
+
+    def _compiled_for(self, state: _RequestState) -> _CompiledPlan:
+        """The compiled stage structure for the request's current attempt.
+
+        Keyed by the identity of the plan objects, the source node, and — on
+        faulted runs only — the set of down nodes at compile time (node
+        liveness can only change through fault events, so fault-free runs
+        compile each distinct plan exactly once for the whole stream).
+        ``refs`` pins the keyed objects so a recycled ``id()`` can never
+        alias a different plan.
+        """
         request = state.request
+        key = (
+            id(request.graph),
+            id(request.plan),
+            id(request.profile),
+            id(request.vsm_plan),
+            state.source_node.name,
+            frozenset(self.cluster.down_nodes) if self.faults else None,
+        )
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = self._compile_plan(request, state.source_node)
+            compiled.refs = (
+                request.graph,
+                request.plan,
+                request.profile,
+                request.vsm_plan,
+            )
+            self._compiled[key] = compiled
+        return compiled
+
+    def _compile_plan(
+        self, request: ServingRequest, source_node: ComputeNode
+    ) -> _CompiledPlan:
+        """Compile a request's plan into shared stage templates.
+
+        Replicates — operation for operation, in the same order — what the
+        engine historically recomputed per request: unit grouping and
+        topological ranks, node binding against the nodes that are up *now*
+        (raising :class:`_NoNodeAvailable` when a needed tier is dark),
+        cross-unit dependency counts and edges, and the per-task solo
+        durations and labels.  Keeping the float arithmetic identical is
+        what keeps the golden traces bit-identical.
+        """
         graph = request.graph
-        state.units = {}
-        state.unit_list = []
-        topo_rank = {v.index: rank for rank, v in enumerate(graph.topological_order())}
+        profile = request.profile
+        topo = graph.topological_order()
+        topo_rank = {v.index: rank for rank, v in enumerate(topo)}
 
         fused_member: Dict[int, FusedRunPlan] = {}
         if request.vsm_plan is not None:
@@ -1012,53 +1379,42 @@ class ServingSimulator:
                 for vertex in run.vertices:
                     fused_member[vertex.index] = run
 
-        run_units: Dict[int, _Unit] = {}
-        for vertex in graph.topological_order():
+        units: List[_CompiledUnit] = []
+        by_vertex: Dict[int, _CompiledUnit] = {}
+        run_units: Dict[int, _CompiledUnit] = {}
+        for vertex in topo:
             run = fused_member.get(vertex.index)
             if run is not None:
                 unit = run_units.get(id(run))
                 if unit is None:
-                    unit = _Unit(state, Tier.EDGE, list(run.vertices), run)
+                    unit = _CompiledUnit(Tier.EDGE, list(run.vertices), run)
                     unit.topo_key = topo_rank[run.vertices[0].index]
+                    unit.pos = len(units)
                     run_units[id(run)] = unit
-                    state.unit_list.append(unit)
+                    units.append(unit)
             else:
                 tier = request.plan.tier_of(vertex.index)
-                unit = _Unit(state, tier, [vertex])
+                unit = _CompiledUnit(tier, [vertex], None)
                 unit.topo_key = topo_rank[vertex.index]
-                state.unit_list.append(unit)
-            state.units[vertex.index] = unit
+                unit.pos = len(units)
+                units.append(unit)
+            by_vertex[vertex.index] = unit
 
-        self._resolve_unit_nodes(state)
-
-        for vertex in graph.topological_order():
-            unit = state.units[vertex.index]
-            for pred in graph.predecessors(vertex.index):
-                if state.units[pred.index] is not unit:
-                    unit.waiting += 1
-        state.remaining_units = len(state.unit_list)
-
-    def _resolve_unit_nodes(self, state: _RequestState) -> None:
-        """Bind every unit to the nodes that are up *now* (snapshot).
-
-        On a healthy cluster this reproduces the original resolution exactly:
-        non-tiled work on each tier's primary node, fused runs fanned
-        round-robin over all edge nodes.  Under failures the first *live*
-        node of the tier takes over and tile stacks spread over the surviving
-        edge rack.  Raises :class:`_NoNodeAvailable` when a needed tier has
-        no live member.
-        """
+        # Bind every unit to the nodes that are up now (snapshot): non-tiled
+        # work on each tier's primary live node, fused runs fanned round-robin
+        # over the live edge rack, device work pinned to the request's source.
         live: Dict[Tier, List[ComputeNode]] = {}
 
         def tier_nodes(tier: Tier) -> List[ComputeNode]:
-            if tier not in live:
+            nodes = live.get(tier)
+            if nodes is None:
                 nodes = self.cluster.active_nodes(tier)
                 if not nodes:
                     raise _NoNodeAvailable(tier.value)
                 live[tier] = nodes
-            return live[tier]
+            return nodes
 
-        for unit in state.unit_list:
+        for unit in units:
             if unit.run is not None:
                 edge_nodes = tier_nodes(Tier.EDGE)
                 unit.exec_nodes = [
@@ -1066,12 +1422,71 @@ class ServingSimulator:
                 ]
                 unit.home_node = edge_nodes[0]
             elif unit.tier == Tier.DEVICE:
-                unit.exec_nodes = [state.source_node]
-                unit.home_node = state.source_node
+                unit.exec_nodes = [source_node]
+                unit.home_node = source_node
             else:
                 node = tier_nodes(unit.tier)[0]
                 unit.exec_nodes = [node]
                 unit.home_node = node
+
+        # Incoming cross-unit edge counts, in the historical vertex order.
+        for vertex in topo:
+            unit = by_vertex[vertex.index]
+            for pred in graph.predecessors(vertex.index):
+                if by_vertex[pred.index] is not unit:
+                    unit.waiting += 1
+
+        # Outgoing cross-unit edges, in the historical delivery order
+        # (member vertices in unit order, then graph successors).
+        for unit in units:
+            for vertex in unit.vertices:
+                for successor in graph.successors(vertex.index):
+                    successor_unit = by_vertex[successor.index]
+                    if successor_unit is not unit:
+                        unit.out_edges.append(
+                            (
+                                vertex,
+                                successor,
+                                successor_unit.pos,
+                                unit.home_node is successor_unit.home_node,
+                            )
+                        )
+
+        # Per-task solo durations and labels — the exact arithmetic (and
+        # accumulation order) of the historical per-request start path.
+        for unit in units:
+            if unit.run is None:
+                vertex = unit.vertices[0]
+                node = unit.exec_nodes[0]
+                duration = profile.get(vertex.index, unit.tier)
+                unit.tasks.append(
+                    (node, duration / node.speed_factor, vertex.name, self._nodes[node.name])
+                )
+            else:
+                run = unit.run
+                for stack_index, stack in enumerate(run.stacks):
+                    node = unit.exec_nodes[stack_index]
+                    duration = 0.0
+                    for position, vertex in enumerate(run.vertices):
+                        fraction = stack.work_fraction(
+                            position, run.layer_output_area(position)
+                        )
+                        duration += profile.get(vertex.index, Tier.EDGE) * fraction
+                    label = (
+                        f"tile{stack.grid_position}:"
+                        f"{run.vertices[0].name}..{run.vertices[-1].name}"
+                    )
+                    unit.tasks.append(
+                        (node, duration / node.speed_factor, label, self._nodes[node.name])
+                    )
+                unit.gather_label = f"gather:{unit.vertices[-1].name}"
+            unit.node_costs = [(node.name, cost) for node, cost, _, _ in unit.tasks]
+
+        plan = _CompiledPlan(units)
+        plan.touched_nodes = frozenset(
+            node.name for unit in units for node in unit.exec_nodes
+        )
+        return plan
 
     # ------------------------------------------------------------------ #
     # Stage execution
@@ -1079,7 +1494,12 @@ class ServingSimulator:
     def _resolve_source(self, request: ServingRequest) -> ComputeNode:
         """The device node a request's device-tier work runs on."""
         if request.source is None:
-            return self.cluster.primary_node(Tier.DEVICE)
+            # The primary device is a pure topology lookup (independent of
+            # liveness, which is checked separately at arrival): cache it.
+            node = self._default_source
+            if node is None:
+                node = self._default_source = self.cluster.primary_node(Tier.DEVICE)
+            return node
         node = self.cluster.node(request.source)
         if node.tier != Tier.DEVICE:
             raise ValueError(
@@ -1089,41 +1509,74 @@ class ServingSimulator:
         return node
 
     def _start_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
-        request = state.request
-        if unit.run is None:
-            vertex = unit.vertices[0]
-            duration = request.profile.get(vertex.index, unit.tier)
-            node = unit.exec_nodes[0]
-            unit.remaining_tasks = 1
-            self._enqueue_task(
-                time_s,
-                _Task(unit, node, duration / node.speed_factor, vertex.name, state.epoch),
-            )
-            return
+        """Enqueue the unit's compiled tasks (solo vertex or fused tile fan).
 
-        # A fused run fans its tile stacks out over the live edge nodes,
-        # exactly like the one-shot executor on a healthy rack (round-robin
-        # assignment, same per-stack work fractions).  Heterogeneous edge
-        # machines stretch their share by the inverse of their speed factor.
-        run = unit.run
-        unit.remaining_tasks = len(run.stacks)
-        for stack_index, stack in enumerate(run.stacks):
-            node = unit.exec_nodes[stack_index]
-            duration = 0.0
-            for position, vertex in enumerate(run.vertices):
-                fraction = stack.work_fraction(position, run.layer_output_area(position))
-                duration += request.profile.get(vertex.index, Tier.EDGE) * fraction
-            label = f"tile{stack.grid_position}:{run.vertices[0].name}..{run.vertices[-1].name}"
-            self._enqueue_task(
-                time_s, _Task(unit, node, duration / node.speed_factor, label, state.epoch)
-            )
-
-    def _enqueue_task(self, time_s: float, task: _Task) -> None:
-        node_state = self._nodes[task.node.name]
-        task.enqueued_s = time_s
-        key = self.scheduler.queue_key(task, next(self._sequence))
-        heapq.heappush(node_state.queue, (key, task))
-        self._dispatch(node_state, time_s)
+        Durations and labels were priced at compile time; starting a stage is
+        just allocating one :class:`_Task` per compiled entry.
+        """
+        tasks = unit.tasks
+        unit.remaining_tasks = len(tasks)
+        epoch = state.epoch
+        if self._base_key:
+            # Base scheduler key is ``(request index, topo rank, seq)`` —
+            # built inline, skipping the queue_key indirection per task.
+            index = state.request.index
+            topo = unit.topo_key
+            sequence = self._sequence
+            push = heapq.heappush
+            direct = self._pop_select and not self._faulty
+            stream = self._stats is not None
+            events = self._events
+            occupancy = self.batch_occupancy
+            for node, duration, label, node_state in tasks:
+                if direct and not node_state.busy and not node_state.queue:
+                    # Idle node + empty queue + pop-the-root scheduler: this
+                    # task is exactly what a queue round-trip would hand
+                    # back, so run it now — no :class:`_Task`, no key tuple,
+                    # no heappush/heappop, no dispatch call.  Fault-free
+                    # runs only, which is also why no ``current`` membership
+                    # is recorded: nothing can die mid-flight, so the kill
+                    # path that reads it is unreachable.
+                    if duration < 0:
+                        raise ValueError("duration cannot be negative")
+                    compute = node_state.node
+                    available = compute.available_at
+                    start = available if available > time_s else time_s
+                    end = start + duration
+                    compute.available_at = end
+                    compute.busy_seconds += duration
+                    node_state.busy = True
+                    if not stream:
+                        state.report.events.append(
+                            TimelineEvent(
+                                node=compute.name,
+                                tier=unit.tier,
+                                label=label,
+                                kind="compute",
+                                start_s=start,
+                                end_s=end,
+                                request_id=state.request.request_id,
+                            )
+                        )
+                    run_id = node_state.run_id + 1
+                    node_state.run_id = run_id
+                    occupancy[1] = occupancy.get(1, 0) + 1
+                    push(
+                        events,
+                        (end, next(sequence), "task_end1", (node_state, unit, run_id)),
+                    )
+                    continue
+                task = _Task(unit, node, duration, label, epoch, time_s)
+                push(node_state.queue, ((index, topo, next(sequence)), task))
+                if not node_state.busy:
+                    self._dispatch(node_state, time_s)
+        else:
+            for node, duration, label, node_state in tasks:
+                task = _Task(unit, node, duration, label, epoch, time_s)
+                key = self.scheduler.queue_key(task, next(self._sequence))
+                heapq.heappush(node_state.queue, (key, task))
+                if not node_state.busy:
+                    self._dispatch(node_state, time_s)
 
     def _prune_queue(self, node_state: _NodeState) -> None:
         """Drop queued tasks of aborted or terminal attempts, so the
@@ -1136,12 +1589,15 @@ class ServingSimulator:
         if not node_state.dirty:
             return
         node_state.dirty = False
+        tombstones = node_state.tombstones
         node_state.queue = [
             entry
             for entry in node_state.queue
-            if entry[1].epoch == entry[1].unit.state.epoch
+            if entry[1] not in tombstones
+            and entry[1].epoch == entry[1].unit.state.epoch
             and not entry[1].unit.state.failed
         ]
+        tombstones.clear()
         heapq.heapify(node_state.queue)
 
     def _mark_queues_dirty(self, state: _RequestState) -> None:
@@ -1160,10 +1616,25 @@ class ServingSimulator:
         deferral instead of work (a batching hold), in which case a flush
         event re-asks at the hold's deadline.
         """
-        if node_state.busy or not self.cluster.node_is_up(node_state.node.name):
+        if node_state.busy:
             return
-        self._prune_queue(node_state)
-        if not node_state.queue:
+        if self._faulty and not self.cluster.node_is_up(node_state.node.name):
+            return
+        if node_state.dirty:
+            self._prune_queue(node_state)
+        queue = node_state.queue
+        tombstones = node_state.tombstones
+        if tombstones:
+            # Lazily deleted batch members surface at the root eventually;
+            # purge them here so the scheduler never sees consumed work.
+            while queue and queue[0][1] in tombstones:
+                tombstones.discard(heapq.heappop(queue)[1])
+        if not queue:
+            return
+        if self._pop_select:
+            # FIFO/EDF pop the heap root and never defer: dispatch directly,
+            # skipping the select() indirection and flush bookkeeping.
+            self._start_dispatch(node_state, [heapq.heappop(queue)[1]], time_s)
             return
         tasks, flush_at = self.scheduler.select(node_state, time_s)
         if not tasks:
@@ -1187,33 +1658,79 @@ class ServingSimulator:
         """Run one scheduler dispatch — a solo task or a micro-batch — on the
         node.  A batch occupies the node once, for the hardware's sublinear
         batch cost, and every member records a timeline event spanning it."""
-        solo = [task.duration_s for task in tasks]
         if len(tasks) == 1:
-            duration = solo[0]
-        else:
-            duration = batch_cost_s(solo, node_state.node.hardware.batch_exponent)
+            # Solo dispatch — the engine's hottest code path by far.  Inlines
+            # ``ComputeNode.schedule`` (same operations, same order).
+            task = tasks[0]
+            duration = task.duration_s
+            if duration < 0:
+                raise ValueError("duration cannot be negative")
+            node = node_state.node
+            available = node.available_at
+            start = available if available > time_s else time_s
+            end = start + duration
+            node.available_at = end
+            node.busy_seconds += duration
+            node_state.busy = True
+            if self._stats is None:
+                state = task.unit.state
+                events = state.report.events
+                events.append(
+                    TimelineEvent(
+                        node=node.name,
+                        tier=task.unit.tier,
+                        label=task.label,
+                        kind="compute",
+                        start_s=start,
+                        end_s=end,
+                        request_id=state.request.request_id,
+                    )
+                )
+                members = [(task, events, len(events) - 1)]
+            else:
+                members = [(task, None, 0)]
+            run_id = node_state.run_id + 1
+            node_state.run_id = run_id
+            node_state.current = (members, end)
+            occupancy = self.batch_occupancy
+            occupancy[1] = occupancy.get(1, 0) + 1
+            heapq.heappush(
+                self._events,
+                (end, next(self._sequence), "task_end", (node_state, tasks, run_id)),
+            )
+            return
+        solo = [task.duration_s for task in tasks]
+        duration = batch_cost_s(solo, node_state.node.hardware.batch_exponent)
         start, end = node_state.node.schedule(time_s, duration)
         node_state.busy = True
         members = []
-        for task in tasks:
-            state = task.unit.state
-            label = task.label if len(tasks) == 1 else f"batch[{len(tasks)}]:{task.label}"
-            state.report.events.append(
-                TimelineEvent(
-                    node=node_state.node.name,
-                    tier=task.unit.tier,
-                    label=label,
-                    kind="compute",
-                    start_s=start,
-                    end_s=end,
-                    request_id=state.request.request_id,
+        if self._stats is None:
+            for task in tasks:
+                state = task.unit.state
+                label = (
+                    task.label if len(tasks) == 1 else f"batch[{len(tasks)}]:{task.label}"
                 )
-            )
-            members.append((task, state.report.events, len(state.report.events) - 1))
+                state.report.events.append(
+                    TimelineEvent(
+                        node=node_state.node.name,
+                        tier=task.unit.tier,
+                        label=label,
+                        kind="compute",
+                        start_s=start,
+                        end_s=end,
+                        request_id=state.request.request_id,
+                    )
+                )
+                members.append((task, state.report.events, len(state.report.events) - 1))
+        else:
+            # Streaming mode materializes no timelines; members still carry
+            # the tasks so a node death can flag their requests.
+            for task in tasks:
+                members.append((task, None, 0))
         node_state.run_id += 1
         node_state.current = (members, end)
         self.batch_occupancy[len(tasks)] = self.batch_occupancy.get(len(tasks), 0) + 1
-        if len(tasks) > 1:
+        if len(tasks) > 1 and self._stats is None:
             self.batches.append(
                 BatchRecord(
                     node=node_state.node.name,
@@ -1226,6 +1743,23 @@ class ServingSimulator:
                 )
             )
         self._push(end, "task_end", (node_state, tasks, node_state.run_id))
+
+    def _handle_task_end_direct(
+        self, time_s: float, payload: Tuple[_NodeState, _Unit, int]
+    ) -> None:
+        """Completion of a direct dispatch (``task_end1``): exactly one task,
+        started on an idle node of a fault-free pop-the-root run, so the
+        epoch/failure screening of :meth:`_handle_task_end` is vacuous and
+        the payload carries the unit itself rather than a task list."""
+        node_state, unit, run_id = payload
+        if run_id != node_state.run_id:  # pragma: no cover - defensive
+            return
+        node_state.busy = False
+        unit.remaining_tasks -= 1
+        if unit.remaining_tasks == 0:
+            self._complete_unit(unit.state, unit, time_s)
+        if node_state.queue:
+            self._dispatch(node_state, time_s)
 
     def _handle_task_end(
         self, time_s: float, payload: Tuple[_NodeState, List[_Task], int]
@@ -1244,37 +1778,49 @@ class ServingSimulator:
                 unit.remaining_tasks -= 1
                 if unit.remaining_tasks == 0:
                     self._complete_unit(state, unit, time_s)
-        self._dispatch(node_state, time_s)
+        if node_state.queue:
+            # An empty ready-queue needs no scheduler consult — the node
+            # simply goes idle (completions above may have refilled it, in
+            # which case their enqueue already saw ``busy`` and left the
+            # dispatch to us).
+            self._dispatch(node_state, time_s)
 
     def _complete_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
         state.remaining_units -= 1
         unit.completed = True
-        state.completion_s = max(state.completion_s, time_s)
-        if unit.run is not None:
-            gather_node = unit.home_node
+        if time_s > state.completion_s:
+            state.completion_s = time_s
+        if state.report is not None and unit.run is not None:
             state.report.events.append(
                 TimelineEvent(
-                    node=gather_node.name,
+                    node=unit.home_node.name,
                     tier=Tier.EDGE,
-                    label=f"gather:{unit.vertices[-1].name}",
+                    label=unit.gather_label,
                     kind="gather",
                     start_s=time_s,
                     end_s=time_s,
                     request_id=state.request.request_id,
                 )
             )
-        graph = state.request.graph
         epoch = state.epoch
-        for vertex in unit.vertices:
-            for successor in graph.successors(vertex.index):
-                successor_unit = state.units[successor.index]
-                if successor_unit is unit:
-                    continue
-                self._deliver_edge(state, vertex, unit, successor, successor_unit, time_s)
-                if state.epoch != epoch or state.failed:
-                    # A severed route aborted the attempt mid-delivery; the
-                    # remaining edges belong to a discarded plan.
-                    return
+        unit_list = state.unit_list
+        for producer, consumer, dst_pos, local in unit.out_edges:
+            if local:
+                # Same-node delivery is free and cannot abort the attempt
+                # (no route, no reservation): hand the edge over directly.
+                dst_unit = unit_list[dst_pos]
+                dst_unit.waiting -= 1
+                if dst_unit.waiting == 0:
+                    self._start_unit(state, dst_unit, time_s)
+                continue
+            self._deliver_edge(state, producer, unit, consumer, unit_list[dst_pos], time_s)
+            if state.epoch != epoch or state.failed:
+                # A severed route aborted the attempt mid-delivery; the
+                # remaining edges belong to a discarded plan.
+                return
+        if state.remaining_units == 0:
+            state.done = True
+            self._retire(state, "completed", state.completion_s)
 
     # ------------------------------------------------------------------ #
     # Data movement
@@ -1331,18 +1877,23 @@ class ServingSimulator:
         if overall_start is None:  # pragma: no cover - routes are never empty here
             self._arrive(dst_unit, time_s)
             return
-        state.report.transfers.append(
-            TensorTransfer(
-                producer=producer.name,
-                consumer=consumer.name,
-                source_tier=src_unit.tier,
-                destination_tier=dst_unit.tier,
-                payload_bytes=payload,
-                start_s=overall_start,
-                duration_s=clock - overall_start,
-                request_id=request.request_id,
+        if state.report is not None:
+            state.report.transfers.append(
+                TensorTransfer(
+                    producer=producer.name,
+                    consumer=consumer.name,
+                    source_tier=src_unit.tier,
+                    destination_tier=dst_unit.tier,
+                    payload_bytes=payload,
+                    start_s=overall_start,
+                    duration_s=clock - overall_start,
+                    request_id=request.request_id,
+                )
             )
-        )
+        elif dst_unit.tier == Tier.CLOUD and src_unit.tier != Tier.CLOUD:
+            # Streaming mode: account backbone traffic directly (the exact
+            # predicate of ``TensorTransfer.crosses_backbone``).
+            state.bytes_to_cloud += payload
         if self.faults:
             link_ids = frozenset(
                 link.link_id or "-".join(link.key) for link in route
@@ -1443,7 +1994,7 @@ class ServingSimulator:
         members, end_s = node_state.current
         if end_s > time_s:
             for _, events_list, event_index in members:
-                if events_list[event_index].end_s > time_s:
+                if events_list is not None and events_list[event_index].end_s > time_s:
                     events_list[event_index] = replace(
                         events_list[event_index], end_s=time_s
                     )
@@ -1466,7 +2017,7 @@ class ServingSimulator:
         healthy nodes merely sharing a tier-alias medium (the paper's LAN)
         with the dead node is untouched.
         """
-        for state in self._states:
+        for state in list(self._live):
             if state.terminal:
                 continue
             if any(
@@ -1575,6 +2126,7 @@ class ServingSimulator:
         state.epoch += 1
         state.completion_s = time_s
         self._mark_queues_dirty(state)
+        self._retire(state, "failed", time_s)
 
 
 def _clip_downtime(

@@ -89,9 +89,14 @@ class Workload:
     name: str = "workload"
 
     def __post_init__(self) -> None:
-        arrivals = [r.arrival_s for r in self.requests]
-        if arrivals != sorted(arrivals):
-            raise ValueError("workload requests must be ordered by arrival time")
+        # Single pairwise pass — no copied list, no O(n log n) sorted() probe
+        # (a million-request workload validates in linear time).
+        previous = None
+        for request in self.requests:
+            arrival = request.arrival_s
+            if previous is not None and arrival < previous:
+                raise ValueError("workload requests must be ordered by arrival time")
+            previous = arrival
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

@@ -111,8 +111,14 @@ class TestRegistry:
 # --------------------------------------------------------------------------- #
 # select() mechanics on a bare queue (no engine involved)
 # --------------------------------------------------------------------------- #
+class FakeTask(SimpleNamespace):
+    """Identity-hashable stand-in for ``_Task`` (tombstone sets require it)."""
+
+    __hash__ = object.__hash__
+
+
 def fake_task(key, enqueued_s=0.0, label="conv1", graph="g", no_batch=False, tier=Tier.EDGE):
-    task = SimpleNamespace(
+    task = FakeTask(
         enqueued_s=enqueued_s,
         label=label,
         unit=SimpleNamespace(
@@ -132,7 +138,7 @@ def fake_node(entries):
 
     queue = list(entries)
     heapq.heapify(queue)
-    return SimpleNamespace(queue=queue)
+    return SimpleNamespace(queue=queue, tombstones=set())
 
 
 class TestSelectMechanics:
@@ -187,7 +193,8 @@ class TestSelectMechanics:
         )
         tasks, _ = scheduler.select(node, 0.0)
         assert [t.label for t in tasks] == ["conv1", "conv1"]
-        assert [t.label for _, t in node.queue] == ["conv2"]
+        live = [t.label for _, t in node.queue if t not in node.tombstones]
+        assert live == ["conv2"]
 
     def test_no_batch_head_dispatches_alone(self):
         """A failover retry of a dead batch's member must not re-batch."""
@@ -217,6 +224,62 @@ class TestSelectMechanics:
         tasks, _ = scheduler.select(node, 0.0)
         assert len(tasks) == 2
         assert all(not t.unit.state.no_batch for t in tasks)
+
+
+class TestLazyDeletion:
+    """`BatchingScheduler._remove` tombstones instead of re-heapifying."""
+
+    def test_root_members_are_physically_popped(self):
+        """Consumed entries at the heap root leave the queue immediately;
+        nothing stays tombstoned that is already gone."""
+        graph = object()
+        entries = [fake_task((i, 0, i), graph=graph) for i in range(3)]
+        node = fake_node(entries)
+        BatchingScheduler._remove(node, [entries[0][1], entries[1][1]])
+        assert [key for key, _ in node.queue] == [(2, 0, 2)]
+        assert node.tombstones == set()
+
+    def test_buried_members_are_tombstoned_not_scanned(self):
+        """A consumed member buried under a live root is marked, not removed —
+        O(batch) bookkeeping instead of an O(queue) rebuild."""
+        graph = object()
+        entries = [fake_task((i, 0, i), graph=graph) for i in range(5)]
+        node = fake_node(entries)
+        buried = entries[3][1]
+        BatchingScheduler._remove(node, [buried])
+        assert buried in node.tombstones
+        assert len(node.queue) == 5  # physically still present
+        live = [t for _, t in node.queue if t not in node.tombstones]
+        assert buried not in live and len(live) == 4
+
+    def test_compaction_when_tombstones_dominate(self):
+        """Once tombstones outnumber the live half the queue compacts outright,
+        bounding both memory and future scan costs."""
+        graph = object()
+        entries = [fake_task((i, 0, i), graph=graph) for i in range(8)]
+        node = fake_node(entries)
+        # Consume most of the buried entries (root stays live so nothing pops).
+        consumed = [entries[i][1] for i in (2, 3, 4, 5, 6)]
+        BatchingScheduler._remove(node, consumed)
+        assert node.tombstones == set()  # compaction cleared the marks
+        assert sorted(key for key, _ in node.queue) == [(0, 0, 0), (1, 0, 1), (7, 0, 7)]
+        # The compacted queue is still a valid heap: selects drain in order.
+        scheduler = BatchingScheduler(max_batch=8, max_wait_ms=0.0)
+        tasks, _ = scheduler.select(node, 0.0)
+        assert len(tasks) == 3
+
+    def test_tombstoned_work_never_rebatches(self):
+        """An entry consumed by an earlier batch must not join a later one
+        while awaiting physical deletion."""
+        scheduler = BatchingScheduler(max_batch=2, max_wait_ms=0.0)
+        graph = object()
+        entries = [fake_task((i, 0, i), graph=graph) for i in range(4)]
+        node = fake_node(entries)
+        first, _ = scheduler.select(node, 0.0)
+        second, _ = scheduler.select(node, 0.0)
+        labels = {id(t) for t in first} & {id(t) for t in second}
+        assert labels == set()  # no overlap between consecutive batches
+        assert len(first) == 2 and len(second) == 2
 
     def test_max_batch_one_degenerates_to_fifo(self):
         scheduler = BatchingScheduler(max_batch=1, max_wait_ms=10.0)

@@ -1,0 +1,99 @@
+"""The engine benchmark harness itself (tiny sizes — speed is CI's job)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmarks import engine
+from repro.cli import main as cli_main
+
+
+class TestRunSingle:
+    def test_fifo_cell_shape(self):
+        cell = engine.run_single(200, "fifo")
+        assert cell["requests"] == 200
+        assert cell["scheduler"] == "fifo"
+        assert cell["completed"] == 200
+        assert cell["rejected"] == 0
+        assert cell["events"] > 200  # at least one event per request
+        assert cell["wall_s"] > 0
+        assert cell["events_per_s"] > 0
+        assert cell["requests_per_s"] > 0
+        assert cell["peak_rss_mb"] > 0
+
+    def test_edf_cell_exercises_admission(self):
+        cell = engine.run_single(200, "edf")
+        # The scenario overloads a 250 ms SLO: admission must shed work,
+        # which is exactly the hot path this cell exists to measure.
+        assert cell["completed"] + cell["rejected"] == 200
+        assert cell["rejected"] > 0
+
+
+class TestRegressionCheck:
+    def _payload(self, events_per_s):
+        return {
+            "results": {"10000": {"fifo": {"events_per_s": events_per_s}}}
+        }
+
+    def test_within_tolerance_passes(self, tmp_path):
+        reference = tmp_path / "BENCH_engine.json"
+        reference.write_text(json.dumps(self._payload(100_000.0)))
+        assert engine.check_regression(self._payload(85_000.0), str(reference), 0.2) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        reference = tmp_path / "BENCH_engine.json"
+        reference.write_text(json.dumps(self._payload(100_000.0)))
+        failures = engine.check_regression(self._payload(70_000.0), str(reference), 0.2)
+        assert len(failures) == 1
+        assert "fifo" in failures[0]
+
+    def test_unknown_cells_are_ignored(self, tmp_path):
+        reference = tmp_path / "BENCH_engine.json"
+        reference.write_text(json.dumps({"results": {}}))
+        assert engine.check_regression(self._payload(1.0), str(reference), 0.2) == []
+
+
+class TestCli:
+    def test_bench_engine_runs_and_writes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        status = cli_main(
+            [
+                "bench",
+                "engine",
+                "--requests",
+                "200",
+                "--schedulers",
+                "fifo",
+                "--no-isolate",
+                "--write",
+                "out.json",
+            ]
+        )
+        assert status == 0
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["schema"] == 1
+        assert payload["baseline_before"]["events_per_s"] == pytest.approx(33907.0)
+        assert payload["results"]["200"]["fifo"]["completed"] == 200
+
+    def test_floor_violation_fails(self):
+        status = cli_main(
+            [
+                "bench",
+                "engine",
+                "--requests",
+                "200",
+                "--schedulers",
+                "fifo",
+                "--no-isolate",
+                "--floor",
+                "1e18",
+            ]
+        )
+        assert status == 1
+
+    def test_unknown_scheduler_rejected(self):
+        assert (
+            cli_main(["bench", "engine", "--schedulers", "nope", "--no-isolate"]) == 1
+        )
