@@ -23,7 +23,15 @@ The scenario is fixed — alexnet at a constant 200 req/s on the paper's
 four-edge-node wifi testbed — so numbers are comparable across commits.  EDF
 cells attach a 250 ms SLO to every request: that exercises the admission
 predictor (the committed-compute scan) on the hot path, which FIFO never
-touches.
+touches.  The ``elastic`` cell is FIFO dispatch plus the full elastic-fleet
+machinery — a target-utilisation autoscaler over the edge replica group with
+join-shortest-queue balancing — with the fleet pinned at full size
+(``min_replicas`` = the group size), so the simulated schedule matches the
+static ``fifo`` cell and the wall-time delta prices exactly the hot-path
+machinery: per-request replica resolution, balancer choice and utilisation
+sampling (the overhead budget is <10%).  Scaling behaviour itself — parking,
+provisioning, drains — is pinned by the ``elastic`` golden trace and the
+elasticity test suite, not by this benchmark.
 """
 
 from __future__ import annotations
@@ -45,8 +53,15 @@ INTERVAL_S = 0.005
 EDF_SLO_MS = 250.0
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
-SCHEDULERS = ("fifo", "batch", "edf")
+SCHEDULERS = ("fifo", "batch", "edf", "elastic")
 DEFAULT_OUTPUT = "BENCH_engine.json"
+
+#: The ``elastic`` cell's balancer.  The autoscaler pins the fleet at full
+#: size (``min_replicas`` = the group size): the sampling loop runs every
+#: tick and every request pays replica resolution, but the schedule stays
+#: identical to the static cell — the comparison prices the machinery, not
+#: a differently-sized fleet.
+ELASTIC_BALANCER = "jsq"
 
 #: The engine this PR replaced, measured on the same scenario (100k FIFO):
 #: the acceptance bar is >=5x events/sec over these numbers, and they stay in
@@ -68,6 +83,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     hits), then times ``ServingSimulator.run`` alone.
     """
     from repro.core.d3 import D3Config, D3System
+    from repro.runtime.elasticity import Autoscaler
     from repro.runtime.serving import ServingSimulator
     from repro.runtime.workload import Workload
 
@@ -79,13 +95,22 @@ def run_single(size: int, scheduler: str) -> Dict:
             profiler_noise_std=0.0,
         )
     )
+    elastic = scheduler == "elastic"
     slo_ms = EDF_SLO_MS if scheduler == "edf" else None
     workload = Workload.constant_rate(
         MODEL, num_requests=size, interval_s=INTERVAL_S, slo_ms=slo_ms
     )
     requests = system.plan_requests(workload)
     simulator = ServingSimulator(
-        system.cluster, scheduler=scheduler, stream_stats=True
+        system.cluster,
+        scheduler="fifo" if elastic else scheduler,
+        stream_stats=True,
+        autoscaler=(
+            Autoscaler(policy="target-util", min_replicas=NUM_EDGE_NODES)
+            if elastic
+            else None
+        ),
+        balancer=ELASTIC_BALANCER if elastic else None,
     )
     start = time.perf_counter()
     simulator.run(requests)
@@ -105,39 +130,55 @@ def run_single(size: int, scheduler: str) -> Dict:
     }
 
 
-def _run_cell(size: int, scheduler: str, isolate: bool) -> Dict:
-    """Run one cell, in a subprocess when ``isolate`` (clean RSS high-water mark)."""
-    if not isolate:
-        return run_single(size, scheduler)
-    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (
-        package_root if not existing else package_root + os.pathsep + existing
-    )
-    output = subprocess.check_output(
-        [
-            sys.executable,
-            "-m",
-            "repro.benchmarks.engine",
-            "--single",
-            str(size),
-            scheduler,
-        ],
-        env=env,
-    )
-    return json.loads(output)
+def _run_cell(size: int, scheduler: str, isolate: bool, repeat: int = 1) -> Dict:
+    """Run one cell ``repeat`` times and keep the fastest (in a subprocess
+    when ``isolate``, for a clean RSS high-water mark).
+
+    Wall time on a shared host is the true cost plus nonnegative scheduling
+    noise, so the minimum over repeats is the least-biased estimator — the
+    one to commit when two cells are compared against each other.
+    """
+    best: Optional[Dict] = None
+    for _ in range(max(1, repeat)):
+        if not isolate:
+            cell = run_single(size, scheduler)
+        else:
+            package_root = os.path.dirname(
+                os.path.dirname(os.path.dirname(__file__))
+            )
+            env = dict(os.environ)
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = (
+                package_root
+                if not existing
+                else package_root + os.pathsep + existing
+            )
+            output = subprocess.check_output(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.benchmarks.engine",
+                    "--single",
+                    str(size),
+                    scheduler,
+                ],
+                env=env,
+            )
+            cell = json.loads(output)
+        if best is None or cell["wall_s"] < best["wall_s"]:
+            best = cell
+    return best
 
 
 def run_benchmark(
-    sizes: List[int], schedulers: List[str], isolate: bool = True
+    sizes: List[int], schedulers: List[str], isolate: bool = True, repeat: int = 1
 ) -> Dict:
     """The full grid as a ``BENCH_engine.json``-shaped payload."""
     results: Dict[str, Dict[str, Dict]] = {}
     for size in sizes:
         row: Dict[str, Dict] = {}
         for scheduler in schedulers:
-            cell = _run_cell(size, scheduler, isolate)
+            cell = _run_cell(size, scheduler, isolate, repeat)
             row[scheduler] = cell
             print(
                 f"  {size:>9,} x {scheduler:<5}  wall {cell['wall_s']:>8.3f}s  "
@@ -242,6 +283,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="run cells in-process (faster, but peak RSS accumulates)",
     )
     parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run each cell N times and keep the fastest — use >1 when "
+            "refreshing the committed file on a noisy host (default: 1)"
+        ),
+    )
+    parser.add_argument(
         "--single",
         nargs=2,
         default=None,
@@ -264,7 +315,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in schedulers:
         if name not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {name!r}; expected one of {SCHEDULERS}")
-    payload = run_benchmark(sizes, schedulers, isolate=not args.no_isolate)
+    payload = run_benchmark(
+        sizes, schedulers, isolate=not args.no_isolate, repeat=args.repeat
+    )
     print(json.dumps(payload, indent=2))
 
     status = 0

@@ -46,6 +46,7 @@ SCENARIO_NAMES = (
     "topologies",
     "availability",
     "slo",
+    "autoscale",
 )
 
 
@@ -61,6 +62,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         table01_pair_latency,
         table02_tier_times,
     )
+    from repro.experiments import autoscale as autoscale_harness
     from repro.experiments import availability as availability_harness
     from repro.experiments import serving as serving_harness
     from repro.experiments import slo as slo_harness
@@ -100,6 +102,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "slo": (
             slo_harness.run_slo_comparison,
             slo_harness.format_slo_comparison,
+        ),
+        "autoscale": (
+            autoscale_harness.run_autoscale_comparison,
+            autoscale_harness.format_autoscale_comparison,
         ),
     }
 
@@ -149,6 +155,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="failover retry budget per request under a fault schedule (default: 3)",
+    )
+    serve.add_argument(
+        "--elasticity",
+        default=None,
+        metavar="PATH",
+        help=(
+            "elasticity schedule: a JSON file of timed NodeJoin/NodeDrain "
+            "events applied to the deployed topology"
+        ),
+    )
+    serve.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "autoscale the edge replica group with the named policy "
+            "(target-util, queue-threshold) at its default thresholds"
+        ),
+    )
+    serve.add_argument(
+        "--balancer",
+        choices=("rr", "jsq", "p2c"),
+        default=None,
+        help=(
+            "replica-group load balancer: rr (round-robin), jsq (join-"
+            "shortest-queue), p2c (power-of-two-choices); implied rr when "
+            "--elasticity or --autoscale is given"
+        ),
     )
     serve.add_argument(
         "--scheduler",
@@ -286,6 +320,9 @@ def _command_serve(args) -> int:
         faults=args.faults,
         max_retries=args.max_retries,
         scheduler=args.scheduler,
+        elasticity=args.elasticity,
+        autoscaler=args.autoscale,
+        balancer=args.balancer,
     )
     print(report.summary())
     return 0

@@ -39,6 +39,12 @@ from repro.profiling.hardware import HardwareSpec
 from repro.profiling.profiler import LatencyProfile, Profiler
 from repro.profiling.regression import LatencyRegressionModel
 from repro.runtime.cluster import Cluster
+from repro.runtime.elasticity import (
+    Autoscaler,
+    ElasticitySchedule,
+    LoadBalancer,
+    load_elasticity_schedule,
+)
 from repro.runtime.executor import DistributedExecutor
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.serving import (
@@ -307,6 +313,9 @@ class D3System:
         max_retries: Optional[int] = None,
         scheduler: "Scheduler | str | None" = None,
         stream_stats: bool = False,
+        elasticity: "ElasticitySchedule | str | None" = None,
+        autoscaler: "Autoscaler | str | None" = None,
+        balancer: "LoadBalancer | str | None" = None,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -374,6 +383,28 @@ class D3System:
             The report's summary numbers are identical below the exact-
             percentile threshold and reservoir-estimated above it; its
             ``records``/``timeline`` views are empty.
+        elasticity:
+            Optional capacity scenario: an
+            :class:`~repro.runtime.elasticity.ElasticitySchedule` of
+            declarative NodeJoin/NodeDrain events, or a path to its JSON
+            form.  Requests are planned against the fleet shape in effect at
+            their arrival — inactive (parked/drained) nodes are masked out
+            of the topology through the same masked-fingerprint plan-cache
+            path failures use — and the simulator applies the joins and
+            drains as events (drains finish in-flight work gracefully).
+            ``None`` (or an empty schedule) is bit-identical to the
+            static-fleet path.
+        autoscaler:
+            Optional reactive scaling policy over the edge replica group: an
+            :class:`~repro.runtime.elasticity.Autoscaler` instance or a
+            policy name (``"target-util"``, ``"queue-threshold"``).  Ticked
+            inside the simulator; its decisions join/drain edge replicas
+            with a provisioning delay.
+        balancer:
+            Load-balancing policy resolving group-bound work to a replica
+            per request: a :class:`~repro.runtime.elasticity.LoadBalancer`
+            or a name (``"rr"``, ``"jsq"``, ``"p2c"``).  Defaults to
+            round-robin whenever elasticity or autoscaling is active.
 
         Returns
         -------
@@ -386,17 +417,27 @@ class D3System:
         if thresholds is not None:
             self.plan_cache.set_thresholds(thresholds)
         schedule = self._resolve_faults(faults, workload)
+        elastic = self._resolve_elasticity(elasticity)
         before = self.plan_cache.stats()
-        requests, ideal_by_id = self._plan_workload(workload, strategy, schedule, trace)
+        requests, ideal_by_id = self._plan_workload(
+            workload, strategy, schedule, trace, elastic
+        )
 
         simulator = ServingSimulator(
             self.cluster,
             link_contention=link_contention,
             faults=schedule,
             max_retries=self.config.max_retries if max_retries is None else max_retries,
-            replan=self._make_replanner(strategy, trace) if schedule else None,
+            replan=(
+                self._make_replanner(strategy, trace)
+                if (schedule or elastic or autoscaler is not None)
+                else None
+            ),
             scheduler=scheduler,
             stream_stats=stream_stats,
+            elasticity=elastic,
+            autoscaler=autoscaler,
+            balancer=balancer,
         )
         records = simulator.run(requests)
         for record in records:
@@ -412,6 +453,7 @@ class D3System:
         report.cache_hits = after["hits"] - before["hits"]
         report.cache_misses = after["misses"] - before["misses"]
         report.repartitions = after["repartitions"] - before["repartitions"]
+        report.cache_invalidations = after["invalidations"] - before["invalidations"]
         report.plans_computed = report.cache_misses + report.repartitions
         return report
 
@@ -439,6 +481,7 @@ class D3System:
         strategy: PartitionStrategy,
         schedule: Optional[FaultSchedule],
         trace: Optional[BandwidthTrace],
+        elastic: Optional[ElasticitySchedule] = None,
     ) -> Tuple[List[ServingRequest], Dict[str, float]]:
         """Price one request stream: ``(serving requests, ideal latency by id)``."""
         requests: List[ServingRequest] = []
@@ -450,6 +493,14 @@ class D3System:
         previous_down = no_faults
         for request in workload:
             down = schedule.state_at(request.arrival_s) if schedule else no_faults
+            if elastic is not None:
+                # Nodes parked, provisioning or drained at this arrival are
+                # masked out of the planning view exactly like failed ones —
+                # membership rides the degraded (masked-fingerprint) plan-
+                # cache path, so a join flowing back is a fail-back drift.
+                inactive = elastic.state_at(request.arrival_s)
+                if inactive:
+                    down = (down[0] | inactive, down[1])
             graph = request.graph or self.graph_for(request.model)
             if previous_down != down and (
                 previous_down[0] - down[0] or previous_down[1] - down[1]
@@ -528,6 +579,16 @@ class D3System:
             topology=self.cluster.topology,
             horizon_s=max(workload.duration_s, 1.0),
         )
+
+    def _resolve_elasticity(
+        self, elasticity: "ElasticitySchedule | str | None"
+    ) -> Optional[ElasticitySchedule]:
+        """Resolve an elasticity spec; empty schedules normalize to ``None``
+        so the static-fleet serving path stays bit-identical."""
+        if elasticity is None:
+            return None
+        schedule = load_elasticity_schedule(elasticity, topology=self.cluster.topology)
+        return schedule if schedule else None
 
     def _degraded_deployment(self, down: Tuple) -> Tuple[Topology, Cluster]:
         """The masked topology and realized cluster for one failure state.

@@ -106,22 +106,33 @@ _EVENT_TYPES: Dict[str, type] = {
 }
 
 
-class FaultSchedule:
-    """An ordered, validated list of timed fault events.
+class TimedSchedule:
+    """Shared container contract of the declarative timed-event schedules.
 
-    Events are kept sorted by time (stably, so same-time events apply in
-    declaration order).  Down/up events are idempotent: a second ``NodeDown``
-    for an already-down node changes nothing, and an ``up`` for a healthy
-    target is a no-op — which lets seeded generators and hand-written
-    schedules compose without bookkeeping.
+    :class:`FaultSchedule` (failures) and
+    :class:`repro.runtime.elasticity.ElasticitySchedule` (capacity changes)
+    are both ordered lists of timed events: kept sorted by time (stably, so
+    same-time events apply in declaration order), truthy only when non-empty
+    (an empty schedule behaves exactly like no schedule at all), with a
+    horizon.  Subclasses declare which event family they accept and own the
+    event semantics, point-in-time queries and JSON dialects.
     """
 
-    def __init__(self, events: Sequence[FaultEvent] = (), name: str = "faults") -> None:
+    #: Event base class instances must derive from.
+    event_base: ClassVar[type] = object
+    #: Serialization spellings of the accepted event kinds.
+    kinds: ClassVar[Tuple[str, ...]] = ()
+    #: Error type raised on structurally invalid input.
+    error: ClassVar[type] = ValueError
+    #: Human word for the family, used in error messages ("fault", ...).
+    family: ClassVar[str] = "timed"
+
+    def __init__(self, events: Sequence = (), name: str = "events") -> None:
         for event in events:
-            if not isinstance(event, FaultEvent) or event.kind not in FAULT_KINDS:
-                raise FaultScheduleError(f"not a fault event: {event!r}")
+            if not isinstance(event, self.event_base) or event.kind not in self.kinds:
+                raise self.error(f"not a {self.family} event: {event!r}")
         self.name = name
-        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.time_s)
+        self.events: List = sorted(events, key=lambda e: e.time_s)
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -131,25 +142,43 @@ class FaultSchedule:
         return iter(self.events)
 
     def __bool__(self) -> bool:
-        # A schedule object with zero events behaves like "no faults";
+        # A schedule object with zero events behaves like "no schedule";
         # `serve(faults=FaultSchedule([]))` stays bit-identical to
-        # `serve(faults=None)`.
+        # `serve(faults=None)`, and the same holds for elasticity.
         return bool(self.events)
 
     def __eq__(self, other: object) -> bool:
         return (
-            isinstance(other, FaultSchedule)
+            isinstance(other, type(self))
             and self.name == other.name
             and self.events == other.events
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"FaultSchedule({self.name!r}, {len(self.events)} events)"
+        return f"{type(self).__name__}({self.name!r}, {len(self.events)} events)"
 
     @property
     def horizon_s(self) -> float:
         """Time of the last scheduled event."""
         return self.events[-1].time_s if self.events else 0.0
+
+
+class FaultSchedule(TimedSchedule):
+    """An ordered, validated list of timed fault events.
+
+    Down/up events are idempotent: a second ``NodeDown`` for an already-down
+    node changes nothing, and an ``up`` for a healthy target is a no-op —
+    which lets seeded generators and hand-written schedules compose without
+    bookkeeping.
+    """
+
+    event_base = FaultEvent
+    kinds = FAULT_KINDS
+    error = FaultScheduleError
+    family = "fault"
+
+    def __init__(self, events: Sequence[FaultEvent] = (), name: str = "faults") -> None:
+        super().__init__(events, name=name)
 
     # ------------------------------------------------------------------ #
     def state_at(self, time_s: float) -> Tuple[FrozenSet[str], FrozenSet[str]]:

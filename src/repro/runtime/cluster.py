@@ -243,6 +243,17 @@ class Cluster:
         return frozenset(self._down_nodes)
 
     @property
+    def down_nodes_live(self) -> set:
+        """The live down-node name set itself, mutated in place by
+        ``fail_node``/``recover_node``/``reset``.
+
+        The serving engine aliases it once per run so that per-dispatch
+        liveness tests reduce to a membership test that short-circuits on
+        the (usually empty) set.  Callers must not mutate it.
+        """
+        return self._down_nodes
+
+    @property
     def down_links(self) -> frozenset:
         """Ids of currently-failed topology links."""
         return frozenset(self._down_links)

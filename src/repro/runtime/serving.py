@@ -76,6 +76,14 @@ from repro.profiling.hardware import batch_cost_s
 from repro.profiling.profiler import LatencyProfile
 from repro.runtime.accumulators import DEFAULT_EXACT_THRESHOLD, ServingStats
 from repro.runtime.cluster import Cluster
+from repro.runtime.elasticity import (
+    Autoscaler,
+    ElasticityEvent,
+    ElasticitySchedule,
+    LoadBalancer,
+    resolve_autoscaler,
+    resolve_balancer,
+)
 from repro.runtime.messages import TensorTransfer
 from repro.runtime.node import ComputeNode
 from repro.runtime.scheduler import (
@@ -229,6 +237,10 @@ class ServingReport:
     cache_hits: int = 0
     cache_misses: int = 0
     repartitions: int = 0
+    #: Cached plans invalidated mid-stream (drift adaptations and membership
+    #: churn both retire stale entries; churn-induced replanning cost shows
+    #: up here and in ``cache_misses``).
+    cache_invalidations: int = 0
     #: Failover replans performed mid-stream (a fault aborted in-flight work
     #: and the strategy re-planned the request against the degraded topology).
     failover_replans: int = 0
@@ -237,6 +249,10 @@ class ServingReport:
     node_down_s: Dict[str, float] = field(default_factory=dict)
     #: Seconds each link spent dark within the makespan window.
     link_down_s: Dict[str, float] = field(default_factory=dict)
+    #: Membership changes the run performed: autoscaler decisions plus
+    #: declarative elasticity joins/drains that actually changed the fleet.
+    scale_up_events: int = 0
+    scale_down_events: int = 0
     #: Online accumulators filled when the engine ran with ``stream_stats``;
     #: ``records`` is empty then and every aggregate below reads from here.
     #: Percentiles are exact while the run fits the accumulator's exact
@@ -420,6 +436,31 @@ class ServingReport:
         delays = [r.queueing_delay_s for r in self.records if r.queueing_delay_s is not None]
         return mean(delays) if delays else None
 
+    @property
+    def node_hours(self) -> float:
+        """Node-hours of capacity the fleet kept up over the makespan.
+
+        Every node contributes the makespan minus its downtime — parked and
+        drained time counts as down, which is exactly the capacity an elastic
+        fleet saves — converted to hours.  ``scenario autoscale`` judges the
+        capacity-vs-latency trade-off on this.
+        """
+        if self.makespan_s <= 0:
+            return 0.0
+        total = 0.0
+        for name in self.node_busy_s:
+            total += max(0.0, self.makespan_s - self.node_down_s.get(name, 0.0))
+        return total / 3600.0
+
+    def replica_utilisation(self) -> Dict[str, float]:
+        """Per-replica busy fraction over each replica's *active* time.
+
+        Downtime-weighted by construction: a replica that joined for half the
+        run but stayed saturated while active reports ~100%, which is the
+        number an autoscaler is tuned against.
+        """
+        return self.node_utilisation(downtime_weighted=True)
+
     def node_utilisation(self, downtime_weighted: bool = False) -> Dict[str, float]:
         """Busy fraction of every node over the workload's makespan.
 
@@ -513,11 +554,18 @@ class ServingReport:
             lines.append(
                 "  utilisation " + ", ".join(f"{name} {value:.0%}" for name, value in busiest)
             )
+        if self.scale_up_events or self.scale_down_events:
+            lines.append(
+                f"  elasticity: {self.scale_up_events} scale-up(s), "
+                f"{self.scale_down_events} scale-down(s), "
+                f"fleet {self.node_hours:.4f} node-hours"
+            )
         lines.append(f"  backbone to cloud {self.bytes_to_cloud * 8.0 / 1e6:.3f} Mb")
         lines.append(
             f"  plans computed {self.plans_computed} "
             f"(cache hits {self.cache_hits}, misses {self.cache_misses}, "
-            f"repartitions {self.repartitions})"
+            f"repartitions {self.repartitions}, "
+            f"invalidations {self.cache_invalidations})"
         )
         return "\n".join(lines)
 
@@ -555,6 +603,8 @@ class _CompiledUnit:
         "exec_nodes",
         "home_node",
         "tasks",
+        "group_tasks",
+        "group_cache",
         "node_costs",
         "out_edges",
         "gather_label",
@@ -573,6 +623,17 @@ class _CompiledUnit:
         #: compute task, carrying the engine's per-node queue directly so
         #: enqueueing skips the name lookup.
         self.tasks: List[Tuple[ComputeNode, float, str, "_NodeState"]] = []
+        #: Group-bound stages only: ``[(raw profile duration, label)]`` —
+        #: the member (and its speed factor) is chosen per request by the
+        #: balancer, so pricing happens at resolution time.  ``None`` for
+        #: statically bound units.
+        self.group_tasks: Optional[List[Tuple[float, str]]] = None
+        #: Per-member priced task lists for group-bound stages, keyed by
+        #: member name — the ``group_tasks`` arithmetic is a pure function of
+        #: the member, so each member is priced once per compiled plan and
+        #: every request resolving to it shares the list (the same sharing
+        #: contract as ``tasks``).
+        self.group_cache: Optional[Dict[str, List]] = None
         #: ``[(node name, solo seconds)]`` for the admission predictor.
         self.node_costs: List[Tuple[str, float]] = []
         #: Cross-unit data dependencies, in delivery order: ``[(producer
@@ -671,6 +732,11 @@ class _Unit:
         """True when any of this unit's work is bound to ``node_name``."""
         if self.home_node is not None and self.home_node.name == node_name:
             return True
+        if self.compiled.group_tasks is not None:
+            # Unresolved group-bound stage: it is bound to the member its
+            # request's earlier stages already stuck to (if any).
+            chosen = self.state.group_node_state
+            return chosen is not None and chosen.node.name == node_name
         return any(node.name == node_name for node in self.compiled.exec_nodes)
 
 
@@ -694,6 +760,8 @@ class _RequestState:
         "done",
         "bytes_to_cloud",
         "compiled",
+        "group_node_state",
+        "group_rev",
     )
 
     def __init__(
@@ -737,6 +805,15 @@ class _RequestState:
         self.bytes_to_cloud = 0
         #: The shared :class:`_CompiledPlan` of the current attempt.
         self.compiled: Optional[_CompiledPlan] = None
+        #: The replica the balancer stuck this request's group-bound stages
+        #: to (a :class:`_NodeState`); ``None`` until the first group stage
+        #: resolves, and reset per failover attempt.
+        self.group_node_state: Optional["_NodeState"] = None
+        #: Fleet-membership revision the sticky choice was made (or last
+        #: re-verified) under; while the engine's revision matches, the
+        #: member provably never went down, so resolution skips the
+        #: liveness check.
+        self.group_rev = 0
 
     @property
     def terminal(self) -> bool:
@@ -869,6 +946,25 @@ class ServingSimulator:
         instance, a registry name (``"fifo"``, ``"batch"``, ``"edf"``) or
         ``None`` for the default FIFO, which is bit-identical to the
         pre-scheduler engine.
+    elasticity:
+        Optional :class:`~repro.runtime.elasticity.ElasticitySchedule` of
+        declarative NodeJoin/NodeDrain events.  Targets whose first event is
+        a join start *parked* (down, unpaid); a drain stops new admissions,
+        finishes in-flight work and takes the node down gracefully — never
+        aborting a request.  ``None`` (or an empty schedule) is bit-identical
+        to the static-fleet engine.
+    autoscaler:
+        Optional :class:`~repro.runtime.elasticity.Autoscaler` (or policy
+        name) ticked on its interval with the edge replica group's mean
+        utilisation / queue depth; its join/drain decisions flow through the
+        same machinery as declarative elasticity events.
+    balancer:
+        Optional :class:`~repro.runtime.elasticity.LoadBalancer` (or name:
+        ``"rr"``, ``"jsq"``, ``"p2c"``).  When given — or whenever
+        elasticity/autoscaling is active — solo edge-tier stages bind to the
+        edge *replica group* instead of the primary edge node, and the
+        balancer resolves each request's work to a member at dispatch time
+        (sticky per request, so intra-request edges stay node-local).
     stream_stats:
         Benchmark mode for huge workloads: per-request timelines and records
         are not materialized; aggregates stream into online accumulators
@@ -894,6 +990,9 @@ class ServingSimulator:
         scheduler: "Scheduler | str | None" = None,
         stream_stats: bool = False,
         exact_percentiles: int = DEFAULT_EXACT_THRESHOLD,
+        elasticity: Optional[ElasticitySchedule] = None,
+        autoscaler: "Autoscaler | str | None" = None,
+        balancer: "LoadBalancer | str | None" = None,
     ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
@@ -902,6 +1001,11 @@ class ServingSimulator:
             )
         if max_retries < 0:
             raise ValueError("max_retries cannot be negative")
+        if elasticity is not None and not isinstance(elasticity, ElasticitySchedule):
+            raise ValueError(
+                f"elasticity must be an ElasticitySchedule, "
+                f"got {type(elasticity).__name__}"
+            )
         self.cluster = cluster
         self.link_contention = link_contention
         self.faults = faults
@@ -910,6 +1014,14 @@ class ServingSimulator:
         self.scheduler = resolve_scheduler(scheduler)
         self.stream_stats = stream_stats
         self.exact_percentiles = exact_percentiles
+        # An empty schedule is normalized away so every elastic code path is
+        # provably dead on static runs (the golden traces pin this).
+        self.elasticity = elasticity if elasticity else None
+        self.autoscaler = resolve_autoscaler(autoscaler)
+        elastic = self.elasticity is not None or self.autoscaler is not None
+        self.balancer: Optional[LoadBalancer] = (
+            resolve_balancer(balancer) if (balancer is not None or elastic) else None
+        )
         self.failover_replans = 0
         #: Events popped off the queue by the last :meth:`run` (the
         #: benchmark harness's throughput denominator).
@@ -942,7 +1054,30 @@ class ServingSimulator:
         self._node_down_intervals: Dict[str, List[List[Optional[float]]]] = {}
         self._link_down_intervals: Dict[str, List[List[Optional[float]]]] = {}
         self._default_source: Optional[ComputeNode] = None
+        #: Names of nodes currently draining (up, but admitting no new work).
+        self._draining: set = set()
+        #: Names of nodes down because of *membership* (parked before their
+        #: join, or drained out) rather than a crash — requests pinned to one
+        #: of these re-resolve instead of failing as "client offline".
+        self._elastic_down: set = set()
+        #: Joins whose provisioning delay has not elapsed yet.
+        self._provisioning: set = set()
+        #: The autoscaler's replica group (edge nodes, declaration order).
+        self._group_names: List[str] = []
+        #: Per-node busy-seconds snapshot at the last autoscale tick.
+        self._util_prev: Dict[str, float] = {}
+        self._scale_up_count = 0
+        self._scale_down_count = 0
+        self._pending_arrivals = 0
         self._faulty = bool(self.faults)
+        self._elastic = self.elasticity is not None or self.autoscaler is not None
+        self._downable = self._faulty or self._elastic
+        #: Alias of the cluster's live down-node name set (mutated in place
+        #: by fail/recover): hot-path liveness tests reduce to a membership
+        #: test that short-circuits on the empty set — no method call, and
+        #: on runs where nothing is currently down, no hash either.
+        self._down_live: set = self.cluster.down_nodes_live
+        self._grouped = self.balancer is not None
         self._base_key = type(self.scheduler).queue_key is Scheduler.queue_key
         self._pop_select = type(self.scheduler).select in (
             FifoScheduler.select,
@@ -980,12 +1115,30 @@ class ServingSimulator:
         self.batch_occupancy = {}
         self.batches = []
         self._default_source = None
+        self._draining = set()
+        self._elastic_down = set()
+        self._provisioning = set()
+        self._group_names = []
+        self._util_prev = {}
+        # Fleet-membership caches: everything below is a pure function of
+        # (down nodes, draining nodes) and membership changes are rare (a
+        # handful per run) while the consumers run per request — so each is
+        # rebuilt lazily and invalidated by ``_membership_changed``.
+        self._membership_rev = 0
+        self._membership_key = None
+        self._members_cache = None
+        self._scale_up_count = 0
+        self._scale_down_count = 0
         # Fast-path predicates, resolved once per run: with no fault schedule
         # nodes can never go down (``reset`` heals everything), a scheduler
         # that keeps the base queue key lets enqueue build keys inline, and
         # the plain pop-the-root policies (FIFO/EDF) dispatch without the
         # select() indirection or flush bookkeeping.
         self._faulty = bool(self.faults)
+        self._elastic = self.elasticity is not None or self.autoscaler is not None
+        self._downable = self._faulty or self._elastic
+        self._down_live = self.cluster.down_nodes_live
+        self._grouped = self.balancer is not None
         scheduler_type = type(self.scheduler)
         self._base_key = scheduler_type.queue_key is Scheduler.queue_key
         self._pop_select = scheduler_type.select in (
@@ -1002,7 +1155,22 @@ class ServingSimulator:
             for fault in self.faults:
                 self._push(fault.time_s, "fault", fault)
 
+        if self._grouped:
+            self.balancer.reset()
+        if self.elasticity is not None:
+            # Membership events share the faults' equal-timestamp convention:
+            # entering the queue before arrivals, a join/drain effective the
+            # instant a request arrives is already applied when it arrives.
+            self.elasticity.validate_against(self.cluster.topology)
+            for name in sorted(self.elasticity.initially_parked()):
+                self._park(name)
+            for event in self.elasticity:
+                self._push(event.time_s, "elastic", event)
+        if self.autoscaler is not None:
+            self._setup_autoscaler()
+
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.index))
+        self._pending_arrivals = len(ordered)
         for request in ordered:
             self._push(request.arrival_s, "arrival", request)
 
@@ -1038,6 +1206,12 @@ class ServingSimulator:
                 if node_state.flush_at is not None and node_state.flush_at <= time_s + 1e-12:
                     node_state.flush_at = None
                 self._dispatch(node_state, time_s)
+            elif kind == "elastic":
+                self._handle_elastic(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "provisioned":
+                self._handle_provisioned(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "autoscale":
+                self._handle_autoscale_tick(time_s)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
         self.events_processed = processed
@@ -1137,6 +1311,8 @@ class ServingSimulator:
             failover_replans=self.failover_replans,
             node_down_s=_clip_downtime(self._node_down_intervals, start, end),
             link_down_s=_clip_downtime(self._link_down_intervals, start, end),
+            scale_up_events=self._scale_up_count,
+            scale_down_events=self._scale_down_count,
             scheduler=self.scheduler.name,
             batch_occupancy=dict(sorted(self.batch_occupancy.items())),
             batches=list(self.batches),
@@ -1153,16 +1329,31 @@ class ServingSimulator:
     # Request admission
     # ------------------------------------------------------------------ #
     def _handle_arrival(self, time_s: float, request: ServingRequest) -> None:
+        self._pending_arrivals -= 1
         state = _RequestState(request, self._resolve_source(request), self._stats is None)
         if self._stats is None:
             self._states.append(state)
         self._live[state] = None
         self._open += 1
-        if self._faulty and not self.cluster.node_is_up(state.source_node.name):
-            # The request's entry point is dead: there is nothing to fail
-            # over to — the client itself is offline.
-            self._fail(state, time_s)
-            return
+        if self._downable:
+            name = state.source_node.name
+            if self._down_live and name in self._down_live:
+                # A source down because its device drained out (or never
+                # joined) re-resolves onto a live sibling — membership change
+                # is not an outage.  A *crashed* source still fails: the
+                # client itself is offline and there is nothing to fail over
+                # to.
+                fallback = self._resolve_live_source(name)
+                if fallback is None:
+                    self._fail(state, time_s)
+                    return
+                state.source_node = fallback
+            elif self._draining and name in self._draining:
+                # Draining sources stop admitting immediately; steering new
+                # arrivals away is also what lets the drain ever finish.
+                fallback = self._resolve_live_source(name)
+                if fallback is not None:
+                    state.source_node = fallback
         if self.scheduler.admission_control and request.slo_ms is not None:
             if not self._build(state):
                 self._fail(state, time_s)
@@ -1191,6 +1382,10 @@ class ServingSimulator:
         if self._live.pop(state, _MISSING) is _MISSING:
             return  # already retired (idempotent by construction)
         self._open -= 1
+        if self._draining:
+            # Every retirement may be the one a graceful drain was waiting
+            # on: re-check each draining node for stranded references.
+            self._sweep_drains(completion_s)
         if self._stats is not None:
             request = state.request
             self._stats.add(
@@ -1271,7 +1466,9 @@ class ServingSimulator:
         change then); recomputed against the live route state otherwise.
         """
         compiled = state.compiled
-        memoize = not self.faults and compiled is not None
+        # Group-bound stages resolve their home per request, so the links a
+        # *request* touches are not a property of the compiled plan there.
+        memoize = not self.faults and not self._grouped and compiled is not None
         if memoize and compiled.touched_links is not None:
             return compiled.touched_links
         links: Dict[int, SharedLink] = {}
@@ -1313,9 +1510,15 @@ class ServingSimulator:
         return True
 
     def _start_ready_units(self, state: _RequestState, time_s: float) -> None:
+        epoch = state.epoch
         for unit in state.unit_list:
             if unit.waiting == 0:
                 self._start_unit(state, unit, time_s)
+                if state.epoch != epoch or state.failed:
+                    # A group-bound stage found no live replica and aborted
+                    # the attempt; the remaining units belong to a discarded
+                    # plan.
+                    return
 
     def _build_units(self, state: _RequestState) -> None:
         """Instantiate the request's stages from the shared compiled plan."""
@@ -1323,6 +1526,10 @@ class ServingSimulator:
         state.compiled = compiled
         state.unit_list = [_Unit(state, unit) for unit in compiled.units]
         state.remaining_units = len(state.unit_list)
+        # A rebuilt attempt re-chooses its replica: the balancer's pick is
+        # per attempt, and the failover may exist precisely because the old
+        # member died.
+        state.group_node_state = None
 
     def _compiled_for(self, state: _RequestState) -> _CompiledPlan:
         """The compiled stage structure for the request's current attempt.
@@ -1335,13 +1542,26 @@ class ServingSimulator:
         alias a different plan.
         """
         request = state.request
+        if self._downable:
+            # Membership changes (drains count: they stop admitting before
+            # the node goes down) re-key compilation exactly like faults do.
+            # The frozen pair is rebuilt only after a membership change —
+            # per request it is a cache read.
+            membership = self._membership_key
+            if membership is None:
+                membership = self._membership_key = (
+                    frozenset(self.cluster.down_nodes),
+                    frozenset(self._draining),
+                )
+        else:
+            membership = None
         key = (
             id(request.graph),
             id(request.plan),
             id(request.profile),
             id(request.vsm_plan),
             state.source_node.name,
-            frozenset(self.cluster.down_nodes) if self.faults else None,
+            membership,
         )
         compiled = self._compiled.get(key)
         if compiled is None:
@@ -1409,11 +1629,17 @@ class ServingSimulator:
             nodes = live.get(tier)
             if nodes is None:
                 nodes = self.cluster.active_nodes(tier)
+                if self._draining:
+                    # Draining nodes admit no new plans; if a fault downed
+                    # every non-draining sibling, binding to a draining node
+                    # beats failing the request outright.
+                    nodes = [n for n in nodes if n.name not in self._draining] or nodes
                 if not nodes:
                     raise _NoNodeAvailable(tier.value)
                 live[tier] = nodes
             return nodes
 
+        grouped = self._grouped
         for unit in units:
             if unit.run is not None:
                 edge_nodes = tier_nodes(Tier.EDGE)
@@ -1424,6 +1650,11 @@ class ServingSimulator:
             elif unit.tier == Tier.DEVICE:
                 unit.exec_nodes = [source_node]
                 unit.home_node = source_node
+            elif grouped and unit.tier == Tier.EDGE:
+                # Group-bound: the stage targets the edge *replica group*;
+                # the balancer resolves a member per request at dispatch
+                # time.  Compilation only proves the tier is not dark.
+                tier_nodes(Tier.EDGE)
             else:
                 node = tier_nodes(unit.tier)[0]
                 unit.exec_nodes = [node]
@@ -1457,6 +1688,12 @@ class ServingSimulator:
         for unit in units:
             if unit.run is None:
                 vertex = unit.vertices[0]
+                if not unit.exec_nodes:
+                    # Group-bound stage: store the raw profile duration; the
+                    # per-request resolution divides by the chosen member's
+                    # speed factor (members may be heterogeneous).
+                    unit.group_tasks = [(profile.get(vertex.index, unit.tier), vertex.name)]
+                    continue
                 node = unit.exec_nodes[0]
                 duration = profile.get(vertex.index, unit.tier)
                 unit.tasks.append(
@@ -1515,6 +1752,24 @@ class ServingSimulator:
         just allocating one :class:`_Task` per compiled entry.
         """
         tasks = unit.tasks
+        if not tasks:
+            # Group-bound stage (the only units compiled without tasks):
+            # resolve the replica for this request now.  Steady-state hit —
+            # sticky member already chosen, membership unchanged, member
+            # already priced — inlined; everything else takes the slow path.
+            node_state = state.group_node_state
+            if node_state is not None and state.group_rev == self._membership_rev:
+                cache = unit.compiled.group_cache
+                if cache is not None:
+                    tasks = cache.get(node_state.node.name)
+            if tasks:
+                unit.tasks = tasks
+                unit.home_node = node_state.node
+            else:
+                tasks = self._resolve_group_unit(state, unit, time_s)
+                if tasks is None:
+                    self._abort(state, time_s)
+                    return
         unit.remaining_tasks = len(tasks)
         epoch = state.epoch
         if self._base_key:
@@ -1603,6 +1858,13 @@ class ServingSimulator:
     def _mark_queues_dirty(self, state: _RequestState) -> None:
         """Flag the nodes that may hold queued tasks of a dying attempt."""
         for unit in state.unit_list:
+            home = unit.home_node
+            if home is not None:
+                # Group-bound stages carry no compiled exec_nodes; their
+                # queued tasks live on the per-request resolved member.
+                node_state = self._nodes.get(home.name)
+                if node_state is not None:
+                    node_state.dirty = True
             for node in unit.exec_nodes:
                 node_state = self._nodes.get(node.name)
                 if node_state is not None:
@@ -1618,7 +1880,7 @@ class ServingSimulator:
         """
         if node_state.busy:
             return
-        if self._faulty and not self.cluster.node_is_up(node_state.node.name):
+        if self._down_live and node_state.node.name in self._down_live:
             return
         if node_state.dirty:
             self._prune_queue(node_state)
@@ -1760,6 +2022,8 @@ class ServingSimulator:
             self._complete_unit(unit.state, unit, time_s)
         if node_state.queue:
             self._dispatch(node_state, time_s)
+        elif self._draining and node_state.node.name in self._draining:
+            self._maybe_complete_drain(node_state.node.name, time_s)
 
     def _handle_task_end(
         self, time_s: float, payload: Tuple[_NodeState, List[_Task], int]
@@ -1784,6 +2048,8 @@ class ServingSimulator:
             # which case their enqueue already saw ``busy`` and left the
             # dispatch to us).
             self._dispatch(node_state, time_s)
+        elif self._draining and node_state.node.name in self._draining:
+            self._maybe_complete_drain(node_state.node.name, time_s)
 
     def _complete_unit(self, state: _RequestState, unit: _Unit, time_s: float) -> None:
         state.remaining_units -= 1
@@ -1808,10 +2074,15 @@ class ServingSimulator:
             if local:
                 # Same-node delivery is free and cannot abort the attempt
                 # (no route, no reservation): hand the edge over directly.
+                # Group-bound pairs compile as local too — the sticky
+                # balancer choice puts both stages on one member — so the
+                # started stage *can* abort (no live replica); check.
                 dst_unit = unit_list[dst_pos]
                 dst_unit.waiting -= 1
                 if dst_unit.waiting == 0:
                     self._start_unit(state, dst_unit, time_s)
+                    if state.epoch != epoch or state.failed:
+                        return
                 continue
             self._deliver_edge(state, producer, unit, consumer, unit_list[dst_pos], time_s)
             if state.epoch != epoch or state.failed:
@@ -1836,6 +2107,23 @@ class ServingSimulator:
     ) -> None:
         src_node = src_unit.home_node
         dst_node = dst_unit.home_node
+        if dst_node is None:
+            # Group-bound consumer not yet resolved: bind it now, so the
+            # transfer addresses the member this request will run on (same
+            # inlined steady-state hit as ``_start_unit``).
+            node_state = state.group_node_state
+            tasks = None
+            if node_state is not None and state.group_rev == self._membership_rev:
+                cache = dst_unit.compiled.group_cache
+                if cache is not None:
+                    tasks = cache.get(node_state.node.name)
+            if tasks:
+                dst_unit.tasks = tasks
+                dst_unit.home_node = node_state.node
+            elif self._resolve_group_unit(state, dst_unit, time_s) is None:
+                self._abort(state, time_s)
+                return
+            dst_node = dst_unit.home_node
         if src_node is dst_node:
             # Same-node movement is free (the paper's intra-tier assumption).
             self._arrive(dst_unit, time_s)
@@ -1935,6 +2223,7 @@ class ServingSimulator:
             if not self.cluster.node_is_up(event.target):
                 return  # already down; idempotent
             self.cluster.fail_node(event.target)
+            self._membership_changed()
             self._open_interval(self._node_down_intervals, event.target, time_s)
             node_state = self._nodes.get(event.target)  # None for relays
             if node_state is not None:
@@ -1944,6 +2233,7 @@ class ServingSimulator:
             if self.cluster.node_is_up(event.target):
                 return
             self.cluster.recover_node(event.target)
+            self._membership_changed()
             self._close_interval(self._node_down_intervals, event.target, time_s)
             node_state = self._nodes.get(event.target)
             if node_state is not None:
@@ -2127,6 +2417,260 @@ class ServingSimulator:
         state.completion_s = time_s
         self._mark_queues_dirty(state)
         self._retire(state, "failed", time_s)
+
+    # ------------------------------------------------------------------ #
+    # Elasticity: joins, drains, autoscaling, replica groups
+    # ------------------------------------------------------------------ #
+    def _membership_changed(self) -> None:
+        """A node joined, drained, died or recovered: drop every cache
+        derived from fleet membership (the compile re-key, the balancer's
+        choice domain, and each request's verified sticky binding)."""
+        self._membership_rev += 1
+        self._membership_key = None
+        self._members_cache = None
+
+    def _park(self, name: str) -> None:
+        """Take a node out of the fleet at t=0 (declared but not yet paid
+        for); a later join brings it in after its provisioning delay."""
+        if self.cluster.node_is_up(name):
+            self.cluster.fail_node(name)
+            self._open_interval(self._node_down_intervals, name, 0.0)
+            self._membership_changed()
+        self._elastic_down.add(name)
+
+    def _setup_autoscaler(self) -> None:
+        """Shape the edge replica group to the policy's initial size and
+        schedule the first tick."""
+        scaler = self.autoscaler
+        scaler.start()
+        group = [node.name for node in self.cluster.all_nodes if node.tier == Tier.EDGE]
+        if not group:
+            raise ValueError(
+                "autoscaling needs at least one edge replica in the topology"
+            )
+        self._group_names = group
+        active = scaler.initial_active(len(group))
+        for name in group[active:]:
+            if name not in self._elastic_down and self.cluster.node_is_up(name):
+                self._park(name)
+        self._push(scaler.interval_s, "autoscale", None)
+
+    def _handle_elastic(self, time_s: float, event: ElasticityEvent) -> None:
+        if event.is_join:
+            self._begin_join(event.target, event.provision_s, time_s)
+        else:
+            self._begin_drain(event.target, time_s)
+
+    def _begin_join(self, name: str, provision_s: float, time_s: float) -> None:
+        """Start provisioning ``name``; it accepts work after ``provision_s``.
+
+        Idempotent: joining an already-up or already-provisioning node is a
+        no-op, and joining a *draining* node simply cancels the drain (the
+        node never went down, so there is nothing to provision).
+        """
+        if name in self._provisioning:
+            return
+        if name in self._draining:
+            self._draining.discard(name)
+            self._membership_changed()
+            self._scale_up_count += 1
+            return
+        if self.cluster.node_is_up(name):
+            return
+        self._provisioning.add(name)
+        self._scale_up_count += 1
+        self._push(time_s + max(0.0, provision_s), "provisioned", name)
+
+    def _handle_provisioned(self, time_s: float, name: str) -> None:
+        """Provisioning elapsed: the joined node enters the fleet."""
+        self._provisioning.discard(name)
+        if self.cluster.node_is_up(name):
+            return
+        self.cluster.recover_node(name)
+        self._membership_changed()
+        self._elastic_down.discard(name)
+        self._close_interval(self._node_down_intervals, name, time_s)
+        node_state = self._nodes.get(name)
+        if node_state is not None:
+            self._dispatch(node_state, time_s)
+
+    def _begin_drain(self, name: str, time_s: float) -> None:
+        """Start a graceful drain: stop admitting, finish in-flight work,
+        then leave the fleet.  Refused (no-op) when it would leave the
+        node's tier without an admitting replica."""
+        if name in self._draining or not self.cluster.node_is_up(name):
+            return
+        tier = self.cluster.node(name).tier
+        remaining = [
+            node
+            for node in self.cluster.active_nodes(tier)
+            if node.name != name and node.name not in self._draining
+        ]
+        if not remaining:
+            return
+        self._draining.add(name)
+        self._membership_changed()
+        self._scale_down_count += 1
+        self._maybe_complete_drain(name, time_s)
+
+    def _sweep_drains(self, time_s: float) -> None:
+        for name in list(self._draining):
+            self._maybe_complete_drain(name, time_s)
+
+    def _maybe_complete_drain(self, name: str, time_s: float) -> None:
+        """Complete a drain iff nothing references the node any more: it is
+        idle, its ready-queue holds no live work, and no live request has
+        unfinished work bound (or stuck) to it.  Never aborts anything —
+        that is the entire difference between a drain and a crash."""
+        node_state = self._nodes.get(name)
+        if node_state is None:  # pragma: no cover - relays cannot drain
+            self._draining.discard(name)
+            self._membership_changed()
+            return
+        if node_state.busy:
+            return
+        if node_state.dirty:
+            self._prune_queue(node_state)
+        if node_state.queue:
+            return
+        for state in self._live:
+            if state.terminal:
+                continue
+            for unit in state.unit_list:
+                if not unit.completed and unit.touches(name):
+                    return
+        self._draining.discard(name)
+        if self.cluster.node_is_up(name):
+            self.cluster.fail_node(name)
+            self._open_interval(self._node_down_intervals, name, time_s)
+        self._elastic_down.add(name)
+        self._membership_changed()
+
+    def _handle_autoscale_tick(self, time_s: float) -> None:
+        """One autoscaler heartbeat: sample the group, apply the decision,
+        and schedule the next tick while work remains."""
+        scaler = self.autoscaler
+        active: List[str] = []
+        spare: List[str] = []
+        for name in self._group_names:
+            if name in self._provisioning or name in self._draining:
+                continue
+            if self.cluster.node_is_up(name):
+                active.append(name)
+            elif name in self._elastic_down:
+                spare.append(name)
+        if active:
+            interval = scaler.interval_s
+            busy_total = 0.0
+            depth_total = 0.0
+            for name in active:
+                node_state = self._nodes[name]
+                busy_s = node_state.node.busy_seconds
+                previous = self._util_prev.get(name, 0.0)
+                busy_total += min(1.0, max(0.0, (busy_s - previous) / interval))
+                self._util_prev[name] = busy_s
+                depth_total += len(node_state.queue) + (1 if node_state.busy else 0)
+            decision = scaler.decide(
+                busy_total / len(active),
+                depth_total / len(active),
+                len(active),
+                len(spare),
+                time_s,
+            )
+            if decision == "up" and spare:
+                self._begin_join(spare[0], scaler.provision_s, time_s)
+            elif decision == "down" and len(active) > 1:
+                self._begin_drain(active[-1], time_s)
+        if self._open > 0 or self._pending_arrivals > 0:
+            self._push(time_s + scaler.interval_s, "autoscale", None)
+
+    def _eligible_group_members(self) -> List[_NodeState]:
+        """Live, non-draining members of the edge replica group, in
+        declaration order — the balancer's choice domain.  A pure function
+        of fleet membership, so the list is rebuilt only after a
+        membership change."""
+        members = self._members_cache
+        if members is not None:
+            return members
+        nodes = self._nodes
+        members = [
+            nodes[node.name]
+            for node in self.cluster.active_nodes(Tier.EDGE)
+            if node.name not in self._draining
+        ]
+        if not members:
+            # Every live member is draining (faults downed the rest):
+            # finishing on a draining replica beats failing the request.
+            members = [nodes[node.name] for node in self.cluster.active_nodes(Tier.EDGE)]
+        self._members_cache = members
+        return members
+
+    def _resolve_group_unit(
+        self, state: _RequestState, unit: _Unit, time_s: float
+    ) -> Optional[List[Tuple[ComputeNode, float, str, _NodeState]]]:
+        """Bind one request's group-bound stage to a replica.
+
+        The balancer chooses once per request and the choice sticks: every
+        group stage of the inference lands on the same member, so
+        intra-request edges stay node-local exactly as on a statically bound
+        plan.  A sticky member that crash-died is re-chosen (a *draining*
+        member keeps its in-flight requests — drains never abort work).
+        Returns the priced task list, or ``None`` when no member is live.
+        """
+        node_state = state.group_node_state
+        rev = self._membership_rev
+        if node_state is not None and state.group_rev != rev:
+            # Membership changed since the choice was made (or last
+            # verified): the sticky member may have crash-died.
+            if self._down_live and node_state.node.name in self._down_live:
+                node_state = None
+            else:
+                state.group_rev = rev
+        if node_state is None:
+            members = self._eligible_group_members()
+            if not members:
+                return None
+            node_state = self.balancer.choose(members, time_s)
+            state.group_node_state = node_state
+            state.group_rev = rev
+        node = node_state.node
+        unit.home_node = node
+        compiled = unit.compiled
+        cache = compiled.group_cache
+        if cache is None:
+            cache = compiled.group_cache = {}
+        tasks = cache.get(node.name)
+        if tasks is None:
+            speed = node.speed_factor
+            tasks = [
+                (node, duration / speed, label, node_state)
+                for duration, label in compiled.group_tasks
+            ]
+            cache[node.name] = tasks
+        unit.tasks = tasks
+        return tasks
+
+    def _resolve_live_source(self, name: str) -> Optional[ComputeNode]:
+        """A live stand-in for a source that drained out of the fleet.
+
+        ``None`` when the source went down by *crashing* (the client is
+        offline — the historical fault semantics) or when its tier has no
+        live replacement.  Prefers non-draining siblings, in declaration
+        order, so re-resolution is deterministic.
+        """
+        if name not in self._elastic_down and name not in self._draining:
+            return None
+        tier = self.cluster.node(name).tier
+        candidates = [
+            node
+            for node in self.cluster.active_nodes(tier)
+            if node.name not in self._draining
+        ]
+        if not candidates:
+            candidates = [
+                node for node in self.cluster.active_nodes(tier) if node.name != name
+            ]
+        return candidates[0] if candidates else None
 
 
 def _clip_downtime(

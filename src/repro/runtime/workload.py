@@ -256,6 +256,96 @@ class Workload:
         return cls(requests=requests, name=f"poisson:{names}@{rate_rps:g}rps")
 
     @classmethod
+    def diurnal(
+        cls,
+        models: Union[ModelRef, Sequence[ModelRef]],
+        duration_s: float,
+        peak_rps: float,
+        trough_rps: Optional[float] = None,
+        period_s: Optional[float] = None,
+        seed: int = 0,
+        start_s: float = 0.0,
+        weights: Optional[Sequence[float]] = None,
+        sources: Optional[Sequence[str]] = None,
+        slo_ms: Optional[float] = None,
+        priorities: Optional[Sequence[int]] = None,
+    ) -> "Workload":
+        """A diurnal arrival curve: traffic ebbs and swells like a day of
+        user load.
+
+        An inhomogeneous Poisson process (sampled by thinning, so it is
+        exact, not binned) whose rate follows a raised cosine from
+        ``trough_rps`` up to ``peak_rps`` and back over each ``period_s``
+        (default: one full cycle spanning ``duration_s``, starting and
+        ending at the trough with the peak mid-way).  ``trough_rps``
+        defaults to a tenth of the peak — the classic 10:1 day/night swing
+        capacity planning is sized around.  Model mix, sources, SLOs and
+        priorities behave exactly as in :meth:`poisson`.  Fully determined
+        by ``seed``.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if peak_rps <= 0:
+            raise ValueError("peak rate must be positive")
+        if trough_rps is None:
+            trough_rps = peak_rps / 10.0
+        if not 0.0 <= trough_rps <= peak_rps:
+            raise ValueError("trough rate must lie in [0, peak_rps]")
+        period = duration_s if period_s is None else period_s
+        if period <= 0:
+            raise ValueError("period must be positive")
+        choices = _as_model_list(models)
+        if weights is not None and len(weights) != len(choices):
+            raise ValueError("weights must match the number of models")
+        probabilities = None
+        if weights is not None:
+            total = float(sum(weights))
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            probabilities = [w / total for w in weights]
+
+        rng = np.random.default_rng(seed)
+        swing = peak_rps - trough_rps
+        two_pi = 2.0 * np.pi
+        arrivals: List[float] = []
+        t = 0.0
+        while True:
+            # Thinning: candidate arrivals at the peak rate, each kept with
+            # probability rate(t) / peak — an exact inhomogeneous sampler.
+            t += float(rng.exponential(scale=1.0 / peak_rps))
+            if t >= duration_s:
+                break
+            rate = trough_rps + swing * 0.5 * (1.0 - float(np.cos(two_pi * t / period)))
+            if float(rng.random()) * peak_rps <= rate:
+                arrivals.append(start_s + t)
+        picks = (
+            rng.choice(len(choices), size=len(arrivals), p=probabilities)
+            if arrivals
+            else []
+        )
+        origins = _as_source_list(sources)
+        classes = list(priorities) if priorities else [0]
+        requests = []
+        for i, arrival in enumerate(arrivals):
+            choice = choices[int(picks[i])]
+            requests.append(
+                Request(
+                    index=i,
+                    model=_model_name(choice),
+                    arrival_s=arrival,
+                    graph=choice if isinstance(choice, DnnGraph) else None,
+                    source=origins[i % len(origins)] if origins else None,
+                    slo_ms=slo_ms,
+                    priority=classes[i % len(classes)],
+                )
+            )
+        names = "+".join(_model_name(c) for c in choices)
+        return cls(
+            requests=requests,
+            name=f"diurnal:{names}@{trough_rps:g}-{peak_rps:g}rps",
+        )
+
+    @classmethod
     def merge(cls, *workloads: "Workload") -> "Workload":
         """Superpose several workloads into one stream (re-indexed by arrival)."""
         merged = sorted(

@@ -8,7 +8,7 @@ every terminal status, in order, at full float precision — into a JSON
 document that is committed as a fixture and diffed exactly by
 ``tests/runtime/test_golden_traces.py``.
 
-Three canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
+Four canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
 
 ``steady``
     A Poisson AlexNet stream on the canonical three-tier testbed — the
@@ -19,6 +19,10 @@ Three canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
 ``fleet``
     A multi-device topology with requests pinned round-robin across the
     device fleet — pins multi-hop routing and per-device source resolution.
+``elastic``
+    The steady testbed under a declarative elasticity schedule (two parked
+    replicas join mid-run, one drains) with join-shortest-queue balancing —
+    pins provisioning delays, graceful-drain timing and replica selection.
 
 Regenerate after an *intentional* behaviour change with::
 
@@ -80,11 +84,32 @@ def _fleet_report() -> ServingReport:
     return system.serve(workload)
 
 
+def _elastic_report() -> ServingReport:
+    from repro.core.d3 import D3Config, D3System
+    from repro.runtime.elasticity import ElasticitySchedule, NodeDrain, NodeJoin
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(network="wifi", num_edge_nodes=4, use_regression=False, profiler_noise_std=0.0)
+    )
+    schedule = ElasticitySchedule(
+        [
+            NodeJoin(0.4, "edge-2", provision_s=0.3),
+            NodeDrain(1.2, "edge-1"),
+            NodeJoin(1.6, "edge-3", provision_s=0.2),
+        ],
+        name="elastic-golden",
+    )
+    workload = Workload.poisson("alexnet", num_requests=24, rate_rps=12.0, seed=7)
+    return system.serve(workload, elasticity=schedule, balancer="jsq")
+
+
 #: name -> report builder; every entry becomes one committed fixture.
 GOLDEN_SCENARIOS: Dict[str, Callable[[], ServingReport]] = {
     "steady": _steady_report,
     "chaos": _chaos_report,
     "fleet": _fleet_report,
+    "elastic": _elastic_report,
 }
 
 

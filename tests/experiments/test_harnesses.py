@@ -192,3 +192,62 @@ class TestTopologyComparison:
             "device-1",
             "device-2",
         ]
+
+
+class TestAutoscaleComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments.autoscale import run_autoscale_comparison
+
+        # One balancer keeps the harness test fast; the CI smoke job runs
+        # the full three-balancer table.
+        return run_autoscale_comparison(balancers=("rr",))
+
+    def test_rows_and_identical_offered_load(self, results):
+        assert [(fleet, balancer) for fleet, balancer, _ in results] == [
+            ("static", "rr"),
+            ("elastic", "rr"),
+        ]
+        static, elastic = results[0][2], results[1][2]
+        assert static.num_requests == elastic.num_requests > 0
+        assert static.num_failed == 0 and elastic.num_failed == 0
+
+    def test_elastic_saves_node_hours_at_equal_or_better_p99(self, results):
+        """The headline trade: fewer node-hours, no p99 regression."""
+        from repro.experiments.autoscale import node_hour_savings
+
+        static, elastic = results[0][2], results[1][2]
+        assert elastic.node_hours < static.node_hours
+        assert (
+            elastic.latency_percentiles()["p99"]
+            <= static.latency_percentiles()["p99"] + 1e-9
+        )
+        assert node_hour_savings(results) > 0.0
+
+    def test_only_the_elastic_fleet_scales(self, results):
+        static, elastic = results[0][2], results[1][2]
+        assert static.scale_up_events == static.scale_down_events == 0
+        assert elastic.scale_up_events >= 1
+        assert elastic.scale_down_events >= 1
+
+    def test_table_renders(self, results):
+        from repro.experiments.autoscale import format_autoscale_comparison
+
+        table = format_autoscale_comparison(results)
+        assert "node-hrs" in table and "elastic" in table and "static" in table
+        assert "diurnal load" in table
+
+    def test_scenario_validation(self):
+        from repro.experiments.autoscale import (
+            AutoscaleScenario,
+            run_autoscale_comparison,
+        )
+
+        with pytest.raises(ValueError):
+            AutoscaleScenario(duration_s=0.0)
+        with pytest.raises(ValueError):
+            AutoscaleScenario(trough_rps=20.0, peak_rps=10.0)
+        with pytest.raises(ValueError):
+            AutoscaleScenario(num_edge_nodes=1)
+        with pytest.raises(ValueError):
+            run_autoscale_comparison(balancers=())

@@ -81,6 +81,21 @@ class TestGoldenTraces:
             if e["tier"] == "device"
         }
         assert len(devices) > 1, "fleet fixture no longer spreads over the devices"
+        elastic = traces["elastic"]
+        assert elastic["num_failed"] == 0, "drains must never abort requests"
+        assert elastic["node_down_s"].get("edge-1"), (
+            "elastic fixture no longer drains edge-1"
+        )
+        joined = [
+            e
+            for r in elastic["records"]
+            for e in r["events"]
+            if e["node"] == "edge-2"
+        ]
+        assert joined, "elastic fixture no longer routes work to the joined replica"
+        assert all(e["start_s"] >= 0.4 + 0.3 for e in joined), (
+            "work started on edge-2 before its provisioning delay elapsed"
+        )
 
 
 class TestRegeneration:

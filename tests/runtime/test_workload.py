@@ -80,6 +80,66 @@ class TestPoisson:
             Workload.poisson(["a", "b"], num_requests=10, rate_rps=1.0, weights=[1.0])
 
 
+class TestDiurnal:
+    def test_seeded_reproducibility(self):
+        first = Workload.diurnal("vgg16", duration_s=100.0, peak_rps=8.0, seed=42)
+        second = Workload.diurnal("vgg16", duration_s=100.0, peak_rps=8.0, seed=42)
+        assert [r.arrival_s for r in first] == [r.arrival_s for r in second]
+        assert [r.model for r in first] == [r.model for r in second]
+        third = Workload.diurnal("vgg16", duration_s=100.0, peak_rps=8.0, seed=43)
+        assert [r.arrival_s for r in first] != [r.arrival_s for r in third]
+
+    def test_arrivals_sorted_and_within_span(self):
+        workload = Workload.diurnal(
+            "alexnet", duration_s=50.0, peak_rps=10.0, seed=1, start_s=5.0
+        )
+        arrivals = [r.arrival_s for r in workload]
+        assert arrivals == sorted(arrivals)
+        assert all(5.0 <= t < 55.0 for t in arrivals)
+
+    def test_curve_peaks_midway(self):
+        """A raised-cosine cycle concentrates arrivals around the middle."""
+        workload = Workload.diurnal(
+            "alexnet", duration_s=300.0, peak_rps=12.0, trough_rps=1.0, seed=0
+        )
+        arrivals = [r.arrival_s for r in workload]
+        middle = sum(1 for t in arrivals if 100.0 <= t < 200.0)
+        first = sum(1 for t in arrivals if t < 100.0)
+        # The middle third of the cycle holds the peak, the first third the
+        # climb out of the trough: the raised cosine puts ~2.6x more mass in
+        # the middle. Assert with slack for sampling noise.
+        assert middle > 1.8 * first
+
+    def test_default_trough_is_a_tenth_of_peak(self):
+        workload = Workload.diurnal("alexnet", duration_s=30.0, peak_rps=20.0, seed=3)
+        assert workload.name == "diurnal:alexnet@2-20rps"
+
+    def test_slo_and_model_mix_carried(self):
+        workload = Workload.diurnal(
+            ["a", "b"],
+            duration_s=200.0,
+            peak_rps=6.0,
+            seed=0,
+            weights=[9, 1],
+            slo_ms=250.0,
+        )
+        assert all(r.slo_ms == 250.0 for r in workload)
+        share_a = sum(1 for r in workload if r.model == "a") / len(workload)
+        assert share_a > 0.75
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Workload.diurnal("a", duration_s=0.0, peak_rps=5.0)
+        with pytest.raises(ValueError):
+            Workload.diurnal("a", duration_s=10.0, peak_rps=0.0)
+        with pytest.raises(ValueError):
+            Workload.diurnal("a", duration_s=10.0, peak_rps=5.0, trough_rps=6.0)
+        with pytest.raises(ValueError):
+            Workload.diurnal("a", duration_s=10.0, peak_rps=5.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            Workload.diurnal(["a", "b"], duration_s=10.0, peak_rps=5.0, weights=[1.0])
+
+
 class TestMerge:
     def test_merge_reindexes_by_arrival(self):
         early = Workload.constant_rate("a", num_requests=2, interval_s=2.0)

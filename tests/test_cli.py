@@ -244,3 +244,89 @@ class TestSchedulerFlag:
     def test_bad_slo_fails_cleanly(self, capsys):
         assert main(["serve", "--model", "alexnet", "--slo-ms", "0"]) == 1
         assert "--slo-ms must be positive" in capsys.readouterr().err
+
+class TestElasticFlags:
+    def test_serve_with_autoscaler_and_balancer(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "20",
+                    "--rate",
+                    "8",
+                    "--autoscale",
+                    "target-util",
+                    "--balancer",
+                    "p2c",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "latency p50" in out and "20 requests" in out
+
+    def test_serve_with_elasticity_schedule_file(self, capsys, tmp_path):
+        schedule = tmp_path / "fleet.json"
+        schedule.write_text(
+            '{"name": "cli-fleet", "events": ['
+            '{"at": 0.2, "kind": "node_join", "target": "edge-2", "provision_s": 0.1},'
+            '{"at": 1.0, "kind": "node_drain", "target": "edge-1"}]}'
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "10",
+                    "--rate",
+                    "10",
+                    "--elasticity",
+                    str(schedule),
+                    "--balancer",
+                    "jsq",
+                ]
+            )
+            == 0
+        )
+        assert "10 requests" in capsys.readouterr().out
+
+    def test_unknown_autoscaler_policy_fails_cleanly(self, capsys):
+        assert (
+            main(["serve", "--model", "alexnet", "--autoscale", "bogus"]) == 1
+        )
+        assert "unknown autoscaler policy" in capsys.readouterr().err
+
+    def test_unknown_balancer_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            # --balancer validates through argparse choices.
+            build_parser().parse_args(
+                ["serve", "--model", "alexnet", "--balancer", "bogus"]
+            )
+
+    def test_elasticity_schedule_for_unknown_node_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        schedule = tmp_path / "bad.json"
+        schedule.write_text(
+            '{"events": [{"at": 0.5, "kind": "node_drain", "target": "edge-99"}]}'
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "5",
+                    "--elasticity",
+                    str(schedule),
+                ]
+            )
+            == 1
+        )
+        assert "edge-99" in capsys.readouterr().err
