@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Multi-model serving under a memory budget: weights are not free.
+
+An edge box that serves several models cannot keep them all resident: model
+weights compete for the node's memory, and a request for a non-resident
+model pays a *cold start* — the compressed weights travel from the cloud
+artifact store over the real wires and are decompressed before the first
+layer may run.  This example serves a two-model stream (VGG-16 + AlexNet,
+~800 MB of float32 weights together) three ways:
+
+* memory off — the pre-memory simulator: weights are free, no cold starts;
+* roomy budget — both models fit: one cold start each, then warm hits;
+* tight budget — the cache can hold only one model at a time, so the two
+  models evict each other and the stream keeps paying reloads.
+
+It then shows why the codec choice matters: at the *same* compression
+ratio, the asymmetric "zxc" codec (slow one-time compression, very fast
+decompression) beats the symmetric codec on every cold start, because the
+serving path only ever decompresses.
+
+Run with:  python examples/multimodel_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.core.d3 import D3Config, D3System
+from repro.runtime.artifacts import MemoryModel, get_codec
+from repro.runtime.workload import Workload
+
+MODELS = ("vgg16", "alexnet")
+REQUESTS = 20
+RATE_RPS = 2.0
+
+
+def build_system() -> D3System:
+    return D3System(
+        D3Config(network="wifi", num_edge_nodes=2, use_regression=False,
+                 profiler_noise_std=0.0)
+    )
+
+
+def main() -> None:
+    workload = Workload.poisson(list(MODELS), num_requests=REQUESTS,
+                                rate_rps=RATE_RPS, seed=7)
+    print(f"Workload: {REQUESTS} requests over {'+'.join(MODELS)} "
+          f"at {RATE_RPS:g} req/s\n")
+
+    configs = (
+        ("memory off", None),
+        ("roomy 2 GiB", MemoryModel(budget_gb=2.0, codec="zxc")),
+        ("tight 0.7 GiB", MemoryModel(budget_gb=0.7, codec="zxc")),
+    )
+    header = (f"{'config':<14} {'p50 ms':>10} {'p99 ms':>10} {'colds':>6} "
+              f"{'hit %':>7} {'evicts':>7}")
+    print(header)
+    print("-" * len(header))
+    for label, memory in configs:
+        report = build_system().serve(workload, memory=memory)
+        pct = report.latency_percentiles()
+        print(f"{label:<14} {pct['p50'] * 1e3:>10.1f} {pct['p99'] * 1e3:>10.1f} "
+              f"{report.cold_starts:>6d} "
+              f"{report.weight_cache_hit_rate * 100:>6.1f} "
+              f"{report.weight_evictions:>7d}")
+
+    print("\nCold-start anatomy for one VGG-16 load (~553 MB of weights):")
+    for name in ("symmetric", "zxc"):
+        codec = get_codec(name)
+        raw = 553_000_000
+        print(f"  {name:<10} ratio {codec.ratio:g}: ships "
+              f"{codec.compressed_bytes(raw) / 1e6:.0f} MB, decompresses in "
+              f"{codec.decompress_seconds(raw) * 1e3:.0f} ms")
+    print("\nSame bytes on the wire — zxc wins every reload on decompression "
+          "alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,16 @@ machinery: per-request replica resolution, balancer choice and utilisation
 sampling (the overhead budget is <10%).  Scaling behaviour itself — parking,
 provisioning, drains — is pinned by the ``elastic`` golden trace and the
 elasticity test suite, not by this benchmark.
+
+The ``memory`` cell follows the same pattern for the weight-cache subsystem:
+FIFO dispatch plus a roomy :class:`~repro.runtime.artifacts.MemoryModel`
+(8 GiB budget, zxc codec, ``warm=True`` so first-touch loads are free and
+the schedule matches the static ``fifo`` cell) — the wall-time delta prices
+exactly the hot-path cache machinery: per-request residency checks, hit
+accounting and residency claims (pin tables are reconstructed from claims
+only under eviction pressure, so they cost nothing here; the overhead budget
+is <10%).  Cold-start *behaviour* is pinned by the ``multimodel`` golden
+trace, not by this benchmark.
 """
 
 from __future__ import annotations
@@ -53,8 +63,15 @@ INTERVAL_S = 0.005
 EDF_SLO_MS = 250.0
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
-SCHEDULERS = ("fifo", "batch", "edf", "elastic")
+SCHEDULERS = ("fifo", "batch", "edf", "elastic", "memory")
 DEFAULT_OUTPUT = "BENCH_engine.json"
+
+#: The ``memory`` cell's configuration: a budget far above alexnet's
+#: footprint (no evictions) and ``warm=True`` (no cold-start latency), so
+#: the schedule is identical to the ``fifo`` cell and the delta prices the
+#: residency-check and claim bookkeeping alone.
+MEMORY_BUDGET_GB = 8.0
+MEMORY_CODEC = "zxc"
 
 #: The ``elastic`` cell's balancer.  The autoscaler pins the fleet at full
 #: size (``min_replicas`` = the group size): the sampling loop runs every
@@ -83,6 +100,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     hits), then times ``ServingSimulator.run`` alone.
     """
     from repro.core.d3 import D3Config, D3System
+    from repro.runtime.artifacts import MemoryModel
     from repro.runtime.elasticity import Autoscaler
     from repro.runtime.serving import ServingSimulator
     from repro.runtime.workload import Workload
@@ -96,6 +114,7 @@ def run_single(size: int, scheduler: str) -> Dict:
         )
     )
     elastic = scheduler == "elastic"
+    memory = scheduler == "memory"
     slo_ms = EDF_SLO_MS if scheduler == "edf" else None
     workload = Workload.constant_rate(
         MODEL, num_requests=size, interval_s=INTERVAL_S, slo_ms=slo_ms
@@ -103,7 +122,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     requests = system.plan_requests(workload)
     simulator = ServingSimulator(
         system.cluster,
-        scheduler="fifo" if elastic else scheduler,
+        scheduler="fifo" if (elastic or memory) else scheduler,
         stream_stats=True,
         autoscaler=(
             Autoscaler(policy="target-util", min_replicas=NUM_EDGE_NODES)
@@ -111,6 +130,11 @@ def run_single(size: int, scheduler: str) -> Dict:
             else None
         ),
         balancer=ELASTIC_BALANCER if elastic else None,
+        memory=(
+            MemoryModel(budget_gb=MEMORY_BUDGET_GB, codec=MEMORY_CODEC, warm=True)
+            if memory
+            else None
+        ),
     )
     start = time.perf_counter()
     simulator.run(requests)

@@ -47,6 +47,7 @@ SCENARIO_NAMES = (
     "availability",
     "slo",
     "autoscale",
+    "multimodel",
 )
 
 
@@ -64,6 +65,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
     )
     from repro.experiments import autoscale as autoscale_harness
     from repro.experiments import availability as availability_harness
+    from repro.experiments import multimodel as multimodel_harness
     from repro.experiments import serving as serving_harness
     from repro.experiments import slo as slo_harness
     from repro.experiments import topologies as topologies_harness
@@ -106,6 +108,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "autoscale": (
             autoscale_harness.run_autoscale_comparison,
             autoscale_harness.format_autoscale_comparison,
+        ),
+        "multimodel": (
+            multimodel_harness.run_multimodel_comparison,
+            multimodel_harness.format_multimodel_comparison,
         ),
     }
 
@@ -204,6 +210,32 @@ def build_parser() -> argparse.ArgumentParser:
             "attainment reporting and, with --scheduler edf, admission control"
         ),
     )
+    serve.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="GB",
+        help=(
+            "per-node weight-cache budget in GiB for device/edge tiers "
+            "(the cloud keeps its hardware capacity — it is the artifact "
+            "store); non-resident models pay a compressed cold start"
+        ),
+    )
+    serve.add_argument(
+        "--codec",
+        choices=("none", "symmetric", "zxc"),
+        default=None,
+        help=(
+            "weight-compression codec for cold-start transfers; zxc is "
+            "write-once/read-many asymmetric (slow compress, fast decompress)"
+        ),
+    )
+    serve.add_argument(
+        "--eviction",
+        choices=("lru", "priority"),
+        default=None,
+        help="weight-cache eviction policy (lru, or priority = fewest hits first)",
+    )
 
     scenario = subparsers.add_parser("scenario", help="regenerate a named paper artefact")
     scenario.add_argument("name", choices=SCENARIO_NAMES, help="scenario to run")
@@ -225,7 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", default="vgg16", help="model name (see repro.models.zoo)")
+    parser.add_argument(
+        "--model",
+        default="vgg16",
+        help=(
+            "model name (see repro.models.zoo); serve accepts a comma-"
+            "separated list for a mixed-model stream"
+        ),
+    )
     parser.add_argument(
         "--network",
         default="wifi",
@@ -295,23 +334,43 @@ def _command_serve(args) -> int:
     # device of the fleet; single-device deployments keep the primary device.
     devices = system.cluster.devices
     sources = [node.name for node in devices] if len(devices) > 1 else None
-    if args.arrival == "constant":
-        workload = Workload.constant_rate(
-            args.model,
-            num_requests=args.requests,
-            interval_s=1.0 / args.rate,
-            sources=sources,
-            slo_ms=args.slo_ms,
-        )
-    else:
-        workload = Workload.poisson(
-            args.model,
-            num_requests=args.requests,
-            rate_rps=args.rate,
-            seed=args.seed,
-            sources=sources,
-            slo_ms=args.slo_ms,
-        )
+    models = [name.strip() for name in args.model.split(",") if name.strip()]
+    if not models:
+        raise ValueError("--model needs at least one model name")
+    # A mixed-model stream superposes one sub-stream per model: the request
+    # count is split evenly (remainder to the first models) and each model
+    # keeps the full rate so the merged stream's intensity matches a
+    # single-model run of --requests at --rate.
+    per_model = args.requests // len(models)
+    remainder = args.requests % len(models)
+    streams = []
+    for position, model in enumerate(models):
+        count = per_model + (1 if position < remainder else 0)
+        if count <= 0:
+            continue
+        if args.arrival == "constant":
+            streams.append(
+                Workload.constant_rate(
+                    model,
+                    num_requests=count,
+                    interval_s=len(models) / args.rate,
+                    start_s=position * (1.0 / args.rate),
+                    sources=sources,
+                    slo_ms=args.slo_ms,
+                )
+            )
+        else:
+            streams.append(
+                Workload.poisson(
+                    model,
+                    num_requests=count,
+                    rate_rps=args.rate / len(models),
+                    seed=args.seed + position,
+                    sources=sources,
+                    slo_ms=args.slo_ms,
+                )
+            )
+    workload = streams[0] if len(streams) == 1 else Workload.merge(*streams)
     contention = "none" if args.uncontended_links else "fifo"
     report = system.serve(
         workload,
@@ -323,6 +382,9 @@ def _command_serve(args) -> int:
         elasticity=args.elasticity,
         autoscaler=args.autoscale,
         balancer=args.balancer,
+        memory=args.memory_budget,
+        codec=args.codec,
+        eviction=args.eviction,
     )
     print(report.summary())
     return 0

@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dynamic import DynamicRepartitioner, RepartitionThresholds
 from repro.core.hpa import HPAConfig, HorizontalPartitioner
-from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
+from repro.core.placement import (
+    TIER_ORDER,
+    PlacementPlan,
+    PlanEvaluator,
+    PlanMetrics,
+    Tier,
+)
 from repro.core.plan_cache import CachedPlan, PlanCache, PlanKey
 from repro.core.strategy import (
     ClusterSpec,
@@ -38,6 +44,7 @@ from repro.network.topology import LinkSpec, Topology, TopologyError, load_topol
 from repro.profiling.hardware import HardwareSpec
 from repro.profiling.profiler import LatencyProfile, Profiler
 from repro.profiling.regression import LatencyRegressionModel
+from repro.runtime.artifacts import MemoryModel, resolve_memory
 from repro.runtime.cluster import Cluster
 from repro.runtime.elasticity import (
     Autoscaler,
@@ -221,6 +228,10 @@ class D3System:
         #: LRU-bounded: a chaotic fleet can visit combinatorially many
         #: failure signatures over a long lifetime.
         self._degraded: "OrderedDict[Tuple, Tuple[Topology, Cluster]]" = OrderedDict()
+        #: Memory constraint in effect for the current serve()/plan_requests()
+        #: call; None outside memory-constrained calls so the planning path
+        #: stays bit-identical to the memory-free one.
+        self._memory: Optional[MemoryModel] = None
 
     # ------------------------------------------------------------------ #
     # Offline phase
@@ -316,6 +327,9 @@ class D3System:
         elasticity: "ElasticitySchedule | str | None" = None,
         autoscaler: "Autoscaler | str | None" = None,
         balancer: "LoadBalancer | str | None" = None,
+        memory: "MemoryModel | float | None" = None,
+        codec: Optional[str] = None,
+        eviction: Optional[str] = None,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -405,6 +419,28 @@ class D3System:
             per request: a :class:`~repro.runtime.elasticity.LoadBalancer`
             or a name (``"rr"``, ``"jsq"``, ``"p2c"``).  Defaults to
             round-robin whenever elasticity or autoscaling is active.
+        memory:
+            Optional memory constraint: a
+            :class:`~repro.runtime.artifacts.MemoryModel` or a bare float
+            interpreted as a per-node device/edge budget in GiB.  When
+            active, every node holds model weights in a
+            :class:`~repro.runtime.artifacts.WeightCache` bounded by
+            ``min(HardwareSpec.memory_gb, budget)`` (the cloud tier keeps
+            its hardware capacity — it is the artifact store), non-resident
+            models pay a cold start (compressed transfer over the declared
+            wires + decompress) before their first task dispatches, and
+            plans that cannot fit a tier's capacity are repaired toward
+            feasible placements ranked by objective + weight movement.
+            ``None`` with no codec/eviction override is bit-identical to
+            the memory-free path.
+        codec:
+            Compression codec for weight movement (``"none"``,
+            ``"symmetric"``, ``"zxc"``); overrides the model's codec when
+            ``memory`` is given, or activates a default
+            :class:`MemoryModel` on its own.
+        eviction:
+            Weight-cache eviction policy (``"lru"``, ``"priority"``); same
+            override semantics as ``codec``.
 
         Returns
         -------
@@ -418,28 +454,38 @@ class D3System:
             self.plan_cache.set_thresholds(thresholds)
         schedule = self._resolve_faults(faults, workload)
         elastic = self._resolve_elasticity(elasticity)
+        memory_model = resolve_memory(memory, codec=codec, eviction=eviction)
         before = self.plan_cache.stats()
-        requests, ideal_by_id = self._plan_workload(
-            workload, strategy, schedule, trace, elastic
-        )
+        self._memory = memory_model
+        try:
+            if memory_model is not None:
+                self._validate_memory(workload, memory_model)
+            requests, ideal_by_id = self._plan_workload(
+                workload, strategy, schedule, trace, elastic
+            )
 
-        simulator = ServingSimulator(
-            self.cluster,
-            link_contention=link_contention,
-            faults=schedule,
-            max_retries=self.config.max_retries if max_retries is None else max_retries,
-            replan=(
-                self._make_replanner(strategy, trace)
-                if (schedule or elastic or autoscaler is not None)
-                else None
-            ),
-            scheduler=scheduler,
-            stream_stats=stream_stats,
-            elasticity=elastic,
-            autoscaler=autoscaler,
-            balancer=balancer,
-        )
-        records = simulator.run(requests)
+            simulator = ServingSimulator(
+                self.cluster,
+                link_contention=link_contention,
+                faults=schedule,
+                max_retries=(
+                    self.config.max_retries if max_retries is None else max_retries
+                ),
+                replan=(
+                    self._make_replanner(strategy, trace)
+                    if (schedule or elastic or autoscaler is not None)
+                    else None
+                ),
+                scheduler=scheduler,
+                stream_stats=stream_stats,
+                elasticity=elastic,
+                autoscaler=autoscaler,
+                balancer=balancer,
+                memory=memory_model,
+            )
+            records = simulator.run(requests)
+        finally:
+            self._memory = None
         for record in records:
             if record.completed and record.retries == 0:
                 # Queueing delay compares a clean run against its own idle
@@ -462,6 +508,7 @@ class D3System:
         workload: Workload,
         method: Optional[str] = None,
         trace: Optional[BandwidthTrace] = None,
+        memory: "MemoryModel | float | None" = None,
     ) -> List[ServingRequest]:
         """Plan every request of ``workload`` into simulator-ready form.
 
@@ -469,10 +516,16 @@ class D3System:
         per-arrival conditions) without the simulation — benchmark harnesses
         use it to price a workload once and then drive
         :class:`ServingSimulator` directly, so engine timings measure the
-        engine rather than the planner.
+        engine rather than the planner.  ``memory`` applies the same
+        memory-aware planning (feasibility repair, memory-keyed plan cache)
+        that :meth:`serve` would.
         """
         strategy = self._strategy_for(method)
-        requests, _ = self._plan_workload(workload, strategy, None, trace)
+        self._memory = resolve_memory(memory)
+        try:
+            requests, _ = self._plan_workload(workload, strategy, None, trace)
+        finally:
+            self._memory = None
         return requests
 
     def _plan_workload(
@@ -564,6 +617,89 @@ class D3System:
             )
             ideal_by_id[request.request_id] = entry.ideal_latency_s
         return requests, ideal_by_id
+
+    # ------------------------------------------------------------------ #
+    # Memory-constrained planning: feasibility, validation, repair
+    # ------------------------------------------------------------------ #
+    def _validate_memory(self, workload: Workload, memory: MemoryModel) -> None:
+        """Reject deployments that cannot fit the workload's cheapest model.
+
+        The cheapest single-model placement packs the whole model onto the
+        deployment's roomiest compute node, so the bar is the smallest
+        model's full footprint (weights + peak activation);
+        :meth:`Topology.validate` raises
+        :class:`~repro.network.topology.InsufficientMemoryError` when even
+        that cannot fit anywhere.
+        """
+        graphs: Dict[str, DnnGraph] = {}
+        for request in workload:
+            graph = request.graph or self.graph_for(request.model)
+            graphs.setdefault(graph.name, graph)
+        if not graphs:
+            return
+        min_bytes = min(
+            memory.artifact_for(graph).total_weight_bytes
+            + memory.artifact_for(graph).peak_activation_bytes
+            for graph in graphs.values()
+        )
+        self.topology.validate(min_model_bytes=min_bytes)
+
+    def _tier_capacities(self) -> Dict[Tier, int]:
+        """Weight-cache capacity per tier: the *tightest* node of each tier.
+
+        Planning must be conservative — a stage placed on a tier can land on
+        any of its replicas, so a tier only counts as feasible when every
+        member can hold the tier's share.
+        """
+        assert self._memory is not None
+        capacities: Dict[Tier, int] = {}
+        for node in self.cluster.all_nodes:
+            cap = self._memory.capacity_bytes(node)
+            if node.tier not in capacities or cap < capacities[node.tier]:
+                capacities[node.tier] = cap
+        return capacities
+
+    def _repair_for_memory(
+        self,
+        graph: DnnGraph,
+        placement: PlacementPlan,
+        profile: LatencyProfile,
+        condition: NetworkCondition,
+    ) -> PlacementPlan:
+        """Repair a placement that overflows a tier's weight capacity.
+
+        When the strategy's plan fits every tier it occupies, it is kept
+        untouched (the memory-free optimum stays optimal under roomy
+        budgets).  Otherwise the feasible single-tier fallbacks compete on
+        ``objective + weight movement`` — the paper's Θ plus the one-time
+        cost of shipping compressed weights to the tier and decompressing
+        them — so tight memory pushes work toward the artifact store (the
+        cloud pays no transfer) unless the latency gap buys the move back.
+        Returns the original placement when nothing fits anywhere; the
+        serving simulator then surfaces the overflow as failed requests.
+        """
+        memory = self._memory
+        assert memory is not None
+        artifact = memory.artifact_for(graph)
+        capacities = self._tier_capacities()
+        evaluator = PlanEvaluator(profile, condition)
+        if evaluator.memory_feasible(placement, artifact, capacities):
+            return placement
+        codec = memory.codec_spec
+        candidates = [
+            candidate
+            for candidate in (
+                PlacementPlan.single_tier(graph, tier) for tier in TIER_ORDER
+            )
+            if evaluator.memory_feasible(candidate, artifact, capacities)
+        ]
+        if not candidates:
+            return placement
+        return min(
+            candidates,
+            key=lambda plan: evaluator.objective(plan)
+            + evaluator.weight_movement_s(plan, artifact, codec),
+        )
 
     # ------------------------------------------------------------------ #
     # Failure handling: degraded planning, failover replanning, fail-back
@@ -820,10 +956,16 @@ class D3System:
             topology_fp = masked.fingerprint()
         else:
             topology_fp = self.topology.fingerprint()
+        config_key = self.config.plan_key()
+        if self._memory is not None:
+            # Memory-constrained plans may be repaired toward different
+            # placements; key them separately so they never alias (the token
+            # widens the tuple, so memory-free keys cannot collide with it).
+            config_key = config_key + (("memory",) + self._memory.key(),)
         key = PlanKey.build(
             self._graph_token(graph),
             condition,
-            self.config.plan_key(),
+            config_key,
             strategy.name,
             topology=topology_fp,
         )
@@ -919,6 +1061,8 @@ class D3System:
         # Snapshot the plan: the repartitioner mutates its own copy in place
         # on the next drift, and cached entries must stay frozen.
         placement = repartitioner.plan.copy()
+        if self._memory is not None:
+            placement = self._repair_for_memory(graph, placement, profile, condition)
         vsm_plan = strategy.separate(graph, placement, self._cluster_spec(plan_cluster))
         ideal = self._ideal_latency(
             graph, placement, profile, vsm_plan, condition, link_bandwidths, source,
@@ -956,16 +1100,26 @@ class D3System:
     ) -> CachedPlan:
         """Cache one non-adaptive strategy's plan for ``condition``."""
         partition = strategy.plan(graph, profile, condition, self._cluster_spec(plan_cluster))
+        placement = partition.placement
+        vsm_plan = partition.vsm_plan
+        if self._memory is not None:
+            repaired = self._repair_for_memory(graph, placement, profile, condition)
+            if repaired is not placement:
+                # The strategy's VSM tiling was derived from the original
+                # placement; a repaired plan runs untiled rather than with a
+                # tiling for tiers it no longer occupies.
+                placement = repaired
+                vsm_plan = None
         ideal = self._ideal_latency(
-            graph, partition.placement, profile, partition.vsm_plan, condition,
+            graph, placement, profile, vsm_plan, condition,
             link_bandwidths, source, plan_cluster,
         )
         entry = CachedPlan(
             key=key,
             graph=graph,
             profile=profile,
-            placement=partition.placement,
-            vsm_plan=partition.vsm_plan,
+            placement=placement,
+            vsm_plan=vsm_plan,
             condition=condition,
             ideal_latency_s=ideal,
             repartitioner=None,

@@ -353,3 +353,68 @@ class PlanEvaluator:
             bytes_device_to_edge=bytes_device_to_edge,
             cut_edge_count=cut_edges,
         )
+
+    # ------------------------------------------------------------------ #
+    # Memory-constrained planning (weights are not free)
+    # ------------------------------------------------------------------ #
+    # ``artifact`` is duck-typed (a repro.runtime.artifacts.ModelArtifact):
+    # the placement layer stays import-free of the runtime subsystem.
+    def tier_weight_bytes(self, plan: PlacementPlan, artifact) -> Dict[Tier, int]:
+        """Resident bytes the plan demands per tier: the weights of every
+        stage placed there plus the tier's peak activation working set."""
+        weights: Dict[Tier, int] = {tier: 0 for tier in TIER_ORDER}
+        activations: Dict[Tier, int] = {tier: 0 for tier in TIER_ORDER}
+        hosted: Dict[Tier, bool] = {tier: False for tier in TIER_ORDER}
+        for vertex in plan.graph:
+            tier = plan.tier_of(vertex.index)
+            hosted[tier] = True
+            weights[tier] += artifact.vertex_weight_bytes.get(vertex.index, 0)
+            activation = artifact.vertex_activation_bytes.get(vertex.index, 0)
+            if activation > activations[tier]:
+                activations[tier] = activation
+        return {
+            tier: (weights[tier] + activations[tier]) if hosted[tier] else 0
+            for tier in TIER_ORDER
+        }
+
+    def memory_feasible(
+        self, plan: PlacementPlan, artifact, capacities: Mapping[Tier, int]
+    ) -> bool:
+        """True when every tier's resident footprint fits its capacity.
+
+        ``capacities`` maps tiers to byte budgets (the smallest node of the
+        tier, so a feasible plan fits on *any* member); tiers absent from the
+        mapping are unconstrained.
+        """
+        needed = self.tier_weight_bytes(plan, artifact)
+        for tier, bytes_needed in needed.items():
+            capacity = capacities.get(tier)
+            if capacity is not None and bytes_needed > capacity:
+                return False
+        return True
+
+    def weight_movement_s(self, plan: PlacementPlan, artifact, codec) -> float:
+        """One-time weight-movement cost of the plan under a codec.
+
+        Artifacts live compressed in the cloud store: device/edge stages ship
+        their compressed weights over the modelled wires and decompress on
+        arrival; cloud stages decompress in place.  Adding this term to the
+        objective is what lets tight memory (or a slow symmetric codec) flip
+        the optimal partition toward the store.
+        """
+        per_tier: Dict[Tier, int] = {}
+        for vertex in plan.graph:
+            tier = plan.tier_of(vertex.index)
+            per_tier[tier] = per_tier.get(tier, 0) + artifact.vertex_weight_bytes.get(
+                vertex.index, 0
+            )
+        total = 0.0
+        for tier, weight in per_tier.items():
+            if weight <= 0:
+                continue
+            if tier != Tier.CLOUD:
+                total += self.network.transfer_seconds(
+                    codec.compressed_bytes(weight), Tier.CLOUD.value, tier.value
+                )
+            total += codec.decompress_seconds(weight)
+        return total

@@ -72,6 +72,19 @@ class RouteUnavailableError(TopologyError):
     """
 
 
+class InsufficientMemoryError(TopologyError):
+    """Raised when no compute node can hold even the cheapest model placement.
+
+    The cheapest single-model placement packs all of one model's stages onto
+    the deployment's roomiest compute node; when its
+    :attr:`~repro.profiling.hardware.HardwareSpec.memory_gb` cannot hold that
+    model's weights + peak activation, every partition of every model in the
+    workload is infeasible and serving would only thrash cold starts that can
+    never be admitted.  Subclasses :class:`TopologyError` so existing broad
+    handlers keep working.
+    """
+
+
 def canonical_links() -> List["LinkSpec"]:
     """The paper's three inherited wires (one shared medium per tier pair).
 
@@ -229,7 +242,16 @@ class Topology:
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
-    def validate(self) -> None:
+    def validate(self, min_model_bytes: Optional[int] = None) -> None:
+        """Check structural soundness; optionally check memory feasibility.
+
+        ``min_model_bytes`` — the full footprint (weights + peak activation)
+        of the *smallest* model a deployment must serve — turns the dormant
+        :attr:`HardwareSpec.memory_gb` into a hard constraint: if even the
+        roomiest compute node cannot hold that model whole, the deployment
+        is rejected with :class:`InsufficientMemoryError` before any request
+        is planned.
+        """
         if not self.name:
             raise TopologyError("topology needs a non-empty name")
         for tier in COMPUTE_TIERS:
@@ -264,6 +286,25 @@ class Topology:
         reachable = self._reachable_from(edge_primary.name)
         if not any(self.nodes[n].tier == "cloud" for n in reachable):
             raise TopologyError(f"cloud is unreachable from {edge_primary.name!r}")
+        if min_model_bytes is not None:
+            roomiest = max(
+                (
+                    node
+                    for tier in COMPUTE_TIERS
+                    for node in self.nodes_of_tier(tier)
+                    if node.hardware is not None
+                ),
+                key=lambda node: node.hardware.memory_gb,
+            )
+            capacity = int(roomiest.hardware.memory_gb * (1024**3))
+            if capacity < min_model_bytes:
+                raise InsufficientMemoryError(
+                    f"topology {self.name!r} cannot serve the workload: its "
+                    f"roomiest compute node {roomiest.name!r} holds "
+                    f"{roomiest.hardware.memory_gb:.3f} GiB but the cheapest "
+                    f"single-model placement needs "
+                    f"{min_model_bytes / (1024**3):.3f} GiB"
+                )
 
     # ------------------------------------------------------------------ #
     # Routing

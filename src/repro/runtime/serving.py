@@ -75,6 +75,7 @@ from repro.network.topology import RouteUnavailableError
 from repro.profiling.hardware import batch_cost_s
 from repro.profiling.profiler import LatencyProfile
 from repro.runtime.accumulators import DEFAULT_EXACT_THRESHOLD, ServingStats
+from repro.runtime.artifacts import CapacityError, MemoryModel, WeightCache
 from repro.runtime.cluster import Cluster
 from repro.runtime.elasticity import (
     Autoscaler,
@@ -253,6 +254,18 @@ class ServingReport:
     #: declarative elasticity joins/drains that actually changed the fleet.
     scale_up_events: int = 0
     scale_down_events: int = 0
+    #: Memory-constrained serving (all zero unless the run carried a
+    #: :class:`~repro.runtime.artifacts.MemoryModel`): cold-start loads the
+    #: stream performed (compressed transfer + decompress before a
+    #: non-resident model's first task), per-node weight-cache lookups, and
+    #: the high-water mark of resident bytes across every node cache.
+    cold_starts: int = 0
+    weight_cache_hits: int = 0
+    weight_cache_misses: int = 0
+    weight_evictions: int = 0
+    peak_resident_bytes: int = 0
+    #: Total simulated seconds spent loading weights (transfer + decompress).
+    cold_start_s: float = 0.0
     #: Online accumulators filled when the engine ran with ``stream_stats``;
     #: ``records`` is empty then and every aggregate below reads from here.
     #: Percentiles are exact while the run fits the accumulator's exact
@@ -367,6 +380,34 @@ class ServingReport:
         return {
             cls: latency_percentiles(values, quantiles)
             for cls, values in sorted(by_class.items())
+        }
+
+    @property
+    def weight_cache_hit_rate(self) -> float:
+        """Fraction of weight-cache lookups that found the model resident
+        (1.0 when the run never consulted a cache)."""
+        lookups = self.weight_cache_hits + self.weight_cache_misses
+        if lookups == 0:
+            return 1.0
+        return self.weight_cache_hits / lookups
+
+    def model_percentiles(
+        self, quantiles: Tuple[float, ...] = (50.0, 99.0)
+    ) -> Dict[str, Dict[str, float]]:
+        """Latency percentiles per model (completed requests).
+
+        Mixed-model streams only make sense record-by-record, so this reads
+        ``records`` and returns ``{}`` under ``stream_stats``.
+        """
+        from repro.experiments.reporting import latency_percentiles
+
+        by_model: Dict[str, List[float]] = {}
+        for record in self.records:
+            if record.completed:
+                by_model.setdefault(record.model, []).append(record.latency_s)
+        return {
+            model: latency_percentiles(values, quantiles)
+            for model, values in sorted(by_model.items())
         }
 
     @property
@@ -529,6 +570,15 @@ class ServingReport:
             if queueing is not None:
                 # Clamp the float-epsilon negatives an idle stream produces.
                 lines.append(f"  mean queueing delay {max(0.0, queueing) * 1e3:.1f} ms")
+        per_model = self.model_percentiles() if self.records else {}
+        if len(per_model) > 1:
+            lines.append(
+                "  per-model "
+                + ", ".join(
+                    f"{model} p50 {pct['p50'] * 1e3:.1f} ms / p99 {pct['p99'] * 1e3:.1f} ms"
+                    for model, pct in per_model.items()
+                )
+            )
         faulted = (
             self.num_failed
             or self.num_retried
@@ -559,6 +609,14 @@ class ServingReport:
                 f"  elasticity: {self.scale_up_events} scale-up(s), "
                 f"{self.scale_down_events} scale-down(s), "
                 f"fleet {self.node_hours:.4f} node-hours"
+            )
+        if self.cold_starts or self.weight_cache_misses:
+            lines.append(
+                f"  memory: {self.cold_starts} cold start(s) "
+                f"({self.cold_start_s * 1e3:.1f} ms loading), "
+                f"hit rate {self.weight_cache_hit_rate:.1%}, "
+                f"{self.weight_evictions} eviction(s), "
+                f"peak resident {self.peak_resident_bytes / 1e6:.1f} MB"
             )
         lines.append(f"  backbone to cloud {self.bytes_to_cloud * 8.0 / 1e6:.3f} Mb")
         lines.append(
@@ -608,6 +666,7 @@ class _CompiledUnit:
         "node_costs",
         "out_edges",
         "gather_label",
+        "task_nodes",
     )
 
     def __init__(self, tier: Tier, vertices: List[Vertex], run: Optional[FusedRunPlan]) -> None:
@@ -636,6 +695,13 @@ class _CompiledUnit:
         self.group_cache: Optional[Dict[str, List]] = None
         #: ``[(node name, solo seconds)]`` for the admission predictor.
         self.node_costs: List[Tuple[str, float]] = []
+        #: Memory-constrained runs only: the task node names of a statically
+        #: bound unit, filled lazily on its first residency scan.  ``tasks``
+        #: is shared by every request carrying this plan, so once a request
+        #: has pinned a superset of these names the whole scan is one frozen
+        #: set comparison.  Stays ``None`` for group-bound stages (their
+        #: member — and so their node — is chosen per request).
+        self.task_nodes: Optional[FrozenSet[str]] = None
         #: Cross-unit data dependencies, in delivery order: ``[(producer
         #: vertex, consumer vertex, consumer unit position, same-node?)]``.
         #: Same-node edges are free (the paper's intra-tier assumption) and
@@ -648,7 +714,16 @@ class _CompiledUnit:
 class _CompiledPlan:
     """Shared stage structure of one ``(plan objects, source, live nodes)``."""
 
-    __slots__ = ("units", "touched_links", "touched_nodes", "refs")
+    __slots__ = (
+        "units",
+        "touched_links",
+        "touched_nodes",
+        "refs",
+        "node_entry_bytes",
+        "node_weight_bytes",
+        "group_entry_bytes",
+        "group_weight_bytes",
+    )
 
     def __init__(self, units: List[_CompiledUnit]) -> None:
         self.units = units
@@ -660,6 +735,14 @@ class _CompiledPlan:
         #: Strong references to the objects whose ids key this compilation,
         #: pinning them so a recycled id can never alias a different plan.
         self.refs: Tuple = ()
+        #: Memory-constrained runs only: per node, the bytes the model must
+        #: keep resident there (stage weights + peak activation working set)
+        #: and the weight bytes a cold start moves; group-bound stages are
+        #: attributed at resolution time via the ``group_*`` totals.
+        self.node_entry_bytes: Optional[Dict[str, int]] = None
+        self.node_weight_bytes: Optional[Dict[str, int]] = None
+        self.group_entry_bytes = 0
+        self.group_weight_bytes = 0
 
 
 class _Unit:
@@ -762,6 +845,8 @@ class _RequestState:
         "compiled",
         "group_node_state",
         "group_rev",
+        "memory_ready",
+        "memory_waiting",
     )
 
     def __init__(
@@ -814,6 +899,19 @@ class _RequestState:
         #: member provably never went down, so resolution skips the
         #: liveness check.
         self.group_rev = 0
+        #: Memory-constrained runs only: node names on which this request has
+        #: verified (hit or finished loading) its model.  The residency check
+        #: short-circuits to a set probe on every later dispatch touching the
+        #: node — and the set doubles as the request's *pin claim*: while the
+        #: request is live, :meth:`ServingSimulator._sync_pins` counts its
+        #: model as unevictable on every node named here, so the warm path
+        #: never touches the cache's pin table.  Reset when the attempt is
+        #: aborted (the claims are void) and when the request retires.
+        self.memory_ready: Optional[set] = None
+        #: Node names whose load this request started or joined and which has
+        #: not been verified yet; in-flight loads are claimed for pinning via
+        #: the engine's loading table, keyed by ``(node, model)``.
+        self.memory_waiting: Optional[set] = None
 
     @property
     def terminal(self) -> bool:
@@ -965,6 +1063,16 @@ class ServingSimulator:
         edge *replica group* instead of the primary edge node, and the
         balancer resolves each request's work to a member at dispatch time
         (sticky per request, so intra-request edges stay node-local).
+    memory:
+        Optional :class:`~repro.runtime.artifacts.MemoryModel`.  When given,
+        every compute node gets a byte-budgeted
+        :class:`~repro.runtime.artifacts.WeightCache` and the first task of
+        a non-resident model on a node waits on a first-class **cold-start
+        event**: the compressed artifact crosses the declared wires from the
+        cloud store, then decompresses, before dispatch.  Models with
+        in-flight tasks are pinned against eviction.  ``None`` is
+        bit-identical to the unconstrained engine (the golden traces pin
+        this).
     stream_stats:
         Benchmark mode for huge workloads: per-request timelines and records
         are not materialized; aggregates stream into online accumulators
@@ -993,6 +1101,7 @@ class ServingSimulator:
         elasticity: Optional[ElasticitySchedule] = None,
         autoscaler: "Autoscaler | str | None" = None,
         balancer: "LoadBalancer | str | None" = None,
+        memory: Optional[MemoryModel] = None,
     ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
@@ -1006,6 +1115,11 @@ class ServingSimulator:
                 f"elasticity must be an ElasticitySchedule, "
                 f"got {type(elasticity).__name__}"
             )
+        if memory is not None and not isinstance(memory, MemoryModel):
+            raise ValueError(
+                f"memory must be a MemoryModel, got {type(memory).__name__}"
+            )
+        self.memory = memory
         self.cluster = cluster
         self.link_contention = link_contention
         self.faults = faults
@@ -1083,6 +1197,16 @@ class ServingSimulator:
             FifoScheduler.select,
             DeadlineScheduler.select,
         )
+        #: Memory-constrained-serving state: per-node weight caches, in-flight
+        #: loads (``(node name, model) -> [(state, unit, epoch)]`` waiter
+        #: lists), the cloud artifact-store node, and the run's counters.
+        #: All provably dead when ``_memory_on`` is false.
+        self._memory_on = self.memory is not None
+        self._caches: Dict[str, WeightCache] = {}
+        self._loading: Dict[Tuple[str, str], list] = {}
+        self._store_node: Optional[ComputeNode] = None
+        self._cold_starts = 0
+        self._cold_start_s = 0.0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -1145,6 +1269,12 @@ class ServingSimulator:
             FifoScheduler.select,
             DeadlineScheduler.select,
         )
+        self._memory_on = self.memory is not None
+        self._caches = {}
+        self._loading = {}
+        self._store_node = None
+        self._cold_starts = 0
+        self._cold_start_s = 0.0
 
         # Fault events enter the queue first, so at equal timestamps a fault
         # precedes every arrival/task/transfer event: a node dying the instant
@@ -1199,6 +1329,8 @@ class ServingSimulator:
                 self._handle_fault(time_s, payload)  # type: ignore[arg-type]
             elif kind == "retry":
                 self._handle_retry(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "coldstart":
+                self._handle_cold_start(time_s, payload)  # type: ignore[arg-type]
             elif kind == "flush":
                 # A batching hold expired: re-ask the scheduler (no-op when
                 # the node went busy or the held work already dispatched).
@@ -1313,6 +1445,14 @@ class ServingSimulator:
             link_down_s=_clip_downtime(self._link_down_intervals, start, end),
             scale_up_events=self._scale_up_count,
             scale_down_events=self._scale_down_count,
+            cold_starts=self._cold_starts,
+            weight_cache_hits=sum(c.hits for c in self._caches.values()),
+            weight_cache_misses=sum(c.misses for c in self._caches.values()),
+            weight_evictions=sum(c.evictions for c in self._caches.values()),
+            peak_resident_bytes=max(
+                (c.peak_resident_bytes for c in self._caches.values()), default=0
+            ),
+            cold_start_s=self._cold_start_s,
             scheduler=self.scheduler.name,
             batch_occupancy=dict(sorted(self.batch_occupancy.items())),
             batches=list(self.batches),
@@ -1382,6 +1522,12 @@ class ServingSimulator:
         if self._live.pop(state, _MISSING) is _MISSING:
             return  # already retired (idempotent by construction)
         self._open -= 1
+        if state.memory_ready is not None:
+            # The request left the live set, so _sync_pins will no longer
+            # count its residency claims: every model it kept unevictable
+            # becomes a candidate victim again.
+            state.memory_ready = None
+            state.memory_waiting = None
         if self._draining:
             # Every retirement may be the one a graceful drain was waiting
             # on: re-check each draining node for stranded references.
@@ -1723,6 +1869,41 @@ class ServingSimulator:
         plan.touched_nodes = frozenset(
             node.name for unit in units for node in unit.exec_nodes
         )
+        if self._memory_on:
+            # Per-node residency footprint of this plan's model: the weight
+            # bytes of every stage bound to the node plus the peak activation
+            # working set among them.  Group-bound stages resolve their node
+            # per request, so their footprint is kept aside and added to
+            # whichever member the balancer sticks the request to.
+            artifact = self.memory.artifact_for(graph)
+            node_weight: Dict[str, int] = {}
+            node_activation: Dict[str, int] = {}
+            group_weight = 0
+            group_activation = 0
+            for unit in units:
+                indices = [v.index for v in unit.vertices]
+                weight = artifact.weight_bytes_for(indices)
+                activation = artifact.activation_bytes_for(indices)
+                if unit.group_tasks is not None:
+                    group_weight += weight
+                    group_activation = max(group_activation, activation)
+                    continue
+                seen = set()
+                for node in unit.exec_nodes:
+                    if node.name in seen:
+                        continue  # tile fans replicate weights once per node
+                    seen.add(node.name)
+                    node_weight[node.name] = node_weight.get(node.name, 0) + weight
+                    node_activation[node.name] = max(
+                        node_activation.get(node.name, 0), activation
+                    )
+            plan.node_weight_bytes = node_weight
+            plan.node_entry_bytes = {
+                name: weight + node_activation[name]
+                for name, weight in node_weight.items()
+            }
+            plan.group_weight_bytes = group_weight
+            plan.group_entry_bytes = group_weight + group_activation
         return plan
 
     # ------------------------------------------------------------------ #
@@ -1770,6 +1951,19 @@ class ServingSimulator:
                 if tasks is None:
                     self._abort(state, time_s)
                     return
+        if self._memory_on:
+            # Residency fast path: when the request has already verified (and
+            # pinned) its model on a superset of this unit's nodes, one frozen
+            # set comparison replaces the whole per-task scan.
+            ready_set = state.memory_ready
+            names = unit.compiled.task_nodes
+            if (
+                ready_set is None or names is None or not ready_set >= names
+            ) and not self._ensure_resident(state, unit, tasks, time_s):
+                # The model is not resident on every task node yet: the unit
+                # is parked as a loading waiter (or the attempt already
+                # failed) and re-enters here when its cold start completes.
+                return
         unit.remaining_tasks = len(tasks)
         epoch = state.epoch
         if self._base_key:
@@ -2216,6 +2410,250 @@ class ServingSimulator:
             self._start_unit(unit.state, unit, time_s)
 
     # ------------------------------------------------------------------ #
+    # Weight residency and cold starts (memory-constrained runs only)
+    # ------------------------------------------------------------------ #
+    def _cache_for(self, node: ComputeNode) -> WeightCache:
+        cache = self._caches.get(node.name)
+        if cache is None:
+            cache = WeightCache(
+                node.name, self.memory.capacity_bytes(node), self.memory.eviction
+            )
+            self._caches[node.name] = cache
+        return cache
+
+    def _ensure_resident(
+        self, state: _RequestState, unit: _Unit, tasks: list, time_s: float
+    ) -> bool:
+        """True when every task node holds the request's model.
+
+        A miss registers the unit as a waiter on the node's in-flight load —
+        starting one if none is — and returns False; the ``coldstart``
+        completion event re-enters :meth:`_start_unit` for every waiter.
+        Verified nodes are claimed once per (request, node) on the request's
+        ``memory_ready`` set; the claim keeps the model unevictable there
+        for the request's lifetime (see :meth:`_sync_pins`), so the warm
+        path is a set probe plus inline hit accounting — no per-dispatch
+        pin refcounting.
+        """
+        model = state.request.graph.name
+        ready_nodes = state.memory_ready
+        if ready_nodes is None:
+            ready_nodes = state.memory_ready = set()
+        waiting_nodes = state.memory_waiting
+        caches = self._caches
+        compiled = state.compiled
+        grouped_here = unit.compiled.group_tasks is not None
+        ready = True
+        for entry in tasks:
+            node = entry[3].node
+            name = node.name
+            if name in ready_nodes:
+                # Steady-state fast path: this request already verified (and
+                # thereby claimed) its model here — the claim makes eviction
+                # impossible until the request turns terminal.
+                continue
+            if waiting_nodes is not None and name in waiting_nodes:
+                waiters = self._loading.get((name, model))
+                if waiters is not None:
+                    # An earlier stage of this request started (or joined)
+                    # the load and it is still in flight: this unit must
+                    # wait on it too (each waiter re-enters independently).
+                    waiter = (state, unit, state.epoch)
+                    if waiter not in waiters:
+                        waiters.append(waiter)
+                    ready = False
+                    continue
+                loaded = caches.get(name)
+                if loaded is not None and model in loaded._entries:
+                    # The load this request missed on has completed: claim
+                    # the node without touching the hit counters — this is
+                    # the tail of the original (already recorded) miss, not
+                    # a fresh lookup.
+                    ready_nodes.add(name)
+                    continue
+                # Not resident and no load in flight (the admission failed
+                # for another waiter, or the entry was since evicted): this
+                # is a fresh lookup — fall through to the miss path.
+            cache = caches.get(name)
+            if cache is None:
+                cache = self._cache_for(node)
+            centry = cache._entries.get(model)
+            if centry is not None:
+                # Inline ``WeightCache.record_hit``: refresh recency, bump
+                # frequency — once per (request, node), on the path every
+                # warm request crosses, where method dispatch is measurable.
+                tick = cache._tick + 1
+                cache._tick = tick
+                centry.last_used = tick
+                centry.hits += 1
+                cache.hits += 1
+                ready_nodes.add(name)
+                continue
+            cache.misses += 1
+            if waiting_nodes is None:
+                waiting_nodes = state.memory_waiting = set()
+            waiting_nodes.add(name)
+            key = (name, model)
+            waiters = self._loading.get(key)
+            if waiters is not None:
+                waiters.append((state, unit, state.epoch))
+                ready = False
+                continue
+            entry_bytes = compiled.node_entry_bytes.get(name, 0)
+            weight_bytes = compiled.node_weight_bytes.get(name, 0)
+            if grouped_here:
+                entry_bytes += compiled.group_entry_bytes
+                weight_bytes += compiled.group_weight_bytes
+            if self.memory.warm:
+                delay_s = 0.0
+            else:
+                delay_s = self._cold_start_delay(state, node, weight_bytes, time_s)
+                if delay_s is None:
+                    # No route from the artifact store: failover, exactly as
+                    # a severed activation transfer would.
+                    self._abort(state, time_s)
+                    return False
+            self._cold_starts += 1
+            if delay_s <= 0.0:
+                if not self._admit_entry(cache, model, entry_bytes, state, time_s):
+                    return False
+                ready_nodes.add(name)
+                continue
+            self._cold_start_s += delay_s
+            self._loading[key] = [(state, unit, state.epoch)]
+            if state.report is not None:
+                state.report.events.append(
+                    TimelineEvent(
+                        node=name,
+                        tier=unit.tier,
+                        label=f"load:{model}",
+                        kind="coldstart",
+                        start_s=time_s,
+                        end_s=time_s + delay_s,
+                        request_id=state.request.request_id,
+                    )
+                )
+            self._push(time_s + delay_s, "coldstart", (name, model, entry_bytes))
+            ready = False
+        if ready and not grouped_here and unit.compiled.task_nodes is None:
+            # Statically bound unit fully verified: publish its node-name set
+            # on the shared compiled structure so every later request (and
+            # every later unit sharing these nodes) takes the fast path.
+            unit.compiled.task_nodes = frozenset(
+                entry[3].node.name for entry in tasks
+            )
+        return ready
+
+    def _cold_start_delay(
+        self, state: _RequestState, node: ComputeNode, weight_bytes: int, time_s: float
+    ) -> Optional[float]:
+        """Seconds to stage the model onto ``node``: the compressed weights
+        cross the declared wires from the cloud artifact store (reserving
+        them, store-and-forward, exactly like activation transfers), then
+        decompress at the codec's read throughput.  ``None`` when no route
+        exists.  Loads onto the store node itself skip the wires."""
+        codec = self.memory.codec_spec
+        store = self._store_node
+        if store is None:
+            store = self._store_node = self.cluster.primary_node(Tier.CLOUD)
+        clock = time_s
+        if weight_bytes > 0 and node.name != store.name:
+            try:
+                route = self.cluster.route(store.name, node.name)
+            except RouteUnavailableError:
+                return None
+            payload = codec.compressed_bytes(weight_bytes)
+            condition = state.request.condition
+            if self.link_contention == "fifo":
+                for link in route:
+                    starts_at = max(clock, link.available_at)
+                    duration = self.cluster.hop_seconds(
+                        link, payload, condition, starts_at
+                    )
+                    _, end = link.reserve(clock, duration, payload)
+                    clock = end
+            else:
+                for link in route:
+                    duration = self.cluster.hop_seconds(link, payload, condition, clock)
+                    link.record(duration, payload)
+                    clock += duration
+        clock += codec.decompress_seconds(weight_bytes)
+        return clock - time_s
+
+    def _sync_pins(self, cache: WeightCache) -> None:
+        """Rebuild the cache's pin table from live-request claims.
+
+        The hot path records residency claims on the requests themselves
+        (``memory_ready``) instead of refcounting cache pins per dispatch.
+        The pin table is only ever consulted when an admission actually has
+        to evict, so it is reconstructed here — once per pressured
+        admission, from the in-flight window plus the loads in flight —
+        rather than maintained twice per request-node across a
+        million-request stream.  Claim lifetime equals the old pin
+        lifetime exactly: taken when a stage verifies (or starts loading)
+        the model on the node, dropped when the request retires or the
+        attempt aborts.
+        """
+        node_name = cache.node
+        pins: Dict[str, int] = {}
+        for state in self._live:
+            ready_nodes = state.memory_ready
+            if ready_nodes and node_name in ready_nodes:
+                model = state.request.graph.name
+                pins[model] = pins.get(model, 0) + 1
+        for load_node, model in self._loading:
+            if load_node == node_name:
+                pins[model] = pins.get(model, 0) + 1
+        cache._pins = pins
+
+    def _admit_entry(
+        self,
+        cache: WeightCache,
+        model: str,
+        entry_bytes: int,
+        state: _RequestState,
+        time_s: float,
+    ) -> bool:
+        """Admit a loaded entry; an overflow the cache cannot evict its way
+        out of (everything else pinned, or the entry alone exceeds capacity)
+        fails the request — there is no node to fall back to."""
+        if cache.resident_bytes + entry_bytes > cache.capacity_bytes:
+            # Admission under pressure: eviction (and the immovable check)
+            # will consult the pin table, so bring it up to date first.
+            self._sync_pins(cache)
+        try:
+            cache.admit(model, entry_bytes)
+        except CapacityError:
+            self._fail(state, time_s)
+            return False
+        return True
+
+    def _handle_cold_start(
+        self, time_s: float, payload: Tuple[str, str, int]
+    ) -> None:
+        """A staged artifact finished transferring + decompressing: admit it
+        and restart every waiter whose attempt is still the live one."""
+        node_name, model, entry_bytes = payload
+        cache = self._caches[node_name]
+        waiters = self._loading.pop((node_name, model), [])
+        survivors = [
+            (state, unit, epoch)
+            for state, unit, epoch in waiters
+            if state.epoch == epoch and not state.terminal
+        ]
+        if cache.resident_bytes + entry_bytes > cache.capacity_bytes:
+            self._sync_pins(cache)
+        try:
+            cache.admit(model, entry_bytes)
+        except CapacityError:
+            for state, _, _ in survivors:
+                self._fail(state, time_s)
+            return
+        for state, unit, _ in survivors:
+            if not state.terminal and not unit.completed:
+                self._start_unit(state, unit, time_s)
+
+    # ------------------------------------------------------------------ #
     # Failure injection
     # ------------------------------------------------------------------ #
     def _handle_fault(self, time_s: float, event: FaultEvent) -> None:
@@ -2382,6 +2820,13 @@ class ServingSimulator:
             return
         self._release_inflight(state, time_s)
         self._mark_queues_dirty(state)
+        if state.memory_ready is not None:
+            # The discarded attempt's residency claims are void: the retry
+            # re-verifies against the degraded deployment, and a stale claim
+            # here would let tasks dispatch on a node the model never
+            # finished loading onto (and would keep it pinned for free).
+            state.memory_ready = None
+            state.memory_waiting = None
         state.epoch += 1
         if not state.retry_pending:
             state.retry_pending = True

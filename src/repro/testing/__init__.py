@@ -8,7 +8,7 @@ every terminal status, in order, at full float precision — into a JSON
 document that is committed as a fixture and diffed exactly by
 ``tests/runtime/test_golden_traces.py``.
 
-Four canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
+Five canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
 
 ``steady``
     A Poisson AlexNet stream on the canonical three-tier testbed — the
@@ -23,6 +23,11 @@ Four canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
     The steady testbed under a declarative elasticity schedule (two parked
     replicas join mid-run, one drains) with join-shortest-queue balancing —
     pins provisioning delays, graceful-drain timing and replica selection.
+``multimodel``
+    Two models (VGG-16 + AlexNet) alternating through a weight cache too
+    tight to hold both, under LRU eviction and the zxc codec — pins
+    cold-start transfer/decompress timing, eviction order and the
+    cache-miss parking/resume schedule.
 
 Regenerate after an *intentional* behaviour change with::
 
@@ -104,12 +109,32 @@ def _elastic_report() -> ServingReport:
     return system.serve(workload, elasticity=schedule, balancer="jsq")
 
 
+def _multimodel_report() -> ServingReport:
+    from repro.core.d3 import D3Config, D3System
+    from repro.runtime.artifacts import MemoryModel
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(network="wifi", num_edge_nodes=2, use_regression=False, profiler_noise_std=0.0)
+    )
+    # VGG-16 (~553 MB) + AlexNet (~244 MB) against a 0.7 GiB cache: either
+    # model fits alone, both together do not, so the alternating stream
+    # forces the LRU cache to evict and reload — the regime the fixture pins.
+    workload = Workload.poisson(
+        ["vgg16", "alexnet"], num_requests=12, rate_rps=4.0, seed=13
+    )
+    return system.serve(
+        workload, memory=MemoryModel(budget_gb=0.7, codec="zxc", eviction="lru")
+    )
+
+
 #: name -> report builder; every entry becomes one committed fixture.
 GOLDEN_SCENARIOS: Dict[str, Callable[[], ServingReport]] = {
     "steady": _steady_report,
     "chaos": _chaos_report,
     "fleet": _fleet_report,
     "elastic": _elastic_report,
+    "multimodel": _multimodel_report,
 }
 
 
@@ -153,8 +178,12 @@ def serialize_record(record: RequestRecord) -> dict:
 
 
 def serialize_report(report: ServingReport) -> dict:
-    """A serving report's complete observable behaviour as a JSON document."""
-    return {
+    """A serving report's complete observable behaviour as a JSON document.
+
+    The ``memory`` block is emitted only when the run actually exercised the
+    weight caches, so pre-memory fixtures stay byte-for-byte unchanged.
+    """
+    document = {
         "workload": report.workload_name,
         "method": report.method,
         "makespan_s": report.makespan_s,
@@ -168,6 +197,16 @@ def serialize_report(report: ServingReport) -> dict:
         "link_down_s": dict(sorted(report.link_down_s.items())),
         "records": [serialize_record(record) for record in report.records],
     }
+    if report.cold_starts or report.weight_cache_misses or report.weight_cache_hits:
+        document["memory"] = {
+            "cold_starts": report.cold_starts,
+            "cold_start_s": report.cold_start_s,
+            "weight_cache_hits": report.weight_cache_hits,
+            "weight_cache_misses": report.weight_cache_misses,
+            "weight_evictions": report.weight_evictions,
+            "peak_resident_bytes": report.peak_resident_bytes,
+        }
+    return document
 
 
 def golden_trace(name: str) -> dict:

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.network.conditions import BandwidthTrace, get_condition
 from repro.network.topology import (
+    InsufficientMemoryError,
     LinkSpec,
     NodeSpec,
     Topology,
@@ -126,6 +127,29 @@ class TestValidation:
     def test_compute_node_requires_hardware(self):
         with pytest.raises(TopologyError, match="hardware"):
             NodeSpec("e0", "edge")
+
+    def test_memory_feasibility_rejects_oversized_models(self):
+        topology = Topology(
+            "tiny",
+            nodes=[
+                NodeSpec("d0", "device", RASPBERRY_PI_4),
+                NodeSpec("e0", "edge", EDGE_DESKTOP),
+                NodeSpec("c0", "cloud", CLOUD_SERVER),
+            ],
+            links=[
+                LinkSpec("lan", "d0", "e0", 50.0),
+                LinkSpec("bb", "e0", "c0", 20.0),
+            ],
+        )
+        roomiest = max(
+            node.hardware.memory_gb for node in topology.nodes.values()
+        )
+        fits = int(roomiest * 1024**3) - 1
+        topology.validate(min_model_bytes=fits)  # roomiest node holds it
+        with pytest.raises(InsufficientMemoryError, match="roomiest"):
+            topology.validate(min_model_bytes=fits + 2)
+        # The typed error is still a TopologyError for broad handlers.
+        assert issubclass(InsufficientMemoryError, TopologyError)
 
     def test_self_loop_rejected(self):
         with pytest.raises(TopologyError, match="itself"):

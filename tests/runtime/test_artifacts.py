@@ -1,0 +1,242 @@
+"""Unit tests for the model-artifact / codec / weight-cache subsystem."""
+
+import math
+
+import pytest
+
+from repro.models.zoo import build_model
+from repro.runtime.artifacts import (
+    BYTES_PER_WEIGHT,
+    CODECS,
+    GIB,
+    ArtifactError,
+    CapacityError,
+    CompressionCodec,
+    MemoryModel,
+    ModelArtifact,
+    UnknownCodecError,
+    WeightCache,
+    get_codec,
+    register_codec,
+    resolve_memory,
+)
+
+
+# --------------------------------------------------------------------- #
+# ModelArtifact
+# --------------------------------------------------------------------- #
+class TestModelArtifact:
+    def test_from_graph_matches_graph_totals(self):
+        graph = build_model("alexnet")
+        artifact = ModelArtifact.from_graph(graph)
+        assert artifact.model == "alexnet"
+        assert artifact.total_weight_bytes == graph.total_weights() * BYTES_PER_WEIGHT
+        assert artifact.peak_activation_bytes == max(
+            v.output_bytes for v in graph.vertices
+        )
+
+    def test_stage_queries(self):
+        artifact = ModelArtifact(
+            model="toy",
+            vertex_weight_bytes={0: 0, 1: 100, 2: 300},
+            vertex_activation_bytes={0: 10, 1: 50, 2: 20},
+        )
+        assert artifact.weight_bytes_for([1, 2]) == 400
+        assert artifact.activation_bytes_for([1, 2]) == 50
+        assert artifact.resident_bytes_for([1, 2]) == 450
+        # Unknown indices count as zero rather than raising.
+        assert artifact.weight_bytes_for([99]) == 0
+        assert artifact.activation_bytes_for([]) == 0
+
+    def test_model_zoo_footprints_are_plausible(self):
+        # The zoo's weight counts (Table II of the paper): VGG-16 is by far
+        # the heaviest, ResNet-18 the lightest of the five.
+        sizes = {
+            name: ModelArtifact.from_graph(build_model(name)).total_weight_bytes
+            for name in ("vgg16", "alexnet", "resnet18")
+        }
+        assert sizes["vgg16"] > sizes["alexnet"] > sizes["resnet18"]
+        assert sizes["vgg16"] > 500e6  # ~553 MB of float32
+
+
+# --------------------------------------------------------------------- #
+# Codecs
+# --------------------------------------------------------------------- #
+class TestCodecs:
+    def test_registry_contains_the_three_builtins(self):
+        assert {"none", "symmetric", "zxc"} <= set(CODECS)
+
+    def test_none_codec_is_free_and_ratio_one(self):
+        codec = get_codec("none")
+        assert codec.compressed_bytes(1000) == 1000
+        assert codec.compress_seconds(10**9) == 0.0
+        assert codec.decompress_seconds(10**9) == 0.0
+
+    def test_zxc_beats_symmetric_on_decompress_at_equal_ratio(self):
+        symmetric, zxc = get_codec("symmetric"), get_codec("zxc")
+        raw = 500_000_000
+        assert zxc.ratio == symmetric.ratio
+        assert zxc.compressed_bytes(raw) == symmetric.compressed_bytes(raw)
+        assert zxc.decompress_seconds(raw) < symmetric.decompress_seconds(raw)
+        # ...paid for by the slow write-once compression.
+        assert zxc.compress_seconds(raw) > symmetric.compress_seconds(raw)
+
+    def test_throughput_math(self):
+        codec = CompressionCodec("t", ratio=4.0, compress_mb_s=100.0, decompress_mb_s=200.0)
+        assert codec.compressed_bytes(1000) == 250
+        assert math.isclose(codec.compress_seconds(100e6), 1.0)
+        assert math.isclose(codec.decompress_seconds(100e6), 0.5)
+
+    def test_invalid_codecs_are_rejected(self):
+        with pytest.raises(ArtifactError):
+            CompressionCodec("bad", ratio=0.5, compress_mb_s=1.0, decompress_mb_s=1.0)
+        with pytest.raises(ArtifactError):
+            CompressionCodec("bad", ratio=2.0, compress_mb_s=0.0, decompress_mb_s=1.0)
+        with pytest.raises(UnknownCodecError):
+            get_codec("gzip")
+
+    def test_register_codec_round_trips(self):
+        codec = CompressionCodec("unit-test", 3.0, 10.0, 30.0)
+        try:
+            assert register_codec(codec) is codec
+            assert get_codec("unit-test") is codec
+        finally:
+            CODECS.pop("unit-test", None)
+
+
+# --------------------------------------------------------------------- #
+# WeightCache
+# --------------------------------------------------------------------- #
+class TestWeightCache:
+    def test_admit_and_hit_accounting(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000)
+        assert cache.admit("a", 400) == []
+        assert cache.resident("a")
+        assert cache.resident_bytes == 400
+        cache.record_hit("a")
+        cache.record_miss()
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.peak_resident_bytes == 400
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000, eviction="lru")
+        cache.admit("a", 400)
+        cache.admit("b", 400)
+        cache.record_hit("a")  # b is now the LRU entry
+        assert cache.admit("c", 400) == ["b"]
+        assert cache.resident_models() == ["a", "c"]
+        assert cache.evictions == 1
+
+    def test_priority_evicts_fewest_hits(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000, eviction="priority")
+        cache.admit("a", 400)
+        cache.admit("b", 400)
+        cache.record_hit("a")
+        cache.record_hit("a")
+        cache.record_hit("b")
+        cache.record_hit("b")
+        cache.record_hit("a")  # a: 3 hits, b: 2 hits but more recent
+        assert cache.admit("c", 400) == ["b"]
+
+    def test_pinned_entries_raise_capacity_error(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000)
+        cache.admit("a", 600)
+        cache.pin("a")
+        with pytest.raises(CapacityError):
+            cache.admit("b", 600)
+        # The pinned entry is untouched by the failed admission.
+        assert cache.resident("a") and cache.resident_bytes == 600
+        cache.unpin("a")
+        assert cache.admit("b", 600) == ["a"]
+
+    def test_readmission_resizes_in_place(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000)
+        cache.admit("a", 400)
+        cache.admit("a", 700)
+        assert cache.resident_bytes == 700
+        assert cache.resident_models() == ["a"]
+
+    def test_readmission_rollback_on_capacity_error(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000)
+        cache.admit("a", 400)
+        cache.pin("a")  # no victims available
+        with pytest.raises(CapacityError):
+            cache.admit("a", 2000)
+        assert cache.resident("a") and cache.resident_bytes == 400
+
+    def test_pin_refcounting(self):
+        cache = WeightCache("edge-0", capacity_bytes=1000)
+        cache.pin("a")
+        cache.pin("a")
+        assert cache.pin_count("a") == 2
+        cache.unpin("a")
+        assert cache.pin_count("a") == 1
+        cache.unpin("a")
+        cache.unpin("a")  # over-release is a no-op
+        assert cache.pin_count("a") == 0
+
+    def test_oversized_entry_raises(self):
+        cache = WeightCache("edge-0", capacity_bytes=100)
+        with pytest.raises(CapacityError):
+            cache.admit("a", 200)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ArtifactError):
+            WeightCache("n", capacity_bytes=10, eviction="fifo")
+        with pytest.raises(ArtifactError):
+            WeightCache("n", capacity_bytes=-1)
+        cache = WeightCache("n", capacity_bytes=10)
+        with pytest.raises(ArtifactError):
+            cache.admit("a", -5)
+
+
+# --------------------------------------------------------------------- #
+# MemoryModel / resolve_memory
+# --------------------------------------------------------------------- #
+class TestMemoryModel:
+    def test_validation(self):
+        with pytest.raises(UnknownCodecError):
+            MemoryModel(codec="gzip")
+        with pytest.raises(ArtifactError):
+            MemoryModel(eviction="fifo")
+        with pytest.raises(ArtifactError):
+            MemoryModel(budget_gb=0.0)
+
+    def test_capacity_caps_device_and_edge_but_not_cloud(self):
+        from repro.core.d3 import D3Config, D3System
+
+        system = D3System(D3Config(use_regression=False, profiler_noise_std=0.0))
+        memory = MemoryModel(budget_gb=0.5)
+        for node in system.cluster.all_nodes:
+            cap = memory.capacity_bytes(node)
+            hardware = int(node.hardware.memory_gb * GIB)
+            if node.tier.value == "cloud":
+                assert cap == hardware
+            else:
+                assert cap == min(hardware, int(0.5 * GIB))
+
+    def test_artifact_memoization(self):
+        graph = build_model("resnet18")
+        memory = MemoryModel()
+        assert memory.artifact_for(graph) is memory.artifact_for(graph)
+
+    def test_key_and_with_codec(self):
+        memory = MemoryModel(budget_gb=1.0, codec="zxc", eviction="priority")
+        assert memory.key() == (1.0, "zxc", "priority")
+        assert memory.with_codec("symmetric").key() == (1.0, "symmetric", "priority")
+
+    def test_resolve_memory_inert(self):
+        assert resolve_memory() is None
+        assert resolve_memory(None, None, None) is None
+
+    def test_resolve_memory_from_float_and_overrides(self):
+        memory = resolve_memory(2.0, codec="zxc", eviction="priority")
+        assert memory.key() == (2.0, "zxc", "priority")
+        base = MemoryModel(budget_gb=1.0)
+        overridden = resolve_memory(base, codec="symmetric")
+        assert overridden.key() == (1.0, "symmetric", "lru")
+        assert resolve_memory(base) is base
+
+    def test_resolve_memory_codec_alone_activates(self):
+        memory = resolve_memory(codec="zxc")
+        assert memory is not None and memory.budget_gb is None

@@ -1,0 +1,126 @@
+"""Property-based invariants of the per-node weight cache.
+
+Hypothesis drives random operation sequences (admit / hit / pin / unpin)
+through a :class:`~repro.runtime.artifacts.WeightCache` and asserts the
+invariants the ISSUE pins:
+
+* resident bytes never exceed capacity (and internal accounting never
+  drifts from the sum of resident entry sizes);
+* a model is cold-started exactly once per eviction–reload cycle: loads
+  observed for one model = evictions of that model + 1 (the initial load)
+  while it stays resident;
+* eviction never removes a pinned model (a model with in-flight tasks).
+
+The end-to-end variant of the third invariant — the serving engine pins a
+model for the lifetime of every request that executes on it — is asserted
+against the full simulator in ``tests/runtime/test_memory_serving.py``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.artifacts import CapacityError, WeightCache
+
+CAPACITY = 1000
+
+MODELS = ("a", "b", "c", "d")
+
+#: One cache operation: (op, model, size).
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(("admit", "hit", "pin", "unpin")),
+        st.sampled_from(MODELS),
+        st.integers(min_value=0, max_value=CAPACITY + 200),
+    ),
+    max_size=60,
+)
+
+
+def drive(cache: WeightCache, ops):
+    """Replay an op sequence, tracking loads/evictions/residency per model."""
+    loads = {m: 0 for m in MODELS}
+    evictions = {m: 0 for m in MODELS}
+    pins = {m: 0 for m in MODELS}
+    for op, model, size in ops:
+        if op == "admit":
+            if cache.resident(model):
+                continue  # a resident model is never re-loaded: no cold start
+            try:
+                evicted = cache.admit(model, size)
+            except CapacityError:
+                continue
+            loads[model] += 1
+            for victim in evicted:
+                evictions[victim] += 1
+                assert pins[victim] == 0, "evicted a pinned model"
+        elif op == "hit":
+            if cache.resident(model):
+                cache.record_hit(model)
+        elif op == "pin":
+            cache.pin(model)
+            pins[model] += 1
+        elif op == "unpin":
+            if pins[model] > 0:
+                cache.unpin(model)
+                pins[model] -= 1
+        # Core capacity invariant, checked after *every* operation.
+        assert 0 <= cache.resident_bytes <= cache.capacity_bytes
+    return loads, evictions
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations, eviction=st.sampled_from(("lru", "priority")))
+def test_resident_bytes_never_exceed_capacity(ops, eviction):
+    cache = WeightCache("prop", CAPACITY, eviction=eviction)
+    drive(cache, ops)
+    # Accounting cross-check: the counter equals the sum over entries.
+    total = sum(
+        cache._entries[m].size_bytes for m in cache.resident_models()
+    )
+    assert cache.resident_bytes == total
+    assert cache.peak_resident_bytes <= cache.capacity_bytes
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations, eviction=st.sampled_from(("lru", "priority")))
+def test_cold_start_exactly_once_per_eviction_reload_cycle(ops, eviction):
+    cache = WeightCache("prop", CAPACITY, eviction=eviction)
+    loads, evictions = drive(cache, ops)
+    for model in MODELS:
+        # Every load after the first must have been preceded by an eviction:
+        # while resident, lookups are hits and never re-load.
+        if cache.resident(model):
+            assert loads[model] == evictions[model] + 1
+        else:
+            assert loads[model] == evictions[model]
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations, eviction=st.sampled_from(("lru", "priority")))
+def test_eviction_never_removes_pinned_models(ops, eviction):
+    # `drive` asserts pins[victim] == 0 on every eviction; this property
+    # additionally checks the final state: every pinned resident model is
+    # still resident after the whole sequence.
+    cache = WeightCache("prop", CAPACITY, eviction=eviction)
+    pinned_resident = set()
+    for op, model, size in ops:
+        if op == "admit" and not cache.resident(model):
+            try:
+                evicted = cache.admit(model, size)
+            except CapacityError:
+                continue
+            assert not (set(evicted) & pinned_resident)
+        elif op == "hit" and cache.resident(model):
+            cache.record_hit(model)
+        elif op == "pin":
+            cache.pin(model)
+            if cache.resident(model):
+                pinned_resident.add(model)
+        elif op == "unpin":
+            cache.unpin(model)
+            if cache.pin_count(model) == 0:
+                pinned_resident.discard(model)
+        pinned_resident = {
+            m for m in pinned_resident if cache.pin_count(m) > 0 and cache.resident(m)
+        }
+        for model_name in pinned_resident:
+            assert cache.resident(model_name)

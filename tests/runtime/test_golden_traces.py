@@ -96,6 +96,21 @@ class TestGoldenTraces:
         assert all(e["start_s"] >= 0.4 + 0.3 for e in joined), (
             "work started on edge-2 before its provisioning delay elapsed"
         )
+        multimodel = traces["multimodel"]
+        memory = multimodel.get("memory")
+        assert memory, "multimodel fixture no longer exercises the weight caches"
+        assert memory["cold_starts"] > 0, "multimodel fixture lost its cold starts"
+        assert memory["weight_evictions"] > 0, (
+            "multimodel fixture no longer thrashes the tight cache"
+        )
+        assert any(
+            e["kind"] == "coldstart"
+            for r in multimodel["records"]
+            for e in r["events"]
+        ), "multimodel fixture no longer records cold-start timeline events"
+        assert all(
+            "memory" not in traces[name] for name in ("steady", "chaos", "fleet", "elastic")
+        ), "a memory-free fixture grew a memory block — the inert path leaked"
 
 
 class TestRegeneration:

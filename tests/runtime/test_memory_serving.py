@@ -1,0 +1,228 @@
+"""Integration tests: memory-constrained serving end to end.
+
+The unit suite pins the cache data structure; this one pins the *serving*
+semantics — cold starts gating dispatch, pins tracking in-flight requests,
+the repair flipping placements, and the inert configuration staying
+bit-identical to the memory-free engine.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.d3 import D3Config, D3System
+from repro.experiments.multimodel import (
+    MultimodelScenario,
+    run_partition_flip,
+)
+from repro.network.topology import InsufficientMemoryError
+from repro.runtime.artifacts import MemoryModel
+from repro.runtime.workload import Workload
+from repro.testing import serialize_report
+
+
+def build_system(**overrides):
+    config = dict(
+        network="wifi", num_edge_nodes=2, use_regression=False, profiler_noise_std=0.0
+    )
+    config.update(overrides)
+    return D3System(D3Config(**config))
+
+
+def two_model_workload(num_requests=10, seed=13):
+    return Workload.poisson(
+        ["vgg16", "alexnet"], num_requests=num_requests, rate_rps=4.0, seed=seed
+    )
+
+
+class TestInertPath:
+    def test_memory_none_is_bit_identical(self):
+        """serve() with every memory knob inert equals the pre-memory engine."""
+        workload = two_model_workload()
+        baseline = serialize_report(build_system().serve(workload))
+        inert = serialize_report(
+            build_system().serve(workload, memory=None, codec=None, eviction=None)
+        )
+        assert json.dumps(baseline, sort_keys=True) == json.dumps(inert, sort_keys=True)
+        assert "memory" not in inert
+
+    def test_codec_alone_activates_the_memory_path(self):
+        report = build_system().serve(two_model_workload(), codec="zxc")
+        assert report.cold_starts > 0
+
+
+class TestColdStarts:
+    def test_cold_start_once_then_warm(self):
+        """A single-model stream loads once per node, then every lookup hits."""
+        system = build_system()
+        workload = Workload.poisson("alexnet", num_requests=8, rate_rps=2.0, seed=1)
+        report = system.serve(workload, memory=MemoryModel(budget_gb=2.0, codec="zxc"))
+        # One cold start per node the plan touches, never per request.
+        assert 0 < report.cold_starts <= 4
+        assert report.weight_evictions == 0
+        assert report.weight_cache_hits > 0
+        assert report.cold_start_s > 0.0
+        assert report.num_failed == 0
+
+    def test_cold_starts_appear_on_the_timeline(self):
+        system = build_system()
+        workload = Workload.poisson("alexnet", num_requests=4, rate_rps=2.0, seed=1)
+        report = system.serve(workload, memory=MemoryModel(budget_gb=2.0, codec="zxc"))
+        labels = {
+            event.label
+            for record in report.records
+            for event in record.report.events
+            if event.kind == "coldstart"
+        }
+        assert "load:alexnet" in labels
+
+    def test_tight_budget_thrashes(self):
+        """Two models that cannot co-reside evict each other under LRU."""
+        report = build_system().serve(
+            two_model_workload(num_requests=12),
+            memory=MemoryModel(budget_gb=0.7, codec="zxc", eviction="lru"),
+        )
+        assert report.weight_evictions > 0
+        assert report.num_failed == 0
+        # Peak residency respects the budget on the constrained tiers but may
+        # exceed it overall (the cloud store keeps hardware capacity).
+        assert report.peak_resident_bytes > 0
+
+    def test_warm_mode_runs_caches_without_latency(self):
+        """warm=True prices the machinery: counters move, no time is charged."""
+        workload = two_model_workload()
+        cold = build_system().serve(
+            workload, memory=MemoryModel(budget_gb=2.0, codec="zxc")
+        )
+        warm = build_system().serve(
+            workload, memory=MemoryModel(budget_gb=2.0, codec="zxc", warm=True)
+        )
+        baseline = build_system().serve(workload)
+        assert warm.cold_start_s == 0.0
+        assert warm.cold_starts > 0
+        assert cold.cold_start_s > 0.0
+        # Warm serving is schedule-identical to the memory-free engine.
+        assert warm.latency_percentiles() == baseline.latency_percentiles()
+
+    def test_zxc_beats_symmetric_on_cold_start_at_equal_ratio(self):
+        workload = two_model_workload()
+        by_codec = {}
+        for codec in ("symmetric", "zxc"):
+            report = build_system().serve(
+                workload, memory=MemoryModel(budget_gb=2.0, codec=codec)
+            )
+            by_codec[codec] = report
+        sym, zxc = by_codec["symmetric"], by_codec["zxc"]
+        assert sym.cold_starts == zxc.cold_starts
+        assert zxc.cold_start_s < sym.cold_start_s
+
+
+class TestReporting:
+    def test_summary_lines(self):
+        report = build_system().serve(
+            two_model_workload(num_requests=12),
+            memory=MemoryModel(budget_gb=0.7, codec="zxc"),
+        )
+        summary = report.summary()
+        assert "memory:" in summary
+        assert "cold start" in summary
+        assert "per-model" in summary
+        per_model = report.model_percentiles()
+        assert set(per_model) == {"vgg16", "alexnet"}
+        for stats in per_model.values():
+            assert 0 < stats["p50"] <= stats["p99"]
+
+    def test_hit_rate_property(self):
+        report = build_system().serve(
+            two_model_workload(), memory=MemoryModel(budget_gb=2.0, codec="zxc")
+        )
+        assert 0.0 <= report.weight_cache_hit_rate <= 1.0
+        lookups = report.weight_cache_hits + report.weight_cache_misses
+        assert report.weight_cache_hit_rate == report.weight_cache_hits / lookups
+
+    def test_memory_free_report_defaults(self):
+        report = build_system().serve(two_model_workload())
+        assert report.cold_starts == 0
+        assert report.weight_cache_hit_rate == 1.0
+        assert report.peak_resident_bytes == 0
+
+
+class TestPlanning:
+    def test_tight_memory_flips_the_partition(self):
+        loose, tight, changed = run_partition_flip(MultimodelScenario())
+        assert changed, f"placement did not change: {loose} vs {tight}"
+        assert "cloud=0" in loose and "cloud=23" in tight
+
+    def test_memory_keyed_plans_do_not_alias(self):
+        """The same system serves loose then tight; the cached loose plan
+        must not be reused for the memory-constrained stream."""
+        system = build_system()
+        probe = Workload.constant_rate("vgg16", num_requests=1, interval_s=1.0)
+        loose = system.plan_requests(probe)[0].plan
+        tight = system.plan_requests(
+            probe, memory=MemoryModel(budget_gb=0.25, codec="zxc")
+        )[0].plan
+        assert loose.assignments != tight.assignments
+        # And the memory-free path again: still the original plan.
+        again = system.plan_requests(probe)[0].plan
+        assert again.assignments == loose.assignments
+
+    def test_infeasible_deployment_is_rejected(self):
+        """A model bigger than every node -> typed topology error."""
+        system = build_system()
+        roomiest_gb = max(
+            node.hardware.memory_gb
+            for node in system.topology.nodes.values()
+            if node.hardware is not None
+        )
+        too_big = int((roomiest_gb + 1.0) * 1024**3)
+        with pytest.raises(InsufficientMemoryError):
+            system.topology.validate(min_model_bytes=too_big)
+        # The serve path runs the same check and passes for real models.
+        report = system.serve(
+            Workload.poisson("alexnet", num_requests=2, rate_rps=2.0, seed=0),
+            memory=MemoryModel(budget_gb=2.0, codec="zxc"),
+        )
+        assert report.num_failed == 0
+
+
+class TestCli:
+    def test_serve_with_memory_flags(self, capsys):
+        code = cli_main(
+            [
+                "serve",
+                "--model",
+                "vgg16,alexnet",
+                "--requests",
+                "6",
+                "--rate",
+                "4.0",
+                "--memory-budget",
+                "0.7",
+                "--codec",
+                "zxc",
+                "--eviction",
+                "lru",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "memory:" in out
+        assert "per-model" in out
+
+    def test_serve_multimodel_without_memory(self, capsys):
+        code = cli_main(
+            ["serve", "--model", "resnet18,alexnet", "--requests", "6", "--rate", "4.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-model" in out
+        assert "memory:" not in out
+
+    def test_bad_codec_is_rejected_by_the_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["serve", "--model", "alexnet", "--requests", "2", "--codec", "gzip"]
+            )
+        assert "--codec" in capsys.readouterr().err
