@@ -42,6 +42,16 @@ accounting and residency claims (pin tables are reconstructed from claims
 only under eviction pressure, so they cost nothing here; the overhead budget
 is <10%).  Cold-start *behaviour* is pinned by the ``multimodel`` golden
 trace, not by this benchmark.
+
+The ``calibrated`` cell prices the online cost calibrator the same way: FIFO
+dispatch plus an :class:`~repro.runtime.calibration.OnlineCostCalibrator`
+fed the engine's task, transfer and request-completion streams on the hot
+path.  The bandwidth is steady, so the schedule matches the static ``fifo``
+cell and the wall-time delta is exactly the observation bookkeeping —
+per-request inlined sampling-gate checks plus the EWMA updates the gates
+admit (the overhead budget is <10%).  Adaptation *behaviour* — forecasting,
+proactive repartitions — is pinned by the ``adaptation`` golden trace and
+``repro scenario adaptation``, not by this benchmark.
 """
 
 from __future__ import annotations
@@ -63,7 +73,7 @@ INTERVAL_S = 0.005
 EDF_SLO_MS = 250.0
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
-SCHEDULERS = ("fifo", "batch", "edf", "elastic", "memory")
+SCHEDULERS = ("fifo", "batch", "edf", "elastic", "memory", "calibrated")
 DEFAULT_OUTPUT = "BENCH_engine.json"
 
 #: The ``memory`` cell's configuration: a budget far above alexnet's
@@ -101,6 +111,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     """
     from repro.core.d3 import D3Config, D3System
     from repro.runtime.artifacts import MemoryModel
+    from repro.runtime.calibration import OnlineCostCalibrator
     from repro.runtime.elasticity import Autoscaler
     from repro.runtime.serving import ServingSimulator
     from repro.runtime.workload import Workload
@@ -115,6 +126,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     )
     elastic = scheduler == "elastic"
     memory = scheduler == "memory"
+    calibrated = scheduler == "calibrated"
     slo_ms = EDF_SLO_MS if scheduler == "edf" else None
     workload = Workload.constant_rate(
         MODEL, num_requests=size, interval_s=INTERVAL_S, slo_ms=slo_ms
@@ -122,7 +134,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     requests = system.plan_requests(workload)
     simulator = ServingSimulator(
         system.cluster,
-        scheduler="fifo" if (elastic or memory) else scheduler,
+        scheduler="fifo" if (elastic or memory or calibrated) else scheduler,
         stream_stats=True,
         autoscaler=(
             Autoscaler(policy="target-util", min_replicas=NUM_EDGE_NODES)
@@ -135,6 +147,7 @@ def run_single(size: int, scheduler: str) -> Dict:
             if memory
             else None
         ),
+        calibration=OnlineCostCalibrator() if calibrated else None,
     )
     start = time.perf_counter()
     simulator.run(requests)

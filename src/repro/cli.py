@@ -48,6 +48,7 @@ SCENARIO_NAMES = (
     "slo",
     "autoscale",
     "multimodel",
+    "adaptation",
 )
 
 
@@ -63,6 +64,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         table01_pair_latency,
         table02_tier_times,
     )
+    from repro.experiments import adaptation as adaptation_harness
     from repro.experiments import autoscale as autoscale_harness
     from repro.experiments import availability as availability_harness
     from repro.experiments import multimodel as multimodel_harness
@@ -112,6 +114,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "multimodel": (
             multimodel_harness.run_multimodel_comparison,
             multimodel_harness.format_multimodel_comparison,
+        ),
+        "adaptation": (
+            adaptation_harness.run_adaptation_comparison,
+            adaptation_harness.format_adaptation_comparison,
         ),
     }
 
@@ -235,6 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("lru", "priority"),
         default=None,
         help="weight-cache eviction policy (lru, or priority = fewest hits first)",
+    )
+    serve.add_argument(
+        "--calibrate",
+        action="store_true",
+        help=(
+            "learn corrected per-(node, layer) latencies and link throughput "
+            "online from observed simulator timings (feeds adaptation and "
+            "EDF admission); reports calibration/adaptation counters"
+        ),
+    )
+    serve.add_argument(
+        "--forecast-horizon",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "bandwidth-forecast look-ahead in seconds for proactive "
+            "repartitioning under a drifting trace (implies --calibrate; "
+            "0 keeps adaptation purely reactive)"
+        ),
     )
 
     scenario = subparsers.add_parser("scenario", help="regenerate a named paper artefact")
@@ -372,6 +398,17 @@ def _command_serve(args) -> int:
             )
     workload = streams[0] if len(streams) == 1 else Workload.merge(*streams)
     contention = "none" if args.uncontended_links else "fifo"
+    calibration = None
+    if args.calibrate or args.forecast_horizon is not None:
+        from repro.runtime.calibration import CalibrationConfig
+
+        if args.forecast_horizon is not None and args.forecast_horizon < 0:
+            raise ValueError("--forecast-horizon cannot be negative")
+        calibration = (
+            CalibrationConfig(horizon_s=args.forecast_horizon)
+            if args.forecast_horizon is not None
+            else CalibrationConfig()
+        )
     report = system.serve(
         workload,
         link_contention=contention,
@@ -385,6 +422,7 @@ def _command_serve(args) -> int:
         memory=args.memory_budget,
         codec=args.codec,
         eviction=args.eviction,
+        calibration=calibration,
     )
     print(report.summary())
     return 0

@@ -45,6 +45,13 @@ from repro.profiling.hardware import HardwareSpec
 from repro.profiling.profiler import LatencyProfile, Profiler
 from repro.profiling.regression import LatencyRegressionModel
 from repro.runtime.artifacts import MemoryModel, resolve_memory
+from repro.runtime.calibration import (
+    AdaptationTracker,
+    BandwidthForecaster,
+    CalibrationConfig,
+    OnlineCostCalibrator,
+    resolve_calibration,
+)
 from repro.runtime.cluster import Cluster
 from repro.runtime.elasticity import (
     Autoscaler,
@@ -232,6 +239,15 @@ class D3System:
         #: call; None outside memory-constrained calls so the planning path
         #: stays bit-identical to the memory-free one.
         self._memory: Optional[MemoryModel] = None
+        #: Online-calibration state in effect for the current serve() call;
+        #: all None outside calibrated calls (same inertness contract as
+        #: ``_memory``).  ``_adaptation_time``/``_adaptation_sample`` carry
+        #: the arrival being planned into :meth:`_plan_for`'s trigger paths.
+        self._calibration: Optional[OnlineCostCalibrator] = None
+        self._forecaster: Optional[BandwidthForecaster] = None
+        self._adaptation: Optional[AdaptationTracker] = None
+        self._adaptation_time = 0.0
+        self._adaptation_sample = 1.0
 
     # ------------------------------------------------------------------ #
     # Offline phase
@@ -330,6 +346,7 @@ class D3System:
         memory: "MemoryModel | float | None" = None,
         codec: Optional[str] = None,
         eviction: Optional[str] = None,
+        calibration: "CalibrationConfig | OnlineCostCalibrator | bool | None" = None,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -441,6 +458,20 @@ class D3System:
         eviction:
             Weight-cache eviction policy (``"lru"``, ``"priority"``); same
             override semantics as ``codec``.
+        calibration:
+            Optional online adaptation: ``True`` for defaults, a
+            :class:`~repro.runtime.calibration.CalibrationConfig`, or a
+            pre-warmed
+            :class:`~repro.runtime.calibration.OnlineCostCalibrator`.  When
+            active, the simulator feeds observed task/transfer/request
+            timings into the calibrator (corrected estimates reach the
+            adaptation evaluators and EDF admission control), and — with a
+            ``trace`` and a positive ``horizon_s`` — a bandwidth forecaster
+            triggers *proactive* repartitioning when the predicted condition
+            would leave the drift band within the horizon.  The report then
+            carries calibration updates, proactive vs reactive repartition
+            counts, and forecast mispredicts.  ``None`` is bit-identical to
+            the uncalibrated path.
 
         Returns
         -------
@@ -455,8 +486,20 @@ class D3System:
         schedule = self._resolve_faults(faults, workload)
         elastic = self._resolve_elasticity(elasticity)
         memory_model = resolve_memory(memory, codec=codec, eviction=eviction)
+        calibrator = resolve_calibration(calibration)
         before = self.plan_cache.stats()
         self._memory = memory_model
+        tracker: Optional[AdaptationTracker] = None
+        if calibrator is not None:
+            tracker = AdaptationTracker(
+                lower=self.plan_cache.thresholds.lower,
+                upper=self.plan_cache.thresholds.upper,
+            )
+            self._calibration = calibrator
+            self._forecaster = BandwidthForecaster(
+                calibrator.config.alpha, calibrator.config.trend_beta
+            )
+            self._adaptation = tracker
         try:
             if memory_model is not None:
                 self._validate_memory(workload, memory_model)
@@ -482,10 +525,19 @@ class D3System:
                 autoscaler=autoscaler,
                 balancer=balancer,
                 memory=memory_model,
+                calibration=calibrator,
             )
+            if tracker is not None and requests:
+                # Planning has seen the whole stream: proactive calls whose
+                # horizon ends before the last arrival and never saw a breach
+                # are settled as mispredicts.
+                tracker.finish(max(r.arrival_s for r in requests))
             records = simulator.run(requests)
         finally:
             self._memory = None
+            self._calibration = None
+            self._forecaster = None
+            self._adaptation = None
         for record in records:
             if record.completed and record.retries == 0:
                 # Queueing delay compares a clean run against its own idle
@@ -501,6 +553,12 @@ class D3System:
         report.repartitions = after["repartitions"] - before["repartitions"]
         report.cache_invalidations = after["invalidations"] - before["invalidations"]
         report.plans_computed = report.cache_misses + report.repartitions
+        if tracker is not None:
+            report.proactive_repartitions = tracker.proactive
+            report.reactive_repartitions = tracker.reactive
+            report.forecast_mispredicts = tracker.mispredicts
+            if tracker.events:
+                report.first_adaptation_s = tracker.events[0][0]
         return report
 
     def plan_requests(
@@ -573,8 +631,11 @@ class D3System:
                 # planned at all (a whole tier down): fall back to the
                 # healthy plan and let the simulator fail what must fail.
                 link_mbps: Optional[Dict[str, float]] = None
+                forecast: Optional[NetworkCondition] = None
                 off_primary = request.source is not None and request.source != primary_device
                 if trace is not None:
+                    if self._calibration is not None:
+                        forecast = self._observe_trace(trace, request.arrival_s)
                     condition = trace.condition_at(request.arrival_s)
                     if topology.has_traced_links:
                         # An explicit backbone trace does not switch the wires'
@@ -598,6 +659,7 @@ class D3System:
                     strategy,
                     link_bandwidths=link_mbps,
                     source=request.source,
+                    forecast=forecast,
                 )
             requests.append(
                 ServingRequest(
@@ -617,6 +679,29 @@ class D3System:
             )
             ideal_by_id[request.request_id] = entry.ideal_latency_s
         return requests, ideal_by_id
+
+    def _observe_trace(
+        self, trace: BandwidthTrace, arrival_s: float
+    ) -> Optional[NetworkCondition]:
+        """Feed one arrival's trace sample to the predictive machinery.
+
+        Resolves pending proactive predictions against the actual sample,
+        folds it into the forecaster, and returns the horizon-ahead condition
+        — or ``None`` when forecasting is off (zero horizon), the trace has
+        no base condition, or fewer than two samples have been seen (a trend
+        needs two points).
+        """
+        sample = trace.sample_at(arrival_s)
+        self._adaptation_time = arrival_s
+        self._adaptation_sample = sample
+        if self._adaptation is not None:
+            self._adaptation.observe_sample(arrival_s, sample)
+        forecaster = self._forecaster
+        forecaster.observe(arrival_s, sample)
+        horizon = self._calibration.config.horizon_s
+        if horizon <= 0.0 or forecaster.count < 2 or trace.base is None:
+            return None
+        return trace.base.scaled_backbone(forecaster.forecast(horizon))
 
     # ------------------------------------------------------------------ #
     # Memory-constrained planning: feasibility, validation, repair
@@ -935,8 +1020,13 @@ class D3System:
         link_bandwidths: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
         deployment: Optional[Tuple] = None,
+        forecast: Optional[NetworkCondition] = None,
     ) -> CachedPlan:
         """Plan-cache lookup with threshold-guarded drift adaptation.
+
+        ``forecast`` (the calibrated serve path's horizon-ahead condition)
+        arms the *proactive* trigger: an in-band current condition whose
+        forecast breaches the band repartitions now, before the drift lands.
 
         ``link_bandwidths`` (Mbps keyed by link id, sampled from a traced
         topology at the request's arrival) extends both the in-band guard and
@@ -978,6 +1068,40 @@ class D3System:
         base = cache.latest_for(key.model, key.strategy, key.config, key.topology)
         if base is not None:
             if cache.within_band(base, condition, link_bandwidths):
+                if (
+                    forecast is not None
+                    and base.repartitioner is not None
+                    and base.repartitioner.forecast_breach(forecast)
+                ):
+                    # Predictive trigger: the current sample is still in
+                    # band, but the forecast says it won't be within the
+                    # horizon — adapt now, so the corrected plan is already
+                    # serving when the drift lands.
+                    base.repartitioner.thresholds = cache.thresholds
+                    base.repartitioner.calibration = self._calibration
+                    event = base.repartitioner.observe(
+                        network=forecast, link_bandwidths=link_bandwidths
+                    )
+                    if event.triggered:
+                        if self._adaptation is not None:
+                            self._adaptation.record_proactive(
+                                self._adaptation_time,
+                                self._calibration.config.horizon_s,
+                                self._adaptation_sample,
+                            )
+                        return self._store_plan(
+                            cache,
+                            key,
+                            graph,
+                            profile,
+                            condition,
+                            base.repartitioner,
+                            strategy,
+                            repartitioned=True,
+                            link_bandwidths=link_bandwidths,
+                            source=source,
+                            plan_cluster=plan_cluster,
+                        )
                 cache.record_alias(key, base)
                 return base
             if base.repartitioner is None:
@@ -985,6 +1109,8 @@ class D3System:
                 # by re-planning from scratch under the drifted condition (the
                 # full re-solve DADS et al. would have to perform anyway).
                 cache.invalidate(base.key)
+                if self._adaptation is not None:
+                    self._adaptation.record_reactive(self._adaptation_time)
                 return self._store_strategy_plan(
                     cache,
                     key,
@@ -1000,6 +1126,8 @@ class D3System:
             # Out of band: the paper's local re-partitioning adapts the plan
             # (the listener registered by the cache invalidates the old entry).
             base.repartitioner.thresholds = cache.thresholds
+            if self._calibration is not None:
+                base.repartitioner.calibration = self._calibration
             event = base.repartitioner.observe(
                 network=condition, link_bandwidths=link_bandwidths
             )
@@ -1010,6 +1138,8 @@ class D3System:
                 # "adaptation" that changed nothing.
                 cache.record_alias(key, base)
                 return base
+            if self._adaptation is not None:
+                self._adaptation.record_reactive(self._adaptation_time)
             return self._store_plan(
                 cache,
                 key,
@@ -1038,6 +1168,8 @@ class D3System:
         repartitioner = DynamicRepartitioner(
             graph, profile, condition, thresholds=cache.thresholds, config=strategy.hpa_config
         )
+        if self._calibration is not None:
+            repartitioner.calibration = self._calibration
         return self._store_plan(
             cache, key, graph, profile, condition, repartitioner, strategy,
             link_bandwidths=link_bandwidths, source=source,

@@ -103,6 +103,12 @@ class DynamicRepartitioner:
         #: Per-link reference bandwidths (Mbps, keyed by link id) for
         #: topology-aware drift detection; ``None`` until first observed.
         self.reference_link_mbps: Optional[Dict[str, float]] = None
+        #: Optional :class:`~repro.runtime.calibration.OnlineCostCalibrator`
+        #: attached by the serving layer; the adaptation evaluators then
+        #: price plans with observed rather than analytic costs.  Tier
+        #: reassignment itself stays analytic (HPA is deterministic and the
+        #: calibrated evaluator only changes the reported latencies).
+        self.calibration = None
         partitioner = HorizontalPartitioner(profile, network, self.config)
         self.plan = partitioner.partition(graph)
         self._listeners: List[Callable[[RepartitionEvent], None]] = []
@@ -143,6 +149,15 @@ class DynamicRepartitioner:
             ):
                 return True
         return False
+
+    def forecast_breach(self, forecast: NetworkCondition) -> bool:
+        """True when a *predicted* condition would leave the reactive band.
+
+        The predictive serving path asks this with the forecaster's
+        horizon-ahead condition: an affirmative answer triggers the same
+        local update the reactive rule would perform later, just earlier.
+        """
+        return self._bandwidth_changed(forecast)
 
     def _links_changed(self, link_bandwidths: Optional[Dict[str, float]]) -> bool:
         """True when any physical link's rate left the band.
@@ -240,7 +255,7 @@ class DynamicRepartitioner:
         self.current_profile = profile
         self.current_network = network
 
-        evaluator_before = PlanEvaluator(profile, network)
+        evaluator_before = PlanEvaluator(profile, network, calibration=self.calibration)
         latency_before = evaluator_before.objective(self.plan)
 
         drifted = self._drifted_vertices(profile)
@@ -269,7 +284,9 @@ class DynamicRepartitioner:
         changed = self._reassign_locally(scope, partitioner)
         self.plan.validate()
 
-        latency_after = PlanEvaluator(profile, network).objective(self.plan)
+        latency_after = PlanEvaluator(
+            profile, network, calibration=self.calibration
+        ).objective(self.plan)
         # Accept the new conditions as the reference going forward.
         self.reference_profile = profile
         self.reference_network = network

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.dag import DnnGraph, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core->runtime import
+    from repro.runtime.calibration import OnlineCostCalibrator
 from repro.network.conditions import NetworkCondition
 from repro.profiling.profiler import LatencyProfile
 
@@ -220,38 +223,69 @@ class PlanEvaluator:
     inter-tier link, exactly as in the objective ``Θ`` of section III-E.
     """
 
-    def __init__(self, profile: LatencyProfile, network: NetworkCondition) -> None:
+    def __init__(
+        self,
+        profile: LatencyProfile,
+        network: NetworkCondition,
+        calibration: Optional["OnlineCostCalibrator"] = None,
+    ) -> None:
         self.profile = profile
         self.network = network
+        #: Optional online calibrator: when set, observed per-(tier, layer)
+        #: latencies and tier-pair throughput override the analytic values.
+        self.calibration = calibration
+        self._calibration_rev = calibration.revision if calibration is not None else -1
         # Per-instance memo tables.  A profile lookup and a tier-pair
         # transfer are pure functions of their keys (noise is baked into the
         # profile at measurement time), and the serve path re-asks for the
         # same handful of (vertex, tier) pairs once per candidate plan per
-        # request — memoizing turns the inner Θ loops into dict hits.
+        # request — memoizing turns the inner Θ loops into dict hits.  With
+        # a calibrator the memos are additionally keyed by its revision:
+        # stale corrected values are flushed the moment an estimate moves.
         self._vertex_memo: Dict[tuple, float] = {}
         self._edge_memo: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------ #
+    def _sync_calibration(self) -> None:
+        """Flush the memos when the calibrator learned something new."""
+        revision = self.calibration.revision
+        if revision != self._calibration_rev:
+            self._calibration_rev = revision
+            self._vertex_memo.clear()
+            self._edge_memo.clear()
+
     def vertex_latency(self, vertex: Vertex, tier: Tier) -> float:
         """``t^{l_i}_i`` for one vertex."""
+        if self.calibration is not None:
+            self._sync_calibration()
         key = (vertex.index, tier)
         memo = self._vertex_memo
         if key not in memo:
-            memo[key] = self.profile.get(vertex.index, tier)
+            value = self.profile.get(vertex.index, tier)
+            if self.calibration is not None:
+                value = self.calibration.layer_seconds(vertex.name, tier.value, value)
+            memo[key] = value
         return memo[key]
 
     def edge_latency(self, src: Vertex, src_tier: Tier, dst_tier: Tier) -> float:
         """``t^{[l_i, l_j]}_{ij}`` for one directed link."""
         if src_tier == dst_tier:
             return 0.0
+        if self.calibration is not None:
+            self._sync_calibration()
         # output_bytes joins the key so evaluator reuse across graphs whose
         # vertex indices collide can never alias a different payload.
         key = (src.index, src.output_bytes, src_tier, dst_tier)
         memo = self._edge_memo
         if key not in memo:
-            memo[key] = self.network.transfer_seconds(
+            value = self.network.transfer_seconds(
                 src.output_bytes, src_tier.value, dst_tier.value
             )
+            if self.calibration is not None:
+                value = self.calibration.pair_transfer_seconds(
+                    src.output_bytes, src_tier.value, dst_tier.value, value
+                )
+            memo[key] = value
         return memo[key]
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,243 @@
+"""Predictive-adaptation scenario: reactive vs forecast-driven repartitioning.
+
+Every other harness reacts to bandwidth drift after the fact — the plan cache
+waits for a trace sample to leave the reactive band, then repartitions.  This
+one asks what look-ahead buys: the same drifting trace is served twice per
+aggressiveness level, once with the :class:`~repro.runtime.calibration`
+machinery held purely reactive (``horizon_s = 0``) and once with the
+:class:`~repro.runtime.calibration.BandwidthForecaster` projecting the trend a
+configurable horizon forward so the :class:`~repro.core.dynamic.DynamicRepartitioner`
+can move the split *before* the band is breached.
+
+The table reports the three quantities the trade lives on:
+
+* **adaptation lag** — seconds between drift onset and the first repartition
+  (proactive or reactive).  Prediction should shrink this: the forecaster
+  fires while the sampled multiplier is still inside the band.
+* **mid-drift p99** — tail latency over the requests that arrive while the
+  bandwidth is actively decaying, the window where a stale split hurts most.
+* **churn** — total repartitions plus forecast mispredicts (proactive calls
+  whose predicted breach never materialised).  This is the cost axis:
+  prediction is only worth it if the lag/p99 win is not bought with
+  speculative replans the reactive rule would have skipped.
+
+Both cells of a row run a *fresh* :class:`~repro.core.d3.D3System` over the
+identical seeded workload, so the comparison isolates the trigger rule.
+
+``repro scenario adaptation`` prints the table; ``repro serve --calibrate
+--forecast-horizon S`` runs any single cell by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.d3 import D3Config, D3System
+from repro.experiments.reporting import format_table
+from repro.network.conditions import BandwidthTrace, get_condition
+from repro.runtime.calibration import CalibrationConfig
+from repro.runtime.serving import ServingReport
+from repro.runtime.workload import Workload
+
+#: One harness row: (aggressiveness, mode, report, adaptation_lag_s, mid_drift_p99_ms).
+AdaptationResult = Tuple[str, str, ServingReport, Optional[float], float]
+
+#: Trigger rules compared per aggressiveness level.
+MODES: Tuple[str, ...] = ("reactive", "predictive")
+
+#: Drift floors swept: how far the backbone multiplier decays.  ``mild``
+#: bottoms out just below the reactive band edge (0.75); ``steep`` halves
+#: again beyond it, so the stale plan's penalty — and the value of moving
+#: early — grows with the row.
+AGGRESSIVENESS: Tuple[Tuple[str, float], ...] = (("mild", 0.6), ("steep", 0.35))
+
+
+@dataclass(frozen=True)
+class AdaptationScenario:
+    """One predictive-adaptation experiment: a decaying trace over a testbed.
+
+    AlexNet over the optical backbone is the regime where the trigger rule,
+    not raw capacity, decides the tail: at full bandwidth the optimal split
+    offloads the classifier head to the cloud, and once the backbone decays
+    past the band the optimum pulls those layers back to the edge — so a
+    stale plan keeps paying inflated transfers for exactly as long as the
+    adaptation lag.
+    """
+
+    model: str = "alexnet"
+    network: str = "optical"
+    num_edge_nodes: int = 2
+    num_requests: int = 40
+    rate_rps: float = 5.0
+    seed: int = 17
+    #: When the backbone starts decaying (the trace holds 1.0 before this).
+    drift_onset_s: float = 1.0
+    #: When the decay bottoms out at the aggressiveness floor.
+    drift_end_s: float = 2.5
+    #: Forecast look-ahead for the predictive cell (reactive uses 0).
+    horizon_s: float = 0.8
+    #: Holt filter gains for the calibrator/forecaster.  The defaults in
+    #: :class:`~repro.runtime.calibration.CalibrationConfig` favour stable
+    #: cost estimates; a drift study wants the trend to lock on within a few
+    #: samples, so both cells run with snappier smoothing (identical gains —
+    #: only the horizon differs between the columns).
+    alpha: float = 0.6
+    trend_beta: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= self.drift_onset_s < self.drift_end_s:
+            raise ValueError("drift window must be ordered and non-negative")
+        if self.horizon_s <= 0:
+            raise ValueError("the predictive cell needs a positive horizon")
+
+    # ------------------------------------------------------------------ #
+    def build_system(self) -> D3System:
+        return D3System(
+            D3Config(
+                network=self.network,
+                num_edge_nodes=self.num_edge_nodes,
+                use_regression=False,
+                profiler_noise_std=0.0,
+                seed=self.seed,
+            )
+        )
+
+    def build_workload(self) -> Workload:
+        """Deterministic arrivals, so the table isolates the trigger rule.
+
+        Poisson bursts queue identically under either trigger and their
+        spikes would set the window p99; a metronome stream makes every
+        latency a clean read of (plan in effect) × (bandwidth at arrival).
+        """
+        return Workload.constant_rate(
+            self.model,
+            num_requests=self.num_requests,
+            interval_s=1.0 / self.rate_rps,
+        )
+
+    def build_trace(self, floor: float) -> BandwidthTrace:
+        """A linear backbone decay from 1.0 at onset to ``floor`` at the end.
+
+        Sampled every 0.25 s so the forecaster sees the trend as a sequence
+        of small steps — the regime Holt smoothing extrapolates well — rather
+        than one cliff it could only ever chase.
+        """
+        if not 0.0 < floor < 1.0:
+            raise ValueError("drift floor must lie in (0, 1)")
+        samples: List[Tuple[float, float]] = [(0.0, 1.0)]
+        step = 0.25
+        span = self.drift_end_s - self.drift_onset_s
+        t = self.drift_onset_s
+        while t < self.drift_end_s:
+            frac = (t - self.drift_onset_s) / span
+            samples.append((round(t, 6), round(1.0 - (1.0 - floor) * frac, 6)))
+            t += step
+        samples.append((self.drift_end_s, floor))
+        return BandwidthTrace(get_condition(self.network), samples)
+
+
+# --------------------------------------------------------------------------- #
+def _mid_drift_p99_ms(report: ServingReport, scenario: AdaptationScenario) -> float:
+    """p99 latency (ms) over requests arriving while the decay is active."""
+    window = [
+        record.latency_s * 1e3
+        for record in report.records
+        if record.completed
+        and scenario.drift_onset_s <= record.arrival_s <= scenario.drift_end_s
+    ]
+    if not window:
+        return 0.0
+    ordered = sorted(window)
+    index = min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _adaptation_lag_s(
+    report: ServingReport, scenario: AdaptationScenario
+) -> Optional[float]:
+    """Seconds from drift onset to the first repartition (``None`` = never)."""
+    if report.first_adaptation_s is None:
+        return None
+    return max(0.0, report.first_adaptation_s - scenario.drift_onset_s)
+
+
+def run_adaptation_cell(
+    scenario: AdaptationScenario, floor: float, mode: str
+) -> ServingReport:
+    """Serve one (aggressiveness, trigger-rule) cell on a fresh system."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    horizon = scenario.horizon_s if mode == "predictive" else 0.0
+    system = scenario.build_system()
+    return system.serve(
+        scenario.build_workload(),
+        trace=scenario.build_trace(floor),
+        calibration=CalibrationConfig(
+            alpha=scenario.alpha,
+            trend_beta=scenario.trend_beta,
+            horizon_s=horizon,
+        ),
+    )
+
+
+def run_adaptation_comparison(
+    scenario: Optional[AdaptationScenario] = None,
+) -> List[AdaptationResult]:
+    """Reactive vs predictive over every drift aggressiveness level."""
+    scenario = scenario or AdaptationScenario()
+    results: List[AdaptationResult] = []
+    for label, floor in AGGRESSIVENESS:
+        for mode in MODES:
+            report = run_adaptation_cell(scenario, floor, mode)
+            results.append(
+                (
+                    label,
+                    mode,
+                    report,
+                    _adaptation_lag_s(report, scenario),
+                    _mid_drift_p99_ms(report, scenario),
+                )
+            )
+    return results
+
+
+def format_adaptation_comparison(results: Sequence[AdaptationResult]) -> str:
+    """Render the reactive-vs-predictive table ``repro scenario adaptation`` prints."""
+    if not results:
+        raise ValueError("no adaptation results to format")
+    rows = []
+    for label, mode, report, lag, p99 in results:
+        churn = report.repartitions + report.forecast_mispredicts
+        rows.append(
+            [
+                label,
+                mode,
+                "-" if lag is None else f"{lag:.2f}",
+                f"{p99:.1f}",
+                f"{report.latency_percentiles()['p99'] * 1e3:.1f}",
+                report.proactive_repartitions,
+                report.reactive_repartitions,
+                report.forecast_mispredicts,
+                churn,
+            ]
+        )
+    return format_table(
+        [
+            "drift",
+            "mode",
+            "lag (s)",
+            "mid-drift p99 (ms)",
+            "p99 (ms)",
+            "proactive",
+            "reactive",
+            "mispredicts",
+            "churn",
+        ],
+        rows,
+        title="Predictive adaptation: reactive vs forecast-driven repartitioning",
+    )

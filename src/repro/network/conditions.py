@@ -185,8 +185,17 @@ class BandwidthTrace:
             raise ValueError("trace values must be positive")
 
     def sample_at(self, time_s: float) -> float:
-        """The raw sample value (multiplier or Mbps) in effect at ``time_s``."""
-        current = self.samples[0][1]
+        """The raw sample value (multiplier or Mbps) in effect at ``time_s``.
+
+        Before the first timestamp no sample is in effect yet: a multiplier
+        trace (``base`` set) reports the undisturbed base (``1.0``), an
+        absolute-rate trace reports its first declared rate rather than
+        extrapolating a value that was never observed.
+        """
+        first_start, first_value = self.samples[0]
+        if time_s < first_start:
+            return 1.0 if self.base is not None else first_value
+        current = first_value
         for start, value in self.samples:
             if time_s >= start:
                 current = value

@@ -76,6 +76,7 @@ from repro.profiling.hardware import batch_cost_s
 from repro.profiling.profiler import LatencyProfile
 from repro.runtime.accumulators import DEFAULT_EXACT_THRESHOLD, ServingStats
 from repro.runtime.artifacts import CapacityError, MemoryModel, WeightCache
+from repro.runtime.calibration import OnlineCostCalibrator
 from repro.runtime.cluster import Cluster
 from repro.runtime.elasticity import (
     Autoscaler,
@@ -266,6 +267,19 @@ class ServingReport:
     peak_resident_bytes: int = 0
     #: Total simulated seconds spent loading weights (transfer + decompress).
     cold_start_s: float = 0.0
+    #: Online cost calibration (all zero unless the run carried an
+    #: :class:`~repro.runtime.calibration.OnlineCostCalibrator`): estimate
+    #: updates the calibrator absorbed, drift repartitions split by trigger
+    #: (forecast-ahead vs threshold-breach), and proactive triggers whose
+    #: predicted breach never materialised within the horizon.
+    calibration_updates: int = 0
+    proactive_repartitions: int = 0
+    reactive_repartitions: int = 0
+    forecast_mispredicts: int = 0
+    #: Arrival time of the first adaptation (proactive or reactive) the run
+    #: triggered; ``None`` when the stream never left the band.  The
+    #: adaptation scenario reads drift-response lag from this.
+    first_adaptation_s: Optional[float] = None
     #: Online accumulators filled when the engine ran with ``stream_stats``;
     #: ``records`` is empty then and every aggregate below reads from here.
     #: Percentiles are exact while the run fits the accumulator's exact
@@ -617,6 +631,13 @@ class ServingReport:
                 f"hit rate {self.weight_cache_hit_rate:.1%}, "
                 f"{self.weight_evictions} eviction(s), "
                 f"peak resident {self.peak_resident_bytes / 1e6:.1f} MB"
+            )
+        if self.calibration_updates or self.proactive_repartitions:
+            lines.append(
+                f"  calibration: {self.calibration_updates} estimate update(s), "
+                f"{self.proactive_repartitions} proactive / "
+                f"{self.reactive_repartitions} reactive repartition(s), "
+                f"{self.forecast_mispredicts} mispredict(s)"
             )
         lines.append(f"  backbone to cloud {self.bytes_to_cloud * 8.0 / 1e6:.3f} Mb")
         lines.append(
@@ -1102,6 +1123,7 @@ class ServingSimulator:
         autoscaler: "Autoscaler | str | None" = None,
         balancer: "LoadBalancer | str | None" = None,
         memory: Optional[MemoryModel] = None,
+        calibration: Optional[OnlineCostCalibrator] = None,
     ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
@@ -1119,7 +1141,13 @@ class ServingSimulator:
             raise ValueError(
                 f"memory must be a MemoryModel, got {type(memory).__name__}"
             )
+        if calibration is not None and not isinstance(calibration, OnlineCostCalibrator):
+            raise ValueError(
+                f"calibration must be an OnlineCostCalibrator, "
+                f"got {type(calibration).__name__}"
+            )
         self.memory = memory
+        self.calibration = calibration
         self.cluster = cluster
         self.link_contention = link_contention
         self.faults = faults
@@ -1207,6 +1235,16 @@ class ServingSimulator:
         self._store_node: Optional[ComputeNode] = None
         self._cold_starts = 0
         self._cold_start_s = 0.0
+        #: Online-calibration predicate: every observation hook below is a
+        #: single boolean test when no calibrator rides along, so the
+        #: calibration-off hot path stays bit-identical (goldens pin it).
+        #: The sampling gates are cached so the per-event admission check is
+        #: inlined integer arithmetic, not a method call.
+        self._calibrate = self.calibration is not None
+        if self._calibrate:
+            self._cal_task_gate = self.calibration.task_gate
+            self._cal_flow_gate = self.calibration.flow_gate
+            self._cal_request_gate = self.calibration.request_gate
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -1275,6 +1313,11 @@ class ServingSimulator:
         self._store_node = None
         self._cold_starts = 0
         self._cold_start_s = 0.0
+        self._calibrate = self.calibration is not None
+        if self._calibrate:
+            self._cal_task_gate = self.calibration.task_gate
+            self._cal_flow_gate = self.calibration.flow_gate
+            self._cal_request_gate = self.calibration.request_gate
 
         # Fault events enter the queue first, so at equal timestamps a fault
         # precedes every arrival/task/transfer event: a node dying the instant
@@ -1456,6 +1499,9 @@ class ServingSimulator:
             scheduler=self.scheduler.name,
             batch_occupancy=dict(sorted(self.batch_occupancy.items())),
             batches=list(self.batches),
+            calibration_updates=(
+                self.calibration.updates if self.calibration is not None else 0
+            ),
             stats=self._stats,
         )
 
@@ -1522,6 +1568,16 @@ class ServingSimulator:
         if self._live.pop(state, _MISSING) is _MISSING:
             return  # already retired (idempotent by construction)
         self._open -= 1
+        if self._calibrate and status == "completed" and state.retries == 0:
+            gate = self._cal_request_gate
+            gate.tick += 1
+            if not gate.tick % gate.stride:
+                request = state.request
+                self.calibration.record_request(
+                    request.graph.name,
+                    completion_s - request.arrival_s,
+                    request.ideal_latency_s or 0.0,
+                )
         if state.memory_ready is not None:
             # The request left the live set, so _sync_pins will no longer
             # count its residency claims: every model it kept unevictable
@@ -1568,6 +1624,11 @@ class ServingSimulator:
         predictor sheds the borderline request that would have missed anyway.
         """
         ideal = state.request.ideal_latency_s or 0.0
+        if self._calibrate:
+            # Calibrated admission: scale the plan's idle-path estimate by
+            # the learned achieved/planned inflation for this model, so a
+            # systematically optimistic plan starts shedding earlier.
+            ideal *= self.calibration.latency_factor(state.request.graph.name)
         compiled = state.compiled
         touched = (
             compiled.touched_nodes
@@ -1672,6 +1733,26 @@ class ServingSimulator:
         state.compiled = compiled
         state.unit_list = [_Unit(state, unit) for unit in compiled.units]
         state.remaining_units = len(state.unit_list)
+        if self._calibrate:
+            # Task observation samples whole *requests*, not units: in a
+            # discrete-event run the priced durations ARE the execution
+            # times, so recording the compiled tasks here is value-identical
+            # to recording them at dispatch while costing one inlined gate
+            # check per request instead of one per unit (the difference is
+            # most of the calibrated cell's hot-path budget).  Group-bound
+            # stages have no tasks yet (their replica resolves at dispatch)
+            # and simply fall out of the sample.
+            gate = self._cal_task_gate
+            gate.tick += 1
+            if not gate.tick % gate.stride:
+                calibration = self.calibration
+                for unit in state.unit_list:
+                    tasks = unit.tasks
+                    if tasks:
+                        tier = unit.tier
+                        calibration.record_tasks(
+                            tasks, getattr(tier, "value", tier)
+                        )
         # A rebuilt attempt re-chooses its replica: the balancer's pick is
         # per attempt, and the failover may exist precisely because the old
         # member died.
@@ -2356,9 +2437,29 @@ class ServingSimulator:
             if overall_start is None:
                 overall_start = start
             clock = end
+            if self._calibrate:
+                gate = self._cal_flow_gate
+                gate.tick += 1
+                if not gate.tick % gate.stride:
+                    self.calibration.record_transfer(
+                        link.link_id or "-".join(link.key), payload, duration
+                    )
         if overall_start is None:  # pragma: no cover - routes are never empty here
             self._arrive(dst_unit, time_s)
             return
+        if self._calibrate:
+            gate = self._cal_flow_gate
+            gate.tick += 1
+            if not gate.tick % gate.stride:
+                # Tier-pair effective rate over the whole route (queueing +
+                # store-and-forward included) — the quantity the planner's
+                # harmonic tier-pair view approximates.
+                self.calibration.record_route(
+                    getattr(src_unit.tier, "value", src_unit.tier),
+                    getattr(dst_unit.tier, "value", dst_unit.tier),
+                    payload,
+                    clock - overall_start,
+                )
         if state.report is not None:
             state.report.transfers.append(
                 TensorTransfer(
@@ -2928,6 +3029,8 @@ class ServingSimulator:
 
     def _handle_provisioned(self, time_s: float, name: str) -> None:
         """Provisioning elapsed: the joined node enters the fleet."""
+        if name not in self._provisioning:
+            return  # the join was cancelled by a drain while provisioning
         self._provisioning.discard(name)
         if self.cluster.node_is_up(name):
             return
@@ -2943,7 +3046,17 @@ class ServingSimulator:
         """Start a graceful drain: stop admitting, finish in-flight work,
         then leave the fleet.  Refused (no-op) when it would leave the
         node's tier without an admitting replica."""
-        if name in self._draining or not self.cluster.node_is_up(name):
+        if name in self._draining:
+            return
+        if name in self._provisioning:
+            # Drain overtakes an in-flight join: cancel the provisioning (the
+            # symmetric counterpart of a join cancelling a drain).  Dropping
+            # the name here makes the pending "provisioned" event a no-op, so
+            # the node cannot resurrect after its drain.
+            self._provisioning.discard(name)
+            self._scale_down_count += 1
+            return
+        if not self.cluster.node_is_up(name):
             return
         tier = self.cluster.node(name).tier
         remaining = [

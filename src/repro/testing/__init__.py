@@ -8,7 +8,7 @@ every terminal status, in order, at full float precision — into a JSON
 document that is committed as a fixture and diffed exactly by
 ``tests/runtime/test_golden_traces.py``.
 
-Five canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
+Six canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
 
 ``steady``
     A Poisson AlexNet stream on the canonical three-tier testbed — the
@@ -28,6 +28,12 @@ Five canonical workloads are pinned (:data:`GOLDEN_SCENARIOS`):
     tight to hold both, under LRU eviction and the zxc codec — pins
     cold-start transfer/decompress timing, eviction order and the
     cache-miss parking/resume schedule.
+``adaptation``
+    An AlexNet stream over a decaying optical backbone with online
+    calibration and bandwidth forecasting enabled — pins proactive
+    (forecast-ahead) repartition timing, calibrated plan pricing and the
+    mispredict accounting.  The other five run with calibration off, so
+    they double as the proof the machinery is inert by default.
 
 Regenerate after an *intentional* behaviour change with::
 
@@ -128,6 +134,31 @@ def _multimodel_report() -> ServingReport:
     )
 
 
+def _adaptation_report() -> ServingReport:
+    from repro.core.d3 import D3Config, D3System
+    from repro.network.conditions import BandwidthTrace, get_condition
+    from repro.runtime.calibration import CalibrationConfig
+    from repro.runtime.workload import Workload
+
+    system = D3System(
+        D3Config(network="optical", num_edge_nodes=2, use_regression=False, profiler_noise_std=0.0)
+    )
+    # Optical is the one Table III condition whose optimal AlexNet split
+    # offloads the classifier head to the cloud, so the backbone decay below
+    # genuinely moves the optimum — the fixture pins the forecaster firing
+    # *before* the sampled multiplier leaves the reactive band.
+    trace = BandwidthTrace(
+        get_condition("optical"),
+        [(0.0, 1.0), (0.6, 0.8), (1.0, 0.55), (1.4, 0.4), (2.0, 0.35)],
+    )
+    workload = Workload.poisson("alexnet", num_requests=20, rate_rps=10.0, seed=17)
+    return system.serve(
+        workload,
+        trace=trace,
+        calibration=CalibrationConfig(alpha=0.6, trend_beta=0.6, horizon_s=0.8),
+    )
+
+
 #: name -> report builder; every entry becomes one committed fixture.
 GOLDEN_SCENARIOS: Dict[str, Callable[[], ServingReport]] = {
     "steady": _steady_report,
@@ -135,6 +166,7 @@ GOLDEN_SCENARIOS: Dict[str, Callable[[], ServingReport]] = {
     "fleet": _fleet_report,
     "elastic": _elastic_report,
     "multimodel": _multimodel_report,
+    "adaptation": _adaptation_report,
 }
 
 
@@ -205,6 +237,19 @@ def serialize_report(report: ServingReport) -> dict:
             "weight_cache_misses": report.weight_cache_misses,
             "weight_evictions": report.weight_evictions,
             "peak_resident_bytes": report.peak_resident_bytes,
+        }
+    if (
+        report.calibration_updates
+        or report.proactive_repartitions
+        or report.reactive_repartitions
+        or report.forecast_mispredicts
+    ):
+        document["calibration"] = {
+            "calibration_updates": report.calibration_updates,
+            "proactive_repartitions": report.proactive_repartitions,
+            "reactive_repartitions": report.reactive_repartitions,
+            "forecast_mispredicts": report.forecast_mispredicts,
+            "first_adaptation_s": report.first_adaptation_s,
         }
     return document
 

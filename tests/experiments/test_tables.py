@@ -11,6 +11,14 @@ improves SLO attainment under overload.
 
 import pytest
 
+from repro.experiments.adaptation import (
+    AGGRESSIVENESS,
+    MODES,
+    AdaptationScenario,
+    format_adaptation_comparison,
+    run_adaptation_cell,
+    run_adaptation_comparison,
+)
 from repro.experiments.availability import (
     format_availability_comparison,
     run_availability_comparison,
@@ -191,3 +199,47 @@ class TestSloTable:
             run_slo_comparison(rates_rps=())
         with pytest.raises(ValueError):
             run_slo_comparison(schedulers=())
+
+
+class TestAdaptationTable:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_adaptation_comparison()
+
+    def test_row_shape_and_order(self, results):
+        assert [(drift, mode) for drift, mode, *_ in results] == [
+            (label, mode) for label, _ in AGGRESSIVENESS for mode in MODES
+        ]
+
+    def test_every_cell_serves_the_full_stream(self, results):
+        scenario = AdaptationScenario()
+        for _, _, report, _, _ in results:
+            assert report.num_completed == scenario.num_requests
+
+    def test_reactive_cells_never_fire_proactively(self, results):
+        for _, mode, report, _, _ in results:
+            if mode == "reactive":
+                assert report.proactive_repartitions == 0
+                assert report.forecast_mispredicts == 0
+
+    def test_deterministic_across_runs(self, results):
+        again = run_adaptation_comparison()
+        assert format_adaptation_comparison(again) == format_adaptation_comparison(
+            results
+        )
+
+    def test_format_reports_the_three_axes(self, results):
+        text = format_adaptation_comparison(results)
+        assert "lag (s)" in text
+        assert "mid-drift p99 (ms)" in text
+        assert "mispredicts" in text
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            format_adaptation_comparison([])
+        with pytest.raises(ValueError):
+            run_adaptation_cell(AdaptationScenario(), 0.5, "psychic")
+        with pytest.raises(ValueError):
+            AdaptationScenario(drift_onset_s=3.0, drift_end_s=1.0)
+        with pytest.raises(ValueError):
+            AdaptationScenario().build_trace(1.5)

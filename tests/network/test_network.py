@@ -111,6 +111,27 @@ class TestBandwidthTrace:
         trace = BandwidthTrace(get_condition("wifi"), [(0.0, 0.5)])
         assert trace.condition_at(1.0).edge_cloud_mbps == pytest.approx(31.53 * 0.5)
 
+    def test_before_first_timestamp_returns_base_multiplier(self):
+        # Regression: a trace starting mid-run used to extrapolate its first
+        # sample backwards in time; before the first timestamp the base
+        # condition is undisturbed, so the multiplier must be 1.0.
+        trace = BandwidthTrace(get_condition("wifi"), [(5.0, 0.5), (10.0, 0.25)])
+        assert trace.multiplier_at(0.0) == 1.0
+        assert trace.multiplier_at(4.999) == 1.0
+        assert trace.condition_at(2.0).edge_cloud_mbps == pytest.approx(31.53)
+
+    def test_before_first_timestamp_baseless_returns_first_rate(self):
+        # Without a base the samples are absolute Mbps; there is no "x1.0"
+        # to fall back to, so the first declared rate is the best estimate.
+        trace = BandwidthTrace(base=None, samples=[(5.0, 40.0), (10.0, 20.0)])
+        assert trace.sample_at(0.0) == 40.0
+        assert trace.sample_at(7.5) == 40.0
+
+    def test_boundary_timestamp_is_inclusive(self):
+        trace = BandwidthTrace(get_condition("wifi"), [(5.0, 0.5)])
+        assert trace.multiplier_at(5.0) == 0.5
+        assert trace.multiplier_at(4.999) == 1.0
+
     def test_rejects_unordered_samples(self):
         with pytest.raises(ValueError):
             BandwidthTrace(get_condition("wifi"), [(10.0, 1.0), (0.0, 0.5)])

@@ -1,0 +1,122 @@
+"""Property-based invariants of the calibration/forecasting machinery.
+
+Hypothesis drives the four invariants the ISSUE pins:
+
+* an EWMA estimate always lies within the observed min/max envelope (it is
+  a convex combination of its observations);
+* a constant bandwidth signal never triggers a proactive repartition — the
+  Holt trend is exactly zero, so every forecast equals the signal;
+* the forecaster is a pure function of its observation history: replaying
+  the same (time, value) sequence reproduces the same forecasts;
+* the calibrator's revision counter bumps only on observations that
+  actually move an estimate — replaying a value verbatim leaves it fixed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.d3 import D3Config, D3System
+from repro.network.conditions import BandwidthTrace, get_condition
+from repro.runtime.calibration import (
+    BandwidthForecaster,
+    CalibrationConfig,
+    EwmaEstimator,
+    OnlineCostCalibrator,
+)
+from repro.runtime.workload import Workload
+
+values = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+#: Strictly increasing observation times with matched values.
+histories = st.lists(
+    st.tuples(values, values), min_size=1, max_size=30
+).map(
+    lambda pairs: [
+        (sum(dt for dt, _ in pairs[: i + 1]), v) for i, (_, v) in enumerate(pairs)
+    ]
+)
+
+
+class TestEwmaEnvelope:
+    @given(st.lists(values, min_size=1, max_size=50), st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_mean_stays_within_observed_envelope(self, samples, alpha):
+        est = EwmaEstimator(alpha=alpha)
+        for sample in samples:
+            est.observe(sample, 1e-9)
+            assert min(samples) - 1e-9 <= est.mean <= max(samples) + 1e-9
+
+
+class TestConstantSignalIsQuiet:
+    @given(
+        st.floats(min_value=0.2, max_value=2.0),
+        st.integers(min_value=4, max_value=16),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_constant_trace_never_fires_proactively(self, level, num, horizon):
+        fc = BandwidthForecaster(alpha=0.6, beta=0.6)
+        for i in range(num):
+            fc.observe(float(i) * 0.4, level)
+        # Zero trend: the forecast IS the level, for any horizon.
+        assert abs(fc.forecast(horizon) - level) < 1e-9
+
+    def test_constant_trace_serving_run_has_zero_proactive(self):
+        system = D3System(
+            D3Config(
+                network="optical",
+                num_edge_nodes=2,
+                use_regression=False,
+                profiler_noise_std=0.0,
+            )
+        )
+        trace = BandwidthTrace(get_condition("optical"), [(0.0, 1.0), (5.0, 1.0)])
+        workload = Workload.poisson("alexnet", num_requests=15, rate_rps=8.0, seed=9)
+        report = system.serve(
+            workload,
+            trace=trace,
+            calibration=CalibrationConfig(alpha=0.6, trend_beta=0.6, horizon_s=1.0),
+        )
+        assert report.proactive_repartitions == 0
+        assert report.forecast_mispredicts == 0
+
+
+class TestForecasterDeterminism:
+    @given(histories, st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=200, deadline=None)
+    def test_identical_history_identical_forecast(self, history, horizon):
+        first = BandwidthForecaster(alpha=0.4, beta=0.3)
+        second = BandwidthForecaster(alpha=0.4, beta=0.3)
+        for t, v in history:
+            first.observe(t, v)
+            second.observe(t, v)
+        assert first.forecast(horizon) == second.forecast(horizon)
+        assert first.level == second.level and first.trend == second.trend
+
+
+class TestRevisionDiscipline:
+    @given(st.lists(st.tuples(st.sampled_from(("a", "b")), values), min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_revision_bumps_only_on_actual_updates(self, observations):
+        cal = OnlineCostCalibrator()
+        for label, duration in observations:
+            before = cal.revision
+            cal.observe_task("edge-0", label, "edge", duration)
+            first_delta = cal.revision - before
+            assert first_delta >= 0
+            # Replaying the identical observation converges the EWMA toward a
+            # fixed point it is already at most rel_epsilon away from after
+            # enough repeats; a verbatim replay of the current mean must
+            # never bump the revision.
+            mean = cal.layer_seconds(label, "edge", 0.0)
+            before = cal.revision
+            cal.observe_task("edge-0", label, "edge", mean)
+            assert cal.revision == before
+
+    def test_lookup_never_bumps_revision(self):
+        cal = OnlineCostCalibrator()
+        cal.observe_task("edge-0", "conv1", "edge", 0.01)
+        before = cal.revision
+        cal.layer_seconds("conv1", "edge", 0.5)
+        cal.pair_transfer_seconds(1000, "edge", "cloud", 0.5)
+        cal.latency_factor("alexnet")
+        assert cal.revision == before

@@ -111,6 +111,20 @@ class TestGoldenTraces:
         assert all(
             "memory" not in traces[name] for name in ("steady", "chaos", "fleet", "elastic")
         ), "a memory-free fixture grew a memory block — the inert path leaked"
+        adaptation = traces["adaptation"]
+        calibration = adaptation.get("calibration")
+        assert calibration, "adaptation fixture no longer runs calibrated"
+        assert calibration["calibration_updates"] > 0, (
+            "adaptation fixture absorbed no calibration updates"
+        )
+        assert calibration["proactive_repartitions"] > 0, (
+            "adaptation fixture no longer repartitions ahead of the breach"
+        )
+        assert calibration["first_adaptation_s"] is not None
+        assert all(
+            "calibration" not in traces[name]
+            for name in ("steady", "chaos", "fleet", "elastic", "multimodel")
+        ), "a calibration-free fixture grew a calibration block — the inert path leaked"
 
 
 class TestRegeneration:
