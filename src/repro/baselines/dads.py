@@ -52,28 +52,62 @@ class DadsResult:
 
 
 class DadsPartitioner:
-    """Two-way (edge/cloud) min-cut partitioner for DAG DNNs."""
+    """Two-way (edge/cloud) min-cut partitioner for DAG DNNs.
 
-    def __init__(self, profile: LatencyProfile, network: NetworkCondition) -> None:
+    With a multi-objective configuration (``economics`` + non-latency-only
+    ``weights``) every capacity becomes the corresponding *weighted score* —
+    vertex arcs carry ``w_lat·t + w_energy·J + w_cost·$`` of running the
+    vertex on that side, dependency arcs the weighted transfer score — so the
+    min cut stays exactly optimal, now for the weighted objective.
+    """
+
+    def __init__(
+        self,
+        profile: LatencyProfile,
+        network: NetworkCondition,
+        economics=None,
+        weights=None,
+    ) -> None:
         self.profile = profile
         self.network = network
+        self.economics = economics
+        self.weights = weights
+        self._weighted = (
+            economics is not None and weights is not None and not weights.is_latency_only
+        )
 
     # ------------------------------------------------------------------ #
+    def _vertex_score(self, vertex, tier: Tier) -> float:
+        seconds = self.profile.get(vertex.index, tier)
+        if not self._weighted:
+            return seconds
+        return (
+            self.weights.latency * seconds
+            + self.weights.energy * self.economics.compute_joules(vertex.flops, tier)
+            + self.weights.cost * self.economics.compute_cost_usd(seconds, tier)
+        )
+
+    def _transfer_score(self, payload_bytes: int) -> float:
+        seconds = self.network.transfer_seconds(
+            payload_bytes, Tier.EDGE.value, Tier.CLOUD.value
+        )
+        if not self._weighted:
+            return seconds
+        return self.weights.latency * seconds + self.weights.energy * (
+            self.economics.transfer_joules(payload_bytes, Tier.EDGE, Tier.CLOUD)
+        )
+
     def build_flow_network(self, graph: DnnGraph) -> "nx.DiGraph":
         """Construct the auxiliary flow network described above."""
         flow = nx.DiGraph()
         for vertex in graph:
-            cloud_cost = self.profile.get(vertex.index, Tier.CLOUD)
-            edge_cost = self.profile.get(vertex.index, Tier.EDGE)
-            flow.add_edge(_SOURCE, vertex.index, capacity=cloud_cost)
-            flow.add_edge(vertex.index, _SINK, capacity=edge_cost)
+            flow.add_edge(_SOURCE, vertex.index, capacity=self._vertex_score(vertex, Tier.CLOUD))
+            flow.add_edge(vertex.index, _SINK, capacity=self._vertex_score(vertex, Tier.EDGE))
         # The virtual input vertex is produced by the device inside the LAN; it
         # can never be "computed on the cloud", so pin it to the edge side.
         flow[_SOURCE][graph.input_vertex.index]["capacity"] = float("inf")
         for src, dst in graph.edges():
-            transfer = self.network.transfer_seconds(
-                src.output_bytes, Tier.EDGE.value, Tier.CLOUD.value
-            )
+            transfer = self._transfer_score(src.output_bytes)
             _add_capacity(flow, src.index, dst.index, transfer)
             _add_capacity(flow, dst.index, src.index, transfer)
         return flow
@@ -140,7 +174,16 @@ class DadsStrategy:
         network: NetworkCondition,
         cluster_spec: Optional[ClusterSpec] = None,
     ) -> PartitionPlan:
-        result = DadsPartitioner(profile, network).partition(graph)
+        if cluster_spec is not None and cluster_spec.is_weighted:
+            partitioner = DadsPartitioner(
+                profile,
+                network,
+                economics=cluster_spec.economics,
+                weights=cluster_spec.objective_weights,
+            )
+        else:
+            partitioner = DadsPartitioner(profile, network)
+        result = partitioner.partition(graph)
         return PartitionPlan(
             strategy=self.name,
             graph=graph,

@@ -62,6 +62,8 @@ class NeurosurgeonPartitioner:
         network: NetworkCondition,
         front_tier: Tier = Tier.DEVICE,
         back_tier: Tier = Tier.CLOUD,
+        economics=None,
+        weights=None,
     ) -> None:
         if front_tier == back_tier:
             raise ValueError("front and back tiers must differ")
@@ -69,6 +71,16 @@ class NeurosurgeonPartitioner:
         self.network = network
         self.front_tier = front_tier
         self.back_tier = back_tier
+        #: Optional multi-objective configuration: when the weights put mass
+        #: on energy or cost, the split search ranks candidates by the
+        #: weighted objective instead of pure end-to-end latency.  The search
+        #: is exhaustive, so a single-axis weight vector recovers that axis's
+        #: exact optimum.
+        self.economics = economics
+        self.weights = weights
+        self._weighted = (
+            economics is not None and weights is not None and not weights.is_latency_only
+        )
 
     # ------------------------------------------------------------------ #
     def supports(self, graph: DnnGraph) -> bool:
@@ -97,9 +109,34 @@ class NeurosurgeonPartitioner:
         return plans
 
     def partition(self, graph: DnnGraph) -> NeurosurgeonResult:
-        """Pick the split point with the lowest end-to-end latency."""
+        """Pick the split point with the lowest objective.
+
+        Pure latency by default; the weighted (latency, energy, cost) score
+        when a multi-objective configuration was supplied.  Ties keep the
+        earliest split, matching the original selection rule.
+        """
+        if self._weighted:
+            evaluator = PlanEvaluator(
+                self.profile,
+                self.network,
+                economics=self.economics,
+                weights=self.weights,
+            )
+            best: Optional[NeurosurgeonResult] = None
+            best_score = float("inf")
+            for split_index, plan in self.candidate_plans(graph):
+                score = evaluator.objective(plan)
+                if best is None or score < best_score:
+                    best_score = score
+                    best = NeurosurgeonResult(
+                        plan=plan,
+                        metrics=evaluator.metrics(plan),
+                        split_index=split_index,
+                    )
+            assert best is not None
+            return best
         evaluator = PlanEvaluator(self.profile, self.network)
-        best: Optional[NeurosurgeonResult] = None
+        best = None
         for split_index, plan in self.candidate_plans(graph):
             metrics = evaluator.metrics(plan)
             if best is None or metrics.end_to_end_latency_s < best.latency_s:
@@ -134,7 +171,16 @@ class NeurosurgeonStrategy:
             raise StrategyUnsupportedError(
                 f"{graph.name} is not a chain; the {self.name!r} method cannot partition it"
             )
-        result = NeurosurgeonPartitioner(profile, network).partition(graph)
+        if cluster_spec is not None and cluster_spec.is_weighted:
+            partitioner = NeurosurgeonPartitioner(
+                profile,
+                network,
+                economics=cluster_spec.economics,
+                weights=cluster_spec.objective_weights,
+            )
+        else:
+            partitioner = NeurosurgeonPartitioner(profile, network)
+        result = partitioner.partition(graph)
         return PartitionPlan(
             strategy=self.name,
             graph=graph,

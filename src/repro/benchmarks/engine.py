@@ -52,6 +52,15 @@ per-request inlined sampling-gate checks plus the EWMA updates the gates
 admit (the overhead budget is <10%).  Adaptation *behaviour* — forecasting,
 proactive repartitions — is pinned by the ``adaptation`` golden trace and
 ``repro scenario adaptation``, not by this benchmark.
+
+The ``economics`` cell prices the energy/dollar metering: FIFO dispatch with
+``economics=True``.  The design puts the accounting entirely at
+report-build time — joules and dollars are derived from the busy-second and
+bytes-carried integrals the engine already maintains — so the event loop
+executes zero extra instructions and the cell's wall time must match the
+static ``fifo`` cell (the overhead budget is <10%, and any delta at all is
+a sign the accounting leaked onto the hot path).  Metering *correctness* is
+pinned by the runtime economics tests, not by this benchmark.
 """
 
 from __future__ import annotations
@@ -73,7 +82,7 @@ INTERVAL_S = 0.005
 EDF_SLO_MS = 250.0
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
-SCHEDULERS = ("fifo", "batch", "edf", "elastic", "memory", "calibrated")
+SCHEDULERS = ("fifo", "batch", "edf", "elastic", "memory", "calibrated", "economics")
 DEFAULT_OUTPUT = "BENCH_engine.json"
 
 #: The ``memory`` cell's configuration: a budget far above alexnet's
@@ -127,6 +136,7 @@ def run_single(size: int, scheduler: str) -> Dict:
     elastic = scheduler == "elastic"
     memory = scheduler == "memory"
     calibrated = scheduler == "calibrated"
+    economics = scheduler == "economics"
     slo_ms = EDF_SLO_MS if scheduler == "edf" else None
     workload = Workload.constant_rate(
         MODEL, num_requests=size, interval_s=INTERVAL_S, slo_ms=slo_ms
@@ -134,8 +144,9 @@ def run_single(size: int, scheduler: str) -> Dict:
     requests = system.plan_requests(workload)
     simulator = ServingSimulator(
         system.cluster,
-        scheduler="fifo" if (elastic or memory or calibrated) else scheduler,
+        scheduler="fifo" if (elastic or memory or calibrated or economics) else scheduler,
         stream_stats=True,
+        economics=economics,
         autoscaler=(
             Autoscaler(policy="target-util", min_replicas=NUM_EDGE_NODES)
             if elastic

@@ -49,6 +49,7 @@ SCENARIO_NAMES = (
     "autoscale",
     "multimodel",
     "adaptation",
+    "pareto",
 )
 
 
@@ -68,6 +69,7 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
     from repro.experiments import autoscale as autoscale_harness
     from repro.experiments import availability as availability_harness
     from repro.experiments import multimodel as multimodel_harness
+    from repro.experiments import pareto as pareto_harness
     from repro.experiments import serving as serving_harness
     from repro.experiments import slo as slo_harness
     from repro.experiments import topologies as topologies_harness
@@ -118,6 +120,10 @@ def _scenario_registry() -> Dict[str, Tuple[Callable, Callable]]:
         "adaptation": (
             adaptation_harness.run_adaptation_comparison,
             adaptation_harness.format_adaptation_comparison,
+        ),
+        "pareto": (
+            pareto_harness.run_pareto_comparison,
+            pareto_harness.format_pareto_comparison,
         ),
     }
 
@@ -262,6 +268,24 @@ def build_parser() -> argparse.ArgumentParser:
             "0 keeps adaptation purely reactive)"
         ),
     )
+    serve.add_argument(
+        "--economics",
+        action="store_true",
+        help=(
+            "meter energy (compute/radio/idle joules) and node-hour dollar "
+            "cost from the run's timelines; adds the economics summary line"
+        ),
+    )
+    serve.add_argument(
+        "--weights",
+        default=None,
+        metavar="W_LAT,W_J,W_USD",
+        help=(
+            "objective weights for planning, as three comma-separated "
+            "exchange rates (latency s, energy J, cost $); default plans "
+            "pure-latency exactly as before"
+        ),
+    )
 
     scenario = subparsers.add_parser("scenario", help="regenerate a named paper artefact")
     scenario.add_argument("name", choices=SCENARIO_NAMES, help="scenario to run")
@@ -322,6 +346,19 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
 # --------------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------------- #
+def _parse_weights(raw: Optional[str]):
+    """``"1,0.1,2000"`` -> an (w_lat, w_energy, w_cost) tuple (``None`` passes)."""
+    if raw is None:
+        return None
+    parts = [piece.strip() for piece in raw.split(",")]
+    if len(parts) != 3:
+        raise ValueError("--weights needs exactly three comma-separated numbers")
+    try:
+        return tuple(float(piece) for piece in parts)
+    except ValueError as error:
+        raise ValueError(f"--weights could not be parsed: {raw!r}") from error
+
+
 def _build_system(args, enable_vsm: bool = True):
     from repro.core.d3 import D3Config, D3System
 
@@ -333,6 +370,7 @@ def _build_system(args, enable_vsm: bool = True):
             enable_vsm=enable_vsm,
             use_regression=False,
             profiler_noise_std=0.0,
+            objective_weights=_parse_weights(getattr(args, "weights", None)),
         )
     )
 
@@ -423,6 +461,7 @@ def _command_serve(args) -> int:
         codec=args.codec,
         eviction=args.eviction,
         calibration=calibration,
+        economics=args.economics or args.weights is not None,
     )
     print(report.summary())
     return 0

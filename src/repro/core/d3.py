@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dynamic import DynamicRepartitioner, RepartitionThresholds
+from repro.core.economics import ObjectiveWeights, TierEconomics
 from repro.core.hpa import HPAConfig, HorizontalPartitioner
 from repro.core.placement import (
     TIER_ORDER,
@@ -120,6 +121,16 @@ class D3Config:
     max_retries:
         Default failover retry budget per request when serving under a fault
         schedule (overridable per :meth:`D3System.serve` call).
+    objective_weights:
+        Optional multi-objective scalarisation: an
+        :class:`~repro.core.economics.ObjectiveWeights` or a
+        ``(latency, energy, cost)`` 3-sequence.  When set (and not
+        latency-only), every planning path — D3's HPA family and all
+        registered baselines — minimises the weighted score over the
+        deployment's :class:`~repro.core.economics.TierEconomics` instead of
+        pure latency.  ``None`` (the default) keeps every code path
+        bit-identical to the latency-only system; an all-zero vector raises
+        :class:`~repro.core.economics.InvalidWeightsError`.
     """
 
     topology: "Topology | str | None" = None
@@ -135,6 +146,10 @@ class D3Config:
     calibration_models: Sequence[DnnGraph] = ()
     plan_cache_entries: Optional[int] = None
     max_retries: int = DEFAULT_MAX_RETRIES
+    objective_weights: "ObjectiveWeights | Sequence[float] | None" = None
+
+    def __post_init__(self) -> None:
+        self.objective_weights = ObjectiveWeights.coerce(self.objective_weights)
 
     def resolve_network(self) -> NetworkCondition:
         if isinstance(self.network, str):
@@ -172,6 +187,9 @@ class D3Config:
             self.hpa.enable_sis_update,
             self.hpa.lookahead,
             self.hpa.reference_tier_for_successor,
+            None
+            if self.objective_weights is None
+            else self.objective_weights.as_tuple(),
         )
 
 
@@ -215,6 +233,14 @@ class D3System:
     def __init__(self, config: Optional[D3Config] = None) -> None:
         self.config = config or D3Config()
         self.topology = self.config.resolve_topology()
+        weights = self.config.objective_weights
+        #: Healthy-deployment economics view; None under the (default)
+        #: latency-only objective so every planning path stays untouched.
+        self._economics: Optional[TierEconomics] = (
+            TierEconomics.from_topology(self.topology)
+            if weights is not None and not weights.is_latency_only
+            else None
+        )
         self.cluster = Cluster.from_topology(
             self.topology,
             network=self.topology.base_network or self.config.resolve_network(),
@@ -282,7 +308,13 @@ class D3System:
     def partition(self, graph: DnnGraph, profile: Optional[LatencyProfile] = None) -> PlacementPlan:
         """Run HPA for ``graph`` under the configured conditions."""
         profile = profile or self.build_profile(graph)
-        partitioner = HorizontalPartitioner(profile, self.network, self.config.hpa)
+        partitioner = HorizontalPartitioner(
+            profile,
+            self.network,
+            self.config.hpa,
+            economics=self._economics,
+            weights=self.config.objective_weights,
+        )
         return partitioner.partition(graph)
 
     def separate(self, graph: DnnGraph, placement: PlacementPlan) -> Optional[VSMPlan]:
@@ -347,6 +379,7 @@ class D3System:
         codec: Optional[str] = None,
         eviction: Optional[str] = None,
         calibration: "CalibrationConfig | OnlineCostCalibrator | bool | None" = None,
+        economics: bool = False,
     ) -> ServingReport:
         """Serve a multi-request workload on the shared cluster.
 
@@ -472,6 +505,16 @@ class D3System:
             carries calibration updates, proactive vs reactive repartition
             counts, and forecast mispredicts.  ``None`` is bit-identical to
             the uncalibrated path.
+        economics:
+            Meter the run's actual energy and dollars: compute joules off
+            every node's executed work, radio joules off the bytes crossing
+            device uplinks, idle joules and $-billing off each node's
+            powered-on hours.  Accounting is derived at report-build time
+            from the engine's existing integrals (busy seconds, bytes
+            carried, downtime), so the hot path is untouched; the report
+            gains ``energy_per_request_j``/``dollars_per_1k_requests`` and
+            an "economics:" summary line.  ``False`` (the default) leaves
+            the report's economics fields zeroed.
 
         Returns
         -------
@@ -526,6 +569,7 @@ class D3System:
                 balancer=balancer,
                 memory=memory_model,
                 calibration=calibrator,
+                economics=economics,
             )
             if tracker is not None and requests:
                 # Planning has seen the whole stream: proactive calls whose
@@ -767,7 +811,12 @@ class D3System:
         assert memory is not None
         artifact = memory.artifact_for(graph)
         capacities = self._tier_capacities()
-        evaluator = PlanEvaluator(profile, condition)
+        evaluator = PlanEvaluator(
+            profile,
+            condition,
+            economics=self._economics,
+            weights=self.config.objective_weights,
+        )
         if evaluator.memory_feasible(placement, artifact, capacities):
             return placement
         codec = memory.codec_spec
@@ -1000,8 +1049,13 @@ class D3System:
         return strategy
 
     def _cluster_spec(self, cluster: Optional[Cluster] = None) -> ClusterSpec:
+        # ``from_cluster`` derives the TierEconomics from the cluster's own
+        # topology, so degraded (masked) deployments price their surviving
+        # primaries rather than the healthy fleet's.
         return ClusterSpec.from_cluster(
-            cluster or self.cluster, tile_grid=tuple(self.config.tile_grid)
+            cluster or self.cluster,
+            tile_grid=tuple(self.config.tile_grid),
+            objective_weights=self.config.objective_weights,
         )
 
     @staticmethod
@@ -1166,7 +1220,13 @@ class D3System:
             )
 
         repartitioner = DynamicRepartitioner(
-            graph, profile, condition, thresholds=cache.thresholds, config=strategy.hpa_config
+            graph,
+            profile,
+            condition,
+            thresholds=cache.thresholds,
+            config=strategy.hpa_config,
+            economics=self._economics,
+            weights=self.config.objective_weights,
         )
         if self._calibration is not None:
             repartitioner.calibration = self._calibration

@@ -83,6 +83,11 @@ class DynamicRepartitioner:
     config:
         HPA heuristic configuration used for both the initial plan and the
         local updates.
+    economics, weights:
+        Optional multi-objective configuration forwarded to every
+        :class:`~repro.core.hpa.HorizontalPartitioner` this repartitioner
+        constructs, so local updates keep optimising the same weighted
+        objective the initial plan was computed under.
     """
 
     def __init__(
@@ -92,10 +97,14 @@ class DynamicRepartitioner:
         network: NetworkCondition,
         thresholds: Optional[RepartitionThresholds] = None,
         config: Optional[HPAConfig] = None,
+        economics=None,
+        weights=None,
     ) -> None:
         self.graph = graph
         self.thresholds = thresholds or RepartitionThresholds()
         self.config = config or HPAConfig()
+        self.economics = economics
+        self.weights = weights
         self.reference_profile = profile
         self.reference_network = network
         self.current_profile = profile
@@ -109,9 +118,21 @@ class DynamicRepartitioner:
         #: reassignment itself stays analytic (HPA is deterministic and the
         #: calibrated evaluator only changes the reported latencies).
         self.calibration = None
-        partitioner = HorizontalPartitioner(profile, network, self.config)
+        partitioner = self._partitioner(profile, network)
         self.plan = partitioner.partition(graph)
         self._listeners: List[Callable[[RepartitionEvent], None]] = []
+
+    def _partitioner(
+        self, profile: LatencyProfile, network: NetworkCondition
+    ) -> HorizontalPartitioner:
+        """An HPA instance carrying this repartitioner's objective."""
+        return HorizontalPartitioner(
+            profile,
+            network,
+            self.config,
+            economics=self.economics,
+            weights=self.weights,
+        )
 
     # ------------------------------------------------------------------ #
     # Invalidation hooks
@@ -279,7 +300,7 @@ class DynamicRepartitioner:
                 | {dst.index for _, dst in self.plan.cut_edges()}
             )
 
-        partitioner = HorizontalPartitioner(profile, network, self.config)
+        partitioner = self._partitioner(profile, network)
         scope = self._local_scope(drifted)
         changed = self._reassign_locally(scope, partitioner)
         self.plan.validate()
@@ -331,7 +352,7 @@ class DynamicRepartitioner:
         the paper's local updates are compared against)."""
         evaluator = PlanEvaluator(self.current_profile, self.current_network)
         latency_before = evaluator.objective(self.plan)
-        partitioner = HorizontalPartitioner(self.current_profile, self.current_network, self.config)
+        partitioner = self._partitioner(self.current_profile, self.current_network)
         old_assignments = dict(self.plan.assignments)
         self.plan = partitioner.partition(self.graph)
         changed = [

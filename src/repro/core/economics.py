@@ -1,0 +1,189 @@
+"""Multi-objective placement economics: energy and dollar-cost axes.
+
+The paper optimises device–edge–cloud partitions for latency alone, but the
+deployments it targets trade latency against device battery and cloud
+billing.  This module holds the two value objects that thread those axes
+through every planner:
+
+* :class:`ObjectiveWeights` — the scalarisation vector ``(latency, energy,
+  cost)``.  The default is pure latency, which every pre-existing code path
+  is bit-identical under; an all-zero vector is rejected with the typed
+  :class:`InvalidWeightsError`.
+* :class:`TierEconomics` — the per-tier planning view of the deployment's
+  :class:`~repro.profiling.hardware.EnergyModel`\\ s and $/s prices, derived
+  from a :class:`~repro.network.topology.Topology` (each tier is represented
+  by its primary node, exactly like the latency planning view).
+
+Units are not normalised: a weighted score is
+``w_latency * seconds + w_energy * joules + w_cost * dollars``.  Weights are
+therefore also the exchange rates between the axes (e.g. ``energy=0.1``
+reads "one joule is worth 100 ms"), and a single-axis vector recovers the
+pure single-objective optimum exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+from repro.profiling.hardware import EnergyModel
+
+#: Compute tiers in pipeline order; positions index the TierEconomics tuples.
+_TIER_NAMES = ("device", "edge", "cloud")
+_TIER_INDEX = {name: position for position, name in enumerate(_TIER_NAMES)}
+
+
+class InvalidWeightsError(ValueError):
+    """Raised for a degenerate objective-weight vector (all-zero/negative)."""
+
+
+def _tier_name(tier: object) -> str:
+    """Accept a ``Tier`` enum member or its string value."""
+    return getattr(tier, "value", tier)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Scalarisation weights over the latency, energy and cost axes.
+
+    ``ObjectiveWeights()`` is pure latency — the configuration every planner
+    defaults to and the golden traces pin bit-identically.
+    """
+
+    latency: float = 1.0
+    energy: float = 0.0
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        for axis in ("latency", "energy", "cost"):
+            value = getattr(self, axis)
+            if not isinstance(value, (int, float)) or value != value:
+                raise InvalidWeightsError(f"{axis} weight must be a finite number")
+            if value < 0:
+                raise InvalidWeightsError(f"{axis} weight cannot be negative")
+            if value == float("inf"):
+                raise InvalidWeightsError(f"{axis} weight must be finite")
+        if self.latency == 0 and self.energy == 0 and self.cost == 0:
+            raise InvalidWeightsError(
+                "objective weights cannot all be zero: nothing to optimise"
+            )
+
+    @classmethod
+    def coerce(
+        cls, value: "ObjectiveWeights | Iterable[float] | None"
+    ) -> "ObjectiveWeights | None":
+        """Accept an ``ObjectiveWeights``, a 3-sequence, or ``None``."""
+        if value is None or isinstance(value, ObjectiveWeights):
+            return value
+        values = tuple(float(v) for v in value)
+        if len(values) != 3:
+            raise InvalidWeightsError(
+                f"objective weights need exactly (latency, energy, cost), "
+                f"got {len(values)} value(s)"
+            )
+        return cls(*values)
+
+    @property
+    def is_latency_only(self) -> bool:
+        """True when the energy and cost axes carry no weight.
+
+        A latency-only vector (whatever its latency scale) ranks plans
+        exactly like the pre-economics objective, so every planner keeps its
+        original code path — and its bit-identical behaviour — under it.
+        """
+        return self.energy == 0 and self.cost == 0
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.latency, self.energy, self.cost)
+
+    def combine(self, latency_s: float, energy_j: float, cost_usd: float) -> float:
+        """The weighted scalar score of one (latency, energy, cost) point."""
+        return (
+            self.latency * latency_s + self.energy * energy_j + self.cost * cost_usd
+        )
+
+
+#: The default pure-latency vector.
+LATENCY_ONLY = ObjectiveWeights()
+
+
+@dataclass(frozen=True)
+class TierEconomics:
+    """Per-tier energy models and $/s prices — the planning view of economics.
+
+    Mirrors the latency planning view: each compute tier is represented by
+    its primary node's :class:`~repro.profiling.hardware.EnergyModel` and
+    resolved price.  Hashable (it joins frozen ``ClusterSpec``\\ s and plan
+    keys), so the per-tier collections are tuples in ``device, edge, cloud``
+    order.
+    """
+
+    energy: Tuple[EnergyModel, EnergyModel, EnergyModel] = (
+        EnergyModel(),
+        EnergyModel(),
+        EnergyModel(),
+    )
+    price_per_s: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if len(self.energy) != 3 or len(self.price_per_s) != 3:
+            raise ValueError("TierEconomics needs one entry per compute tier")
+        if any(not isinstance(model, EnergyModel) for model in self.energy):
+            raise ValueError("energy entries must be EnergyModel instances")
+        if any(price < 0 for price in self.price_per_s):
+            raise ValueError("price_per_s entries cannot be negative")
+
+    @classmethod
+    def from_topology(cls, topology) -> "TierEconomics":
+        """Derive the planning economics of a deployment.
+
+        ``topology`` is a :class:`~repro.network.topology.Topology` (typed
+        loosely to keep this module import-light); its per-tier primary
+        nodes supply both the energy models and the resolved prices.
+        """
+        primaries = [topology.primary(tier) for tier in _TIER_NAMES]
+        return cls(
+            energy=tuple(node.hardware.energy for node in primaries),
+            price_per_s=tuple(node.resolved_price_per_s for node in primaries),
+        )
+
+    # ------------------------------------------------------------------ #
+    def energy_for(self, tier: object) -> EnergyModel:
+        return self.energy[_TIER_INDEX[_tier_name(tier)]]
+
+    def price_for(self, tier: object) -> float:
+        return self.price_per_s[_TIER_INDEX[_tier_name(tier)]]
+
+    def compute_joules(self, flops: float, tier: object) -> float:
+        """Energy of executing ``flops`` on a tier."""
+        return self.energy_for(tier).compute_joules(flops)
+
+    def compute_cost_usd(self, seconds: float, tier: object) -> float:
+        """Dollars billed for occupying a tier's node for ``seconds``."""
+        return self.price_for(tier) * seconds
+
+    def transfer_joules(
+        self, payload_bytes: Union[int, float], src_tier: object, dst_tier: object
+    ) -> float:
+        """Radio energy of a cut edge: only device endpoints pay it.
+
+        The device's wireless uplink is the only metered medium — edge and
+        cloud machines are wired.  A transfer with the device on exactly one
+        end charges that device's radio model; tier-internal movement and
+        edge↔cloud backbone hops are radio-free.
+        """
+        src = _tier_name(src_tier)
+        dst = _tier_name(dst_tier)
+        if src == dst:
+            return 0.0
+        if src == "device" or dst == "device":
+            return self.energy[_TIER_INDEX["device"]].radio_joules(payload_bytes)
+        return 0.0
+
+    @property
+    def is_unmetered(self) -> bool:
+        """True when no tier carries energy rates or prices (all zeros)."""
+        unmetered = EnergyModel()
+        return all(model == unmetered for model in self.energy) and all(
+            price == 0.0 for price in self.price_per_s
+        )

@@ -28,7 +28,10 @@ conditions drift.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.economics import ObjectiveWeights, TierEconomics
 
 from repro.core.placement import (
     PlacementPlan,
@@ -99,6 +102,14 @@ class HorizontalPartitioner:
         The inter-tier bandwidths (the link weights ``T_{(v_i, v_j)}``).
     config:
         Heuristic switches; defaults to the full algorithm of the paper.
+    economics, weights:
+        Optional multi-objective extension: when both are given and the
+        weights put mass on the energy or cost axis, the two scoring
+        primitives below return *weighted scores* instead of raw seconds.
+        Every Algorithm-1 decision composes those two primitives linearly,
+        so the greedy then minimises the weighted objective end to end.
+        Absent (the default) both primitives — and therefore the whole
+        partition — are bit-identical to the pure-latency algorithm.
     """
 
     def __init__(
@@ -106,23 +117,54 @@ class HorizontalPartitioner:
         profile: LatencyProfile,
         network: NetworkCondition,
         config: Optional[HPAConfig] = None,
+        economics: Optional["TierEconomics"] = None,
+        weights: Optional["ObjectiveWeights"] = None,
     ) -> None:
         self.profile = profile
         self.network = network
         self.config = config or HPAConfig()
+        self.economics = economics
+        self.weights = weights
+        self._weighted = (
+            economics is not None and weights is not None and not weights.is_latency_only
+        )
 
     # ------------------------------------------------------------------ #
     # Weight helpers
     # ------------------------------------------------------------------ #
     def vertex_latency(self, vertex: Vertex, tier: Tier) -> float:
-        """``t^{l_i}_i``: processing time of a vertex on a tier."""
-        return self.profile.get(vertex.index, tier)
+        """``t^{l_i}_i``: processing time of a vertex on a tier.
+
+        Under a multi-objective configuration this is the vertex's weighted
+        score ``w_lat·t + w_energy·(flops · J/FLOP) + w_cost·(t · $/s)``.
+        """
+        seconds = self.profile.get(vertex.index, tier)
+        if not self._weighted:
+            return seconds
+        weights = self.weights
+        economics = self.economics
+        return (
+            weights.latency * seconds
+            + weights.energy * economics.compute_joules(vertex.flops, tier)
+            + weights.cost * economics.compute_cost_usd(seconds, tier)
+        )
 
     def transfer_latency(self, payload_bytes: int, src: Tier, dst: Tier) -> float:
-        """``t^{[l_h, l_i]}_{hi}``: transmission delay between two tiers."""
+        """``t^{[l_h, l_i]}_{hi}``: transmission delay between two tiers.
+
+        Under a multi-objective configuration this is the cut edge's weighted
+        score ``w_lat·t + w_energy·radio_joules`` (only device endpoints pay
+        radio energy; transfers carry no dollar term).
+        """
         if src == dst:
             return 0.0
-        return self.network.transfer_seconds(payload_bytes, src.value, dst.value)
+        seconds = self.network.transfer_seconds(payload_bytes, src.value, dst.value)
+        if not self._weighted:
+            return seconds
+        weights = self.weights
+        return weights.latency * seconds + weights.energy * self.economics.transfer_joules(
+            payload_bytes, src, dst
+        )
 
     def input_pull_latency(
         self, graph: DnnGraph, plan: PlacementPlan, vertex: Vertex, tier: Tier

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Seque
 from repro.graph.dag import DnnGraph, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core->runtime import
+    from repro.core.economics import ObjectiveWeights, TierEconomics
     from repro.runtime.calibration import OnlineCostCalibrator
 from repro.network.conditions import NetworkCondition
 from repro.profiling.profiler import LatencyProfile
@@ -228,12 +229,23 @@ class PlanEvaluator:
         profile: LatencyProfile,
         network: NetworkCondition,
         calibration: Optional["OnlineCostCalibrator"] = None,
+        economics: Optional["TierEconomics"] = None,
+        weights: Optional["ObjectiveWeights"] = None,
     ) -> None:
         self.profile = profile
         self.network = network
         #: Optional online calibrator: when set, observed per-(tier, layer)
         #: latencies and tier-pair throughput override the analytic values.
         self.calibration = calibration
+        #: Optional per-tier energy/pricing view plus scalarisation weights.
+        #: ``objective`` only leaves the pure-latency code path when both are
+        #: present and the weights actually put mass on another axis, so the
+        #: default configuration stays bit-identical (the goldens pin it).
+        self.economics = economics
+        self.weights = weights
+        self._weighted = (
+            economics is not None and weights is not None and not weights.is_latency_only
+        )
         self._calibration_rev = calibration.revision if calibration is not None else -1
         # Per-instance memo tables.  A profile lookup and a tier-pair
         # transfer are pure functions of their keys (noise is baked into the
@@ -345,14 +357,58 @@ class PlanEvaluator:
         return compute + transfer
 
     # ------------------------------------------------------------------ #
-    def objective(self, plan: PlacementPlan) -> float:
-        """The total latency ``Θ`` the paper minimises.
+    # Economic axes (planning estimates, not metered serving integrals)
+    # ------------------------------------------------------------------ #
+    def plan_energy_j(self, plan: PlacementPlan) -> float:
+        """Estimated joules of one inference under the plan.
 
-        Defined as the batch-1 point of :meth:`batched_objective`, so the Θ
-        loops exist exactly once (``batched_vertex_latency`` reduces to
-        ``vertex_latency`` at batch 1, making the delegation float-exact).
+        Compute energy charges each vertex its FLOPs at the hosting tier's
+        J/FLOP; radio energy charges each cut edge with a device endpoint the
+        payload at the device's radio J/byte.  Requires ``economics``.
         """
-        return self.batched_objective(plan, 1)
+        if self.economics is None:
+            raise ValueError("plan_energy_j needs a TierEconomics view")
+        economics = self.economics
+        total = 0.0
+        for vertex in plan.graph:
+            total += economics.compute_joules(vertex.flops, plan.tier_of(vertex.index))
+        for src, dst in plan.graph.edges():
+            total += economics.transfer_joules(
+                src.output_bytes, plan.tier_of(src.index), plan.tier_of(dst.index)
+            )
+        return total
+
+    def plan_cost_usd(self, plan: PlacementPlan) -> float:
+        """Estimated dollars of one inference: compute seconds × tier $/s."""
+        if self.economics is None:
+            raise ValueError("plan_cost_usd needs a TierEconomics view")
+        economics = self.economics
+        return sum(
+            economics.compute_cost_usd(
+                self.vertex_latency(vertex, plan.tier_of(vertex.index)),
+                plan.tier_of(vertex.index),
+            )
+            for vertex in plan.graph
+        )
+
+    # ------------------------------------------------------------------ #
+    def objective(self, plan: PlacementPlan) -> float:
+        """The score the planners minimise.
+
+        By default this is the total latency ``Θ`` of the paper, defined as
+        the batch-1 point of :meth:`batched_objective` so the Θ loops exist
+        exactly once (``batched_vertex_latency`` reduces to
+        ``vertex_latency`` at batch 1, making the delegation float-exact).
+        When the evaluator carries non-latency-only ``weights`` plus a
+        ``TierEconomics`` view, the score becomes the weighted scalarisation
+        over (latency s, energy J, cost $); the default path is untouched.
+        """
+        latency = self.batched_objective(plan, 1)
+        if not self._weighted:
+            return latency
+        return self.weights.combine(
+            latency, self.plan_energy_j(plan), self.plan_cost_usd(plan)
+        )
 
     def metrics(self, plan: PlacementPlan) -> PlanMetrics:
         """Full metric breakdown used by the experiment harnesses."""

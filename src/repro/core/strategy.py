@@ -31,7 +31,10 @@ Strategies declare two capabilities the runtime keys off:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.economics import ObjectiveWeights, TierEconomics
 
 from repro.core.hpa import HPAConfig, HorizontalPartitioner
 from repro.core.placement import PlacementPlan, PlanEvaluator, PlanMetrics, Tier
@@ -75,19 +78,53 @@ class ClusterSpec:
     :meth:`~repro.network.topology.Topology.fingerprint` of the deployment
     the spec was taken from: plans are stamped with it, and the executor
     refuses to run a stamped plan on a different shape.
+
+    ``objective_weights`` and ``economics`` carry the multi-objective
+    configuration: strategies that honour it (HPA, Neurosurgeon, DADS) plan
+    against the weighted (latency, energy, cost) score; both default to
+    ``None``, under which every strategy follows its original pure-latency
+    code path bit-identically.
     """
 
     num_edge_nodes: int = 1
     tile_grid: Tuple[int, int] = (2, 2)
     topology_fingerprint: Tuple = ()
+    objective_weights: Optional["ObjectiveWeights"] = None
+    economics: Optional["TierEconomics"] = None
 
     @classmethod
-    def from_cluster(cls, cluster, tile_grid: Tuple[int, int] = (2, 2)) -> "ClusterSpec":
+    def from_cluster(
+        cls,
+        cluster,
+        tile_grid: Tuple[int, int] = (2, 2),
+        objective_weights: Optional["ObjectiveWeights"] = None,
+        economics: Optional["TierEconomics"] = None,
+    ) -> "ClusterSpec":
         topology = getattr(cluster, "topology", None)
+        if (
+            economics is None
+            and objective_weights is not None
+            and not objective_weights.is_latency_only
+            and topology is not None
+        ):
+            from repro.core.economics import TierEconomics
+
+            economics = TierEconomics.from_topology(topology)
         return cls(
             num_edge_nodes=cluster.num_edge_nodes,
             tile_grid=tile_grid,
             topology_fingerprint=topology.fingerprint() if topology is not None else (),
+            objective_weights=objective_weights,
+            economics=economics,
+        )
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when planning should leave the pure-latency path."""
+        return (
+            self.objective_weights is not None
+            and not self.objective_weights.is_latency_only
+            and self.economics is not None
         )
 
 
@@ -233,9 +270,18 @@ class HpaStrategy:
     ) -> PartitionPlan:
         if not self.supports(graph):  # pragma: no cover - HPA supports all DAGs
             raise StrategyUnsupportedError(f"{self.name} cannot partition {graph.name}")
-        partitioner = HorizontalPartitioner(profile, network, self.hpa_config)
-        placement = partitioner.partition(graph)
         cluster_spec = cluster_spec or ClusterSpec()
+        if cluster_spec.is_weighted:
+            partitioner = HorizontalPartitioner(
+                profile,
+                network,
+                self.hpa_config,
+                economics=cluster_spec.economics,
+                weights=cluster_spec.objective_weights,
+            )
+        else:
+            partitioner = HorizontalPartitioner(profile, network, self.hpa_config)
+        placement = partitioner.partition(graph)
         vsm_plan = self.separate(graph, placement, cluster_spec)
         metrics = PlanEvaluator(profile, network).metrics(placement)
         return PartitionPlan(

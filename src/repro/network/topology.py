@@ -34,13 +34,14 @@ from __future__ import annotations
 import json
 import os
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field, fields
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.network.conditions import BandwidthTrace, NetworkCondition, get_condition
 from repro.profiling.hardware import (
     CLOUD_SERVER,
     EDGE_DESKTOP,
+    EnergyModel,
     HardwareSpec,
     RASPBERRY_PI_4,
     get_hardware,
@@ -56,6 +57,17 @@ NODE_TIERS = COMPUTE_TIERS + ("relay",)
 #: The bandwidth of a link: inherit from the NetworkCondition (``None``),
 #: a static Mbps value, or an absolute-Mbps trace.
 Bandwidth = Union[None, float, BandwidthTrace]
+
+#: Default $/s billed for keeping one node of each tier up, used when a
+#: :class:`NodeSpec` does not declare its own ``price_per_s``.  Devices are
+#: user-owned (no bill), an edge box runs ~$0.07/h and the GPU cloud server
+#: ~$3.20/h — on-demand cloud-GPU territory.  Relays forward for free.
+DEFAULT_TIER_PRICES: Dict[str, float] = {
+    "device": 0.0,
+    "edge": 2.0e-5,
+    "cloud": 8.9e-4,
+    "relay": 0.0,
+}
 
 
 class TopologyError(ValueError):
@@ -85,6 +97,76 @@ class InsufficientMemoryError(TopologyError):
     """
 
 
+def hardware_to_json(spec: HardwareSpec) -> Dict[str, object]:
+    """Field-driven JSON form of a :class:`HardwareSpec`.
+
+    Walks ``dataclasses.fields`` instead of an explicit field list, so a
+    field added to the spec (or its nested :class:`EnergyModel`) can never be
+    silently dropped — the bug that previously lost ``per_layer_overhead_s``
+    class additions on round-trip.  The unmetered default energy model is
+    omitted, keeping pre-energy documents byte-stable.
+    """
+    payload: Dict[str, object] = {}
+    for spec_field in fields(HardwareSpec):
+        value = getattr(spec, spec_field.name)
+        if isinstance(value, EnergyModel):
+            if value == EnergyModel():
+                continue  # the default: implied, keeps old documents stable
+            payload[spec_field.name] = {
+                energy_field.name: getattr(value, energy_field.name)
+                for energy_field in fields(EnergyModel)
+            }
+        else:
+            payload[spec_field.name] = value
+    return payload
+
+
+def hardware_from_json(mapping: Mapping) -> HardwareSpec:
+    """Parse the mapping form of a :class:`HardwareSpec` losslessly.
+
+    The exact inverse of :func:`hardware_to_json`: every declared dataclass
+    field is read back (absent optional fields take the dataclass default),
+    and unknown keys are rejected so typos do not silently vanish.
+    """
+    known = {spec_field.name for spec_field in fields(HardwareSpec)}
+    unknown = set(mapping) - known
+    if unknown:
+        raise TopologyError(
+            f"unknown hardware field(s) {sorted(unknown)}; expected a subset of "
+            f"{sorted(known)}"
+        )
+    kwargs: Dict[str, object] = {}
+    try:
+        for spec_field in fields(HardwareSpec):
+            if spec_field.name not in mapping:
+                continue
+            value = mapping[spec_field.name]
+            if spec_field.name == "energy":
+                if isinstance(value, EnergyModel):
+                    kwargs[spec_field.name] = value
+                    continue
+                energy_known = {f.name for f in fields(EnergyModel)}
+                energy_unknown = set(value) - energy_known
+                if energy_unknown:
+                    raise TopologyError(
+                        f"unknown energy field(s) {sorted(energy_unknown)}; "
+                        f"expected a subset of {sorted(energy_known)}"
+                    )
+                kwargs[spec_field.name] = EnergyModel(
+                    **{key: float(item) for key, item in value.items()}
+                )
+            elif spec_field.name == "name":
+                kwargs[spec_field.name] = str(value)
+            else:
+                kwargs[spec_field.name] = float(value)
+        kwargs.setdefault("name", "custom")
+        return HardwareSpec(**kwargs)
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, TopologyError):
+            raise
+        raise TopologyError(f"invalid hardware spec: {error}") from None
+
+
 def canonical_links() -> List["LinkSpec"]:
     """The paper's three inherited wires (one shared medium per tier pair).
 
@@ -102,11 +184,17 @@ def canonical_links() -> List["LinkSpec"]:
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One named machine of a deployment."""
+    """One named machine of a deployment.
+
+    ``price_per_s`` is what keeping this node up costs in $/s; ``None``
+    inherits the tier default from :data:`DEFAULT_TIER_PRICES`, so existing
+    topology documents price themselves sensibly without edits.
+    """
 
     name: str
     tier: str
     hardware: Optional[HardwareSpec] = None
+    price_per_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -118,10 +206,19 @@ class NodeSpec:
             )
         if self.tier in COMPUTE_TIERS and self.hardware is None:
             raise TopologyError(f"compute node {self.name!r} needs a hardware spec")
+        if self.price_per_s is not None and self.price_per_s < 0:
+            raise TopologyError(f"node {self.name!r} has a negative price_per_s")
 
     @property
     def is_compute(self) -> bool:
         return self.tier in COMPUTE_TIERS
+
+    @property
+    def resolved_price_per_s(self) -> float:
+        """The node's $/s, falling back to its tier's default price."""
+        if self.price_per_s is not None:
+            return self.price_per_s
+        return DEFAULT_TIER_PRICES[self.tier]
 
 
 @dataclass(frozen=True)
@@ -213,6 +310,10 @@ class Topology:
             if node.tier == tier:
                 return node
         raise TopologyError(f"topology {self.name!r} has no {tier!r} node")
+
+    def tier_price_per_s(self, tier: str) -> float:
+        """The $/s of a tier's primary node (the planning view of pricing)."""
+        return self.primary(tier).resolved_price_per_s
 
     @property
     def has_traced_links(self) -> bool:
@@ -517,20 +618,15 @@ class Topology:
         """
         if self._fingerprint is not None:
             return self._fingerprint
+        # astuple recurses into nested dataclasses (the energy model), so any
+        # field added to HardwareSpec joins the fingerprint automatically —
+        # the explicit field list this replaced silently dropped new fields.
         node_part = tuple(
             (
                 node.name,
                 node.tier,
-                None
-                if node.hardware is None
-                else (
-                    node.hardware.name,
-                    node.hardware.cpu_gflops,
-                    node.hardware.gpu_gflops,
-                    node.hardware.memory_bandwidth_gbps,
-                    node.hardware.memory_gb,
-                    node.hardware.per_layer_overhead_s,
-                ),
+                node.price_per_s,
+                None if node.hardware is None else astuple(node.hardware),
             )
             for node in self.nodes.values()
         )
@@ -582,14 +678,9 @@ class Topology:
             entry: Dict[str, object] = {"name": node.name, "tier": node.tier}
             if node.hardware is not None:
                 preset = hardware_preset_name(node.hardware)
-                entry["hardware"] = preset or {
-                    "name": node.hardware.name,
-                    "cpu_gflops": node.hardware.cpu_gflops,
-                    "gpu_gflops": node.hardware.gpu_gflops,
-                    "memory_bandwidth_gbps": node.hardware.memory_bandwidth_gbps,
-                    "memory_gb": node.hardware.memory_gb,
-                    "per_layer_overhead_s": node.hardware.per_layer_overhead_s,
-                }
+                entry["hardware"] = preset or hardware_to_json(node.hardware)
+            if node.price_per_s is not None:
+                entry["price_per_s"] = node.price_per_s
             nodes.append(entry)
         links = []
         for link in self.links.values():
@@ -644,15 +735,16 @@ class Topology:
             if isinstance(hardware, str):
                 hardware = get_hardware(hardware)
             elif isinstance(hardware, Mapping):
-                hardware = HardwareSpec(
-                    name=str(hardware.get("name", "custom")),
-                    cpu_gflops=float(hardware["cpu_gflops"]),
-                    gpu_gflops=float(hardware.get("gpu_gflops", 0.0)),
-                    memory_bandwidth_gbps=float(hardware["memory_bandwidth_gbps"]),
-                    memory_gb=float(hardware["memory_gb"]),
-                    per_layer_overhead_s=float(hardware.get("per_layer_overhead_s", 50e-6)),
+                hardware = hardware_from_json(hardware)
+            price = entry.get("price_per_s")
+            nodes.append(
+                NodeSpec(
+                    name=entry["name"],
+                    tier=entry["tier"],
+                    hardware=hardware,
+                    price_per_s=None if price is None else float(price),
                 )
-            nodes.append(NodeSpec(name=entry["name"], tier=entry["tier"], hardware=hardware))
+            )
 
         links = []
         for entry in payload.get("links", []):

@@ -18,7 +18,60 @@ the partitioning algorithms depend on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Power/energy characteristics of one computation node.
+
+    Attributes
+    ----------
+    joules_per_flop:
+        Marginal energy of one floating-point operation on the node's fastest
+        execution engine.  ``joules_per_flop * effective_gflops * 1e9`` is the
+        node's *active* power draw above idle while it is computing.
+    radio_joules_per_byte:
+        Marginal radio energy of moving one byte over the node's wireless
+        uplink (Wi-Fi/LTE).  Zero on wired (edge/cloud) machines — only
+        device-tier uplinks pay radio energy.
+    idle_watts:
+        Baseline power the node draws whenever it is powered on, busy or not.
+        A node that is down (crashed, parked before an elastic join, or
+        drained out) draws nothing.
+
+    The default model is *unmetered* (all zeros): a bare ``HardwareSpec``
+    consumes no energy, so every pre-energy code path is numerically
+    unchanged.  The built-in presets carry calibrated non-zero models.
+    """
+
+    joules_per_flop: float = 0.0
+    radio_joules_per_byte: float = 0.0
+    idle_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.joules_per_flop < 0:
+            raise ValueError("joules_per_flop cannot be negative")
+        if self.radio_joules_per_byte < 0:
+            raise ValueError("radio_joules_per_byte cannot be negative")
+        if self.idle_watts < 0:
+            raise ValueError("idle_watts cannot be negative")
+
+    def active_watts(self, effective_gflops: float) -> float:
+        """Active power above idle while computing at ``effective_gflops``."""
+        return self.joules_per_flop * effective_gflops * 1e9
+
+    def compute_joules(self, flops: float) -> float:
+        """Energy of executing ``flops`` floating-point operations."""
+        return self.joules_per_flop * flops
+
+    def radio_joules(self, payload_bytes: float) -> float:
+        """Radio energy of moving ``payload_bytes`` over the uplink."""
+        return self.radio_joules_per_byte * payload_bytes
+
+
+#: The unmetered model every bare ``HardwareSpec`` defaults to.
+UNMETERED = EnergyModel()
 
 
 @dataclass(frozen=True)
@@ -43,6 +96,10 @@ class HardwareSpec:
         regression feature).
     per_layer_overhead_s:
         Fixed framework/kernel-launch overhead added to every layer execution.
+    energy:
+        Power/energy characteristics (:class:`EnergyModel`); defaults to the
+        unmetered all-zero model, so specs built before energy existed are
+        bit-identical in every latency computation and consume no joules.
     """
 
     name: str
@@ -51,6 +108,7 @@ class HardwareSpec:
     memory_bandwidth_gbps: float
     memory_gb: float
     per_layer_overhead_s: float = 50e-6
+    energy: EnergyModel = field(default=UNMETERED)
 
     def __post_init__(self) -> None:
         if self.cpu_gflops <= 0:
@@ -61,6 +119,10 @@ class HardwareSpec:
             raise ValueError("memory_bandwidth_gbps must be positive")
         if self.memory_gb <= 0:
             raise ValueError("memory_gb must be positive")
+        if not isinstance(self.energy, EnergyModel):
+            raise ValueError(
+                f"energy must be an EnergyModel, got {type(self.energy).__name__}"
+            )
 
     @property
     def has_gpu(self) -> bool:
@@ -87,21 +149,37 @@ class HardwareSpec:
         """Throughput of the fastest execution engine on the node."""
         return max(self.cpu_gflops, self.gpu_gflops)
 
-    def scaled(self, factor: float, name: str | None = None) -> "HardwareSpec":
-        """Return a copy whose compute throughput is scaled by ``factor``.
+    def scaled(
+        self,
+        factor: float,
+        name: str | None = None,
+        bandwidth_factor: float | None = None,
+    ) -> "HardwareSpec":
+        """Return a copy whose throughput is scaled by ``factor``.
 
         Used by the dynamic re-partitioning experiments to model load spikes
-        (``factor < 1``) or freed-up resources (``factor > 1``).
+        (``factor < 1``) or freed-up resources (``factor > 1``).  A load
+        spike contends for the memory system as much as for the execution
+        units, so ``memory_bandwidth_gbps`` scales by the same factor — an
+        earlier version left it untouched, which made memory-bound layers
+        immune to spikes under the roofline cost model.  Pass an explicit
+        ``bandwidth_factor`` to decouple the two (e.g. a compute-only
+        governor change).
         """
         if factor <= 0:
             raise ValueError("factor must be positive")
+        if bandwidth_factor is None:
+            bandwidth_factor = factor
+        elif bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
         return HardwareSpec(
             name=name or f"{self.name} (x{factor:g})",
             cpu_gflops=self.cpu_gflops * factor,
             gpu_gflops=self.gpu_gflops * factor,
-            memory_bandwidth_gbps=self.memory_bandwidth_gbps,
+            memory_bandwidth_gbps=self.memory_bandwidth_gbps * bandwidth_factor,
             memory_gb=self.memory_gb,
             per_layer_overhead_s=self.per_layer_overhead_s,
+            energy=self.energy,
         )
 
 
@@ -128,7 +206,9 @@ def batch_cost_s(solo_costs_s: "list[float]", batch_exponent: float) -> float:
     return max(longest, min(total, amortized))
 
 
-#: Raspberry Pi 4 model B, 4x Cortex-A72 @ 1.5 GHz, 4 GB LPDDR4.
+#: Raspberry Pi 4 model B, 4x Cortex-A72 @ 1.5 GHz, 4 GB LPDDR4.  Active
+#: draw under full CPU load is ~4.8 W above a ~2.7 W idle; the Wi-Fi uplink
+#: costs roughly 0.25 µJ per byte sent.
 RASPBERRY_PI_4 = HardwareSpec(
     name="Raspberry Pi 4 Model B (4GB)",
     cpu_gflops=12.0,
@@ -136,6 +216,11 @@ RASPBERRY_PI_4 = HardwareSpec(
     memory_bandwidth_gbps=4.0,
     memory_gb=4.0,
     per_layer_overhead_s=150e-6,
+    energy=EnergyModel(
+        joules_per_flop=4.0e-10,
+        radio_joules_per_byte=2.5e-7,
+        idle_watts=2.7,
+    ),
 )
 
 #: NVIDIA Jetson Nano 2GB Developer Kit (128-core Maxwell GPU).  Peak fp32 is
@@ -148,6 +233,11 @@ JETSON_NANO = HardwareSpec(
     memory_bandwidth_gbps=25.6,
     memory_gb=2.0,
     per_layer_overhead_s=120e-6,
+    energy=EnergyModel(
+        joules_per_flop=2.5e-10,
+        radio_joules_per_byte=1.5e-7,
+        idle_watts=1.25,
+    ),
 )
 
 #: Edge machine: Intel Core i7-8700 (6C/12T, AVX2 FMA), 8 GB DDR4.  The peak
@@ -161,6 +251,11 @@ EDGE_DESKTOP = HardwareSpec(
     memory_bandwidth_gbps=35.0,
     memory_gb=8.0,
     per_layer_overhead_s=60e-6,
+    energy=EnergyModel(
+        joules_per_flop=1.7e-10,
+        radio_joules_per_byte=0.0,
+        idle_watts=20.0,
+    ),
 )
 
 #: Cloud server: NVIDIA GeForce RTX 2080 Ti, 256 GB system memory.
@@ -171,6 +266,11 @@ CLOUD_SERVER = HardwareSpec(
     memory_bandwidth_gbps=616.0,
     memory_gb=256.0,
     per_layer_overhead_s=30e-6,
+    energy=EnergyModel(
+        joules_per_flop=3.3e-11,
+        radio_joules_per_byte=0.0,
+        idle_watts=100.0,
+    ),
 )
 
 #: Default hardware used for each computing tier in the end-to-end experiments

@@ -166,7 +166,14 @@ class Cluster:
         for spec in topology.nodes.values():
             if not spec.is_compute:
                 continue
-            by_tier[spec.tier].append(ComputeNode(spec.name, Tier(spec.tier), spec.hardware))
+            by_tier[spec.tier].append(
+                ComputeNode(
+                    spec.name,
+                    Tier(spec.tier),
+                    spec.hardware,
+                    price_per_s=spec.resolved_price_per_s,
+                )
+            )
         # Pin the topology's base so with_network()/scratch clusters keep
         # pricing inherited links consistently.  __post_init__ builds the
         # shared links from the realized topology.

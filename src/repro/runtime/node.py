@@ -28,6 +28,10 @@ class ComputeNode:
     #: heterogeneous topology sets e.g. 0.5 on a half-speed edge machine, and
     #: the engines stretch that node's task durations by 1/0.5.
     speed_factor: float = 1.0
+    #: Dollars billed per powered-on second (resolved from the node's
+    #: :class:`~repro.network.topology.NodeSpec` / tier default); only read
+    #: by the opt-in economics accounting at report-build time.
+    price_per_s: float = 0.0
 
     def reset(self) -> None:
         """Clear scheduling state before a new simulation run."""

@@ -280,6 +280,19 @@ class ServingReport:
     #: triggered; ``None`` when the stream never left the band.  The
     #: adaptation scenario reads drift-response lag from this.
     first_adaptation_s: Optional[float] = None
+    #: Metered economics (all zero unless the run was served with
+    #: ``economics=True``): joules split by origin — compute energy off every
+    #: node's executed work, radio energy off the bytes that crossed device
+    #: uplinks, idle draw over each node's powered-on window — plus the
+    #: fleet's dollar bill (powered-on seconds × per-node $/s).  All derived
+    #: at report-build time from the engine's truncation-aware integrals
+    #: (busy seconds, bytes carried, downtime), so faults and retries are
+    #: billed exactly for the work that actually executed.
+    economics_enabled: bool = False
+    compute_energy_j: float = 0.0
+    radio_energy_j: float = 0.0
+    idle_energy_j: float = 0.0
+    total_cost_usd: float = 0.0
     #: Online accumulators filled when the engine ran with ``stream_stats``;
     #: ``records`` is empty then and every aggregate below reads from here.
     #: Percentiles are exact while the run fits the accumulator's exact
@@ -492,6 +505,25 @@ class ServingReport:
         return mean(delays) if delays else None
 
     @property
+    def total_energy_j(self) -> float:
+        """Total metered joules of the run (compute + radio + idle)."""
+        return self.compute_energy_j + self.radio_energy_j + self.idle_energy_j
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Joules per offered request (0.0 on an empty stream)."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.total_energy_j / self.num_requests
+
+    @property
+    def dollars_per_1k_requests(self) -> float:
+        """Fleet dollars per thousand offered requests (0.0 when empty)."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.total_cost_usd / self.num_requests * 1000.0
+
+    @property
     def node_hours(self) -> float:
         """Node-hours of capacity the fleet kept up over the makespan.
 
@@ -638,6 +670,14 @@ class ServingReport:
                 f"{self.proactive_repartitions} proactive / "
                 f"{self.reactive_repartitions} reactive repartition(s), "
                 f"{self.forecast_mispredicts} mispredict(s)"
+            )
+        if self.economics_enabled:
+            lines.append(
+                f"  economics: {self.energy_per_request_j:.3f} J/request "
+                f"(compute {self.compute_energy_j:.1f} J, "
+                f"radio {self.radio_energy_j:.1f} J, "
+                f"idle {self.idle_energy_j:.1f} J), "
+                f"${self.dollars_per_1k_requests:.4f}/1k requests"
             )
         lines.append(f"  backbone to cloud {self.bytes_to_cloud * 8.0 / 1e6:.3f} Mb")
         lines.append(
@@ -1124,6 +1164,7 @@ class ServingSimulator:
         balancer: "LoadBalancer | str | None" = None,
         memory: Optional[MemoryModel] = None,
         calibration: Optional[OnlineCostCalibrator] = None,
+        economics: bool = False,
     ) -> None:
         if link_contention not in LINK_CONTENTION_MODES:
             raise ValueError(
@@ -1148,6 +1189,11 @@ class ServingSimulator:
             )
         self.memory = memory
         self.calibration = calibration
+        #: Opt-in energy/dollar metering.  Deliberately NOT consulted on the
+        #: hot path: the accounting derives entirely from integrals the engine
+        #: maintains anyway (busy seconds, bytes carried, downtime windows),
+        #: so enabling it only adds a per-node sweep at report-build time.
+        self.economics = bool(economics)
         self.cluster = cluster
         self.link_contention = link_contention
         self.faults = faults
@@ -1472,6 +1518,13 @@ class ServingSimulator:
         elif self._stats is not None and self._stats.num_requests:
             start, end = self._stats.makespan_window
             makespan = end - start
+        node_down = _clip_downtime(self._node_down_intervals, start, end)
+        link_down = _clip_downtime(self._link_down_intervals, start, end)
+        compute_j = radio_j = idle_j = cost_usd = 0.0
+        if self.economics:
+            compute_j, radio_j, idle_j, cost_usd = self._economics_totals(
+                makespan, node_down
+            )
         return ServingReport(
             workload_name=workload_name,
             records=records,
@@ -1484,8 +1537,13 @@ class ServingSimulator:
                 for link in self.cluster.shared_links.values()
             },
             failover_replans=self.failover_replans,
-            node_down_s=_clip_downtime(self._node_down_intervals, start, end),
-            link_down_s=_clip_downtime(self._link_down_intervals, start, end),
+            node_down_s=node_down,
+            link_down_s=link_down,
+            economics_enabled=self.economics,
+            compute_energy_j=compute_j,
+            radio_energy_j=radio_j,
+            idle_energy_j=idle_j,
+            total_cost_usd=cost_usd,
             scale_up_events=self._scale_up_count,
             scale_down_events=self._scale_down_count,
             cold_starts=self._cold_starts,
@@ -1504,6 +1562,68 @@ class ServingSimulator:
             ),
             stats=self._stats,
         )
+
+    # ------------------------------------------------------------------ #
+    # Economics accounting (report-build time only; never on the hot path)
+    # ------------------------------------------------------------------ #
+    def _economics_totals(
+        self, makespan_s: float, node_down_s: Dict[str, float]
+    ) -> Tuple[float, float, float, float]:
+        """``(compute J, radio J, idle J, $)`` of the finished run.
+
+        Everything derives from integrals the engine maintains regardless of
+        metering, so the accounting is exact under faults, retries and
+        elasticity by construction:
+
+        * compute joules — each node's ``busy_seconds`` (already truncated at
+          kill instants, never double-billed on retry) times its active power
+          ``J/FLOP × effective GFLOP/s``;
+        * radio joules — each wire's ``bytes_carried`` (reservations of
+          never-started hops are unwound on abort; started wire time stays
+          consumed) times the device endpoint's radio J/byte, charged only
+          when exactly one endpoint is a radio-equipped device, matching the
+          planner's :meth:`TierEconomics.transfer_joules`;
+        * idle joules and dollars — each node's powered-on window (makespan
+          minus downtime: crashes, parked-before-join and drained-out time
+          draw nothing and bill nothing) times idle watts / ``price_per_s``.
+        """
+        compute_j = idle_j = cost_usd = 0.0
+        for node in self.cluster.all_nodes:
+            energy = node.hardware.energy
+            up_s = max(0.0, makespan_s - node_down_s.get(node.name, 0.0))
+            compute_j += node.busy_seconds * energy.active_watts(
+                node.hardware.effective_gflops
+            )
+            idle_j += up_s * energy.idle_watts
+            cost_usd += up_s * node.price_per_s
+        radio_j = 0.0
+        for link in self.cluster.shared_links.values():
+            if not link.bytes_carried:
+                continue
+            src = self._device_radio(link.source)
+            dst = self._device_radio(link.destination)
+            if (src is None) != (dst is None):
+                model = src if src is not None else dst
+                radio_j += model.radio_joules(link.bytes_carried)
+        return compute_j, radio_j, idle_j, cost_usd
+
+    def _device_radio(self, endpoint: str):
+        """The radio :class:`EnergyModel` of a wire endpoint, or ``None``.
+
+        ``endpoint`` is a topology node name or a tier alias; only
+        device-tier endpoints with a non-zero radio rate are metered.
+        """
+        try:
+            node = self.cluster.node(endpoint)
+        except KeyError:
+            try:
+                node = self.cluster.primary_node(Tier(endpoint))
+            except ValueError:
+                return None  # relay or other non-compute endpoint
+        if node.tier != Tier.DEVICE:
+            return None
+        energy = node.hardware.energy
+        return energy if energy.radio_joules_per_byte > 0 else None
 
     # ------------------------------------------------------------------ #
     # Event plumbing

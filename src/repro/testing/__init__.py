@@ -251,6 +251,13 @@ def serialize_report(report: ServingReport) -> dict:
             "forecast_mispredicts": report.forecast_mispredicts,
             "first_adaptation_s": report.first_adaptation_s,
         }
+    if report.economics_enabled:
+        document["economics"] = {
+            "compute_energy_j": report.compute_energy_j,
+            "radio_energy_j": report.radio_energy_j,
+            "idle_energy_j": report.idle_energy_j,
+            "total_cost_usd": report.total_cost_usd,
+        }
     return document
 
 

@@ -1,0 +1,298 @@
+"""Tests for multi-objective placement economics (weights + tier economics).
+
+The contract under test: the default vector is pure latency and structurally
+inert, an all-zero vector is rejected with the typed error, and — because
+both the Neurosurgeon split search and the weighted evaluator are exact —
+a single-axis weight vector recovers that axis's pure optimum.
+"""
+
+import pytest
+
+from repro.core.economics import (
+    LATENCY_ONLY,
+    InvalidWeightsError,
+    ObjectiveWeights,
+    TierEconomics,
+)
+from repro.core.placement import PlanEvaluator, Tier
+from repro.network.topology import DEFAULT_TIER_PRICES, Topology
+from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, RASPBERRY_PI_4
+
+
+@pytest.fixture(scope="module")
+def economics():
+    return TierEconomics.from_topology(Topology.three_tier(num_edge_nodes=1))
+
+
+class TestObjectiveWeights:
+    def test_default_is_pure_latency(self):
+        weights = ObjectiveWeights()
+        assert weights.as_tuple() == (1.0, 0.0, 0.0)
+        assert weights.is_latency_only
+        assert weights == LATENCY_ONLY
+
+    def test_all_zero_rejected_with_typed_error(self):
+        with pytest.raises(InvalidWeightsError):
+            ObjectiveWeights(latency=0.0, energy=0.0, cost=0.0)
+        # The typed error is a ValueError, so broad pre-existing handlers
+        # keep working.
+        assert issubclass(InvalidWeightsError, ValueError)
+
+    @pytest.mark.parametrize("axis", ["latency", "energy", "cost"])
+    def test_negative_weight_rejected(self, axis):
+        with pytest.raises(InvalidWeightsError):
+            ObjectiveWeights(**{axis: -0.5})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_weight_rejected(self, bad):
+        with pytest.raises(InvalidWeightsError):
+            ObjectiveWeights(latency=bad)
+
+    def test_coerce_passes_none_and_instances_through(self):
+        assert ObjectiveWeights.coerce(None) is None
+        weights = ObjectiveWeights(energy=0.5)
+        assert ObjectiveWeights.coerce(weights) is weights
+
+    def test_coerce_accepts_three_sequence(self):
+        assert ObjectiveWeights.coerce((0.0, 1.0, 0.0)) == ObjectiveWeights(
+            latency=0.0, energy=1.0, cost=0.0
+        )
+        assert ObjectiveWeights.coerce([1, 2, 3]).as_tuple() == (1.0, 2.0, 3.0)
+
+    def test_coerce_rejects_wrong_arity_and_zero_vector(self):
+        with pytest.raises(InvalidWeightsError):
+            ObjectiveWeights.coerce((1.0, 2.0))
+        with pytest.raises(InvalidWeightsError):
+            ObjectiveWeights.coerce((0.0, 0.0, 0.0))
+
+    def test_latency_only_detection(self):
+        assert ObjectiveWeights(latency=7.0).is_latency_only
+        assert not ObjectiveWeights(energy=1e-9).is_latency_only
+        assert not ObjectiveWeights(cost=1e-9).is_latency_only
+
+    def test_combine_is_the_weighted_sum(self):
+        weights = ObjectiveWeights(latency=2.0, energy=0.5, cost=1000.0)
+        assert weights.combine(0.1, 3.0, 0.002) == pytest.approx(
+            2.0 * 0.1 + 0.5 * 3.0 + 1000.0 * 0.002
+        )
+
+
+class TestTierEconomics:
+    def test_from_topology_reads_primary_nodes(self, economics):
+        assert economics.energy_for("device") == RASPBERRY_PI_4.energy
+        assert economics.energy_for(Tier.EDGE) == EDGE_DESKTOP.energy
+        assert economics.energy_for(Tier.CLOUD) == CLOUD_SERVER.energy
+        assert economics.price_for("device") == DEFAULT_TIER_PRICES["device"]
+        assert economics.price_for(Tier.EDGE) == DEFAULT_TIER_PRICES["edge"]
+        assert economics.price_for(Tier.CLOUD) == DEFAULT_TIER_PRICES["cloud"]
+
+    def test_compute_joules_and_cost(self, economics):
+        flops = 1e9
+        assert economics.compute_joules(flops, Tier.CLOUD) == pytest.approx(
+            CLOUD_SERVER.energy.joules_per_flop * flops
+        )
+        assert economics.compute_cost_usd(2.0, Tier.CLOUD) == pytest.approx(
+            2.0 * DEFAULT_TIER_PRICES["cloud"]
+        )
+
+    def test_transfer_joules_bills_only_device_radio(self, economics):
+        payload = 1e6
+        device_radio = RASPBERRY_PI_4.energy.radio_joules_per_byte * payload
+        assert economics.transfer_joules(payload, Tier.DEVICE, Tier.EDGE) == pytest.approx(device_radio)
+        assert economics.transfer_joules(payload, Tier.CLOUD, Tier.DEVICE) == pytest.approx(device_radio)
+        assert economics.transfer_joules(payload, Tier.EDGE, Tier.CLOUD) == 0.0
+        assert economics.transfer_joules(payload, Tier.EDGE, Tier.EDGE) == 0.0
+        assert economics.transfer_joules(payload, Tier.DEVICE, Tier.DEVICE) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierEconomics(price_per_s=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            TierEconomics(price_per_s=(0.0, -1.0, 0.0))
+        with pytest.raises(ValueError):
+            TierEconomics(energy=(0.0, 0.0, 0.0))
+
+    def test_default_is_unmetered(self, economics):
+        assert TierEconomics().is_unmetered
+        assert not economics.is_unmetered
+
+
+class TestWeightedEvaluator:
+    def test_energy_axes_require_economics(self, alexnet, alexnet_profile, wifi):
+        from repro.core.hpa import HorizontalPartitioner
+
+        plan = HorizontalPartitioner(alexnet_profile, wifi).partition(alexnet)
+        evaluator = PlanEvaluator(alexnet_profile, wifi)
+        with pytest.raises(ValueError):
+            evaluator.plan_energy_j(plan)
+        with pytest.raises(ValueError):
+            evaluator.plan_cost_usd(plan)
+
+    def test_latency_only_objective_unchanged(
+        self, alexnet, alexnet_profile, wifi, economics
+    ):
+        from repro.core.hpa import HorizontalPartitioner
+
+        plan = HorizontalPartitioner(alexnet_profile, wifi).partition(alexnet)
+        plain = PlanEvaluator(alexnet_profile, wifi)
+        weighted = PlanEvaluator(
+            alexnet_profile, wifi, economics=economics, weights=ObjectiveWeights()
+        )
+        # A latency-only vector keeps the original objective bit-identical.
+        assert weighted.objective(plan) == plain.objective(plan)
+
+    def test_weighted_objective_is_the_combination(
+        self, alexnet, alexnet_profile, wifi, economics
+    ):
+        from repro.core.hpa import HorizontalPartitioner
+
+        plan = HorizontalPartitioner(alexnet_profile, wifi).partition(alexnet)
+        weights = ObjectiveWeights(latency=1.0, energy=0.25, cost=500.0)
+        evaluator = PlanEvaluator(
+            alexnet_profile, wifi, economics=economics, weights=weights
+        )
+        plain = PlanEvaluator(alexnet_profile, wifi)
+        assert evaluator.objective(plan) == pytest.approx(
+            weights.combine(
+                plain.objective(plan),
+                evaluator.plan_energy_j(plan),
+                evaluator.plan_cost_usd(plan),
+            )
+        )
+
+
+class TestSingleAxisOptima:
+    """A single-axis weight vector must recover that axis's pure optimum.
+
+    Neurosurgeon's split search enumerates *every* candidate plan, so the
+    weighted selection can be checked against a brute-force minimum over the
+    same candidates — no other planner offers that exactness guarantee."""
+
+    @pytest.fixture(scope="class")
+    def candidates(self, alexnet, alexnet_profile, wifi):
+        from repro.baselines.neurosurgeon import NeurosurgeonPartitioner
+
+        return NeurosurgeonPartitioner(alexnet_profile, wifi).candidate_plans(alexnet)
+
+    def _partition(self, alexnet, alexnet_profile, wifi, economics, weights):
+        from repro.baselines.neurosurgeon import NeurosurgeonPartitioner
+
+        partitioner = NeurosurgeonPartitioner(
+            alexnet_profile, wifi, economics=economics, weights=weights
+        )
+        return partitioner.partition(alexnet)
+
+    def test_pure_latency_matches_default_search(
+        self, alexnet, alexnet_profile, wifi, economics
+    ):
+        from repro.baselines.neurosurgeon import NeurosurgeonPartitioner
+
+        default = NeurosurgeonPartitioner(alexnet_profile, wifi).partition(alexnet)
+        weighted = self._partition(
+            alexnet, alexnet_profile, wifi, economics, ObjectiveWeights(latency=1.0)
+        )
+        assert weighted.split_index == default.split_index
+        assert weighted.latency_s == default.latency_s
+
+    def test_pure_energy_recovers_energy_optimum(
+        self, alexnet, alexnet_profile, wifi, economics, candidates
+    ):
+        evaluator = PlanEvaluator(
+            alexnet_profile,
+            wifi,
+            economics=economics,
+            weights=ObjectiveWeights(latency=0.0, energy=1.0),
+        )
+        chosen = self._partition(
+            alexnet,
+            alexnet_profile,
+            wifi,
+            economics,
+            ObjectiveWeights(latency=0.0, energy=1.0),
+        )
+        best = min(evaluator.plan_energy_j(plan) for _, plan in candidates)
+        assert evaluator.plan_energy_j(chosen.plan) == pytest.approx(best)
+
+    def test_pure_cost_recovers_cost_optimum(
+        self, alexnet, alexnet_profile, wifi, economics, candidates
+    ):
+        evaluator = PlanEvaluator(
+            alexnet_profile,
+            wifi,
+            economics=economics,
+            weights=ObjectiveWeights(latency=0.0, cost=1.0),
+        )
+        chosen = self._partition(
+            alexnet,
+            alexnet_profile,
+            wifi,
+            economics,
+            ObjectiveWeights(latency=0.0, cost=1.0),
+        )
+        best = min(evaluator.plan_cost_usd(plan) for _, plan in candidates)
+        assert evaluator.plan_cost_usd(chosen.plan) == pytest.approx(best)
+
+    def test_axes_genuinely_disagree(
+        self, alexnet, alexnet_profile, wifi, economics, candidates
+    ):
+        """The sweep is only a meaningful test if the three optima differ."""
+        plain = PlanEvaluator(alexnet_profile, wifi)
+        metered = PlanEvaluator(
+            alexnet_profile,
+            wifi,
+            economics=economics,
+            weights=ObjectiveWeights(latency=0.0, energy=1.0),
+        )
+        by_latency = min(candidates, key=lambda item: plain.objective(item[1]))
+        by_energy = min(candidates, key=lambda item: metered.plan_energy_j(item[1]))
+        by_cost = min(candidates, key=lambda item: metered.plan_cost_usd(item[1]))
+        splits = {by_latency[0], by_energy[0], by_cost[0]}
+        assert len(splits) >= 2
+
+
+class TestD3ConfigIntegration:
+    def test_config_coerces_sequences(self):
+        from repro.core.d3 import D3Config
+
+        config = D3Config(objective_weights=(0.0, 1.0, 0.0))
+        assert isinstance(config.objective_weights, ObjectiveWeights)
+        assert config.objective_weights.as_tuple() == (0.0, 1.0, 0.0)
+
+    def test_config_rejects_zero_vector(self):
+        from repro.core.d3 import D3Config
+
+        with pytest.raises(InvalidWeightsError):
+            D3Config(objective_weights=(0.0, 0.0, 0.0))
+
+    def test_plan_key_distinguishes_weights(self):
+        from repro.core.d3 import D3Config
+
+        default = D3Config()
+        weighted = D3Config(objective_weights=(1.0, 0.5, 0.0))
+        assert default.plan_key() != weighted.plan_key()
+
+    def test_weighted_system_changes_the_placement(self):
+        """End to end: an energy-heavy vector moves FLOPs off the device."""
+        from repro.core.d3 import D3Config, D3System
+        from repro.models.zoo import build_model
+
+        base = D3System(D3Config(use_regression=False, profiler_noise_std=0.0))
+        green = D3System(
+            D3Config(
+                use_regression=False,
+                profiler_noise_std=0.0,
+                objective_weights=(0.0, 1.0, 0.0),
+            )
+        )
+        model = build_model("alexnet")
+        base_result = base.run(model)
+        green_result = green.run(model)
+        evaluator = PlanEvaluator(
+            green.build_profile(model),
+            green.network,
+            economics=TierEconomics.from_topology(green.topology),
+            weights=ObjectiveWeights(latency=0.0, energy=1.0),
+        )
+        base_j = evaluator.plan_energy_j(base_result.placement)
+        green_j = evaluator.plan_energy_j(green_result.placement)
+        assert green_j <= base_j

@@ -9,6 +9,8 @@ method's throughput at high arrival rates, and the deadline scheduler
 improves SLO attainment under overload.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.experiments.adaptation import (
@@ -22,6 +24,11 @@ from repro.experiments.adaptation import (
 from repro.experiments.availability import (
     format_availability_comparison,
     run_availability_comparison,
+)
+from repro.experiments.pareto import (
+    ParetoScenario,
+    format_pareto_comparison,
+    run_pareto_comparison,
 )
 from repro.experiments.serving import ServingScenario
 from repro.experiments.slo import (
@@ -243,3 +250,88 @@ class TestAdaptationTable:
             AdaptationScenario(drift_onset_s=3.0, drift_end_s=1.0)
         with pytest.raises(ValueError):
             AdaptationScenario().build_trace(1.5)
+
+
+class TestParetoTable:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return ParetoScenario(num_requests=8)
+
+    @pytest.fixture(scope="class")
+    def results(self, scenario):
+        return run_pareto_comparison(scenario)
+
+    def test_row_shape_and_order(self, results, scenario):
+        assert [(label, method) for label, _, method, _ in results] == [
+            (label, method)
+            for label, _ in scenario.weight_vectors
+            for method in scenario.methods
+        ]
+
+    def test_every_cell_is_metered_and_serves_the_stream(self, results, scenario):
+        for _, _, _, report in results:
+            assert report is not None
+            assert report.economics_enabled
+            assert report.num_completed == scenario.num_requests
+            assert report.energy_per_request_j > 0
+            assert report.dollars_per_1k_requests > 0
+
+    def test_single_tier_anchors_are_flat_across_weights(self, results):
+        """cloud_only / device_only have no placement freedom: their rows
+        must be identical whatever the weight vector."""
+        for anchor in ("cloud_only", "device_only"):
+            reports = [r for _, _, method, r in results if method == anchor]
+            first = reports[0]
+            for report in reports[1:]:
+                assert report.latency_percentiles() == first.latency_percentiles()
+                assert report.energy_per_request_j == first.energy_per_request_j
+                assert report.total_cost_usd == first.total_cost_usd
+
+    def test_weights_genuinely_move_the_adaptive_planner(self, results):
+        by_label = {
+            label: report
+            for label, _, method, report in results
+            if method == "hpa_vsm"
+        }
+        # The energy-weighted plan ships FLOPs off the device, so its p50
+        # differs from the latency-optimal plan's.
+        assert (
+            by_label["energy"].latency_percentiles()
+            != by_label["latency"].latency_percentiles()
+        )
+
+    def test_deterministic_across_seeds(self, results, scenario):
+        """The stream is a metronome and the profiler is noise-free: the
+        seed must not be able to move a single digit of the table."""
+        reseeded = run_pareto_comparison(dataclasses.replace(scenario, seed=1234))
+        assert format_pareto_comparison(reseeded) == format_pareto_comparison(results)
+
+    def test_unsupported_method_produces_none_cell(self):
+        scenario = ParetoScenario(
+            model="resnet18",
+            num_requests=2,
+            methods=("neurosurgeon",),
+            weight_vectors=(("latency", (1.0, 0.0, 0.0)),),
+        )
+        results = run_pareto_comparison(scenario)
+        assert results == [("latency", (1.0, 0.0, 0.0), "neurosurgeon", None)]
+        assert format_pareto_comparison(results)  # None cells render
+
+    def test_format_reports_the_three_axes(self, results):
+        text = format_pareto_comparison(results)
+        assert "J/request" in text
+        assert "$/1k req" in text
+        assert "(w_lat, w_J, w_$)" in text
+        assert "balanced" in text
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            format_pareto_comparison([])
+        with pytest.raises(ValueError):
+            ParetoScenario(num_requests=0)
+        with pytest.raises(ValueError):
+            ParetoScenario(interval_s=0.0)
+        with pytest.raises(ValueError):
+            ParetoScenario(methods=())
+        with pytest.raises(ValueError):
+            ParetoScenario(weight_vectors=())

@@ -1,20 +1,31 @@
 """Tests for the declarative topology API: presets, validation, routing, JSON."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.network.conditions import BandwidthTrace, get_condition
 from repro.network.topology import (
+    DEFAULT_TIER_PRICES,
     InsufficientMemoryError,
     LinkSpec,
     NodeSpec,
     Topology,
     TopologyError,
     get_topology,
+    hardware_from_json,
+    hardware_to_json,
     list_topologies,
     load_topology,
 )
-from repro.profiling.hardware import CLOUD_SERVER, EDGE_DESKTOP, RASPBERRY_PI_4
+from repro.profiling.hardware import (
+    CLOUD_SERVER,
+    EDGE_DESKTOP,
+    EnergyModel,
+    HardwareSpec,
+    RASPBERRY_PI_4,
+)
 
 
 def _chain_topology(edge_cloud=None):
@@ -329,3 +340,128 @@ class TestBandwidthTraceValidation:
             midpoint = t0 + (t1 - t0) / 2.0
             if t0 < midpoint < t1:
                 assert trace.sample_at(midpoint) == v0
+
+
+class TestHardwareSerialization:
+    """The lossy-serialization bug this PR fixes: the old round-trip rebuilt
+    HardwareSpec from an explicit field list, silently dropping any field not
+    on the list.  The codec is now driven by ``dataclasses.fields`` and pinned
+    by a hypothesis round-trip property, so a future field cannot regress."""
+
+    finite = {"allow_nan": False, "allow_infinity": False}
+
+    @given(
+        cpu=st.floats(min_value=1e-3, max_value=1e5, **finite),
+        gpu=st.floats(min_value=0.0, max_value=1e6, **finite),
+        bandwidth=st.floats(min_value=1e-3, max_value=1e4, **finite),
+        memory=st.floats(min_value=1e-3, max_value=1e4, **finite),
+        overhead=st.floats(min_value=0.0, max_value=1e-2, **finite),
+        jpf=st.floats(min_value=0.0, max_value=1e-6, **finite),
+        radio=st.floats(min_value=0.0, max_value=1e-3, **finite),
+        idle=st.floats(min_value=0.0, max_value=1e3, **finite),
+    )
+    def test_round_trip_is_lossless(
+        self, cpu, gpu, bandwidth, memory, overhead, jpf, radio, idle
+    ):
+        spec = HardwareSpec(
+            name="prop",
+            cpu_gflops=cpu,
+            gpu_gflops=gpu,
+            memory_bandwidth_gbps=bandwidth,
+            memory_gb=memory,
+            per_layer_overhead_s=overhead,
+            energy=EnergyModel(
+                joules_per_flop=jpf,
+                radio_joules_per_byte=radio,
+                idle_watts=idle,
+            ),
+        )
+        assert hardware_from_json(hardware_to_json(spec)) == spec
+
+    def test_round_trip_covers_every_declared_field(self):
+        """No HardwareSpec field may be absent from the serialized form
+        (non-default values only: the unmetered energy default is implied)."""
+        spec = RASPBERRY_PI_4
+        payload = hardware_to_json(spec)
+        declared = {spec_field.name for spec_field in dataclasses.fields(HardwareSpec)}
+        assert set(payload) == declared  # RASPBERRY_PI_4 meters energy
+
+    def test_unmetered_energy_is_omitted(self):
+        """Pre-energy documents must stay byte-stable."""
+        bare = HardwareSpec(
+            "bare", cpu_gflops=1, gpu_gflops=0, memory_bandwidth_gbps=1, memory_gb=1
+        )
+        payload = hardware_to_json(bare)
+        assert "energy" not in payload
+        assert hardware_from_json(payload) == bare
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(TopologyError, match="unknown hardware field"):
+            hardware_from_json({"cpu_gflops": 1.0, "cpu_gflop": 2.0})
+        with pytest.raises(TopologyError, match="unknown energy field"):
+            hardware_from_json(
+                {
+                    "cpu_gflops": 1.0,
+                    "gpu_gflops": 0.0,
+                    "memory_bandwidth_gbps": 1.0,
+                    "memory_gb": 1.0,
+                    "energy": {"idle_wats": 3.0},
+                }
+            )
+
+    def test_preset_energy_survives_topology_round_trip(self):
+        topology = Topology.three_tier(num_edge_nodes=2)
+        clone = Topology.from_json(topology.to_json())
+        for name, node in topology.nodes.items():
+            assert clone.nodes[name].hardware == node.hardware
+            if node.hardware is not None:
+                assert clone.nodes[name].hardware.energy == node.hardware.energy
+
+
+class TestNodePricing:
+    def test_tier_defaults_resolve(self):
+        topology = Topology.three_tier(num_edge_nodes=1)
+        assert topology.tier_price_per_s("device") == DEFAULT_TIER_PRICES["device"]
+        assert topology.tier_price_per_s("edge") == DEFAULT_TIER_PRICES["edge"]
+        assert topology.tier_price_per_s("cloud") == DEFAULT_TIER_PRICES["cloud"]
+
+    def test_explicit_price_round_trips(self):
+        topology = Topology(
+            "priced",
+            nodes=[
+                NodeSpec("d0", "device", RASPBERRY_PI_4),
+                NodeSpec("e0", "edge", EDGE_DESKTOP, price_per_s=1.5e-5),
+                NodeSpec("c0", "cloud", CLOUD_SERVER, price_per_s=2.2e-3),
+            ],
+            links=[
+                LinkSpec("lan", "d0", "e0", 42.0),
+                LinkSpec("bb", "e0", "c0", 30.0),
+                LinkSpec("up", "d0", "c0", 11.5),
+            ],
+        )
+        clone = Topology.from_json(topology.to_json())
+        assert clone == topology
+        assert clone.nodes["e0"].price_per_s == 1.5e-5
+        assert clone.nodes["e0"].resolved_price_per_s == 1.5e-5
+        # Undeclared prices fall back to the tier default.
+        assert clone.nodes["d0"].price_per_s is None
+        assert clone.nodes["d0"].resolved_price_per_s == DEFAULT_TIER_PRICES["device"]
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(TopologyError, match="price_per_s"):
+            NodeSpec("e0", "edge", EDGE_DESKTOP, price_per_s=-1.0)
+
+    def test_price_changes_fingerprint(self):
+        base = Topology.three_tier(num_edge_nodes=1)
+        priced = Topology(
+            base.name,
+            nodes=[
+                dataclasses.replace(node, price_per_s=5e-5)
+                if node.tier == "edge"
+                else node
+                for node in base.nodes.values()
+            ],
+            links=list(base.links.values()),
+            base_network=base.base_network,
+        )
+        assert priced != base

@@ -5,10 +5,12 @@ import pytest
 from repro.profiling.hardware import (
     CLOUD_SERVER,
     EDGE_DESKTOP,
+    EnergyModel,
     HardwareSpec,
     JETSON_NANO,
     RASPBERRY_PI_4,
     TIER_PRESETS,
+    UNMETERED,
 )
 
 
@@ -39,6 +41,98 @@ class TestHardwareSpec:
     def test_scaled_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             EDGE_DESKTOP.scaled(0)
+        with pytest.raises(ValueError):
+            EDGE_DESKTOP.scaled(0.5, bandwidth_factor=0)
+
+    def test_scaled_scales_memory_bandwidth(self):
+        """A load spike contends for the memory system, not just the ALUs."""
+        slower = EDGE_DESKTOP.scaled(0.5)
+        assert slower.memory_bandwidth_gbps == pytest.approx(
+            EDGE_DESKTOP.memory_bandwidth_gbps * 0.5
+        )
+
+    def test_scaled_bandwidth_factor_decouples(self):
+        governor = EDGE_DESKTOP.scaled(0.5, bandwidth_factor=1.0)
+        assert governor.cpu_gflops == pytest.approx(EDGE_DESKTOP.cpu_gflops * 0.5)
+        assert governor.memory_bandwidth_gbps == EDGE_DESKTOP.memory_bandwidth_gbps
+
+    def test_scaled_preserves_energy_model(self):
+        assert RASPBERRY_PI_4.scaled(0.5).energy is RASPBERRY_PI_4.energy
+
+
+class TestScaledRoofline:
+    """The bug this PR fixes: ``scaled()`` left ``memory_bandwidth_gbps``
+    untouched, so memory-bound layers were immune to load spikes under the
+    roofline cost model — a half-speed node served AlexNet's FC layers at
+    full speed."""
+
+    def test_memory_bound_layer_slows_under_load_spike(self):
+        from repro.models.zoo import build_model
+        from repro.profiling.cost_model import AnalyticCostModel
+
+        graph = build_model("alexnet")
+        fc1 = next(v for v in graph if v.name == "fc1")
+        base = AnalyticCostModel(RASPBERRY_PI_4).layer_cost(graph, fc1)
+        assert base.memory_seconds > base.compute_seconds  # genuinely memory-bound
+
+        spiked = AnalyticCostModel(RASPBERRY_PI_4.scaled(0.5)).layer_cost(graph, fc1)
+        assert spiked.memory_seconds == pytest.approx(base.memory_seconds * 2.0)
+        # The old behaviour is still reachable — and visibly faster — via an
+        # explicit bandwidth_factor, which is what made the bug silent.
+        old = AnalyticCostModel(
+            RASPBERRY_PI_4.scaled(0.5, bandwidth_factor=1.0)
+        ).layer_cost(graph, fc1)
+        assert old.memory_seconds == pytest.approx(base.memory_seconds)
+        assert spiked.total_seconds > old.total_seconds
+
+
+class TestEnergyModel:
+    def test_default_is_unmetered(self):
+        spec = HardwareSpec("bare", cpu_gflops=1, gpu_gflops=0, memory_bandwidth_gbps=1, memory_gb=1)
+        assert spec.energy == UNMETERED
+        assert spec.energy.compute_joules(1e9) == 0.0
+        assert spec.energy.radio_joules(1e6) == 0.0
+        assert spec.energy.idle_watts == 0.0
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            EnergyModel(joules_per_flop=-1e-9)
+        with pytest.raises(ValueError):
+            EnergyModel(radio_joules_per_byte=-1e-9)
+        with pytest.raises(ValueError):
+            EnergyModel(idle_watts=-1.0)
+
+    def test_rejects_non_energy_model(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(
+                "bad", cpu_gflops=1, gpu_gflops=0, memory_bandwidth_gbps=1,
+                memory_gb=1, energy=0.5,
+            )
+
+    def test_active_watts_matches_compute_joules(self):
+        model = RASPBERRY_PI_4.energy
+        gflops = RASPBERRY_PI_4.effective_gflops
+        # Running flat out for one second executes gflops*1e9 FLOPs: the two
+        # accountings of that second must agree.
+        assert model.active_watts(gflops) == pytest.approx(
+            model.compute_joules(gflops * 1e9)
+        )
+
+    def test_presets_are_metered_and_ordered(self):
+        for spec in (RASPBERRY_PI_4, JETSON_NANO, EDGE_DESKTOP, CLOUD_SERVER):
+            assert spec.energy.joules_per_flop > 0
+            assert spec.energy.idle_watts > 0
+        # Efficiency improves device -> edge -> cloud (J/FLOP falls)...
+        assert (
+            JETSON_NANO.energy.joules_per_flop
+            > EDGE_DESKTOP.energy.joules_per_flop
+            > CLOUD_SERVER.energy.joules_per_flop
+        )
+        # ...while only the radio-equipped device tier pays per-byte energy.
+        assert RASPBERRY_PI_4.energy.radio_joules_per_byte > 0
+        assert JETSON_NANO.energy.radio_joules_per_byte > 0
+        assert EDGE_DESKTOP.energy.radio_joules_per_byte == 0
+        assert CLOUD_SERVER.energy.radio_joules_per_byte == 0
 
 
 class TestTierOrdering:

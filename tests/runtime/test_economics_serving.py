@@ -1,0 +1,217 @@
+"""Economics metering of the serving engine: joules and dollars from timelines.
+
+The accounting runs entirely at report-build time off integrals the engine
+maintains anyway, so the contract has three parts:
+
+* **inert by default** — economics off produces the exact same schedule and
+  a report with zero totals and no summary line;
+* **exact on the steady path** — compute joules are busy-seconds times
+  active watts, idle joules and dollars are powered-on time times the
+  node's idle draw / price;
+* **exact under faults and retries** — total compute joules equal the
+  integral of *executed* work read independently off the event timelines:
+  truncated work consumed energy up to the kill instant (no free energy),
+  retried work is billed once per executed attempt (no double billing),
+  and downtime draws and bills nothing.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.d3 import D3Config, D3System
+from repro.runtime.workload import Workload
+from repro.testing import serialize_report
+
+
+def _system(num_edge_nodes=3):
+    return D3System(
+        D3Config(
+            network="wifi",
+            num_edge_nodes=num_edge_nodes,
+            use_regression=False,
+            profiler_noise_std=0.0,
+        )
+    )
+
+
+def _workload():
+    return Workload.poisson("vgg16", num_requests=16, rate_rps=6.0, seed=5)
+
+
+def _executed_seconds_by_node(report):
+    """Integral of executed compute work per node, read off the timelines.
+
+    Killed tasks' events are truncated at the kill instant, so this is the
+    work that *actually ran* — the quantity energy must be proportional to.
+    """
+    executed = defaultdict(float)
+    for record in report.records:
+        for event in record.report.events:
+            if event.kind == "compute":
+                executed[event.node] += event.end_s - event.start_s
+    return executed
+
+
+def _expected_compute_joules(cluster, busy_by_node):
+    return sum(
+        busy_by_node.get(node.name, 0.0)
+        * node.hardware.energy.active_watts(node.hardware.effective_gflops)
+        for node in cluster.all_nodes
+    )
+
+
+class TestEconomicsOffByDefault:
+    def test_default_report_is_unmetered(self):
+        report = _system().serve(_workload())
+        assert not report.economics_enabled
+        assert report.compute_energy_j == 0.0
+        assert report.radio_energy_j == 0.0
+        assert report.idle_energy_j == 0.0
+        assert report.total_cost_usd == 0.0
+        assert report.total_energy_j == 0.0
+        assert report.energy_per_request_j == 0.0
+        assert report.dollars_per_1k_requests == 0.0
+        assert "economics:" not in report.summary()
+        assert "economics" not in serialize_report(report)
+
+    def test_metering_does_not_change_the_schedule(self):
+        baseline = serialize_report(_system().serve(_workload()))
+        metered_report = _system().serve(_workload(), economics=True)
+        metered = serialize_report(metered_report)
+        assert metered.pop("economics")  # present, and non-trivial
+        assert metered == baseline
+        assert "economics:" in metered_report.summary()
+
+
+class TestSteadyStateAccounting:
+    @pytest.fixture(scope="class")
+    def served(self):
+        system = _system()
+        report = system.serve(_workload(), economics=True)
+        return system, report
+
+    def test_compute_energy_is_busy_seconds_times_watts(self, served):
+        system, report = served
+        assert report.compute_energy_j == pytest.approx(
+            _expected_compute_joules(system.cluster, report.node_busy_s)
+        )
+        assert report.compute_energy_j > 0
+
+    def test_idle_energy_and_dollars_cover_the_full_makespan(self, served):
+        system, report = served
+        # No faults, no elasticity: every node is up for the whole run.
+        assert not report.node_down_s
+        expected_idle = sum(
+            report.makespan_s * node.hardware.energy.idle_watts
+            for node in system.cluster.all_nodes
+        )
+        expected_cost = sum(
+            report.makespan_s * node.price_per_s for node in system.cluster.all_nodes
+        )
+        assert report.idle_energy_j == pytest.approx(expected_idle)
+        assert report.total_cost_usd == pytest.approx(expected_cost)
+        assert report.total_cost_usd > 0  # edge + cloud bill by the second
+
+    def test_derived_per_request_metrics(self, served):
+        _, report = served
+        assert report.total_energy_j == pytest.approx(
+            report.compute_energy_j + report.radio_energy_j + report.idle_energy_j
+        )
+        assert report.energy_per_request_j == pytest.approx(
+            report.total_energy_j / report.num_requests
+        )
+        assert report.dollars_per_1k_requests == pytest.approx(
+            report.total_cost_usd / report.num_requests * 1000.0
+        )
+
+    def test_radio_energy_matches_device_uplink_bytes(self, served):
+        from repro.core.placement import Tier
+
+        system, report = served
+        device = system.cluster.primary_node(Tier.DEVICE)
+        rate = device.hardware.energy.radio_joules_per_byte
+        carried = sum(
+            link.bytes_carried
+            for link in system.cluster.shared_links.values()
+            if "device" in (link.source, link.destination)
+        )
+        assert rate > 0 and carried > 0
+        assert report.radio_energy_j == pytest.approx(rate * carried)
+
+
+class TestEconomicsUnderFaults:
+    """The chaos schedule kills mid-task and forces failover retries — the
+    regime where naive per-plan energy accounting double-bills or hands out
+    free energy.  The invariant: compute joules equal the watts-weighted
+    integral of executed work, read independently off the event timelines."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        system = _system()
+        report = system.serve(
+            _workload(), faults="chaos:2", max_retries=2, economics=True
+        )
+        return system, report
+
+    def test_chaos_schedule_actually_disrupts(self, served):
+        _, report = served
+        assert report.failover_replans > 0
+        assert report.node_down_s  # somebody crashed
+
+    def test_busy_integral_matches_the_event_timelines(self, served):
+        """No free energy, no double billing: the engine's busy-second
+        integral (what energy is billed from) equals the sum of the
+        truncation-aware event durations (what actually executed)."""
+        _, report = served
+        executed = _executed_seconds_by_node(report)
+        for name, busy_s in report.node_busy_s.items():
+            assert executed.get(name, 0.0) == pytest.approx(busy_s, abs=1e-9), name
+
+    def test_compute_energy_is_the_integral_of_executed_work(self, served):
+        system, report = served
+        executed = _executed_seconds_by_node(report)
+        assert report.compute_energy_j == pytest.approx(
+            _expected_compute_joules(system.cluster, executed)
+        )
+
+    def test_truncated_attempts_still_paid_for_their_partial_work(self, served):
+        """At least one retried request's timeline carries work from a
+        truncated earlier attempt — energy the request consumed even though
+        the attempt never completed."""
+        _, report = served
+        retried = [record for record in report.records if record.retries > 0]
+        assert retried
+        executed = _executed_seconds_by_node(report)
+        assert sum(executed.values()) > 0
+
+    def test_downtime_draws_and_bills_nothing(self, served):
+        system, report = served
+        expected_idle = sum(
+            max(0.0, report.makespan_s - report.node_down_s.get(node.name, 0.0))
+            * node.hardware.energy.idle_watts
+            for node in system.cluster.all_nodes
+        )
+        expected_cost = sum(
+            max(0.0, report.makespan_s - report.node_down_s.get(node.name, 0.0))
+            * node.price_per_s
+            for node in system.cluster.all_nodes
+        )
+        assert report.idle_energy_j == pytest.approx(expected_idle)
+        assert report.total_cost_usd == pytest.approx(expected_cost)
+        # And the downtime genuinely reduced the bill versus full uptime.
+        full_uptime_idle = sum(
+            report.makespan_s * node.hardware.energy.idle_watts
+            for node in system.cluster.all_nodes
+        )
+        assert report.idle_energy_j < full_uptime_idle
+
+    def test_serialized_economics_block(self, served):
+        _, report = served
+        document = serialize_report(report)
+        assert document["economics"] == {
+            "compute_energy_j": report.compute_energy_j,
+            "radio_energy_j": report.radio_energy_j,
+            "idle_energy_j": report.idle_energy_j,
+            "total_cost_usd": report.total_cost_usd,
+        }

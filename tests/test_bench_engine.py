@@ -30,6 +30,16 @@ class TestRunSingle:
         assert cell["completed"] + cell["rejected"] == 200
         assert cell["rejected"] > 0
 
+    def test_economics_cell_matches_the_fifo_schedule(self):
+        # The metering runs at report-build time only, so the economics
+        # cell's simulated schedule — event count included — must be
+        # indistinguishable from the static fifo cell's.
+        fifo = engine.run_single(200, "fifo")
+        economics = engine.run_single(200, "economics")
+        assert economics["events"] == fifo["events"]
+        assert economics["completed"] == fifo["completed"] == 200
+        assert economics["rejected"] == 0
+
 
 class TestRegressionCheck:
     def _payload(self, events_per_s):

@@ -330,3 +330,58 @@ class TestElasticFlags:
             == 1
         )
         assert "edge-99" in capsys.readouterr().err
+
+
+class TestEconomicsFlags:
+    def test_serve_with_economics_prints_the_summary_line(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "5",
+                    "--rate",
+                    "10",
+                    "--economics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "economics:" in out
+        assert "J/request" in out and "/1k requests" in out
+
+    def test_serve_with_weights_implies_economics(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--model",
+                    "alexnet",
+                    "--requests",
+                    "5",
+                    "--rate",
+                    "10",
+                    "--weights",
+                    "0,1,0",
+                ]
+            )
+            == 0
+        )
+        assert "economics:" in capsys.readouterr().out
+
+    def test_default_serve_output_has_no_economics_line(self, capsys):
+        assert main(["serve", "--model", "alexnet", "--requests", "3", "--rate", "10"]) == 0
+        assert "economics:" not in capsys.readouterr().out
+
+    def test_malformed_weights_fail_cleanly(self, capsys):
+        assert main(["serve", "--model", "alexnet", "--weights", "1,2"]) == 1
+        assert "three comma-separated" in capsys.readouterr().err
+        assert main(["serve", "--model", "alexnet", "--weights", "a,b,c"]) == 1
+        assert "could not be parsed" in capsys.readouterr().err
+
+    def test_all_zero_weights_fail_cleanly(self, capsys):
+        assert main(["serve", "--model", "alexnet", "--weights", "0,0,0"]) == 1
+        assert "cannot all be zero" in capsys.readouterr().err
